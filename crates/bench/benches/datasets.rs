@@ -1,0 +1,26 @@
+//! Criterion benches for the dataset generators feeding Figure 4's three
+//! setups (quick profile).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedfl_bench::setups::Setup;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_dataset_generation");
+    for id in 1..=3u8 {
+        let setup = Setup::quick(id);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(setup.dataset.name()),
+            &setup,
+            |b, setup| b.iter(|| setup.dataset.generate(black_box(11)).expect("generate")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generators
+);
+criterion_main!(benches);

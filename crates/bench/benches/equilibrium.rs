@@ -1,0 +1,76 @@
+//! Criterion benches for the pricing/equilibrium kernels behind
+//! Tables II–V and Figure 5: Stage-I solving for each scheme and setup,
+//! client-utility evaluation, and the Table V value sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedfl_bench::experiment::prepare;
+use fedfl_bench::setups::Setup;
+use fedfl_core::pricing::PricingScheme;
+use fedfl_core::server::SolverOptions;
+use std::hint::black_box;
+
+fn bench_scheme_solving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_table3_pricing");
+    for id in 1..=3u8 {
+        let setup = Setup::quick(id);
+        let prepared = prepare(&setup, 2023).expect("prepare");
+        for scheme in PricingScheme::all() {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("setup{id}")),
+                &prepared,
+                |b, prepared| {
+                    b.iter(|| {
+                        scheme
+                            .solve(
+                                black_box(&prepared.population),
+                                &prepared.bound,
+                                setup.budget,
+                                &SolverOptions::default(),
+                            )
+                            .expect("solve")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_client_utility(c: &mut Criterion) {
+    let setup = Setup::quick(1);
+    let prepared = prepare(&setup, 2023).expect("prepare");
+    let outcome = prepared
+        .solve_scheme(PricingScheme::Optimal)
+        .expect("solve");
+    c.bench_function("table4_total_client_utility", |b| {
+        b.iter(|| prepared.total_client_utility(black_box(&outcome)))
+    });
+}
+
+fn bench_value_sweep(c: &mut Criterion) {
+    // Table V / Fig. 5 kernel: re-solving the game as v̄ changes.
+    let mut setup = Setup::quick(1);
+    setup.calibration_value = Some(setup.mean_value);
+    c.bench_function("table5_fig5_value_sweep", |b| {
+        b.iter(|| {
+            let mut counts = Vec::new();
+            for v in [0.0, 4_000.0, 80_000.0] {
+                let mut s = setup.clone();
+                s.mean_value = v;
+                let prepared = prepare(&s, 2023).expect("prepare");
+                let outcome = prepared
+                    .solve_scheme(PricingScheme::Optimal)
+                    .expect("solve");
+                counts.push(outcome.negative_payment_count());
+            }
+            black_box(counts)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheme_solving, bench_client_utility, bench_value_sweep
+);
+criterion_main!(benches);

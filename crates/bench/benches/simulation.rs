@@ -1,0 +1,100 @@
+//! Criterion benches for the training kernels behind Figure 4 (and the
+//! Figures 6–7 sweeps, which run the same loop): one full federated round,
+//! the three aggregation rules, and a client's local SGD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedfl_bench::experiment::prepare;
+use fedfl_bench::setups::Setup;
+use fedfl_core::pricing::PricingScheme;
+use fedfl_model::sgd::run_local_sgd;
+use fedfl_model::ModelParams;
+use fedfl_num::rng::seeded;
+use fedfl_sim::aggregation::AggregationRule;
+use fedfl_sim::runner::run_federated;
+use fedfl_sim::ParticipationLevels;
+use std::hint::black_box;
+
+fn bench_fig4_rounds(c: &mut Criterion) {
+    let mut setup = Setup::quick(1);
+    setup.rounds = 2;
+    setup.eval_every = 2;
+    let prepared = prepare(&setup, 2023).expect("prepare");
+    let outcome = prepared
+        .solve_scheme(PricingScheme::Optimal)
+        .expect("solve");
+    let q = ParticipationLevels::new(outcome.q.clone()).expect("levels");
+    c.bench_function("fig4_two_rounds_setup1", |b| {
+        b.iter(|| {
+            run_federated(
+                black_box(&prepared.model),
+                &prepared.dataset,
+                &q,
+                &prepared.system,
+                &prepared.fl_config(1),
+            )
+            .expect("run")
+        })
+    });
+}
+
+fn bench_aggregation_rules(c: &mut Criterion) {
+    let setup = Setup::quick(1);
+    let prepared = prepare(&setup, 2023).expect("prepare");
+    let n = prepared.dataset.n_clients();
+    let weights = prepared.dataset.weights();
+    let q = ParticipationLevels::uniform(n, 0.5).expect("levels");
+    let global = prepared.model.zero_params();
+    // Synthetic local results for every client.
+    let updates: Vec<(usize, ModelParams)> = (0..n)
+        .map(|i| {
+            let mut p = prepared.model.zero_params();
+            for (j, v) in p.as_mut_slice().iter_mut().enumerate() {
+                *v = ((i * 31 + j) as f64 * 0.01).sin();
+            }
+            (i, p)
+        })
+        .collect();
+    let mut group = c.benchmark_group("lemma1_aggregation");
+    for rule in [
+        AggregationRule::UnbiasedInverseProbability,
+        AggregationRule::ParticipantWeightedAverage,
+        AggregationRule::NaiveInverseWeighting,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rule.name()),
+            &rule,
+            |b, rule| {
+                b.iter(|| rule.aggregate(black_box(&global), &updates, &weights, &q))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_local_sgd(c: &mut Criterion) {
+    let setup = Setup::quick(2);
+    let prepared = prepare(&setup, 2023).expect("prepare");
+    let client = prepared.dataset.client(0);
+    let start = prepared.model.zero_params();
+    c.bench_function("local_sgd_e50_batch24", |b| {
+        b.iter(|| {
+            let mut rng = seeded(7);
+            run_local_sgd(
+                &mut rng,
+                black_box(&prepared.model),
+                &start,
+                client.samples(),
+                &setup.sgd,
+                0,
+            )
+            .expect("sgd")
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4_rounds, bench_aggregation_rules, bench_local_sgd
+);
+criterion_main!(benches);

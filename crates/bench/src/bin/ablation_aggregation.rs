@@ -1,0 +1,85 @@
+//! Ablation: aggregation rules under the same participation profile.
+//!
+//! Compares the paper's unbiased rule (Lemma 1) against the two biased
+//! alternatives it discusses — plain participant averaging and the naive
+//! inverse weighting of whole models — plus a full-participation reference.
+//! The paper's claim: only the Lemma 1 rule converges to the *unbiased*
+//! optimum; the biased rules settle at a higher loss.
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::prepare;
+use fedfl_bench::report::{save_report, TextTable};
+use fedfl_core::pricing::PricingScheme;
+use fedfl_num::rng::split;
+use fedfl_sim::aggregation::AggregationRule;
+use fedfl_sim::runner::run_federated;
+use fedfl_sim::ParticipationLevels;
+
+fn main() {
+    let options = CliOptions::from_env();
+    for setup in options.setups() {
+        let prepared = prepare(&setup, options.seed).expect("prepare failed");
+        let outcome = prepared
+            .solve_scheme(PricingScheme::Optimal)
+            .expect("solve failed");
+        let q = ParticipationLevels::new(outcome.q.clone()).expect("valid q");
+        let full = ParticipationLevels::full(prepared.dataset.n_clients());
+
+        let mut table = TextTable::new(vec![
+            "aggregation rule",
+            "mean final loss",
+            "mean final accuracy",
+        ]);
+        let rules = [
+            AggregationRule::UnbiasedInverseProbability,
+            AggregationRule::ParticipantWeightedAverage,
+            AggregationRule::NaiveInverseWeighting,
+        ];
+        for rule in rules {
+            let mut losses = Vec::new();
+            let mut accs = Vec::new();
+            for run in 0..options.runs {
+                let mut config = prepared.fl_config(split(options.seed, 0xA66 + run as u64));
+                config.aggregation = rule;
+                let trace = run_federated(
+                    &prepared.model,
+                    &prepared.dataset,
+                    &q,
+                    &prepared.system,
+                    &config,
+                )
+                .expect("run failed");
+                losses.push(trace.final_loss().unwrap());
+                accs.push(trace.final_accuracy().unwrap());
+            }
+            table.row(vec![
+                rule.name().to_string(),
+                format!("{:.4}", losses.iter().sum::<f64>() / losses.len() as f64),
+                format!("{:.2}%", accs.iter().sum::<f64>() / accs.len() as f64 * 100.0),
+            ]);
+        }
+        // Full-participation reference (the unbiased target).
+        let config = prepared.fl_config(split(options.seed, 0xA66));
+        let reference = run_federated(
+            &prepared.model,
+            &prepared.dataset,
+            &full,
+            &prepared.system,
+            &config,
+        )
+        .expect("reference run failed");
+        table.row(vec![
+            "full participation (reference)".to_string(),
+            format!("{:.4}", reference.final_loss().unwrap()),
+            format!("{:.2}%", reference.final_accuracy().unwrap() * 100.0),
+        ]);
+
+        let rendered = table.render();
+        println!(
+            "Aggregation ablation — Setup {} ({}), q = proposed equilibrium\n{rendered}",
+            setup.id,
+            setup.dataset.name()
+        );
+        save_report(&format!("ablation_aggregation_setup{}.txt", setup.id), &rendered);
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation: complete vs incomplete information (the paper's Bayesian
+//! future-work direction). Compares the complete-information optimum
+//! against certainty-equivalent pricing with Bayesian budget calibration,
+//! over several true-type draws per setup.
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::prepare;
+use fedfl_bench::report::{save_report, TextTable};
+use fedfl_core::bayesian::{solve_bayesian, BayesianConfig, Prior};
+use fedfl_core::pricing::PricingScheme;
+
+fn main() {
+    let options = CliOptions::from_env();
+    let mut table = TextTable::new(vec![
+        "Setup",
+        "complete-info bound",
+        "Bayesian bound",
+        "information cost",
+        "realised spend (B)",
+    ]);
+    for setup in options.setups() {
+        let prepared = prepare(&setup, options.seed).expect("prepare failed");
+        let complete = prepared
+            .solve_scheme(PricingScheme::Optimal)
+            .expect("solve failed");
+        let bayes = solve_bayesian(
+            &prepared.population,
+            &Prior::Exponential {
+                mean: setup.mean_cost,
+            },
+            &Prior::Exponential {
+                mean: setup.mean_value,
+            },
+            &prepared.bound,
+            setup.budget,
+            &BayesianConfig {
+                n_samples: 128,
+                seed: options.seed,
+                ..Default::default()
+            },
+        )
+        .expect("bayesian solve failed");
+        let v_complete = complete.variance_term(&prepared.population, &prepared.bound);
+        let v_bayes = bayes.variance_term(&prepared.population, &prepared.bound);
+        table.row(vec![
+            format!("Setup {}", setup.id),
+            format!("{v_complete:.4e}"),
+            format!("{v_bayes:.4e}"),
+            format!("{:+.1}%", (v_bayes - v_complete) / v_complete * 100.0),
+            format!("{:.2} ({:.0})", bayes.spent, setup.budget),
+        ]);
+    }
+    let rendered = table.render();
+    println!("Incomplete-information ablation — price of not knowing (c_n, v_n)\n{rendered}");
+    save_report("ablation_bayesian.txt", &rendered);
+}

@@ -1,0 +1,54 @@
+//! Ablation: cost exponent τ (the paper's claim that its results hold for
+//! any τ > 1). Solves Stage I for several exponents on each setup and
+//! reports budget tightness, participation spread, and the bound.
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::prepare;
+use fedfl_bench::report::{save_report, TextTable};
+use fedfl_core::server::SolverOptions;
+use fedfl_core::tau::solve_kkt_tau;
+
+fn main() {
+    let options = CliOptions::from_env();
+    for setup in options.setups() {
+        let prepared = prepare(&setup, options.seed).expect("prepare failed");
+        let mut table = TextTable::new(vec![
+            "tau",
+            "spent",
+            "budget tight",
+            "min q*",
+            "max q*",
+            "bound variance term",
+        ]);
+        for tau in [1.5, 2.0, 2.5, 3.0] {
+            let sol = solve_kkt_tau(
+                &prepared.population,
+                &prepared.bound,
+                setup.budget,
+                &SolverOptions::default(),
+                tau,
+            )
+            .expect("solve failed");
+            let min = sol.q.iter().cloned().fold(f64::MAX, f64::min);
+            let max = sol.q.iter().cloned().fold(f64::MIN, f64::max);
+            table.row(vec![
+                format!("{tau:.1}"),
+                format!("{:.2}", sol.spent),
+                format!("{}", (sol.spent - setup.budget).abs() < 1e-4 || sol.saturated),
+                format!("{min:.4}"),
+                format!("{max:.4}"),
+                format!(
+                    "{:.4e}",
+                    sol.variance_term(&prepared.population, &prepared.bound)
+                ),
+            ]);
+        }
+        let rendered = table.render();
+        println!(
+            "Cost-exponent ablation — Setup {} ({})\n{rendered}",
+            setup.id,
+            setup.dataset.name()
+        );
+        save_report(&format!("ablation_tau_setup{}.txt", setup.id), &rendered);
+    }
+}

@@ -1,0 +1,60 @@
+//! Inspect the per-client equilibrium of each pricing scheme on a setup:
+//! weights, heterogeneity, costs, values, participation levels, prices and
+//! payment directions. Diagnostic companion to the fig4/table binaries.
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::prepare;
+use fedfl_bench::report::TextTable;
+use fedfl_core::pricing::PricingScheme;
+
+fn main() {
+    let options = CliOptions::from_env();
+    for setup in options.setups() {
+        let prepared = prepare(&setup, options.seed).expect("prepare failed");
+        println!(
+            "== Setup {} ({}) — B={}, c̄={}, v̄={}, α={:.3e}, R={} ==",
+            setup.id,
+            setup.dataset.name(),
+            setup.budget,
+            setup.mean_cost,
+            setup.mean_value,
+            prepared.bound.alpha(),
+            prepared.bound.rounds(),
+        );
+        let outcomes: Vec<_> = PricingScheme::all()
+            .into_iter()
+            .map(|s| (s, prepared.solve_scheme(s).expect("solve failed")))
+            .collect();
+
+        let mut table = TextTable::new(vec![
+            "client", "a_n", "G²", "c_n", "v_n", "q*(prop)", "P*(prop)", "q(wtd)", "q(unif)",
+        ]);
+        for (n, c) in prepared.population.iter().enumerate() {
+            table.row(vec![
+                format!("{n}"),
+                format!("{:.4}", c.weight),
+                format!("{:.2}", c.g_squared),
+                format!("{:.1}", c.cost),
+                format!("{:.0}", c.value),
+                format!("{:.4}", outcomes[0].1.q[n]),
+                format!("{:+.2}", outcomes[0].1.prices[n]),
+                format!("{:.4}", outcomes[1].1.q[n]),
+                format!("{:.4}", outcomes[2].1.q[n]),
+            ]);
+        }
+        println!("{}", table.render());
+
+        for (scheme, outcome) in &outcomes {
+            let expected: f64 = outcome.q.iter().sum();
+            println!(
+                "  {:9} spent {:8.2}  E[participants]/round {:5.2}  bound variance term {:.4e}  negative payments {}",
+                scheme.name(),
+                outcome.spent,
+                expected,
+                outcome.variance_term(&prepared.population, &prepared.bound),
+                outcome.negative_payment_count(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 4: global loss and test accuracy over wall-clock time for the
+//! three pricing schemes (proposed / weighted / uniform) on Setups 1–3.
+//!
+//! Prints, per setup, the mean loss and accuracy sampled on a common time
+//! grid, and saves one CSV per (setup, scheme, metric) under `results/`.
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::compare_schemes;
+use fedfl_bench::report::{save_report, series_csv, TextTable};
+
+fn main() {
+    let options = CliOptions::from_env();
+    for setup in options.setups() {
+        println!(
+            "== Fig. 4, Setup {} ({}) — B={}, c̄={}, v̄={} ==",
+            setup.id,
+            setup.dataset.name(),
+            setup.budget,
+            setup.mean_cost,
+            setup.mean_value
+        );
+        let (_prepared, comparisons) =
+            compare_schemes(&setup, options.seed, options.runs).expect("experiment failed");
+
+        // Common time grid: 12 points up to the longest run.
+        let horizon = comparisons
+            .iter()
+            .flat_map(|c| c.bundle.traces().iter().map(|t| t.duration()))
+            .fold(0.0f64, f64::max);
+        let grid: Vec<f64> = (1..=12).map(|i| horizon * i as f64 / 12.0).collect();
+
+        let mut loss_table = TextTable::new(vec![
+            "time".to_string(),
+            "loss(proposed)".to_string(),
+            "loss(weighted)".to_string(),
+            "loss(uniform)".to_string(),
+        ]);
+        let mut acc_table = TextTable::new(vec![
+            "time".to_string(),
+            "acc(proposed)".to_string(),
+            "acc(weighted)".to_string(),
+            "acc(uniform)".to_string(),
+        ]);
+        for &t in &grid {
+            let losses: Vec<String> = comparisons
+                .iter()
+                .map(|c| {
+                    c.bundle
+                        .mean_loss_at_time(t)
+                        .map(|l| format!("{l:.4}"))
+                        .unwrap_or_else(|| "-".into())
+                })
+                .collect();
+            let accs: Vec<String> = comparisons
+                .iter()
+                .map(|c| {
+                    c.bundle
+                        .mean_accuracy_at_time(t)
+                        .map(|a| format!("{a:.4}"))
+                        .unwrap_or_else(|| "-".into())
+                })
+                .collect();
+            let mut lrow = vec![format!("{t:.1}")];
+            lrow.extend(losses);
+            loss_table.row(lrow);
+            let mut arow = vec![format!("{t:.1}")];
+            arow.extend(accs);
+            acc_table.row(arow);
+        }
+        println!("{}", loss_table.render());
+        println!("{}", acc_table.render());
+
+        // Variance headline: the paper stresses smaller variance for the
+        // proposed scheme.
+        for c in &comparisons {
+            let std = c.bundle.loss_std_at_time(horizon).unwrap_or(0.0);
+            println!(
+                "  final mean loss [{}] = {:.4} (± {std:.4} across {} runs), spent {:.2}/{:.2}",
+                c.scheme.name(),
+                c.bundle.mean_loss_at_time(horizon).unwrap_or(f64::NAN),
+                c.bundle.n_runs(),
+                c.outcome.spent,
+                setup.budget,
+            );
+        }
+        println!();
+
+        for c in &comparisons {
+            let mean_curve: Vec<(f64, f64)> = grid
+                .iter()
+                .filter_map(|&t| c.bundle.mean_loss_at_time(t).map(|l| (t, l)))
+                .collect();
+            save_report(
+                &format!("fig4_setup{}_{}_loss.csv", setup.id, c.scheme.name()),
+                &series_csv("time_s", "global_loss", &mean_curve),
+            );
+            let acc_curve: Vec<(f64, f64)> = grid
+                .iter()
+                .filter_map(|&t| c.bundle.mean_accuracy_at_time(t).map(|a| (t, a)))
+                .collect();
+            save_report(
+                &format!("fig4_setup{}_{}_accuracy.csv", setup.id, c.scheme.name()),
+                &series_csv("time_s", "test_accuracy", &acc_curve),
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 5: impact of the mean intrinsic value v̄ on the proposed
+//! mechanism's model performance (Setup 1, equal training rounds).
+//!
+//! The paper's finding: higher v̄ → lower loss, higher accuracy (clients
+//! with more interest in the model participate more on their own), and more
+//! clients end up paying the server (cross-referenced by Table V).
+//!
+//! The paper evaluates at a fixed wall-clock time on a testbed whose round
+//! duration is constant; on our substrate round duration varies with the
+//! participant count, so the faithful readout is at equal training rounds.
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::run_proposed_bundle;
+use fedfl_bench::report::{save_report, TextTable};
+use fedfl_sim::trace::TraceBundle;
+
+fn metrics_at_round(bundle: &TraceBundle, round: usize) -> (f64, f64, f64) {
+    let mut losses = Vec::new();
+    let mut accs = Vec::new();
+    for trace in bundle.traces() {
+        if let Some(r) = trace.records().iter().filter(|r| r.round <= round).next_back() {
+            losses.push(r.global_loss);
+            accs.push(r.test_accuracy);
+        }
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let std = fedfl_num::stats::std_dev(&losses).unwrap_or(0.0);
+    (mean(&losses), mean(&accs), std)
+}
+
+fn main() {
+    let options = CliOptions::from_env();
+    let mut base = options
+        .setups()
+        .into_iter()
+        .find(|s| s.id == options.setup.unwrap_or(1))
+        .expect("setup exists");
+    base.calibration_value = Some(base.mean_value);
+    let eval_round = base.rounds;
+    let values = [0.0, 4_000.0, 80_000.0];
+    let mut results = Vec::new();
+    for &v in &values {
+        base.mean_value = v;
+        let (_prepared, outcome, bundle) =
+            run_proposed_bundle(&base, options.seed, options.runs).expect("experiment failed");
+        results.push((v, outcome, bundle));
+    }
+    let mut table = TextTable::new(vec![
+        "mean v̄",
+        "loss @R",
+        "accuracy @R",
+        "E[participants]",
+        "negative payments",
+    ]);
+    let mut losses = Vec::new();
+    for (v, outcome, bundle) in &results {
+        let (loss, acc, _) = metrics_at_round(bundle, eval_round);
+        losses.push(loss);
+        table.row(vec![
+            format!("{v:.0}"),
+            format!("{loss:.4}"),
+            format!("{:.2}%", acc * 100.0),
+            format!("{:.2}", outcome.q.iter().sum::<f64>()),
+            format!("{}", outcome.negative_payment_count()),
+        ]);
+    }
+    let rendered = table.render();
+    println!(
+        "Fig. 5 — impact of v̄ (Setup {}, evaluated at round {eval_round})\n{rendered}",
+        base.id
+    );
+    save_report("fig5.txt", &rendered);
+    if losses.windows(2).all(|w| w[1] <= w[0] + 1e-9) {
+        println!("shape: loss decreases with v̄ — matches the paper");
+    } else {
+        println!("shape: WARNING — loss did not decrease monotonically with v̄");
+    }
+}

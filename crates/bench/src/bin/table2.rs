@@ -1,0 +1,39 @@
+//! Table II: running time to reach the target global loss, per setup and
+//! pricing scheme. The target is the common reachable loss read off the
+//! Fig. 4 curves (see `experiment::common_loss_target`).
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::{common_loss_target, compare_schemes};
+use fedfl_bench::report::{fmt_saving, fmt_seconds, save_report, TextTable};
+
+fn main() {
+    let options = CliOptions::from_env();
+    let mut table = TextTable::new(vec![
+        "Setup",
+        "target loss",
+        "Proposed",
+        "Weighted",
+        "Uniform",
+        "saving vs uniform",
+    ]);
+    for setup in options.setups() {
+        let (_prepared, comparisons) =
+            compare_schemes(&setup, options.seed, options.runs).expect("experiment failed");
+        let target = common_loss_target(&comparisons);
+        let times: Vec<Option<f64>> = comparisons
+            .iter()
+            .map(|c| c.bundle.mean_time_to_loss(target).0)
+            .collect();
+        table.row(vec![
+            format!("Setup {} ({})", setup.id, setup.dataset.name()),
+            format!("{target:.4}"),
+            fmt_seconds(times[0]),
+            fmt_seconds(times[1]),
+            fmt_seconds(times[2]),
+            fmt_saving(times[0], times[2]),
+        ]);
+    }
+    let rendered = table.render();
+    println!("Table II — running time for reaching the target loss\n{rendered}");
+    save_report("table2.txt", &rendered);
+}

@@ -1,0 +1,38 @@
+//! Table III: running time to reach the target test accuracy, per setup and
+//! pricing scheme.
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::{common_accuracy_target, compare_schemes};
+use fedfl_bench::report::{fmt_saving, fmt_seconds, save_report, TextTable};
+
+fn main() {
+    let options = CliOptions::from_env();
+    let mut table = TextTable::new(vec![
+        "Setup",
+        "target accuracy",
+        "Proposed",
+        "Weighted",
+        "Uniform",
+        "saving vs uniform",
+    ]);
+    for setup in options.setups() {
+        let (_prepared, comparisons) =
+            compare_schemes(&setup, options.seed, options.runs).expect("experiment failed");
+        let target = common_accuracy_target(&comparisons);
+        let times: Vec<Option<f64>> = comparisons
+            .iter()
+            .map(|c| c.bundle.mean_time_to_accuracy(target).0)
+            .collect();
+        table.row(vec![
+            format!("Setup {} ({})", setup.id, setup.dataset.name()),
+            format!("{:.1}%", target * 100.0),
+            fmt_seconds(times[0]),
+            fmt_seconds(times[1]),
+            fmt_seconds(times[2]),
+            fmt_saving(times[0], times[2]),
+        ]);
+    }
+    let rendered = table.render();
+    println!("Table III — running time for reaching the target accuracy\n{rendered}");
+    save_report("table3.txt", &rendered);
+}

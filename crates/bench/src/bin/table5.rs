@@ -1,0 +1,53 @@
+//! Table V: number of clients with negative payment (clients that pay the
+//! server) as the mean intrinsic value v̄ grows, on Setup 1.
+//!
+//! The paper reports 0 / 3 / 5 negative-payment clients for
+//! v̄ ∈ {0, 4 000, 80 000}.
+
+use fedfl_bench::cli::CliOptions;
+use fedfl_bench::experiment::prepare;
+use fedfl_bench::report::{save_report, TextTable};
+use fedfl_core::pricing::PricingScheme;
+
+fn main() {
+    let options = CliOptions::from_env();
+    let mut base = options
+        .setups()
+        .into_iter()
+        .find(|s| s.id == options.setup.unwrap_or(1))
+        .expect("setup exists");
+    let mut table = TextTable::new(vec![
+        "mean intrinsic value v̄",
+        "clients with P_n < 0",
+        "payment threshold v_t",
+    ]);
+    base.calibration_value = Some(base.mean_value);
+    for v in [0.0, 4_000.0, 80_000.0] {
+        base.mean_value = v;
+        let prepared = prepare(&base, options.seed).expect("prepare failed");
+        let outcome = prepared
+            .solve_scheme(PricingScheme::Optimal)
+            .expect("solve failed");
+        // Threshold v_t = 1/(3λ*) from the full equilibrium object.
+        let game = fedfl_core::CplGame::new(
+            prepared.population.clone(),
+            prepared.bound,
+            base.budget,
+        )
+        .expect("game");
+        let se = game.solve().expect("solve");
+        table.row(vec![
+            format!("{v:.0}"),
+            format!("{}", outcome.negative_payment_count()),
+            se.payment_threshold()
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let rendered = table.render();
+    println!(
+        "Table V — negative-payment clients vs v̄ (Setup {}, paper: 0 / 3 / 5)\n{rendered}",
+        base.id
+    );
+    save_report("table5.txt", &rendered);
+}

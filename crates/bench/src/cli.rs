@@ -1,0 +1,138 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! All binaries accept the same flags:
+//!
+//! * `--setup N` — restrict to setup `N` (1–3); default: all that apply.
+//! * `--full`    — paper-scale profile (`R = 1000`, `E = 100`, full
+//!   datasets). Default is the quick profile.
+//! * `--runs N`  — independent training runs per configuration (paper: 20;
+//!   quick default: 3).
+//! * `--seed N`  — master experiment seed (default 2023).
+
+use crate::setups::Setup;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Restrict to one setup, if given.
+    pub setup: Option<u8>,
+    /// Paper-scale profile instead of quick.
+    pub full: bool,
+    /// Training runs per configuration.
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            setup: None,
+            full: false,
+            runs: 3,
+            seed: 2023,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parse from an argument iterator (excluding the program name).
+    /// Unknown flags abort with a usage message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut options = CliOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--setup" => {
+                    let v = iter.next().ok_or("--setup needs a value")?;
+                    let id: u8 = v.parse().map_err(|_| format!("bad setup `{v}`"))?;
+                    if !(1..=3).contains(&id) {
+                        return Err(format!("setup must be 1-3, got {id}"));
+                    }
+                    options.setup = Some(id);
+                }
+                "--full" => options.full = true,
+                "--runs" => {
+                    let v = iter.next().ok_or("--runs needs a value")?;
+                    options.runs = v.parse().map_err(|_| format!("bad runs `{v}`"))?;
+                    if options.runs == 0 {
+                        return Err("--runs must be positive".into());
+                    }
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    options.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag `{other}` (expected --setup N, --full, --runs N, --seed N)"
+                    ))
+                }
+            }
+        }
+        Ok(options)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The setups selected by these options.
+    pub fn setups(&self) -> Vec<Setup> {
+        let profile = |id: u8| {
+            if self.full {
+                Setup::paper(id)
+            } else {
+                Setup::quick(id)
+            }
+        };
+        match self.setup {
+            Some(id) => vec![profile(id)],
+            None => (1..=3).map(profile).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, CliOptions::default());
+        assert_eq!(o.setups().len(), 3);
+    }
+
+    #[test]
+    fn full_flags_roundtrip() {
+        let o = parse(&["--setup", "2", "--full", "--runs", "20", "--seed", "7"]).unwrap();
+        assert_eq!(o.setup, Some(2));
+        assert!(o.full);
+        assert_eq!(o.runs, 20);
+        assert_eq!(o.seed, 7);
+        let setups = o.setups();
+        assert_eq!(setups.len(), 1);
+        assert_eq!(setups[0].rounds, 1000);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--setup"]).is_err());
+        assert!(parse(&["--setup", "4"]).is_err());
+        assert!(parse(&["--runs", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # fedfl-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section VI) on the simulated testbed:
+//!
+//! * [`setups`] — Setups 1–3 of Table I (dataset + budget + cost/value
+//!   means), in both paper scale and a scaled-down "quick" profile.
+//! * [`experiment`] — the end-to-end pipeline: generate data → estimate
+//!   `G_n²`/`σ_n²`/`L` from a warm-up → calibrate the Theorem 1 constants →
+//!   solve each pricing scheme → train with the induced participation
+//!   levels → collect traces.
+//! * [`report`] — plain-text table/series printers shared by the `table*`
+//!   and `fig*` binaries.
+//!
+//! Each paper artefact has a binary: `fig4`, `table2`, `table3`, `table4`,
+//! `table5`, `fig5`, `fig6`, `fig7`, plus the ablations
+//! `ablation_aggregation`, `ablation_solver` and `ablation_bound`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiment;
+pub mod report;
+pub mod setups;

@@ -1,0 +1,146 @@
+//! Plain-text report helpers shared by the table/figure binaries.
+//!
+//! Output format: one aligned text table per paper artefact, with the same
+//! rows and columns the paper prints, plus optional CSV series for the
+//! figure curves.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(n_cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, "{:<width$}", cell, width = widths[i] + 2);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a simulated-seconds value the way the paper's tables do.
+pub fn fmt_seconds(t: Option<f64>) -> String {
+    match t {
+        Some(t) => format!("{t:.1} s"),
+        None => "not reached".to_string(),
+    }
+}
+
+/// Format a relative saving `(baseline − ours) / baseline` as a percentage.
+pub fn fmt_saving(ours: Option<f64>, baseline: Option<f64>) -> String {
+    match (ours, baseline) {
+        (Some(a), Some(b)) if b > 0.0 => format!("{:.1}%", (b - a) / b * 100.0),
+        _ => "-".to_string(),
+    }
+}
+
+/// Render an `(x, y)` series as CSV with the given column names.
+pub fn series_csv(name_x: &str, name_y: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("{name_x},{name_y}\n");
+    for (x, y) in series {
+        let _ = writeln!(out, "{x:.3},{y:.6}");
+    }
+    out
+}
+
+/// Write a report file under `results/`, creating the directory if needed;
+/// prints a pointer line to stdout. I/O failures are reported to stderr but
+/// do not abort an experiment that already has results in memory.
+pub fn save_report(filename: &str, contents: &str) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create results/: {e}");
+        return;
+    }
+    let path = dir.join(filename);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_complete() {
+        let mut t = TextTable::new(vec!["Setup", "Proposed", "Uniform"]);
+        t.row(vec!["1", "711 s", "903 s"]);
+        t.row(vec!["2", "926 s", "1969 s"]);
+        let s = t.render();
+        assert!(s.contains("Setup"));
+        assert!(s.contains("711 s"));
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn seconds_and_saving_formats() {
+        assert_eq!(fmt_seconds(Some(711.04)), "711.0 s");
+        assert_eq!(fmt_seconds(None), "not reached");
+        assert_eq!(fmt_saving(Some(31.0), Some(100.0)), "69.0%");
+        assert_eq!(fmt_saving(None, Some(1.0)), "-");
+        assert_eq!(fmt_saving(Some(1.0), None), "-");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = series_csv("time", "loss", &[(0.0, 2.3), (1.5, 1.1)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,loss");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.000,"));
+    }
+}

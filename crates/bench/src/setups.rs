@@ -1,0 +1,252 @@
+//! The three experimental setups of Table I.
+//!
+//! | Setup | dataset    | budget B | mean cost c̄ | mean value v̄ |
+//! |-------|------------|----------|--------------|---------------|
+//! | 1     | Synthetic  | 200      | 50           | 4 000         |
+//! | 2     | MNIST-like | 40       | 20           | 30 000        |
+//! | 3     | EMNIST-like| 500      | 80           | 10 000        |
+//!
+//! Each setup exists in two profiles: `paper` (full scale: 40 clients,
+//! `R = 1000`, `E = 100`, the paper's sample counts) and `quick` (the same
+//! structure scaled down so the full table/figure suite runs in minutes on
+//! a laptop). The quick profile is what the checked-in experiment outputs
+//! use; EXPERIMENTS.md records both the paper's numbers and ours.
+
+use fedfl_data::emnistlike::EmnistLikeConfig;
+use fedfl_data::mnistlike::MnistLikeConfig;
+use fedfl_data::synthetic::SyntheticConfig;
+use fedfl_data::{DataError, FederatedDataset};
+use fedfl_model::sgd::{LocalSgdConfig, LrSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Which dataset a setup trains on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Setup 1: Synthetic(1, 1).
+    Synthetic(SyntheticConfig),
+    /// Setup 2: MNIST-like.
+    MnistLike(MnistLikeConfig),
+    /// Setup 3: EMNIST-like.
+    EmnistLike(EmnistLikeConfig),
+}
+
+impl DatasetKind {
+    /// Generate the federated dataset for an experiment seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the generator's [`DataError`].
+    pub fn generate(&self, seed: u64) -> Result<FederatedDataset, DataError> {
+        match self {
+            DatasetKind::Synthetic(cfg) => cfg.generate(seed),
+            DatasetKind::MnistLike(cfg) => cfg.generate(seed),
+            DatasetKind::EmnistLike(cfg) => cfg.generate(seed),
+        }
+    }
+
+    /// Short dataset name for table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Synthetic(_) => "Synthetic",
+            DatasetKind::MnistLike(_) => "MNIST-like",
+            DatasetKind::EmnistLike(_) => "EMNIST-like",
+        }
+    }
+}
+
+/// One experimental setup: dataset plus the game parameters of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Setup {
+    /// Setup number (1, 2 or 3).
+    pub id: u8,
+    /// Dataset configuration.
+    pub dataset: DatasetKind,
+    /// Server budget `B`.
+    pub budget: f64,
+    /// Mean local-cost parameter c̄ (exponentially distributed per client).
+    pub mean_cost: f64,
+    /// Mean intrinsic value v̄ (exponentially distributed per client).
+    pub mean_value: f64,
+    /// Communication rounds `R`.
+    pub rounds: usize,
+    /// Client optimiser configuration (`E`, batch size, learning rate).
+    pub sgd: LocalSgdConfig,
+    /// Evaluate metrics every this many rounds.
+    pub eval_every: usize,
+    /// Warm-up rounds used to estimate `G_n²`.
+    pub warmup_rounds: usize,
+    /// ℓ2 regularisation µ of the logistic model.
+    pub l2_reg: f64,
+    /// Ratio of the mean intrinsic gain `K̄` to the mean cost c̄ used to
+    /// calibrate α (see [`crate::experiment`]).
+    pub kappa: f64,
+    /// Mean intrinsic value used for the α calibration; defaults to
+    /// [`Setup::mean_value`]. Parameter sweeps over v̄ pin this to the
+    /// setup's base value so that α stays a fixed task property while v̄
+    /// varies (as in the paper's Table V / Fig. 5).
+    pub calibration_value: Option<f64>,
+    /// Mean cost used for the α calibration; defaults to
+    /// [`Setup::mean_cost`]. Pinned by sweeps over c̄ (Fig. 6).
+    pub calibration_cost: Option<f64>,
+}
+
+impl Setup {
+    /// Paper-scale Setup `id` (Table I parameters, 40 clients, `R = 1000`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not 1, 2 or 3.
+    pub fn paper(id: u8) -> Self {
+        let base = |dataset, budget, mean_cost, mean_value| Setup {
+            id,
+            dataset,
+            budget,
+            mean_cost,
+            mean_value,
+            rounds: 1000,
+            sgd: LocalSgdConfig::paper_default(),
+            eval_every: 10,
+            warmup_rounds: 5,
+            l2_reg: 1e-2,
+            kappa: 0.5,
+            calibration_value: None,
+            calibration_cost: None,
+        };
+        match id {
+            1 => base(
+                DatasetKind::Synthetic(SyntheticConfig::paper_setup1()),
+                200.0,
+                50.0,
+                4_000.0,
+            ),
+            2 => base(
+                DatasetKind::MnistLike(MnistLikeConfig::paper_setup2()),
+                40.0,
+                20.0,
+                30_000.0,
+            ),
+            3 => base(
+                DatasetKind::EmnistLike(EmnistLikeConfig::paper_setup3()),
+                500.0,
+                80.0,
+                10_000.0,
+            ),
+            _ => panic!("setup id must be 1, 2 or 3, got {id}"),
+        }
+    }
+
+    /// Scaled-down Setup `id`: same structure (40 clients, same budget /
+    /// cost / value means, same non-i.i.d. partitions), smaller datasets and
+    /// fewer, cheaper rounds, so the whole suite runs in minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not 1, 2 or 3.
+    pub fn quick(id: u8) -> Self {
+        let mut setup = Setup::paper(id);
+        setup.rounds = 220;
+        setup.eval_every = 5;
+        setup.warmup_rounds = 3;
+        setup.sgd = LocalSgdConfig {
+            local_steps: 50,
+            batch_size: 24,
+            schedule: LrSchedule::ExponentialDecay {
+                initial: 0.1,
+                decay: 0.99,
+            },
+        };
+        match &mut setup.dataset {
+            DatasetKind::Synthetic(cfg) => {
+                cfg.total_samples = 4_000;
+                cfg.min_per_client = 20;
+                cfg.test_samples = 800;
+            }
+            DatasetKind::MnistLike(cfg) => {
+                cfg.total_samples = 4_000;
+                cfg.dim = 64;
+                cfg.min_per_client = 20;
+                cfg.test_samples = 800;
+            }
+            DatasetKind::EmnistLike(cfg) => {
+                let inner = cfg.inner_mut();
+                inner.total_samples = 5_000;
+                inner.dim = 64;
+                inner.min_per_client = 20;
+                inner.test_samples = 1_040;
+            }
+        }
+        setup
+    }
+
+    /// All three setups in a given profile (`quick = true` for the scaled
+    /// profile).
+    pub fn all(quick: bool) -> Vec<Setup> {
+        (1..=3)
+            .map(|id| if quick { Setup::quick(id) } else { Setup::paper(id) })
+            .collect()
+    }
+
+    /// Number of clients in this setup's dataset configuration.
+    pub fn n_clients(&self) -> usize {
+        match &self.dataset {
+            DatasetKind::Synthetic(cfg) => cfg.n_clients,
+            DatasetKind::MnistLike(cfg) => cfg.n_clients,
+            DatasetKind::EmnistLike(cfg) => cfg.inner().n_clients,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setups_match_table1() {
+        let s1 = Setup::paper(1);
+        assert_eq!((s1.budget, s1.mean_cost, s1.mean_value), (200.0, 50.0, 4000.0));
+        let s2 = Setup::paper(2);
+        assert_eq!((s2.budget, s2.mean_cost, s2.mean_value), (40.0, 20.0, 30000.0));
+        let s3 = Setup::paper(3);
+        assert_eq!((s3.budget, s3.mean_cost, s3.mean_value), (500.0, 80.0, 10000.0));
+        for s in [s1, s2, s3] {
+            assert_eq!(s.rounds, 1000);
+            assert_eq!(s.sgd.local_steps, 100);
+            assert_eq!(s.n_clients(), 40);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "setup id")]
+    fn invalid_id_panics() {
+        Setup::paper(4);
+    }
+
+    #[test]
+    fn quick_setups_generate_quickly_and_keep_structure() {
+        for id in 1..=3 {
+            let s = Setup::quick(id);
+            assert_eq!(s.n_clients(), 40);
+            let ds = s.dataset.generate(1).unwrap();
+            assert_eq!(ds.n_clients(), 40);
+            assert!(ds.total_samples() <= 5_000);
+            assert!(ds.label_skew() > 0.05, "setup {id} lost its non-i.i.d. structure");
+        }
+    }
+
+    #[test]
+    fn all_returns_three() {
+        assert_eq!(Setup::all(true).len(), 3);
+        assert_eq!(Setup::all(false).len(), 3);
+        assert_eq!(
+            Setup::all(true).iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn dataset_names() {
+        assert_eq!(Setup::quick(1).dataset.name(), "Synthetic");
+        assert_eq!(Setup::quick(2).dataset.name(), "MNIST-like");
+        assert_eq!(Setup::quick(3).dataset.name(), "EMNIST-like");
+    }
+}

@@ -1,0 +1,319 @@
+//! The convergence bound of Theorem 1 — the server's surrogate objective.
+//!
+//! For arbitrary independent participation levels `q` and the unbiased
+//! aggregation of Lemma 1, Theorem 1 of the paper gives
+//!
+//! ```text
+//! E[F(w^R(q))] − F* ≤ (1/R) ( α Σ_n (1 − q_n) a_n² G_n² / q_n + β )
+//! ```
+//!
+//! with `α = 8LE/µ²` and
+//! `β = (2L/µ²E)·A₀ + (12L²/µ²E)·Γ + (4L²/µE)·‖w⁰ − w*‖²`,
+//! `A₀ = Σ a_n² σ_n² + 8 Σ a_n G_n² (E−1)²`, `Γ = F* − Σ a_n F*_n`.
+//!
+//! Only the α-term depends on `q`; it is what the Stage-I problem minimises
+//! and what prices client contributions: client `n`'s marginal effect on the
+//! bound scales with `a_n² G_n²` — unbalanced data *and* statistical
+//! heterogeneity, not just data quantity.
+
+use crate::error::GameError;
+use crate::population::Population;
+use serde::{Deserialize, Serialize};
+
+/// The constants `(α, β, R)` of the Theorem 1 bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundParams {
+    alpha: f64,
+    beta: f64,
+    rounds: usize,
+}
+
+impl BoundParams {
+    /// Create bound parameters from pre-computed constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] unless `alpha > 0`,
+    /// `beta ≥ 0` and `rounds ≥ 1`.
+    pub fn new(alpha: f64, beta: f64, rounds: usize) -> Result<Self, GameError> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "alpha",
+                reason: format!("must be finite and positive, got {alpha}"),
+            });
+        }
+        if !(beta.is_finite() && beta >= 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "beta",
+                reason: format!("must be finite and non-negative, got {beta}"),
+            });
+        }
+        if rounds == 0 {
+            return Err(GameError::InvalidParameter {
+                name: "rounds",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(Self {
+            alpha,
+            beta,
+            rounds,
+        })
+    }
+
+    /// Derive `(α, β)` from the problem constants of Assumptions 1–3, as
+    /// Theorem 1 defines them.
+    ///
+    /// * `l`, `mu` — smoothness and strong convexity of the local losses;
+    /// * `local_steps` — `E`;
+    /// * `rounds` — `R`;
+    /// * `weights`, `sigma_squared`, `g_squared` — per-client `a_n`,
+    ///   `σ_n²`, `G_n²`;
+    /// * `gamma` — the heterogeneity gap `Γ = F* − Σ a_n F*_n ≥ 0`;
+    /// * `w0_dist_squared` — `‖w⁰ − w*‖²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError`] for non-positive `l`/`mu`, zero `local_steps`
+    /// or `rounds`, mismatched vector lengths, or negative entries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_constants(
+        l: f64,
+        mu: f64,
+        local_steps: usize,
+        rounds: usize,
+        weights: &[f64],
+        sigma_squared: &[f64],
+        g_squared: &[f64],
+        gamma: f64,
+        w0_dist_squared: f64,
+    ) -> Result<Self, GameError> {
+        if !(l.is_finite() && l > 0.0) || !(mu.is_finite() && mu > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "l/mu",
+                reason: format!("must be finite and positive, got L={l}, mu={mu}"),
+            });
+        }
+        if local_steps == 0 {
+            return Err(GameError::InvalidParameter {
+                name: "local_steps",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if weights.len() != sigma_squared.len() || weights.len() != g_squared.len() {
+            return Err(GameError::LengthMismatch {
+                expected: weights.len(),
+                found: sigma_squared.len().min(g_squared.len()),
+            });
+        }
+        if gamma < 0.0 || w0_dist_squared < 0.0 {
+            return Err(GameError::InvalidParameter {
+                name: "gamma/w0_dist_squared",
+                reason: "must be non-negative".into(),
+            });
+        }
+        let e = local_steps as f64;
+        let alpha = 8.0 * l * e / (mu * mu);
+        let a0: f64 = weights
+            .iter()
+            .zip(sigma_squared)
+            .map(|(&a, &s2)| a * a * s2)
+            .sum::<f64>()
+            + 8.0
+                * weights
+                    .iter()
+                    .zip(g_squared)
+                    .map(|(&a, &g2)| a * g2)
+                    .sum::<f64>()
+                * (e - 1.0)
+                * (e - 1.0);
+        let beta = 2.0 * l / (mu * mu * e) * a0
+            + 12.0 * l * l / (mu * mu * e) * gamma
+            + 4.0 * l * l / (mu * e) * w0_dist_squared;
+        Self::new(alpha, beta, rounds)
+    }
+
+    /// The coefficient `α = 8LE/µ²`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The additive constant `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The number of rounds `R`.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The ratio `α/R` that scales every `q`-dependent term of the game.
+    pub fn alpha_over_r(&self) -> f64 {
+        self.alpha / self.rounds as f64
+    }
+
+    /// The variance-driven term `Σ_n (1 − q_n) a_n² G_n² / q_n` of the bound
+    /// (Lemma 2's aggregate, without `α/R`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len()` differs from the population size; non-positive
+    /// `q_n` yield `+∞` (the bound's message: never freeze a client out).
+    pub fn variance_term(&self, population: &Population, q: &[f64]) -> f64 {
+        assert_eq!(q.len(), population.len(), "q length mismatch");
+        population
+            .iter()
+            .zip(q)
+            .map(|(c, &qn)| {
+                if qn <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (1.0 - qn) * c.a2g2() / qn
+                }
+            })
+            .sum()
+    }
+
+    /// The full optimality-gap bound
+    /// `(1/R)(α · variance_term + β)` of Theorem 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len()` differs from the population size.
+    pub fn optimality_gap(&self, population: &Population, q: &[f64]) -> f64 {
+        (self.alpha * self.variance_term(population, q) + self.beta) / self.rounds as f64
+    }
+
+    /// Marginal decrease of the bound from raising `q_n`:
+    /// `∂gap/∂q_n = −(α/R) a_n² G_n² / q_n²` — the "contribution" that the
+    /// pricing scheme rewards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range or `q_n ≤ 0`.
+    pub fn marginal_gap(&self, population: &Population, n: usize, q_n: f64) -> f64 {
+        assert!(q_n > 0.0, "q must be positive");
+        -self.alpha_over_r() * population.client(n).a2g2() / (q_n * q_n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> Population {
+        Population::builder()
+            .weights(vec![0.5, 0.3, 0.2])
+            .g_squared(vec![1.0, 4.0, 9.0])
+            .costs(vec![10.0, 10.0, 10.0])
+            .values(vec![0.0, 0.0, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(BoundParams::new(0.0, 1.0, 10).is_err());
+        assert!(BoundParams::new(1.0, -1.0, 10).is_err());
+        assert!(BoundParams::new(1.0, 1.0, 0).is_err());
+        assert!(BoundParams::new(f64::NAN, 1.0, 10).is_err());
+        let b = BoundParams::new(100.0, 5.0, 50).unwrap();
+        assert_eq!(b.alpha(), 100.0);
+        assert_eq!(b.beta(), 5.0);
+        assert_eq!(b.rounds(), 50);
+        assert!((b.alpha_over_r() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_constants_matches_formulas() {
+        let l = 2.0;
+        let mu = 0.5;
+        let e = 4usize;
+        let weights = [0.6, 0.4];
+        let sigma2 = [1.0, 2.0];
+        let g2 = [3.0, 5.0];
+        let gamma = 0.7;
+        let w0 = 1.5;
+        let b = BoundParams::from_constants(l, mu, e, 100, &weights, &sigma2, &g2, gamma, w0)
+            .unwrap();
+        let alpha_expected = 8.0 * l * e as f64 / (mu * mu);
+        assert!((b.alpha() - alpha_expected).abs() < 1e-12);
+        let a0 = 0.36 * 1.0 + 0.16 * 2.0 + 8.0 * (0.6 * 3.0 + 0.4 * 5.0) * 9.0;
+        let beta_expected = 2.0 * l / (mu * mu * e as f64) * a0
+            + 12.0 * l * l / (mu * mu * e as f64) * gamma
+            + 4.0 * l * l / (mu * e as f64) * w0;
+        assert!((b.beta() - beta_expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_constants_validates() {
+        let w = [1.0];
+        assert!(BoundParams::from_constants(0.0, 1.0, 1, 1, &w, &[1.0], &[1.0], 0.0, 0.0).is_err());
+        assert!(BoundParams::from_constants(1.0, 1.0, 0, 1, &w, &[1.0], &[1.0], 0.0, 0.0).is_err());
+        assert!(BoundParams::from_constants(1.0, 1.0, 1, 1, &w, &[], &[1.0], 0.0, 0.0).is_err());
+        assert!(
+            BoundParams::from_constants(1.0, 1.0, 1, 1, &w, &[1.0], &[1.0], -0.1, 0.0).is_err()
+        );
+    }
+
+    #[test]
+    fn full_participation_zeroes_the_variance_term() {
+        let p = population();
+        let b = BoundParams::new(10.0, 3.0, 10).unwrap();
+        assert_eq!(b.variance_term(&p, &[1.0, 1.0, 1.0]), 0.0);
+        // The gap then reduces to β/R.
+        assert!((b.optimality_gap(&p, &[1.0, 1.0, 1.0]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_decreases_in_each_q() {
+        let p = population();
+        let b = BoundParams::new(10.0, 0.0, 10).unwrap();
+        let base = vec![0.5, 0.5, 0.5];
+        let g0 = b.optimality_gap(&p, &base);
+        for i in 0..3 {
+            let mut higher = base.clone();
+            higher[i] = 0.8;
+            assert!(b.optimality_gap(&p, &higher) < g0, "client {i}");
+        }
+    }
+
+    #[test]
+    fn zero_q_blows_up() {
+        let p = population();
+        let b = BoundParams::new(10.0, 0.0, 10).unwrap();
+        assert!(b.variance_term(&p, &[1.0, 0.0, 1.0]).is_infinite());
+    }
+
+    #[test]
+    fn high_heterogeneity_clients_dominate_the_bound() {
+        let p = population();
+        let b = BoundParams::new(10.0, 0.0, 10).unwrap();
+        // Same q for all: client ordering by a²G² is 0.25, 0.36, 0.36.
+        // Raising the most heterogeneous client's q helps at least as much.
+        let base = vec![0.5, 0.5, 0.5];
+        let mut up1 = base.clone();
+        up1[0] = 0.7;
+        let mut up2 = base.clone();
+        up2[1] = 0.7;
+        let drop1 = b.optimality_gap(&p, &base) - b.optimality_gap(&p, &up1);
+        let drop2 = b.optimality_gap(&p, &base) - b.optimality_gap(&p, &up2);
+        assert!(drop2 >= drop1);
+    }
+
+    #[test]
+    fn marginal_gap_matches_finite_difference() {
+        let p = population();
+        let b = BoundParams::new(10.0, 2.0, 10).unwrap();
+        let q = vec![0.4, 0.6, 0.8];
+        let eps = 1e-7;
+        for n in 0..3 {
+            let mut plus = q.clone();
+            plus[n] += eps;
+            let fd = (b.optimality_gap(&p, &plus) - b.optimality_gap(&p, &q)) / eps;
+            let analytic = b.marginal_gap(&p, n, q[n]);
+            assert!((fd - analytic).abs() < 1e-4, "client {n}: {fd} vs {analytic}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Decoupled local-cost model — the refinement the paper lists as future
+//! work ("we will further refine our cost model by decoupling the local
+//! cost into computation and communication consumption", Section VII).
+//!
+//! The game's scalar cost parameter `c_n` of `C_n = c_n q_n²` is derived
+//! from measurable device characteristics instead of being drawn from a
+//! distribution: a client that spends `s_n` device-seconds per participated
+//! round (computation + upload) at a device-time price of `π` per second,
+//! over an `R`-round horizon, has
+//!
+//! ```text
+//! c_n = π · R · s_n = π · R · (E / compute_speed_n + model_size / upload_rate_n)
+//! ```
+//!
+//! The quadratic shape in `q` is retained from the paper (opportunity cost
+//! grows superlinearly as the device commits more of its duty cycle); the
+//! decoupling only grounds the *coefficient* in the computation and
+//! communication budgets, so every equilibrium result continues to apply.
+
+use crate::error::GameError;
+use serde::{Deserialize, Serialize};
+
+/// Computation/communication decomposition of one client's per-round cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostComponents {
+    /// Seconds of local computation per participated round.
+    pub compute_seconds: f64,
+    /// Seconds of uplink transmission per participated round.
+    pub upload_seconds: f64,
+}
+
+impl CostComponents {
+    /// Build from device characteristics: `E` local steps at
+    /// `compute_speed` steps/second, and `model_size` parameters at
+    /// `upload_rate` parameters/second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] for non-positive speeds.
+    pub fn from_device(
+        local_steps: usize,
+        compute_speed: f64,
+        model_size: usize,
+        upload_rate: f64,
+    ) -> Result<Self, GameError> {
+        if !(compute_speed.is_finite() && compute_speed > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "compute_speed",
+                reason: format!("must be finite and positive, got {compute_speed}"),
+            });
+        }
+        if !(upload_rate.is_finite() && upload_rate > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "upload_rate",
+                reason: format!("must be finite and positive, got {upload_rate}"),
+            });
+        }
+        Ok(Self {
+            compute_seconds: local_steps as f64 / compute_speed,
+            upload_seconds: model_size as f64 / upload_rate,
+        })
+    }
+
+    /// Total device-seconds per participated round.
+    pub fn seconds_per_round(&self) -> f64 {
+        self.compute_seconds + self.upload_seconds
+    }
+
+    /// The game's cost coefficient `c_n = π · R · s_n` for a device-time
+    /// price `price_per_second` and an `R`-round horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] for a non-positive price or
+    /// zero rounds.
+    pub fn cost_coefficient(
+        &self,
+        price_per_second: f64,
+        rounds: usize,
+    ) -> Result<f64, GameError> {
+        if !(price_per_second.is_finite() && price_per_second > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "price_per_second",
+                reason: format!("must be finite and positive, got {price_per_second}"),
+            });
+        }
+        if rounds == 0 {
+            return Err(GameError::InvalidParameter {
+                name: "rounds",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(price_per_second * rounds as f64 * self.seconds_per_round())
+    }
+
+    /// Fraction of this client's per-round cost that is communication —
+    /// useful for diagnosing whether a pricing outcome is compute- or
+    /// network-driven.
+    pub fn communication_share(&self) -> f64 {
+        let total = self.seconds_per_round();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.upload_seconds / total
+        }
+    }
+}
+
+/// Derive the cost coefficients of a whole federation from per-device
+/// components.
+///
+/// # Errors
+///
+/// Propagates [`CostComponents::cost_coefficient`] errors.
+pub fn derive_cost_coefficients(
+    components: &[CostComponents],
+    price_per_second: f64,
+    rounds: usize,
+) -> Result<Vec<f64>, GameError> {
+    components
+        .iter()
+        .map(|c| c.cost_coefficient(price_per_second, rounds))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_device_decomposes_times() {
+        // 100 steps at 50/s = 2 s compute; 5000 params at 10000/s = 0.5 s.
+        let c = CostComponents::from_device(100, 50.0, 5_000, 10_000.0).unwrap();
+        assert!((c.compute_seconds - 2.0).abs() < 1e-12);
+        assert!((c.upload_seconds - 0.5).abs() < 1e-12);
+        assert!((c.seconds_per_round() - 2.5).abs() < 1e-12);
+        assert!((c.communication_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_coefficient_scales_linearly() {
+        let c = CostComponents {
+            compute_seconds: 1.0,
+            upload_seconds: 1.0,
+        };
+        let base = c.cost_coefficient(0.5, 100).unwrap();
+        assert!((base - 100.0).abs() < 1e-12);
+        assert!((c.cost_coefficient(1.0, 100).unwrap() - 2.0 * base).abs() < 1e-9);
+        assert!((c.cost_coefficient(0.5, 200).unwrap() - 2.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_devices_cost_more() {
+        let fast = CostComponents::from_device(50, 400.0, 1_000, 1e6).unwrap();
+        let slow = CostComponents::from_device(50, 40.0, 1_000, 1e5).unwrap();
+        let cf = fast.cost_coefficient(1.0, 100).unwrap();
+        let cs = slow.cost_coefficient(1.0, 100).unwrap();
+        assert!(cs > 5.0 * cf, "slow {cs} vs fast {cf}");
+    }
+
+    #[test]
+    fn derive_costs_for_a_fleet() {
+        let fleet = vec![
+            CostComponents::from_device(10, 100.0, 100, 1_000.0).unwrap(),
+            CostComponents::from_device(10, 50.0, 100, 1_000.0).unwrap(),
+        ];
+        let costs = derive_cost_coefficients(&fleet, 1.0, 10).unwrap();
+        assert_eq!(costs.len(), 2);
+        assert!(costs[1] > costs[0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(CostComponents::from_device(10, 0.0, 100, 1.0).is_err());
+        assert!(CostComponents::from_device(10, 1.0, 100, -1.0).is_err());
+        let c = CostComponents {
+            compute_seconds: 1.0,
+            upload_seconds: 0.0,
+        };
+        assert!(c.cost_coefficient(0.0, 10).is_err());
+        assert!(c.cost_coefficient(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn zero_time_components_have_zero_share() {
+        let c = CostComponents {
+            compute_seconds: 0.0,
+            upload_seconds: 0.0,
+        };
+        assert_eq!(c.communication_share(), 0.0);
+    }
+}

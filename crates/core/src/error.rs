@@ -1,0 +1,87 @@
+//! Error type for the game crate.
+
+use fedfl_num::NumError;
+use std::fmt;
+
+/// Error returned by game construction and equilibrium solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// A parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Client-parameter vectors disagree in length.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+    /// An underlying numeric routine failed.
+    Numeric(NumError),
+    /// The solver could not produce an equilibrium.
+    SolverFailed {
+        /// Which solver failed.
+        solver: &'static str,
+        /// Why it failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            GameError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected} clients, found {found}")
+            }
+            GameError::Numeric(e) => write!(f, "numeric error: {e}"),
+            GameError::SolverFailed { solver, reason } => {
+                write!(f, "{solver} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GameError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for GameError {
+    fn from(e: NumError) -> Self {
+        GameError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GameError::LengthMismatch {
+            expected: 4,
+            found: 3
+        }
+        .to_string()
+        .contains("4"));
+        let e: GameError = NumError::EmptyInput.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(GameError::SolverFailed {
+            solver: "kkt",
+            reason: "no bracket".into()
+        }
+        .to_string()
+        .contains("kkt"));
+    }
+}

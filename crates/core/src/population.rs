@@ -1,0 +1,412 @@
+//! Client populations: the per-client parameters of the CPL game.
+//!
+//! Every client `n` enters the game with four parameters (Section III of
+//! the paper):
+//!
+//! * `a_n` — data weight `d_n / Σ d_m` (unbalanced data);
+//! * `G_n²` — squared gradient-norm bound (Assumption 3), the statistical
+//!   heterogeneity term the bound prices;
+//! * `c_n`  — local cost parameter of `C_n = c_n q_n²` (equation (6));
+//! * `v_n`  — intrinsic-value preference (equation (7)).
+//!
+//! The paper's experiments draw `c_n` and `v_n` from Exponential
+//! distributions with the means of Table I; [`Population::sample`]
+//! reproduces that.
+
+use crate::error::GameError;
+use fedfl_num::dist::Exponential;
+use fedfl_num::rng::substream;
+use serde::{Deserialize, Serialize};
+
+/// Default minimum participation level enforced by the solvers.
+///
+/// Theorem 1 requires `q_n > 0` for every client (otherwise the bound — and
+/// the number of rounds to converge — blows up), so the equilibrium solvers
+/// work on `[Q_MIN, q_max]`.
+pub const Q_MIN: f64 = 1e-4;
+
+/// Parameters of one client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientProfile {
+    /// Data weight `a_n` (the `a_n` sum to 1 across the population).
+    pub weight: f64,
+    /// Squared gradient-norm bound `G_n²`.
+    pub g_squared: f64,
+    /// Local cost parameter `c_n > 0`.
+    pub cost: f64,
+    /// Intrinsic-value preference `v_n ≥ 0`.
+    pub value: f64,
+    /// Maximum feasible participation level `q_{n,max} ∈ (0, 1]`.
+    pub q_max: f64,
+}
+
+impl ClientProfile {
+    /// The product `a_n² G_n²` that appears throughout the bound and the
+    /// equilibrium formulas.
+    pub fn a2g2(&self) -> f64 {
+        self.weight * self.weight * self.g_squared
+    }
+
+    /// Validate one profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] describing the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), GameError> {
+        if !(self.weight.is_finite() && self.weight > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "weight",
+                reason: format!("must be finite and positive, got {}", self.weight),
+            });
+        }
+        if !(self.g_squared.is_finite() && self.g_squared > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "g_squared",
+                reason: format!("must be finite and positive, got {}", self.g_squared),
+            });
+        }
+        if !(self.cost.is_finite() && self.cost > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "cost",
+                reason: format!("must be finite and positive, got {}", self.cost),
+            });
+        }
+        if !(self.value.is_finite() && self.value >= 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "value",
+                reason: format!("must be finite and non-negative, got {}", self.value),
+            });
+        }
+        if !(self.q_max.is_finite() && self.q_max > Q_MIN && self.q_max <= 1.0) {
+            return Err(GameError::InvalidParameter {
+                name: "q_max",
+                reason: format!("must lie in ({Q_MIN}, 1], got {}", self.q_max),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A validated population of clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    clients: Vec<ClientProfile>,
+}
+
+impl Population {
+    /// Start building a population from parallel parameter vectors.
+    pub fn builder() -> PopulationBuilder {
+        PopulationBuilder::default()
+    }
+
+    /// Wrap pre-built profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError`] if the population is empty, any profile is
+    /// invalid, or the weights do not sum to 1 (tolerance 1e-6).
+    pub fn new(clients: Vec<ClientProfile>) -> Result<Self, GameError> {
+        if clients.is_empty() {
+            return Err(GameError::InvalidParameter {
+                name: "clients",
+                reason: "need at least one client".into(),
+            });
+        }
+        for c in &clients {
+            c.validate()?;
+        }
+        let total: f64 = clients.iter().map(|c| c.weight).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(GameError::InvalidParameter {
+                name: "weights",
+                reason: format!("must sum to 1, got {total}"),
+            });
+        }
+        Ok(Self { clients })
+    }
+
+    /// Draw a population in the style of the paper's Table I: weights and
+    /// `G_n²` given (typically from the dataset and a warm-up run), `c_n`
+    /// and `v_n` exponentially distributed with means `mean_cost` and
+    /// `mean_value`.
+    ///
+    /// A `mean_value` of exactly 0 gives every client `v_n = 0` (the paper's
+    /// `v = 0` column of Table V).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError`] on invalid inputs.
+    pub fn sample(
+        seed: u64,
+        weights: &[f64],
+        g_squared: &[f64],
+        mean_cost: f64,
+        mean_value: f64,
+        q_max: f64,
+    ) -> Result<Self, GameError> {
+        if weights.len() != g_squared.len() {
+            return Err(GameError::LengthMismatch {
+                expected: weights.len(),
+                found: g_squared.len(),
+            });
+        }
+        if !(mean_cost.is_finite() && mean_cost > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "mean_cost",
+                reason: format!("must be finite and positive, got {mean_cost}"),
+            });
+        }
+        if !(mean_value.is_finite() && mean_value >= 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "mean_value",
+                reason: format!("must be finite and non-negative, got {mean_value}"),
+            });
+        }
+        let mut rng = substream(seed, 0xC0_57);
+        let cost_dist = Exponential::with_mean(mean_cost)?;
+        let costs: Vec<f64> = (0..weights.len())
+            .map(|_| cost_dist.sample(&mut rng).max(1e-6 * mean_cost))
+            .collect();
+        let values: Vec<f64> = if mean_value == 0.0 {
+            vec![0.0; weights.len()]
+        } else {
+            let value_dist = Exponential::with_mean(mean_value)?;
+            (0..weights.len()).map(|_| value_dist.sample(&mut rng)).collect()
+        };
+        Self::builder()
+            .weights(weights.to_vec())
+            .g_squared(g_squared.to_vec())
+            .costs(costs)
+            .values(values)
+            .q_max_all(q_max)
+            .build()
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the population is empty (never true after validation).
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Borrow all profiles.
+    pub fn clients(&self) -> &[ClientProfile] {
+        &self.clients
+    }
+
+    /// Borrow client `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn client(&self, n: usize) -> &ClientProfile {
+        &self.clients[n]
+    }
+
+    /// Iterate over the profiles.
+    pub fn iter(&self) -> std::slice::Iter<'_, ClientProfile> {
+        self.clients.iter()
+    }
+
+    /// Data weights `a_n` in client order.
+    pub fn weights(&self) -> Vec<f64> {
+        self.clients.iter().map(|c| c.weight).collect()
+    }
+
+    /// The per-client `a_n² G_n²` products.
+    pub fn a2g2(&self) -> Vec<f64> {
+        self.clients.iter().map(ClientProfile::a2g2).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Population {
+    type Item = &'a ClientProfile;
+    type IntoIter = std::slice::Iter<'a, ClientProfile>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clients.iter()
+    }
+}
+
+/// Builder assembling a [`Population`] from parallel vectors.
+#[derive(Debug, Clone, Default)]
+pub struct PopulationBuilder {
+    weights: Vec<f64>,
+    g_squared: Vec<f64>,
+    costs: Vec<f64>,
+    values: Vec<f64>,
+    q_max: Option<Vec<f64>>,
+}
+
+impl PopulationBuilder {
+    /// Set the data weights `a_n` (must sum to 1).
+    pub fn weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Set the squared gradient bounds `G_n²`.
+    pub fn g_squared(mut self, g_squared: Vec<f64>) -> Self {
+        self.g_squared = g_squared;
+        self
+    }
+
+    /// Set the cost parameters `c_n`.
+    pub fn costs(mut self, costs: Vec<f64>) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Set the intrinsic values `v_n`.
+    pub fn values(mut self, values: Vec<f64>) -> Self {
+        self.values = values;
+        self
+    }
+
+    /// Set per-client participation caps.
+    pub fn q_max(mut self, q_max: Vec<f64>) -> Self {
+        self.q_max = Some(q_max);
+        self
+    }
+
+    /// Set a single participation cap for everyone (the paper uses
+    /// `q_{n,max} = 1`).
+    pub fn q_max_all(mut self, q_max: f64) -> Self {
+        self.q_max = Some(vec![q_max; self.weights.len().max(1)]);
+        self
+    }
+
+    /// Assemble and validate the population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::LengthMismatch`] if the vectors disagree in
+    /// length and [`GameError::InvalidParameter`] for invalid entries.
+    pub fn build(self) -> Result<Population, GameError> {
+        let n = self.weights.len();
+        for (len, _name) in [
+            (self.g_squared.len(), "g_squared"),
+            (self.costs.len(), "costs"),
+            (self.values.len(), "values"),
+        ] {
+            if len != n {
+                return Err(GameError::LengthMismatch {
+                    expected: n,
+                    found: len,
+                });
+            }
+        }
+        let q_max = self.q_max.unwrap_or_else(|| vec![1.0; n]);
+        if q_max.len() != n {
+            return Err(GameError::LengthMismatch {
+                expected: n,
+                found: q_max.len(),
+            });
+        }
+        let clients = (0..n)
+            .map(|i| ClientProfile {
+                weight: self.weights[i],
+                g_squared: self.g_squared[i],
+                cost: self.costs[i],
+                value: self.values[i],
+                q_max: q_max[i],
+            })
+            .collect();
+        Population::new(clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_builder() -> PopulationBuilder {
+        Population::builder()
+            .weights(vec![0.5, 0.3, 0.2])
+            .g_squared(vec![1.0, 2.0, 3.0])
+            .costs(vec![10.0, 20.0, 30.0])
+            .values(vec![0.0, 5.0, 10.0])
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let p = valid_builder().build().unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.client(1).cost, 20.0);
+        assert_eq!(p.weights(), vec![0.5, 0.3, 0.2]);
+        assert!((p.a2g2()[0] - 0.25).abs() < 1e-12);
+        assert_eq!(p.iter().count(), 3);
+        assert_eq!((&p).into_iter().count(), 3);
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_lengths() {
+        assert!(matches!(
+            valid_builder().g_squared(vec![1.0]).build(),
+            Err(GameError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            valid_builder().q_max(vec![1.0]).build(),
+            Err(GameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(valid_builder().weights(vec![0.5, 0.3, 0.3]).build().is_err());
+        assert!(valid_builder().costs(vec![0.0, 1.0, 1.0]).build().is_err());
+        assert!(valid_builder().values(vec![-1.0, 0.0, 0.0]).build().is_err());
+        assert!(valid_builder().g_squared(vec![0.0, 1.0, 1.0]).build().is_err());
+        assert!(valid_builder().q_max_all(1.5).build().is_err());
+        assert!(valid_builder().q_max_all(0.0).build().is_err());
+        assert!(Population::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn default_q_max_is_one() {
+        let p = valid_builder().build().unwrap();
+        assert!(p.iter().all(|c| c.q_max == 1.0));
+    }
+
+    #[test]
+    fn sampling_matches_table1_statistics() {
+        let weights = vec![0.025; 40];
+        let g2 = vec![4.0; 40];
+        let p = Population::sample(3, &weights, &g2, 50.0, 4000.0, 1.0).unwrap();
+        assert_eq!(p.len(), 40);
+        let mean_c: f64 = p.iter().map(|c| c.cost).sum::<f64>() / 40.0;
+        let mean_v: f64 = p.iter().map(|c| c.value).sum::<f64>() / 40.0;
+        // Exponential with 40 draws: loose sanity interval.
+        assert!(mean_c > 20.0 && mean_c < 110.0, "mean_c {mean_c}");
+        assert!(mean_v > 1500.0 && mean_v < 9000.0, "mean_v {mean_v}");
+    }
+
+    #[test]
+    fn sampling_zero_mean_value_gives_zero_values() {
+        let p = Population::sample(1, &[0.5, 0.5], &[1.0, 1.0], 10.0, 0.0, 1.0).unwrap();
+        assert!(p.iter().all(|c| c.value == 0.0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let w = vec![0.5, 0.5];
+        let g = vec![1.0, 1.0];
+        let a = Population::sample(9, &w, &g, 10.0, 100.0, 1.0).unwrap();
+        let b = Population::sample(9, &w, &g, 10.0, 100.0, 1.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_rejects_bad_params() {
+        let w = vec![0.5, 0.5];
+        let g = vec![1.0, 1.0];
+        assert!(Population::sample(1, &w, &[1.0], 10.0, 1.0, 1.0).is_err());
+        assert!(Population::sample(1, &w, &g, 0.0, 1.0, 1.0).is_err());
+        assert!(Population::sample(1, &w, &g, 10.0, -1.0, 1.0).is_err());
+    }
+}

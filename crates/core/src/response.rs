@@ -1,0 +1,252 @@
+//! Stage II — the client's best response.
+//!
+//! Given the server's price `P_n`, client `n` maximises (Problem P2′ of the
+//! paper)
+//!
+//! ```text
+//! U_n(q_n) = P_n q_n − c_n q_n² + v_n [F(w*_n) − F* − gap(q)]
+//! ```
+//!
+//! whose own-`q_n` part is `P_n q_n − c_n q_n² − K_n (1/q_n − 1)` with
+//! `K_n = v_n (α/R) a_n² G_n²`. The objective is strictly concave on
+//! `q_n > 0`, and the first-order condition (13),
+//!
+//! ```text
+//! P_n + K_n / q_n² − 2 c_n q_n = 0,
+//! ```
+//!
+//! has a unique positive root — computed analytically by
+//! [`fedfl_num::roots::best_response_cubic`]. The inverse map (17),
+//! `P_n(q_n) = 2 c_n q_n − K_n / q_n²`, is what the server substitutes into
+//! Stage I.
+
+use crate::bound::BoundParams;
+use crate::error::GameError;
+use crate::population::ClientProfile;
+use fedfl_num::roots::best_response_cubic;
+
+/// The intrinsic-gain coefficient `K_n = v_n (α/R) a_n² G_n²` — how much
+/// client `n`'s own participation improves its intrinsic value through the
+/// bound.
+pub fn intrinsic_gain(client: &ClientProfile, bound: &BoundParams) -> f64 {
+    client.value * bound.alpha_over_r() * client.a2g2()
+}
+
+/// Client `n`'s best-response participation level to price `price`,
+/// clamped to `[0, q_max]`.
+///
+/// With `K_n > 0` the unconstrained optimum is strictly positive (the
+/// intrinsic value makes total abstention infinitely bad); with `K_n = 0`
+/// and `price ≤ 0` the client simply stays out (`q = 0`).
+///
+/// # Errors
+///
+/// Returns [`GameError`] if the client profile is invalid or the price is
+/// non-finite.
+pub fn best_response(
+    client: &ClientProfile,
+    bound: &BoundParams,
+    price: f64,
+) -> Result<f64, GameError> {
+    client.validate()?;
+    if !price.is_finite() {
+        return Err(GameError::InvalidParameter {
+            name: "price",
+            reason: format!("must be finite, got {price}"),
+        });
+    }
+    let k = intrinsic_gain(client, bound);
+    let unconstrained = best_response_cubic(client.cost, price, k)?;
+    Ok(unconstrained.min(client.q_max))
+}
+
+/// The price that makes `q` client `n`'s best response — equation (17):
+/// `P_n(q) = 2 c_n q − K_n / q²`.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidParameter`] unless `q > 0`.
+pub fn inverse_price(
+    client: &ClientProfile,
+    bound: &BoundParams,
+    q: f64,
+) -> Result<f64, GameError> {
+    if !(q.is_finite() && q > 0.0) {
+        return Err(GameError::InvalidParameter {
+            name: "q",
+            reason: format!("must be finite and positive, got {q}"),
+        });
+    }
+    Ok(2.0 * client.cost * q - intrinsic_gain(client, bound) / (q * q))
+}
+
+/// The `q_n`-dependent part of client `n`'s utility,
+/// `P q − c q² − K (1/q − 1)`; constants independent of the client's own
+/// choice (`v_n (F(w*_n) − F* − β/R)` and the other clients' bound terms)
+/// are omitted, so *differences* of this function across `q` values equal
+/// differences of the full utility.
+///
+/// `q = 0` returns `0` when `K = 0` (staying out costs nothing) and `−∞`
+/// when `K > 0`.
+pub fn own_utility(client: &ClientProfile, bound: &BoundParams, price: f64, q: f64) -> f64 {
+    let k = intrinsic_gain(client, bound);
+    if q <= 0.0 {
+        return if k == 0.0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    price * q - client.cost * q * q - k * (1.0 / q - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(cost: f64, value: f64) -> ClientProfile {
+        ClientProfile {
+            weight: 0.1,
+            g_squared: 25.0,
+            cost,
+            value,
+            q_max: 1.0,
+        }
+    }
+
+    fn bound() -> BoundParams {
+        BoundParams::new(4000.0, 100.0, 1000).unwrap()
+    }
+
+    #[test]
+    fn intrinsic_gain_formula() {
+        let c = client(50.0, 4000.0);
+        let b = bound();
+        // K = v · (α/R) · a²G² = 4000 · 4 · (0.01·25) = 4000.
+        assert!((intrinsic_gain(&c, &b) - 4000.0).abs() < 1e-9);
+        assert_eq!(intrinsic_gain(&client(50.0, 0.0), &b), 0.0);
+    }
+
+    #[test]
+    fn best_response_is_global_argmax_on_grid() {
+        let b = bound();
+        for &(cost, value, price) in &[
+            (50.0, 400.0, 10.0),
+            (20.0, 3000.0, -5.0),
+            (80.0, 1000.0, 60.0),
+            (50.0, 0.0, 30.0),
+        ] {
+            let c = client(cost, value);
+            let q_star = best_response(&c, &b, price).unwrap();
+            let u_star = own_utility(&c, &b, price, q_star);
+            for i in 1..=1000 {
+                let q = i as f64 / 1000.0;
+                let u = own_utility(&c, &b, price, q);
+                assert!(
+                    u <= u_star + 1e-6 * u_star.abs().max(1.0),
+                    "q={q} beats q*={q_star} ({u} > {u_star}) for (c={cost}, v={value}, P={price})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_response_clamps_at_q_max() {
+        let mut c = client(0.001, 0.0);
+        c.q_max = 0.6;
+        // Tiny cost + big price would push q far above 1 unconstrained.
+        let q = best_response(&c, &bound(), 100.0).unwrap();
+        assert_eq!(q, 0.6);
+    }
+
+    #[test]
+    fn no_value_no_pay_means_no_participation() {
+        let c = client(50.0, 0.0);
+        assert_eq!(best_response(&c, &bound(), 0.0).unwrap(), 0.0);
+        assert_eq!(best_response(&c, &bound(), -10.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn intrinsic_value_sustains_participation_without_payment() {
+        let c = client(50.0, 4000.0);
+        let q = best_response(&c, &bound(), 0.0).unwrap();
+        assert!(q > 0.0, "client with intrinsic value should join unpaid");
+        // Even paying the server (negative price) keeps q > 0.
+        let q_neg = best_response(&c, &bound(), -20.0).unwrap();
+        assert!(q_neg > 0.0 && q_neg <= q);
+    }
+
+    #[test]
+    fn best_response_monotone_increasing_and_convex_in_price() {
+        let c = client(40.0, 500.0);
+        let b = bound();
+        let prices: Vec<f64> = (0..60).map(|i| -30.0 + i as f64).collect();
+        let qs: Vec<f64> = prices
+            .iter()
+            .map(|&p| best_response(&c, &b, p).unwrap())
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "not monotone");
+        }
+        // Convexity of q*(P) (paper, Section V-A) on the interior segment.
+        let interior: Vec<f64> = qs
+            .iter()
+            .cloned()
+            .filter(|&q| q > 1e-9 && q < c.q_max - 1e-9)
+            .collect();
+        for w in interior.windows(3) {
+            assert!(
+                w[2] - w[1] >= w[1] - w[0] - 1e-9,
+                "q*(P) not convex: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_price_roundtrips_with_best_response() {
+        let b = bound();
+        for &(cost, value) in &[(50.0, 400.0), (20.0, 3000.0), (80.0, 0.0)] {
+            let c = client(cost, value);
+            for &q in &[0.1, 0.35, 0.8] {
+                let p = inverse_price(&c, &b, q).unwrap();
+                let q_back = best_response(&c, &b, p).unwrap();
+                assert!((q_back - q).abs() < 1e-8, "roundtrip {q} -> {p} -> {q_back}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_price_rejects_nonpositive_q() {
+        let c = client(10.0, 0.0);
+        assert!(inverse_price(&c, &bound(), 0.0).is_err());
+        assert!(inverse_price(&c, &bound(), -0.5).is_err());
+    }
+
+    #[test]
+    fn high_value_clients_accept_lower_prices_for_same_q() {
+        let b = bound();
+        let low_v = client(50.0, 100.0);
+        let high_v = client(50.0, 5000.0);
+        let q = 0.5;
+        let p_low = inverse_price(&low_v, &b, q).unwrap();
+        let p_high = inverse_price(&high_v, &b, q).unwrap();
+        assert!(
+            p_high < p_low,
+            "higher intrinsic value should need a lower price"
+        );
+    }
+
+    #[test]
+    fn own_utility_edge_cases() {
+        let b = bound();
+        let with_value = client(10.0, 100.0);
+        assert_eq!(own_utility(&with_value, &b, 5.0, 0.0), f64::NEG_INFINITY);
+        let without_value = client(10.0, 0.0);
+        assert_eq!(own_utility(&without_value, &b, 5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn best_response_rejects_bad_inputs() {
+        let c = client(10.0, 0.0);
+        assert!(best_response(&c, &bound(), f64::NAN).is_err());
+        let mut bad = c;
+        bad.cost = 0.0;
+        assert!(best_response(&bad, &bound(), 1.0).is_err());
+    }
+}

@@ -1,0 +1,562 @@
+//! Stage I — the server's optimal-pricing problem.
+//!
+//! Substituting the clients' inverse price map (17) into the server's
+//! budgeted loss-minimisation problem gives Problem P1′ of the paper:
+//!
+//! ```text
+//! min_q  Σ_n (1 − q_n) a_n² G_n² / q_n
+//! s.t.   Σ_n (2 c_n q_n − (α/R) v_n a_n² G_n² / q_n²) q_n ≤ B,
+//!        q_min ≤ q_n ≤ q_{n,max}.
+//! ```
+//!
+//! Two solvers are provided:
+//!
+//! 1. [`solve_kkt`] — from the KKT condition (22),
+//!    `1/λ = (4R/α) c_n q_n³ / (a_n² G_n²) + v_n` for interior clients, the
+//!    whole optimal profile is a one-parameter family
+//!    `q_n(t) = clamp(((α/4R)·a_n²G_n²·(t − v_n)/c_n)^{1/3})` in `t = 1/λ`;
+//!    budget spend is monotone along the path (Proposition 1), so the tight
+//!    budget of Lemma 3 pins `t` by bisection.
+//! 2. [`solve_m_search`] — the paper's literal two-step method for P1″:
+//!    fix `M = Σ c_n q_n²`, solve the then-convex inner problem (we use a
+//!    quadratic-penalty projected-gradient method in place of CVX), and
+//!    linearly search `M` with a fixed step ε₀.
+//!
+//! Both return the same profile up to solver tolerance (tested), with the
+//! KKT path being orders of magnitude faster.
+
+use crate::bound::BoundParams;
+use crate::error::GameError;
+use crate::population::{Population, Q_MIN};
+use crate::response::{inverse_price, intrinsic_gain};
+use fedfl_num::solve::{
+    bisect_monotone, penalty_minimize, BoxConstraints, ConstraintKind, PgdConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// Options shared by the Stage-I solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverOptions {
+    /// Participation floor (Theorem 1 needs `q_n > 0`).
+    pub q_min: f64,
+    /// Bisection tolerance on the KKT parameter and budget.
+    pub tol: f64,
+    /// Grid steps for the outer `M`-search (the paper's ε₀ divides the `M`
+    /// range into this many cells).
+    pub m_grid_steps: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            q_min: Q_MIN,
+            tol: 1e-10,
+            m_grid_steps: 30,
+        }
+    }
+}
+
+/// The server's Stage-I decision: participation targets and the prices that
+/// implement them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageOneSolution {
+    /// Optimal participation levels `q*`.
+    pub q: Vec<f64>,
+    /// Optimal prices `P*` from equation (17).
+    pub prices: Vec<f64>,
+    /// Total payment `Σ P*_n q*_n` actually spent.
+    pub spent: f64,
+    /// KKT multiplier `λ*` of the budget constraint, when the KKT solver
+    /// produced an interior path point (`None` for the `M`-search and for
+    /// saturated/floored corner cases).
+    pub lambda: Option<f64>,
+    /// Whether every client sits at `q_max` with budget left over (the
+    /// budget constraint is slack; Lemma 3's tightness needs a binding
+    /// budget).
+    pub saturated: bool,
+}
+
+impl StageOneSolution {
+    /// The bound's variance term `Σ (1 − q_n) a_n² G_n² / q_n` at this
+    /// solution.
+    pub fn variance_term(&self, population: &Population, bound: &BoundParams) -> f64 {
+        bound.variance_term(population, &self.q)
+    }
+
+    /// Number of clients the server charges (negative price — Theorem 3's
+    /// bi-directional payments).
+    pub fn negative_price_count(&self) -> usize {
+        self.prices.iter().filter(|&&p| p < 0.0).count()
+    }
+}
+
+/// Participation profile along the KKT path at `t = 1/λ`.
+fn q_path(population: &Population, bound: &BoundParams, options: &SolverOptions, t: f64) -> Vec<f64> {
+    let coef = bound.alpha_over_r() / 4.0;
+    population
+        .iter()
+        .map(|c| {
+            let slack = (t - c.value).max(0.0);
+            let raw = (coef * c.a2g2() * slack / c.cost).cbrt();
+            raw.clamp(options.q_min, c.q_max)
+        })
+        .collect()
+}
+
+/// Total payment `Σ P_n(q_n) q_n` for a participation profile.
+fn spend(population: &Population, bound: &BoundParams, q: &[f64]) -> f64 {
+    population
+        .iter()
+        .zip(q)
+        .map(|(c, &qn)| {
+            // P(q)·q = 2 c q² − K/q with K = v (α/R) a²G².
+            2.0 * c.cost * qn * qn - intrinsic_gain(c, bound) / qn
+        })
+        .sum()
+}
+
+fn prices_for(population: &Population, bound: &BoundParams, q: &[f64]) -> Result<Vec<f64>, GameError> {
+    population
+        .iter()
+        .zip(q)
+        .map(|(c, &qn)| inverse_price(c, bound, qn))
+        .collect()
+}
+
+fn validate_inputs(
+    population: &Population,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<(), GameError> {
+    if !budget.is_finite() {
+        return Err(GameError::InvalidParameter {
+            name: "budget",
+            reason: format!("must be finite, got {budget}"),
+        });
+    }
+    if !(options.q_min > 0.0 && options.q_min < 1.0) {
+        return Err(GameError::InvalidParameter {
+            name: "q_min",
+            reason: format!("must lie in (0, 1), got {}", options.q_min),
+        });
+    }
+    if options.m_grid_steps < 2 {
+        return Err(GameError::InvalidParameter {
+            name: "m_grid_steps",
+            reason: "need at least 2 grid steps".into(),
+        });
+    }
+    if population.iter().any(|c| c.q_max <= options.q_min) {
+        return Err(GameError::InvalidParameter {
+            name: "q_max",
+            reason: "every client needs q_max > q_min".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Solve Stage I along the KKT path (the fast solver).
+///
+/// # Errors
+///
+/// Returns [`GameError`] for invalid inputs; the solver itself is total —
+/// budgets below the floor spend saturate at `q_min` and budgets above the
+/// saturation spend return the all-`q_max` profile with `saturated = true`.
+pub fn solve_kkt(
+    population: &Population,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<StageOneSolution, GameError> {
+    validate_inputs(population, budget, options)?;
+    // t needed for every client to hit its cap.
+    let t_hi = population
+        .iter()
+        .map(|c| 4.0 / bound.alpha_over_r() * c.cost * c.q_max.powi(3) / c.a2g2() + c.value)
+        .fold(0.0f64, f64::max)
+        * (1.0 + 1e-12)
+        + 1e-12;
+
+    let q_at = |t: f64| q_path(population, bound, options, t);
+    let spend_at = |t: f64| spend(population, bound, &q_at(t));
+
+    let (q, lambda, saturated) = if spend_at(t_hi) <= budget {
+        // Whole population affordable at the caps: budget slack.
+        (q_at(t_hi), None, true)
+    } else {
+        let t_star = bisect_monotone(spend_at, budget, 0.0, t_hi, options.tol)?;
+        let lambda = if t_star > 0.0 { Some(1.0 / t_star) } else { None };
+        (q_at(t_star), lambda, false)
+    };
+    let prices = prices_for(population, bound, &q)?;
+    let spent = spend(population, bound, &q);
+    Ok(StageOneSolution {
+        q,
+        prices,
+        spent,
+        lambda,
+        saturated,
+    })
+}
+
+/// Solve Stage I with the paper's literal two-step `M`-search on P1″.
+///
+/// For each candidate `M` the inner convex problem is solved by a
+/// quadratic-penalty projected-gradient method (the CVX substitute of
+/// DESIGN.md §3); the outer linear search scans
+/// `M ∈ [Σ c_n q_min², Σ c_n q_{n,max}²]` with `options.m_grid_steps` cells
+/// and refines the best cell by golden section.
+///
+/// # Errors
+///
+/// Returns [`GameError::SolverFailed`] if no feasible `M` exists (e.g. the
+/// budget cannot even cover the `q_min` floor).
+pub fn solve_m_search(
+    population: &Population,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<StageOneSolution, GameError> {
+    validate_inputs(population, budget, options)?;
+    let n = population.len();
+    let a2g2 = population.a2g2();
+    let costs: Vec<f64> = population.iter().map(|c| c.cost).collect();
+    let gains: Vec<f64> = population
+        .iter()
+        .map(|c| intrinsic_gain(c, bound))
+        .collect();
+    let lo: Vec<f64> = vec![options.q_min; n];
+    let hi: Vec<f64> = population.iter().map(|c| c.q_max).collect();
+    let bounds_box = BoxConstraints::new(lo.clone(), hi.clone())?;
+    let m_lo: f64 = costs.iter().zip(&lo).map(|(&c, &q)| c * q * q).sum();
+    let m_hi: f64 = costs.iter().zip(&hi).map(|(&c, &q)| c * q * q).sum();
+
+    let pgd = PgdConfig {
+        max_iter: 8_000,
+        ..Default::default()
+    };
+    // Constraints are normalised to O(1), so feasibility is relative.
+    let feas_tol = 1e-6;
+    let m_scale = m_hi.max(1.0);
+    let budget_scale = budget.abs().max(m_hi).max(1.0);
+
+    // Inner solve for a fixed M with an explicit warm start; returns the
+    // variance-term value and the solution, or None if infeasible.
+    let inner = |m: f64, x0: &[f64]| -> Option<(f64, Vec<f64>)> {
+        let mut constraints: Vec<(
+            ConstraintKind,
+            Box<dyn FnMut(&[f64], &mut [f64]) -> f64>,
+        )> = vec![
+            (
+                ConstraintKind::Inequality,
+                Box::new({
+                    let gains = gains.clone();
+                    move |q: &[f64], g: &mut [f64]| {
+                        let mut val = 2.0 * m - budget;
+                        for i in 0..q.len() {
+                            val -= gains[i] / q[i];
+                            g[i] = gains[i] / (q[i] * q[i]) / budget_scale;
+                        }
+                        val / budget_scale
+                    }
+                }),
+            ),
+            (
+                ConstraintKind::Equality,
+                Box::new({
+                    let costs = costs.clone();
+                    move |q: &[f64], g: &mut [f64]| {
+                        let mut val = -m;
+                        for i in 0..q.len() {
+                            val += costs[i] * q[i] * q[i];
+                            g[i] = 2.0 * costs[i] * q[i] / m_scale;
+                        }
+                        val / m_scale
+                    }
+                }),
+            ),
+        ];
+        let result = penalty_minimize(
+            |q: &[f64], g: &mut [f64]| {
+                let mut val = 0.0;
+                for i in 0..q.len() {
+                    val += a2g2[i] * (1.0 / q[i] - 1.0);
+                    g[i] = -a2g2[i] / (q[i] * q[i]);
+                }
+                val
+            },
+            &mut constraints,
+            x0,
+            &bounds_box,
+            &pgd,
+            feas_tol,
+        )
+        .ok()?;
+        // Check feasibility of the returned point.
+        let q = result.x;
+        let m_actual: f64 = costs.iter().zip(&q).map(|(&c, &qi)| c * qi * qi).sum();
+        let spent_actual = spend(population, bound, &q);
+        if (m_actual - m).abs() / m_scale > 1e-3
+            || (spent_actual - budget) / budget_scale > 1e-3
+        {
+            return None;
+        }
+        let value: f64 = a2g2
+            .iter()
+            .zip(&q)
+            .map(|(&ag, &qi)| ag * (1.0 / qi - 1.0))
+            .sum();
+        Some((value, q))
+    };
+
+    // Linear search over M with a fixed step ε₀ (the paper's outer loop),
+    // sweeping from large M to small and warm-starting each cell from its
+    // neighbour's solution.
+    let steps = options.m_grid_steps;
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut warm: Vec<f64> = hi.clone();
+    for k in (0..=steps).rev() {
+        let m = m_lo + (m_hi - m_lo) * k as f64 / steps as f64;
+        // Rescale the warm start towards the target M for a feasible-ish x0.
+        let m_warm: f64 = costs.iter().zip(&warm).map(|(&c, &qi)| c * qi * qi).sum();
+        let ratio = (m / m_warm.max(1e-300)).sqrt().clamp(0.1, 10.0);
+        let x0: Vec<f64> = warm
+            .iter()
+            .zip(lo.iter().zip(&hi))
+            .map(|(&w, (&l, &h))| (w * ratio).clamp(l, h))
+            .collect();
+        if let Some((value, q)) = inner(m, &x0) {
+            warm = q.clone();
+            if best.as_ref().map(|(v, _)| value < *v).unwrap_or(true) {
+                best = Some((value, q));
+            }
+        }
+    }
+    let (_, q) = best.ok_or(GameError::SolverFailed {
+        solver: "m_search",
+        reason: "no feasible M found".into(),
+    })?;
+    let prices = prices_for(population, bound, &q)?;
+    let spent = spend(population, bound, &q);
+    let saturated = q
+        .iter()
+        .zip(population.iter())
+        .all(|(&qi, c)| qi >= c.q_max - 1e-6)
+        && spent < budget - 1e-9;
+    Ok(StageOneSolution {
+        q,
+        prices,
+        spent,
+        lambda: None,
+        saturated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> Population {
+        Population::builder()
+            .weights(vec![0.4, 0.3, 0.2, 0.1])
+            .g_squared(vec![9.0, 16.0, 25.0, 36.0])
+            .costs(vec![30.0, 50.0, 70.0, 90.0])
+            .values(vec![0.0, 2.0, 5.0, 10.0])
+            .build()
+            .unwrap()
+    }
+
+    fn bound() -> BoundParams {
+        BoundParams::new(4000.0, 100.0, 1000).unwrap()
+    }
+
+    #[test]
+    fn kkt_budget_is_tight_in_the_interior() {
+        let p = population();
+        let b = bound();
+        let budget = 10.0;
+        let sol = solve_kkt(&p, &b, budget, &SolverOptions::default()).unwrap();
+        assert!(!sol.saturated);
+        assert!(
+            (sol.spent - budget).abs() < 1e-6,
+            "spent {} vs budget {budget}",
+            sol.spent
+        );
+        assert!(sol.lambda.unwrap() > 0.0);
+        assert!(sol
+            .q
+            .iter()
+            .all(|&q| (Q_MIN..=1.0).contains(&q)));
+    }
+
+    #[test]
+    fn kkt_saturates_with_huge_budget() {
+        let p = population();
+        let b = bound();
+        let sol = solve_kkt(&p, &b, 1e9, &SolverOptions::default()).unwrap();
+        assert!(sol.saturated);
+        assert!(sol.q.iter().all(|&q| (q - 1.0).abs() < 1e-9));
+        assert!(sol.spent < 1e9);
+    }
+
+    #[test]
+    fn kkt_floors_with_tiny_budget() {
+        let p = population();
+        let b = bound();
+        // Spend at the floor is negative (clients with value pay in), so a
+        // deeply negative budget cannot be met: solver floors everyone.
+        let sol = solve_kkt(&p, &b, -1e12, &SolverOptions::default()).unwrap();
+        assert!(sol.q.iter().all(|&q| q <= Q_MIN * 1.01));
+    }
+
+    #[test]
+    fn kkt_more_budget_means_more_participation_everywhere() {
+        // Proposition 1: both q* and P* increase in B.
+        let p = population();
+        let b = bound();
+        let small = solve_kkt(&p, &b, 4.0, &SolverOptions::default()).unwrap();
+        let large = solve_kkt(&p, &b, 16.0, &SolverOptions::default()).unwrap();
+        for n in 0..p.len() {
+            assert!(
+                large.q[n] >= small.q[n] - 1e-9,
+                "q[{n}] decreased with budget"
+            );
+            assert!(
+                large.prices[n] >= small.prices[n] - 1e-9,
+                "P[{n}] decreased with budget"
+            );
+        }
+        let vt_small = small.variance_term(&p, &b);
+        let vt_large = large.variance_term(&p, &b);
+        assert!(vt_large < vt_small, "bound did not improve with budget");
+    }
+
+    #[test]
+    fn kkt_satisfies_theorem2_invariant_for_interior_clients() {
+        let p = population();
+        let b = bound();
+        let sol = solve_kkt(&p, &b, 10.0, &SolverOptions::default()).unwrap();
+        // (4R/α) c q³ / (a²G²) + v must be constant over interior clients.
+        let coef = 4.0 / b.alpha_over_r();
+        let invariants: Vec<f64> = p
+            .iter()
+            .zip(&sol.q)
+            .filter(|(c, &q)| q > Q_MIN * 1.01 && q < c.q_max * 0.999)
+            .map(|(c, &q)| coef * c.cost * q.powi(3) / c.a2g2() + c.value)
+            .collect();
+        assert!(invariants.len() >= 2, "need interior clients for this test");
+        let first = invariants[0];
+        for inv in &invariants {
+            assert!(
+                (inv - first).abs() / first.abs().max(1.0) < 1e-6,
+                "invariant broken: {invariants:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kkt_prices_implement_q_as_best_responses() {
+        use crate::response::best_response;
+        let p = population();
+        let b = bound();
+        let sol = solve_kkt(&p, &b, 10.0, &SolverOptions::default()).unwrap();
+        for (n, c) in p.iter().enumerate() {
+            let q_br = best_response(c, &b, sol.prices[n]).unwrap();
+            // Floored clients may best-respond below the floor; others match.
+            if sol.q[n] > Q_MIN * 1.01 {
+                assert!(
+                    (q_br - sol.q[n]).abs() < 1e-6,
+                    "client {n}: br {q_br} vs q* {}",
+                    sol.q[n]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn m_search_agrees_with_kkt() {
+        let p = population();
+        let b = bound();
+        let budget = 10.0;
+        let kkt = solve_kkt(&p, &b, budget, &SolverOptions::default()).unwrap();
+        let msearch = solve_m_search(
+            &p,
+            &b,
+            budget,
+            &SolverOptions {
+                m_grid_steps: 40,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let v_kkt = kkt.variance_term(&p, &b);
+        let v_m = msearch.variance_term(&p, &b);
+        // The grid search is approximate; it must come close to the KKT
+        // optimum and never beat it by more than numerical slack.
+        assert!(v_m >= v_kkt - 1e-6, "m-search beat the KKT optimum");
+        assert!(
+            (v_m - v_kkt) / v_kkt.abs().max(1.0) < 0.05,
+            "m-search too far from optimum: {v_m} vs {v_kkt}"
+        );
+        assert!(msearch.spent <= budget + 1e-3);
+    }
+
+    #[test]
+    fn solver_rejects_bad_inputs() {
+        let p = population();
+        let b = bound();
+        assert!(solve_kkt(&p, &b, f64::NAN, &SolverOptions::default()).is_err());
+        let bad = SolverOptions {
+            q_min: 0.0,
+            ..Default::default()
+        };
+        assert!(solve_kkt(&p, &b, 10.0, &bad).is_err());
+        let bad = SolverOptions {
+            m_grid_steps: 1,
+            ..Default::default()
+        };
+        assert!(solve_m_search(&p, &b, 10.0, &bad).is_err());
+    }
+
+    #[test]
+    fn single_client_population_works() {
+        let p = Population::builder()
+            .weights(vec![1.0])
+            .g_squared(vec![4.0])
+            .costs(vec![50.0])
+            .values(vec![10.0])
+            .build()
+            .unwrap();
+        let b = bound();
+        let sol = solve_kkt(&p, &b, 20.0, &SolverOptions::default()).unwrap();
+        assert_eq!(sol.q.len(), 1);
+        assert!(sol.q[0] > 0.0 && sol.q[0] <= 1.0);
+        assert!(sol.spent <= 20.0 + 1e-6);
+    }
+
+    #[test]
+    fn high_cost_interior_clients_get_higher_prices() {
+        // Theorem 3 insight: with identical a²G² and v, the pricier client
+        // to incentivise is the one with larger c.
+        let p = Population::builder()
+            .weights(vec![0.5, 0.5])
+            .g_squared(vec![4.0, 4.0])
+            .costs(vec![20.0, 80.0])
+            .values(vec![10.0, 10.0])
+            .build()
+            .unwrap();
+        let b = bound();
+        let sol = solve_kkt(&p, &b, 25.0, &SolverOptions::default()).unwrap();
+        assert!(!sol.saturated);
+        assert!(
+            sol.prices[1] > sol.prices[0],
+            "higher-cost client should get the higher price: {:?}",
+            sol.prices
+        );
+        assert!(
+            sol.q[1] < sol.q[0],
+            "higher-cost client should participate less: {:?}",
+            sol.q
+        );
+    }
+}

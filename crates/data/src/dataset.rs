@@ -1,0 +1,370 @@
+//! Federated dataset containers and heterogeneity statistics.
+//!
+//! The incentive mechanism interacts with a dataset only through the
+//! per-client weights `a_n = d_n / Σ d_m` (equation (2) of the paper) and
+//! the statistical heterogeneity that drives the per-client gradient-norm
+//! bounds `G_n` (Assumption 3); this module exposes both, together with
+//! label-distribution diagnostics used by tests and the experiment harness.
+
+use crate::error::DataError;
+use serde::{Deserialize, Serialize};
+
+/// One labelled training sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature vector `x` (dense, fixed dimension within a dataset).
+    pub features: Vec<f64>,
+    /// Class label `y` in `0..n_classes`.
+    pub label: usize,
+}
+
+impl Sample {
+    /// Create a sample.
+    pub fn new(features: Vec<f64>, label: usize) -> Self {
+        Self { features, label }
+    }
+}
+
+/// The local dataset of a single client.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClientDataset {
+    samples: Vec<Sample>,
+}
+
+impl ClientDataset {
+    /// Create a client dataset from samples.
+    pub fn new(samples: Vec<Sample>) -> Self {
+        Self { samples }
+    }
+
+    /// Number of local samples `d_n`.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the client holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrow the samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterate over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Histogram of labels over `n_classes` classes.
+    pub fn label_histogram(&self, n_classes: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; n_classes];
+        for s in &self.samples {
+            if s.label < n_classes {
+                hist[s.label] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Number of distinct labels present.
+    pub fn distinct_labels(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &self.samples {
+            seen.insert(s.label);
+        }
+        seen.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a ClientDataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+impl FromIterator<Sample> for ClientDataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Sample> for ClientDataset {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+/// A complete federated dataset: `N` client shards plus a held-out test set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederatedDataset {
+    clients: Vec<ClientDataset>,
+    test_set: ClientDataset,
+    dim: usize,
+    n_classes: usize,
+}
+
+impl FederatedDataset {
+    /// Assemble a federated dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if there are no clients, every
+    /// client is empty, a sample has the wrong dimension, or a label is out
+    /// of range.
+    pub fn new(
+        clients: Vec<ClientDataset>,
+        test_set: ClientDataset,
+        dim: usize,
+        n_classes: usize,
+    ) -> Result<Self, DataError> {
+        if clients.is_empty() {
+            return Err(DataError::InvalidConfig {
+                field: "clients",
+                reason: "need at least one client".into(),
+            });
+        }
+        let total: usize = clients.iter().map(ClientDataset::len).sum();
+        if total == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "clients",
+                reason: "all clients are empty".into(),
+            });
+        }
+        for (n, client) in clients.iter().enumerate() {
+            for s in client.iter() {
+                if s.features.len() != dim {
+                    return Err(DataError::InvalidConfig {
+                        field: "dim",
+                        reason: format!(
+                            "client {n} has a sample of dimension {} (expected {dim})",
+                            s.features.len()
+                        ),
+                    });
+                }
+                if s.label >= n_classes {
+                    return Err(DataError::InvalidConfig {
+                        field: "n_classes",
+                        reason: format!("client {n} has label {} >= {n_classes}", s.label),
+                    });
+                }
+            }
+        }
+        for s in test_set.iter() {
+            if s.features.len() != dim || s.label >= n_classes {
+                return Err(DataError::InvalidConfig {
+                    field: "test_set",
+                    reason: "test sample has wrong dimension or label out of range".into(),
+                });
+            }
+        }
+        Ok(Self {
+            clients,
+            test_set,
+            dim,
+            n_classes,
+        })
+    }
+
+    /// Number of clients `N`.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Borrow client `n`'s shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= n_clients()`.
+    pub fn client(&self, n: usize) -> &ClientDataset {
+        &self.clients[n]
+    }
+
+    /// Borrow all client shards.
+    pub fn clients(&self) -> &[ClientDataset] {
+        &self.clients
+    }
+
+    /// Borrow the held-out test set.
+    pub fn test_set(&self) -> &ClientDataset {
+        &self.test_set
+    }
+
+    /// Per-client sample counts `d_n`.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.clients.iter().map(ClientDataset::len).collect()
+    }
+
+    /// Total number of training samples `Σ d_n`.
+    pub fn total_samples(&self) -> usize {
+        self.clients.iter().map(ClientDataset::len).sum()
+    }
+
+    /// Aggregation weights `a_n = d_n / Σ d_m` (they sum to 1).
+    pub fn weights(&self) -> Vec<f64> {
+        let total = self.total_samples() as f64;
+        self.clients
+            .iter()
+            .map(|c| c.len() as f64 / total)
+            .collect()
+    }
+
+    /// Per-client label histograms.
+    pub fn label_histograms(&self) -> Vec<Vec<usize>> {
+        self.clients
+            .iter()
+            .map(|c| c.label_histogram(self.n_classes))
+            .collect()
+    }
+
+    /// Mean total-variation distance between each client's label
+    /// distribution and the global label distribution — a scalar measure of
+    /// statistical heterogeneity (0 = i.i.d. shards).
+    pub fn label_skew(&self) -> f64 {
+        let total = self.total_samples() as f64;
+        let mut global = vec![0.0f64; self.n_classes];
+        for c in &self.clients {
+            for (k, cnt) in c.label_histogram(self.n_classes).into_iter().enumerate() {
+                global[k] += cnt as f64;
+            }
+        }
+        for g in global.iter_mut() {
+            *g /= total;
+        }
+        let mut acc = 0.0;
+        let mut n_nonempty = 0usize;
+        for c in &self.clients {
+            if c.is_empty() {
+                continue;
+            }
+            n_nonempty += 1;
+            let d = c.len() as f64;
+            let tv: f64 = c
+                .label_histogram(self.n_classes)
+                .into_iter()
+                .enumerate()
+                .map(|(k, cnt)| (cnt as f64 / d - global[k]).abs())
+                .sum::<f64>()
+                / 2.0;
+            acc += tv;
+        }
+        if n_nonempty == 0 {
+            0.0
+        } else {
+            acc / n_nonempty as f64
+        }
+    }
+
+    /// Imbalance ratio `max d_n / min d_n` over non-empty clients.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let sizes: Vec<usize> = self
+            .sizes()
+            .into_iter()
+            .filter(|&s| s > 0)
+            .collect();
+        let max = *sizes.iter().max().expect("validated non-empty") as f64;
+        let min = *sizes.iter().min().expect("validated non-empty") as f64;
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(dim: usize, label: usize) -> Sample {
+        Sample::new(vec![0.5; dim], label)
+    }
+
+    fn two_client_dataset() -> FederatedDataset {
+        let c0 = ClientDataset::new(vec![sample(3, 0), sample(3, 0), sample(3, 1)]);
+        let c1 = ClientDataset::new(vec![sample(3, 1)]);
+        let test = ClientDataset::new(vec![sample(3, 0), sample(3, 1)]);
+        FederatedDataset::new(vec![c0, c1], test, 3, 2).unwrap()
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_match_sizes() {
+        let ds = two_client_dataset();
+        let w = ds.weights();
+        assert_eq!(ds.sizes(), vec![3, 1]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert_eq!(ds.total_samples(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let ok = ClientDataset::new(vec![sample(3, 0)]);
+        let bad_dim = ClientDataset::new(vec![sample(2, 0)]);
+        let bad_label = ClientDataset::new(vec![sample(3, 9)]);
+        assert!(FederatedDataset::new(vec![], ClientDataset::default(), 3, 2).is_err());
+        assert!(
+            FederatedDataset::new(vec![ClientDataset::default()], ClientDataset::default(), 3, 2)
+                .is_err()
+        );
+        assert!(FederatedDataset::new(
+            vec![ok.clone(), bad_dim],
+            ClientDataset::default(),
+            3,
+            2
+        )
+        .is_err());
+        assert!(FederatedDataset::new(
+            vec![ok.clone(), bad_label],
+            ClientDataset::default(),
+            3,
+            2
+        )
+        .is_err());
+        assert!(FederatedDataset::new(vec![ok], ClientDataset::new(vec![sample(1, 0)]), 3, 2)
+            .is_err());
+    }
+
+    #[test]
+    fn label_histograms_and_skew() {
+        let ds = two_client_dataset();
+        assert_eq!(ds.label_histograms(), vec![vec![2, 1], vec![0, 1]]);
+        // Global: (0.5, 0.5); client0: (2/3, 1/3) tv=1/6; client1: (0,1) tv=1/2.
+        let skew = ds.label_skew();
+        assert!((skew - (1.0 / 6.0 + 0.5) / 2.0).abs() < 1e-12, "skew {skew}");
+    }
+
+    #[test]
+    fn iid_shards_have_zero_skew() {
+        let c0 = ClientDataset::new(vec![sample(2, 0), sample(2, 1)]);
+        let c1 = ClientDataset::new(vec![sample(2, 0), sample(2, 1)]);
+        let ds = FederatedDataset::new(vec![c0, c1], ClientDataset::default(), 2, 2).unwrap();
+        assert_eq!(ds.label_skew(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_ratio_ignores_empty() {
+        let ds = two_client_dataset();
+        assert_eq!(ds.imbalance_ratio(), 3.0);
+    }
+
+    #[test]
+    fn client_dataset_collections_traits() {
+        let mut c: ClientDataset = vec![sample(1, 0)].into_iter().collect();
+        c.extend(vec![sample(1, 0)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!((&c).into_iter().count(), 2);
+        assert_eq!(c.distinct_labels(), 1);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! EMNIST-like dataset (Setup 3 of the paper).
+//!
+//! The paper subsamples 35 155 lower-case EMNIST characters (26 classes),
+//! splits them among the devices by a power law, and restricts each device
+//! to a random number of classes between 1 and 10. We substitute the same
+//! class-conditional Gaussian construction as the MNIST-like dataset, with
+//! 26 classes (see DESIGN.md §3).
+
+use crate::dataset::FederatedDataset;
+use crate::error::DataError;
+use crate::mnistlike::MnistLikeConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the EMNIST-like dataset.
+///
+/// A thin wrapper over [`MnistLikeConfig`] with EMNIST's class structure;
+/// kept as its own type so experiment configs name the setup they intend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmnistLikeConfig(MnistLikeConfig);
+
+impl EmnistLikeConfig {
+    /// The paper's Setup 3: 35 155 samples, 40 clients, 26 classes,
+    /// 1–10 classes per device, 784 dimensions.
+    pub fn paper_setup3() -> Self {
+        Self(MnistLikeConfig {
+            n_clients: 40,
+            total_samples: 35_155,
+            dim: 784,
+            n_classes: 26,
+            min_classes: 1,
+            max_classes: 10,
+            power_law_shape: 1.2,
+            min_per_client: 20,
+            class_sep: 2.2,
+            noise_std: 1.0,
+            test_samples: 2_600,
+        })
+    }
+
+    /// A scaled-down configuration for fast tests and examples.
+    pub fn small() -> Self {
+        Self(MnistLikeConfig {
+            n_clients: 10,
+            total_samples: 2_000,
+            dim: 32,
+            n_classes: 26,
+            min_classes: 1,
+            max_classes: 10,
+            power_law_shape: 1.2,
+            min_per_client: 10,
+            class_sep: 2.2,
+            noise_std: 1.0,
+            test_samples: 520,
+        })
+    }
+
+    /// Create from an explicit inner configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if the inner configuration is
+    /// invalid.
+    pub fn from_config(inner: MnistLikeConfig) -> Result<Self, DataError> {
+        inner.validate()?;
+        Ok(Self(inner))
+    }
+
+    /// Borrow the inner generator configuration.
+    pub fn inner(&self) -> &MnistLikeConfig {
+        &self.0
+    }
+
+    /// Mutably borrow the inner generator configuration.
+    pub fn inner_mut(&mut self) -> &mut MnistLikeConfig {
+        &mut self.0
+    }
+
+    /// Generate the federated dataset from an experiment seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] on invalid configuration or partition failure.
+    pub fn generate(&self, seed: u64) -> Result<FederatedDataset, DataError> {
+        self.0.generate(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_has_26_classes() {
+        let ds = EmnistLikeConfig::small().generate(42).unwrap();
+        assert_eq!(ds.n_classes(), 26);
+        assert_eq!(ds.n_clients(), 10);
+        // Every class covered across the federation.
+        let mut covered = vec![false; 26];
+        for c in ds.clients() {
+            for (k, cnt) in c.label_histogram(26).into_iter().enumerate() {
+                if cnt > 0 {
+                    covered[k] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn paper_setup3_shape() {
+        let cfg = EmnistLikeConfig::paper_setup3();
+        assert_eq!(cfg.inner().total_samples, 35_155);
+        assert_eq!(cfg.inner().n_classes, 26);
+        assert_eq!(cfg.inner().max_classes, 10);
+    }
+
+    #[test]
+    fn from_config_validates() {
+        let mut inner = MnistLikeConfig::small();
+        inner.n_classes = 26;
+        assert!(EmnistLikeConfig::from_config(inner.clone()).is_ok());
+        inner.min_classes = 0;
+        assert!(EmnistLikeConfig::from_config(inner).is_err());
+    }
+
+    #[test]
+    fn inner_mut_allows_tuning() {
+        let mut cfg = EmnistLikeConfig::small();
+        cfg.inner_mut().total_samples = 1_000;
+        let ds = cfg.generate(3).unwrap();
+        assert_eq!(ds.total_samples(), 1_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = EmnistLikeConfig::small();
+        assert_eq!(cfg.generate(1).unwrap(), cfg.generate(1).unwrap());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for dataset generation.
+
+use fedfl_num::NumError;
+use std::fmt;
+
+/// Error returned by dataset generators and partition routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A configuration field was invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An underlying numeric routine failed.
+    Numeric(NumError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration `{field}`: {reason}")
+            }
+            DataError::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for DataError {
+    fn from(e: NumError) -> Self {
+        DataError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::InvalidConfig {
+            field: "n_clients",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("n_clients"));
+        let n: DataError = NumError::EmptyInput.into();
+        assert!(std::error::Error::source(&n).is_some());
+    }
+}

@@ -1,0 +1,174 @@
+//! Class-conditional Gaussian sample generator.
+//!
+//! This is the shared engine behind the MNIST-like and EMNIST-like datasets
+//! (DESIGN.md §3): each class `c` owns a template mean vector `m_c` drawn
+//! once from a seeded generator, and samples are `x = m_c + σ·ε` with
+//! `ε ~ N(0, I)`. For a convex multinomial logistic-regression task this
+//! produces the same structure that drives the paper's mechanism — distinct
+//! per-class feature clusters whose per-client mixture (via the label
+//! partition) controls the gradient-norm heterogeneity `G_n`.
+
+use crate::error::DataError;
+use crate::Sample;
+use fedfl_num::dist::Normal;
+use fedfl_num::linalg::Matrix;
+use rand::Rng;
+
+/// A family of `n_classes` Gaussian clusters in `dim` dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassGaussian {
+    means: Matrix,
+    noise_std: f64,
+}
+
+impl ClassGaussian {
+    /// Draw class templates: `m_c = class_sep · g_c / √dim` with
+    /// `g_c ~ N(0, I)`, so the expected inter-class distance scales with
+    /// `class_sep` independently of the dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `dim` or `n_classes` is zero,
+    /// or `class_sep`/`noise_std` is not positive and finite.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        dim: usize,
+        n_classes: usize,
+        class_sep: f64,
+        noise_std: f64,
+    ) -> Result<Self, DataError> {
+        if dim == 0 || n_classes == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "dim/n_classes",
+                reason: "must both be positive".into(),
+            });
+        }
+        if !(class_sep.is_finite() && class_sep > 0.0) {
+            return Err(DataError::InvalidConfig {
+                field: "class_sep",
+                reason: format!("must be finite and positive, got {class_sep}"),
+            });
+        }
+        if !(noise_std.is_finite() && noise_std > 0.0) {
+            return Err(DataError::InvalidConfig {
+                field: "noise_std",
+                reason: format!("must be finite and positive, got {noise_std}"),
+            });
+        }
+        let std_normal = Normal::standard();
+        let scale = class_sep / (dim as f64).sqrt();
+        let mut means = Matrix::zeros(n_classes, dim);
+        for c in 0..n_classes {
+            for j in 0..dim {
+                means.set(c, j, scale * std_normal.sample(rng));
+            }
+        }
+        Ok(Self { means, noise_std })
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.means.rows()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.means.cols()
+    }
+
+    /// Template mean of class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= n_classes()`.
+    pub fn class_mean(&self, c: usize) -> &[f64] {
+        self.means.row(c)
+    }
+
+    /// Draw one sample of class `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= n_classes()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, label: usize) -> Sample {
+        let std_normal = Normal::standard();
+        let features = self
+            .class_mean(label)
+            .iter()
+            .map(|&m| m + self.noise_std * std_normal.sample(rng))
+            .collect();
+        Sample::new(features, label)
+    }
+
+    /// Draw `count` samples with the given labels.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, labels: &[usize]) -> Vec<Sample> {
+        labels.iter().map(|&l| self.sample(rng, l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_num::linalg::dist2_squared;
+    use fedfl_num::rng::seeded;
+
+    #[test]
+    fn templates_are_deterministic_per_seed() {
+        let g1 = ClassGaussian::new(&mut seeded(5), 16, 4, 3.0, 0.5).unwrap();
+        let g2 = ClassGaussian::new(&mut seeded(5), 16, 4, 3.0, 0.5).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn samples_cluster_around_their_class_mean() {
+        let mut rng = seeded(6);
+        let g = ClassGaussian::new(&mut rng, 32, 3, 8.0, 0.3).unwrap();
+        for c in 0..3 {
+            // Mean of many samples approaches the template.
+            let n = 400;
+            let mut acc = vec![0.0; 32];
+            for _ in 0..n {
+                let s = g.sample(&mut rng, c);
+                for (a, &f) in acc.iter_mut().zip(&s.features) {
+                    *a += f / n as f64;
+                }
+            }
+            let d2 = dist2_squared(&acc, g.class_mean(c));
+            assert!(d2 < 0.05, "class {c} empirical mean off by {d2}");
+        }
+    }
+
+    #[test]
+    fn different_classes_are_separated() {
+        let mut rng = seeded(7);
+        let g = ClassGaussian::new(&mut rng, 64, 5, 10.0, 0.5).unwrap();
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let d2 = dist2_squared(g.class_mean(a), g.class_mean(b));
+                assert!(d2 > 1.0, "classes {a},{b} too close: {d2}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_many_respects_labels() {
+        let mut rng = seeded(8);
+        let g = ClassGaussian::new(&mut rng, 8, 2, 4.0, 1.0).unwrap();
+        let labels = vec![0, 1, 1, 0];
+        let samples = g.sample_many(&mut rng, &labels);
+        assert_eq!(
+            samples.iter().map(|s| s.label).collect::<Vec<_>>(),
+            labels
+        );
+        assert!(samples.iter().all(|s| s.features.len() == 8));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut rng = seeded(9);
+        assert!(ClassGaussian::new(&mut rng, 0, 2, 1.0, 1.0).is_err());
+        assert!(ClassGaussian::new(&mut rng, 2, 0, 1.0, 1.0).is_err());
+        assert!(ClassGaussian::new(&mut rng, 2, 2, 0.0, 1.0).is_err());
+        assert!(ClassGaussian::new(&mut rng, 2, 2, 1.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # fedfl-data — federated dataset substrate
+//!
+//! Generators for the three experimental setups of the paper
+//! (Section VI-A.1), all fully synthetic and seed-reproducible:
+//!
+//! * [`synthetic`] — the Synthetic(α, β) dataset of Li et al. used by
+//!   Setup 1: 60-dimensional inputs, 10 classes, 22 377 samples distributed
+//!   among clients by a power law.
+//! * [`mnistlike`] — Setup 2 substitute for MNIST: 10-class, 784-dimensional
+//!   class-conditional Gaussian images, 14 463 samples, each client holding
+//!   1–6 classes (see DESIGN.md §3 for the substitution argument).
+//! * [`emnistlike`] — Setup 3 substitute for EMNIST lower-case letters:
+//!   26 classes, 1–10 classes per client, 35 155 samples.
+//! * [`partition`] — the unbalanced power-law quantity partition and the
+//!   k-classes-per-client non-i.i.d. label partition shared by all setups.
+//! * [`dataset`] — the `FederatedDataset` container and heterogeneity
+//!   statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use fedfl_data::synthetic::SyntheticConfig;
+//!
+//! let dataset = SyntheticConfig::small().generate(42)?;
+//! assert_eq!(dataset.n_clients(), dataset.weights().len());
+//! let total: f64 = dataset.weights().iter().sum();
+//! assert!((total - 1.0).abs() < 1e-9);
+//! # Ok::<(), fedfl_data::DataError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod emnistlike;
+pub mod error;
+pub mod gaussian;
+pub mod mnistlike;
+pub mod partition;
+pub mod synthetic;
+
+pub use dataset::{ClientDataset, FederatedDataset, Sample};
+pub use error::DataError;

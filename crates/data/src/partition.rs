@@ -1,0 +1,265 @@
+//! Partition primitives shared by all dataset generators.
+//!
+//! The paper distributes samples "among the devices in an unbalanced
+//! power-law distribution" and assigns each device a restricted label set
+//! ("each device has 1–6 classes" for MNIST, "a randomly chosen number of
+//! classes, ranging from 1 to 10" for EMNIST). [`power_law_sizes`] and
+//! [`class_assignment`] implement exactly those two partitions.
+
+use crate::error::DataError;
+use fedfl_num::dist::BoundedPareto;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Split `total` samples among `n_clients` following a bounded-Pareto power
+/// law with shape `shape`, guaranteeing every client at least `min_per_client`
+/// samples and that the sizes sum exactly to `total`.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`] if `n_clients == 0`, `total` cannot
+/// accommodate the per-client minimum, or `shape <= 0`.
+pub fn power_law_sizes<R: Rng + ?Sized>(
+    rng: &mut R,
+    total: usize,
+    n_clients: usize,
+    shape: f64,
+    min_per_client: usize,
+) -> Result<Vec<usize>, DataError> {
+    if n_clients == 0 {
+        return Err(DataError::InvalidConfig {
+            field: "n_clients",
+            reason: "must be positive".into(),
+        });
+    }
+    if min_per_client == 0 {
+        return Err(DataError::InvalidConfig {
+            field: "min_per_client",
+            reason: "must be at least 1 so every client is non-empty".into(),
+        });
+    }
+    if total < n_clients * min_per_client {
+        return Err(DataError::InvalidConfig {
+            field: "total",
+            reason: format!(
+                "{total} samples cannot give {n_clients} clients at least {min_per_client} each"
+            ),
+        });
+    }
+    if !(shape.is_finite() && shape > 0.0) {
+        return Err(DataError::InvalidConfig {
+            field: "shape",
+            reason: format!("must be finite and positive, got {shape}"),
+        });
+    }
+    // Draw raw power-law weights on [1, 1000] and renormalise the remainder
+    // after the per-client minimum is set aside.
+    let pareto = BoundedPareto::new(1.0, 1000.0, shape)?;
+    let raw: Vec<f64> = pareto.sample_vec(rng, n_clients);
+    let raw_sum: f64 = raw.iter().sum();
+    let distributable = total - n_clients * min_per_client;
+    let mut sizes: Vec<usize> = raw
+        .iter()
+        .map(|&w| min_per_client + (w / raw_sum * distributable as f64).floor() as usize)
+        .collect();
+    // Hand out the rounding remainder one by one to the largest shards so the
+    // sum is exact and the power-law shape is preserved.
+    let mut assigned: usize = sizes.iter().sum();
+    let mut order: Vec<usize> = (0..n_clients).collect();
+    order.sort_by(|&i, &j| raw[j].partial_cmp(&raw[i]).expect("finite weights"));
+    let mut cursor = 0;
+    while assigned < total {
+        sizes[order[cursor % n_clients]] += 1;
+        assigned += 1;
+        cursor += 1;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), total);
+    Ok(sizes)
+}
+
+/// Assign each client a random subset of classes, with per-client class
+/// counts drawn uniformly from `min_classes..=max_classes`.
+///
+/// Every class is guaranteed to be owned by at least one client (otherwise
+/// part of the label space would be unlearnable by any coalition), which
+/// mirrors how the benchmark partitions of the FL literature are built.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`] for impossible ranges.
+pub fn class_assignment<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_clients: usize,
+    n_classes: usize,
+    min_classes: usize,
+    max_classes: usize,
+) -> Result<Vec<Vec<usize>>, DataError> {
+    if n_clients == 0 || n_classes == 0 {
+        return Err(DataError::InvalidConfig {
+            field: "n_clients/n_classes",
+            reason: "must both be positive".into(),
+        });
+    }
+    if min_classes == 0 || min_classes > max_classes || max_classes > n_classes {
+        return Err(DataError::InvalidConfig {
+            field: "class range",
+            reason: format!(
+                "need 1 <= min <= max <= n_classes, got [{min_classes}, {max_classes}] with {n_classes} classes"
+            ),
+        });
+    }
+    let mut assignment: Vec<Vec<usize>> = Vec::with_capacity(n_clients);
+    let mut all_classes: Vec<usize> = (0..n_classes).collect();
+    for _ in 0..n_clients {
+        let k = rng.random_range(min_classes..=max_classes);
+        all_classes.shuffle(rng);
+        let mut mine: Vec<usize> = all_classes[..k].to_vec();
+        mine.sort_unstable();
+        assignment.push(mine);
+    }
+    // Coverage repair: give unowned classes to random clients that still have
+    // room (or force-add to a random client otherwise).
+    let mut owned = vec![false; n_classes];
+    for classes in &assignment {
+        for &c in classes {
+            owned[c] = true;
+        }
+    }
+    for (class, &is_owned) in owned.iter().enumerate() {
+        if is_owned {
+            continue;
+        }
+        // Prefer clients that can take one more class within max_classes.
+        let candidates: Vec<usize> = (0..n_clients)
+            .filter(|&n| assignment[n].len() < max_classes)
+            .collect();
+        let target = if candidates.is_empty() {
+            rng.random_range(0..n_clients)
+        } else {
+            candidates[rng.random_range(0..candidates.len())]
+        };
+        // Swap out a class that is owned elsewhere if the client is full.
+        if assignment[target].len() >= max_classes {
+            let victim_pos = rng.random_range(0..assignment[target].len());
+            let victim = assignment[target][victim_pos];
+            let owned_elsewhere = assignment
+                .iter()
+                .enumerate()
+                .any(|(m, cs)| m != target && cs.contains(&victim));
+            if owned_elsewhere {
+                assignment[target].remove(victim_pos);
+            }
+        }
+        assignment[target].push(class);
+        assignment[target].sort_unstable();
+        assignment[target].dedup();
+    }
+    Ok(assignment)
+}
+
+/// Deal `counts[n]` label draws to each client restricted to its assigned
+/// classes, returning per-client label sequences.
+///
+/// Labels within a client are drawn uniformly over the client's class set,
+/// which concentrates each class in a few clients — the paper's non-i.i.d.
+/// regime.
+pub fn draw_labels<R: Rng + ?Sized>(
+    rng: &mut R,
+    counts: &[usize],
+    assignment: &[Vec<usize>],
+) -> Vec<Vec<usize>> {
+    counts
+        .iter()
+        .zip(assignment)
+        .map(|(&d, classes)| {
+            (0..d)
+                .map(|_| classes[rng.random_range(0..classes.len())])
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_num::rng::seeded;
+
+    #[test]
+    fn power_law_sums_exactly_and_respects_minimum() {
+        let mut rng = seeded(7);
+        for &(total, n, min) in &[(22_377usize, 40usize, 10usize), (100, 10, 5), (40, 40, 1)] {
+            let sizes = power_law_sizes(&mut rng, total, n, 1.2, min).unwrap();
+            assert_eq!(sizes.len(), n);
+            assert_eq!(sizes.iter().sum::<usize>(), total);
+            assert!(sizes.iter().all(|&s| s >= min));
+        }
+    }
+
+    #[test]
+    fn power_law_is_unbalanced() {
+        let mut rng = seeded(8);
+        let sizes = power_law_sizes(&mut rng, 22_377, 40, 1.2, 10).unwrap();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(max / min > 3.0, "imbalance too small: {max}/{min}");
+    }
+
+    #[test]
+    fn power_law_rejects_bad_configs() {
+        let mut rng = seeded(9);
+        assert!(power_law_sizes(&mut rng, 100, 0, 1.2, 1).is_err());
+        assert!(power_law_sizes(&mut rng, 5, 10, 1.2, 1).is_err());
+        assert!(power_law_sizes(&mut rng, 100, 10, 0.0, 1).is_err());
+        assert!(power_law_sizes(&mut rng, 100, 10, 1.2, 0).is_err());
+    }
+
+    #[test]
+    fn class_assignment_counts_in_range_and_full_coverage() {
+        let mut rng = seeded(10);
+        for _ in 0..20 {
+            let a = class_assignment(&mut rng, 40, 10, 1, 6).unwrap();
+            assert_eq!(a.len(), 40);
+            let mut covered = vec![false; 10];
+            for classes in &a {
+                assert!(!classes.is_empty() && classes.len() <= 7);
+                for &c in classes {
+                    assert!(c < 10);
+                    covered[c] = true;
+                }
+                let mut sorted = classes.clone();
+                sorted.dedup();
+                assert_eq!(&sorted, classes, "classes must be sorted and unique");
+            }
+            assert!(covered.iter().all(|&b| b), "class not covered");
+        }
+    }
+
+    #[test]
+    fn class_assignment_single_client_gets_everything_needed() {
+        let mut rng = seeded(11);
+        let a = class_assignment(&mut rng, 1, 5, 1, 2).unwrap();
+        // Coverage repair must give the lone client all 5 classes.
+        assert_eq!(a[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn class_assignment_rejects_bad_ranges() {
+        let mut rng = seeded(12);
+        assert!(class_assignment(&mut rng, 0, 10, 1, 6).is_err());
+        assert!(class_assignment(&mut rng, 10, 0, 1, 6).is_err());
+        assert!(class_assignment(&mut rng, 10, 10, 0, 6).is_err());
+        assert!(class_assignment(&mut rng, 10, 10, 7, 6).is_err());
+        assert!(class_assignment(&mut rng, 10, 10, 1, 11).is_err());
+    }
+
+    #[test]
+    fn draw_labels_respects_assignment() {
+        let mut rng = seeded(13);
+        let assignment = vec![vec![0, 3], vec![1]];
+        let labels = draw_labels(&mut rng, &[100, 50], &assignment);
+        assert_eq!(labels[0].len(), 100);
+        assert_eq!(labels[1].len(), 50);
+        assert!(labels[0].iter().all(|&l| l == 0 || l == 3));
+        assert!(labels[1].iter().all(|&l| l == 1));
+    }
+}

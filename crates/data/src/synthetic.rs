@@ -1,0 +1,333 @@
+//! The Synthetic(α, β) federated dataset (Setup 1 of the paper).
+//!
+//! Reimplements the generator of Li et al., *Federated Optimization in
+//! Heterogeneous Networks* (MLSys 2020), which the paper cites for its
+//! Setup 1: for each client `k`,
+//!
+//! * a model-heterogeneity factor `u_k ~ N(0, α)` shifts the client's local
+//!   labelling model: `W_k[i][j] ~ N(u_k, 1)`, `b_k[i] ~ N(u_k, 1)`;
+//! * a feature-heterogeneity factor `B_k ~ N(0, β)` shifts the client's
+//!   input distribution: the feature mean `v_k[j] ~ N(B_k, 1)` and inputs
+//!   are `x ~ N(v_k, Σ)` with `Σ = diag(j^{-1.2})`;
+//! * labels are `y = argmax(softmax(W_k x + b_k))`.
+//!
+//! Setup 1 uses α = β = 1, 60-dimensional inputs, 10 classes, and 22 377
+//! samples distributed among 40 devices by a power law.
+
+use crate::dataset::{ClientDataset, FederatedDataset, Sample};
+use crate::error::DataError;
+use crate::partition::power_law_sizes;
+use fedfl_num::dist::Normal;
+use fedfl_num::linalg::Matrix;
+use fedfl_num::rng::substream;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Synthetic(α, β) generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of clients `N`.
+    pub n_clients: usize,
+    /// Total number of training samples across all clients.
+    pub total_samples: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Model-heterogeneity level α (`u_k ~ N(0, α)`).
+    pub alpha: f64,
+    /// Feature-heterogeneity level β (`B_k ~ N(0, β)`).
+    pub beta: f64,
+    /// Power-law shape of the quantity partition.
+    pub power_law_shape: f64,
+    /// Minimum samples per client.
+    pub min_per_client: usize,
+    /// Held-out test samples (drawn from the clients' mixture).
+    pub test_samples: usize,
+}
+
+impl SyntheticConfig {
+    /// The paper's Setup 1: Synthetic(1, 1), 40 clients, 22 377 samples,
+    /// 60 dimensions, 10 classes.
+    pub fn paper_setup1() -> Self {
+        Self {
+            n_clients: 40,
+            total_samples: 22_377,
+            dim: 60,
+            n_classes: 10,
+            alpha: 1.0,
+            beta: 1.0,
+            power_law_shape: 1.2,
+            min_per_client: 20,
+            test_samples: 2_000,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests and examples.
+    pub fn small() -> Self {
+        Self {
+            n_clients: 10,
+            total_samples: 1_200,
+            dim: 20,
+            n_classes: 5,
+            alpha: 1.0,
+            beta: 1.0,
+            power_law_shape: 1.2,
+            min_per_client: 10,
+            test_samples: 300,
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.n_clients == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "n_clients",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.dim == 0 || self.n_classes < 2 {
+            return Err(DataError::InvalidConfig {
+                field: "dim/n_classes",
+                reason: "need dim >= 1 and n_classes >= 2".into(),
+            });
+        }
+        if !(self.alpha.is_finite() && self.alpha >= 0.0)
+            || !(self.beta.is_finite() && self.beta >= 0.0)
+        {
+            return Err(DataError::InvalidConfig {
+                field: "alpha/beta",
+                reason: "must be finite and non-negative".into(),
+            });
+        }
+        if self.test_samples == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "test_samples",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Generate the federated dataset from an experiment seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] on invalid configuration or partition failure.
+    pub fn generate(&self, seed: u64) -> Result<FederatedDataset, DataError> {
+        self.validate()?;
+        let mut part_rng = substream(seed, 0);
+        let sizes = power_law_sizes(
+            &mut part_rng,
+            self.total_samples,
+            self.n_clients,
+            self.power_law_shape,
+            self.min_per_client,
+        )?;
+
+        let mut model_rng = substream(seed, 1);
+        let unit = Normal::standard();
+        // Per-client local labelling model and feature distribution.
+        let mut client_models = Vec::with_capacity(self.n_clients);
+        for _ in 0..self.n_clients {
+            let u_k = unit.sample(&mut model_rng) * self.alpha.sqrt();
+            let b_cap_k = unit.sample(&mut model_rng) * self.beta.sqrt();
+            let around_u = Normal::new(u_k, 1.0)?;
+            let mut w_k = Matrix::zeros(self.n_classes, self.dim);
+            for i in 0..self.n_classes {
+                for j in 0..self.dim {
+                    w_k.set(i, j, around_u.sample(&mut model_rng));
+                }
+            }
+            let b_k: Vec<f64> = (0..self.n_classes)
+                .map(|_| around_u.sample(&mut model_rng))
+                .collect();
+            let around_b = Normal::new(b_cap_k, 1.0)?;
+            let v_k: Vec<f64> = (0..self.dim)
+                .map(|_| around_b.sample(&mut model_rng))
+                .collect();
+            client_models.push((w_k, b_k, v_k));
+        }
+        // Diagonal covariance Σ_jj = j^{-1.2} (1-based as in the original).
+        let sigma_diag: Vec<f64> = (1..=self.dim)
+            .map(|j| (j as f64).powf(-1.2).sqrt())
+            .collect();
+
+        let mut sample_rng = substream(seed, 2);
+        let clients: Vec<ClientDataset> = sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| {
+                let (w_k, b_k, v_k) = &client_models[k];
+                let samples = (0..d)
+                    .map(|_| draw_sample(&mut sample_rng, w_k, b_k, v_k, &sigma_diag))
+                    .collect();
+                ClientDataset::new(samples)
+            })
+            .collect();
+
+        // Test set: mixture over clients proportional to their data volume,
+        // freshly drawn from the same client distributions.
+        let mut test_rng = substream(seed, 3);
+        let mut test = Vec::with_capacity(self.test_samples);
+        let total = self.total_samples as f64;
+        for t in 0..self.test_samples {
+            // Deterministic proportional allocation over clients.
+            let pos = (t as f64 + 0.5) / self.test_samples as f64 * total;
+            let mut acc = 0.0;
+            let mut k = 0;
+            for (i, &d) in sizes.iter().enumerate() {
+                acc += d as f64;
+                if pos <= acc {
+                    k = i;
+                    break;
+                }
+            }
+            let (w_k, b_k, v_k) = &client_models[k];
+            test.push(draw_sample(&mut test_rng, w_k, b_k, v_k, &sigma_diag));
+        }
+
+        FederatedDataset::new(clients, ClientDataset::new(test), self.dim, self.n_classes)
+    }
+}
+
+fn draw_sample<R: Rng + ?Sized>(
+    rng: &mut R,
+    w_k: &Matrix,
+    b_k: &[f64],
+    v_k: &[f64],
+    sigma_diag: &[f64],
+) -> Sample {
+    let unit = Normal::standard();
+    let x: Vec<f64> = v_k
+        .iter()
+        .zip(sigma_diag)
+        .map(|(&m, &s)| m + s * unit.sample(rng))
+        .collect();
+    let mut logits = w_k.matvec(&x);
+    for (l, &b) in logits.iter_mut().zip(b_k) {
+        *l += b;
+    }
+    let label = argmax(&logits);
+    Sample::new(x, label)
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_generates_valid_dataset() {
+        let cfg = SyntheticConfig::small();
+        let ds = cfg.generate(42).unwrap();
+        assert_eq!(ds.n_clients(), cfg.n_clients);
+        assert_eq!(ds.total_samples(), cfg.total_samples);
+        assert_eq!(ds.dim(), cfg.dim);
+        assert_eq!(ds.n_classes(), cfg.n_classes);
+        assert_eq!(ds.test_set().len(), cfg.test_samples);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::small();
+        assert_eq!(cfg.generate(7).unwrap(), cfg.generate(7).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SyntheticConfig::small();
+        assert_ne!(cfg.generate(7).unwrap(), cfg.generate(8).unwrap());
+    }
+
+    #[test]
+    fn dataset_is_noniid_and_unbalanced() {
+        let ds = SyntheticConfig::small().generate(1).unwrap();
+        assert!(ds.label_skew() > 0.1, "skew {}", ds.label_skew());
+        assert!(ds.imbalance_ratio() > 1.5, "ratio {}", ds.imbalance_ratio());
+    }
+
+    #[test]
+    fn beta_controls_feature_heterogeneity() {
+        // β scales the spread of per-client feature means B_k: clients of
+        // Synthetic(·, 9) sit much further apart in feature space than
+        // clients of Synthetic(·, 0).
+        let spread = |beta: f64| -> f64 {
+            let mut cfg = SyntheticConfig::small();
+            cfg.beta = beta;
+            let ds = cfg.generate(3).unwrap();
+            // Across-client variance of the per-client mean, averaged over
+            // all features to cut estimator noise.
+            let dim = ds.dim();
+            (0..dim)
+                .map(|j| {
+                    let means: Vec<f64> = ds
+                        .clients()
+                        .iter()
+                        .map(|c| {
+                            c.iter().map(|s| s.features[j]).sum::<f64>() / c.len() as f64
+                        })
+                        .collect();
+                    fedfl_num::stats::variance(&means).unwrap()
+                })
+                .sum::<f64>()
+                / dim as f64
+        };
+        let low = spread(0.0);
+        let high = spread(9.0);
+        assert!(
+            high > 3.0 * low,
+            "feature spread did not grow: low={low} high={high}"
+        );
+    }
+
+    #[test]
+    fn paper_setup1_shape() {
+        let cfg = SyntheticConfig::paper_setup1();
+        assert_eq!(cfg.n_clients, 40);
+        assert_eq!(cfg.total_samples, 22_377);
+        assert_eq!(cfg.dim, 60);
+        assert_eq!(cfg.n_classes, 10);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = SyntheticConfig::small();
+        cfg.n_clients = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SyntheticConfig::small();
+        cfg.n_classes = 1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SyntheticConfig::small();
+        cfg.alpha = f64::NAN;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SyntheticConfig::small();
+        cfg.test_samples = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn all_labels_within_range() {
+        let ds = SyntheticConfig::small().generate(11).unwrap();
+        for c in ds.clients() {
+            for s in c.iter() {
+                assert!(s.label < ds.n_classes());
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the dataset substrate: conservation laws of the
+//! partitions and generator invariants across random configurations.
+
+use fedfl_data::mnistlike::MnistLikeConfig;
+use fedfl_data::partition::{class_assignment, draw_labels, power_law_sizes};
+use fedfl_data::synthetic::SyntheticConfig;
+use fedfl_num::rng::seeded;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn power_law_conserves_total_and_minimum(
+        seed in any::<u64>(),
+        n_clients in 1usize..60,
+        per_client in 1usize..50,
+        extra in 0usize..2_000,
+        shape in 0.2f64..4.0,
+    ) {
+        let total = n_clients * per_client + extra;
+        let mut rng = seeded(seed);
+        let sizes = power_law_sizes(&mut rng, total, n_clients, shape, per_client).unwrap();
+        prop_assert_eq!(sizes.len(), n_clients);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+        prop_assert!(sizes.iter().all(|&s| s >= per_client));
+    }
+
+    #[test]
+    fn class_assignment_covers_every_class(
+        seed in any::<u64>(),
+        n_clients in 1usize..40,
+        n_classes in 2usize..20,
+    ) {
+        let max_classes = (n_classes / 2).max(1);
+        let mut rng = seeded(seed);
+        let assignment = class_assignment(&mut rng, n_clients, n_classes, 1, max_classes).unwrap();
+        let mut covered = vec![false; n_classes];
+        for classes in &assignment {
+            prop_assert!(!classes.is_empty());
+            for &c in classes {
+                prop_assert!(c < n_classes);
+                covered[c] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&b| b), "class not covered");
+    }
+
+    #[test]
+    fn labels_stay_within_assignments(
+        seed in any::<u64>(),
+        counts in prop::collection::vec(1usize..50, 1..10),
+    ) {
+        let mut rng = seeded(seed);
+        let n = counts.len();
+        let assignment = class_assignment(&mut rng, n, 6, 1, 3).unwrap();
+        let labels = draw_labels(&mut rng, &counts, &assignment);
+        for (client, ls) in labels.iter().enumerate() {
+            prop_assert_eq!(ls.len(), counts[client]);
+            for l in ls {
+                prop_assert!(assignment[client].contains(l));
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_generator_conserves_configuration(
+        seed in any::<u64>(),
+        n_clients in 2usize..12,
+        dim in 4usize..24,
+        n_classes in 2usize..6,
+    ) {
+        let cfg = SyntheticConfig {
+            n_clients,
+            total_samples: n_clients * 40,
+            dim,
+            n_classes,
+            alpha: 1.0,
+            beta: 1.0,
+            power_law_shape: 1.2,
+            min_per_client: 10,
+            test_samples: 50,
+        };
+        let ds = cfg.generate(seed).unwrap();
+        prop_assert_eq!(ds.n_clients(), n_clients);
+        prop_assert_eq!(ds.total_samples(), n_clients * 40);
+        prop_assert_eq!(ds.dim(), dim);
+        let w = ds.weights();
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for c in ds.clients() {
+            for s in c.iter() {
+                prop_assert_eq!(s.features.len(), dim);
+                prop_assert!(s.label < n_classes);
+                prop_assert!(s.features.iter().all(|f| f.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn mnistlike_generator_is_seed_deterministic(seed in any::<u64>()) {
+        let mut cfg = MnistLikeConfig::small();
+        cfg.n_clients = 6;
+        cfg.total_samples = 300;
+        cfg.dim = 12;
+        cfg.min_per_client = 5;
+        cfg.test_samples = 60;
+        let a = cfg.generate(seed).unwrap();
+        let b = cfg.generate(seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_skew_is_a_valid_tv_distance(seed in any::<u64>()) {
+        let mut cfg = MnistLikeConfig::small();
+        cfg.n_clients = 8;
+        cfg.total_samples = 400;
+        cfg.dim = 8;
+        cfg.min_per_client = 5;
+        cfg.test_samples = 40;
+        let ds = cfg.generate(seed).unwrap();
+        let skew = ds.label_skew();
+        prop_assert!((0.0..=1.0).contains(&skew), "skew {skew} outside [0,1]");
+        prop_assert!(ds.imbalance_ratio() >= 1.0);
+    }
+}

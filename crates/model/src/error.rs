@@ -1,0 +1,63 @@
+//! Error type for the model substrate.
+
+use std::fmt;
+
+/// Error returned by model construction and training routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A configuration field was invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Parameter/model shape mismatch.
+    ShapeMismatch {
+        /// Expected `(dim, n_classes)`.
+        expected: (usize, usize),
+        /// Found `(dim, n_classes)`.
+        found: (usize, usize),
+    },
+    /// Training was asked to run on an empty dataset.
+    EmptyDataset,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration `{field}`: {reason}")
+            }
+            ModelError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: expected (dim={}, classes={}), found (dim={}, classes={})",
+                expected.0, expected.1, found.0, found.1
+            ),
+            ModelError::EmptyDataset => write!(f, "dataset must contain at least one sample"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let e = ModelError::InvalidConfig {
+            field: "l2_reg",
+            reason: "must be non-negative".into(),
+        };
+        assert!(e.to_string().contains("l2_reg"));
+        assert!(ModelError::EmptyDataset.to_string().contains("sample"));
+        let s = ModelError::ShapeMismatch {
+            expected: (3, 2),
+            found: (2, 3),
+        }
+        .to_string();
+        assert!(s.contains("dim=3") && s.contains("dim=2"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Estimators for the constants of the convergence bound (Theorem 1).
+//!
+//! The paper instantiates its bound with task-dependent constants: the
+//! per-client gradient-norm bounds `G_n` (Assumption 3, "we can estimate
+//! `G_n` by letting the participated clients send back their actual local
+//! stochastic gradient norms computed along the trajectory of the model
+//! updates"), the gradient variances `σ_n²` (Assumption 2), the smoothness
+//! constant `L` and strong-convexity modulus `µ` (Assumption 1), and the
+//! intrinsic-value reference losses `F(w*_n)` (equation (7)). This module
+//! estimates all of them from short warm-up runs.
+
+use crate::error::ModelError;
+use crate::logistic::LogisticModel;
+use crate::metrics::global_loss;
+use crate::sgd::{run_local_sgd, LocalSgdConfig};
+use fedfl_data::FederatedDataset;
+use fedfl_num::rng::substream;
+use serde::{Deserialize, Serialize};
+
+/// Estimated problem constants used to instantiate Theorem 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneityEstimate {
+    /// Per-client squared gradient-norm bounds `G_n²`.
+    pub g_squared: Vec<f64>,
+    /// Per-client stochastic-gradient variances `σ_n²`.
+    pub sigma_squared: Vec<f64>,
+    /// Upper bound on the smoothness constant `L`.
+    pub l_bound: f64,
+    /// Strong-convexity modulus `µ` (the model's ℓ2 coefficient).
+    pub mu: f64,
+    /// Estimate of `‖w⁰ − w*‖²`.
+    pub w0_dist_squared: f64,
+}
+
+impl HeterogeneityEstimate {
+    /// Per-client `a_n² G_n²` products for the given weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the number of clients.
+    pub fn weighted_g_squared(&self, weights: &[f64]) -> Vec<f64> {
+        assert_eq!(weights.len(), self.g_squared.len(), "weight count mismatch");
+        weights
+            .iter()
+            .zip(&self.g_squared)
+            .map(|(&a, &g2)| a * a * g2)
+            .collect()
+    }
+}
+
+/// Estimate `G_n²`, `σ_n²`, `L` and `‖w⁰ − w*‖²` from `warmup_rounds` of
+/// full-participation training.
+///
+/// The warm-up mirrors the measurement the paper describes: clients run
+/// their normal local SGD and report the squared norms of the stochastic
+/// gradients they actually computed; the server tracks the running maximum
+/// per client.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the configuration is invalid or a client shard
+/// is empty.
+pub fn estimate_heterogeneity(
+    seed: u64,
+    model: &LogisticModel,
+    dataset: &FederatedDataset,
+    sgd: &LocalSgdConfig,
+    warmup_rounds: usize,
+) -> Result<HeterogeneityEstimate, ModelError> {
+    sgd.validate()?;
+    let n = dataset.n_clients();
+    let weights = dataset.weights();
+    let mut params = model.zero_params();
+    let w0 = params.clone();
+    let mut g_squared = vec![0.0f64; n];
+    let mut rng = substream(seed, 0x47);
+
+    for round in 0..warmup_rounds.max(1) {
+        let mut next = model.zero_params();
+        for (idx, client) in dataset.clients().iter().enumerate() {
+            let update = run_local_sgd(&mut rng, model, &params, client.samples(), sgd, round)?;
+            g_squared[idx] = g_squared[idx].max(update.max_grad_norm_squared());
+            next.add_scaled(weights[idx], &update.params);
+        }
+        params = next;
+    }
+
+    // σ_n²: variance of mini-batch gradients around the full local gradient
+    // at the warmed-up iterate.
+    let mut sigma_squared = vec![0.0f64; n];
+    let trials = 8;
+    for (idx, client) in dataset.clients().iter().enumerate() {
+        let full = model.gradient(&params, client.samples());
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let update = run_local_sgd(
+                &mut rng,
+                model,
+                &params,
+                client.samples(),
+                &LocalSgdConfig {
+                    local_steps: 1,
+                    ..*sgd
+                },
+                warmup_rounds,
+            )?;
+            // Recover the stochastic gradient from the single step:
+            // w' = w − η g  =>  g = (w − w') / η.
+            let eta = sgd.schedule.rate(warmup_rounds);
+            let mut g = params.delta(&update.params);
+            g.scale(1.0 / eta);
+            acc += g.dist_squared(&full);
+        }
+        sigma_squared[idx] = acc / trials as f64;
+    }
+
+    // Smoothness bound from the pooled data (L is a property of F).
+    let l_bound = dataset
+        .clients()
+        .iter()
+        .map(|c| model.smoothness_upper_bound(c.samples()))
+        .fold(0.0f64, f64::max);
+
+    // ‖w⁰ − w*‖² proxy: distance from w⁰ to the warmed-up iterate; a lower
+    // bound that keeps the β constant in a realistic range.
+    let w0_dist_squared = params.dist_squared(&w0);
+
+    Ok(HeterogeneityEstimate {
+        g_squared,
+        sigma_squared,
+        l_bound,
+        mu: model.mu(),
+        w0_dist_squared,
+    })
+}
+
+/// For every client, train a local-only model to near-optimality and report
+/// the *global* loss `F(w*_n)` of that local optimum — the reference level
+/// of the intrinsic-value model (equation (7) of the paper).
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyDataset`] if a client shard is empty.
+pub fn local_optimum_global_losses(
+    model: &LogisticModel,
+    dataset: &FederatedDataset,
+    gd_steps: usize,
+    step_size: f64,
+) -> Result<Vec<f64>, ModelError> {
+    let mut out = Vec::with_capacity(dataset.n_clients());
+    for client in dataset.clients() {
+        if client.is_empty() {
+            return Err(ModelError::EmptyDataset);
+        }
+        let mut params = model.zero_params();
+        for _ in 0..gd_steps {
+            let g = model.gradient(&params, client.samples());
+            params.add_scaled(-step_size, &g);
+        }
+        out.push(global_loss(model, &params, dataset));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_data::synthetic::SyntheticConfig;
+
+    fn setup() -> (FederatedDataset, LogisticModel) {
+        let ds = SyntheticConfig::small().generate(21).unwrap();
+        let model = LogisticModel::new(ds.dim(), ds.n_classes(), 1e-3).unwrap();
+        (ds, model)
+    }
+
+    #[test]
+    fn estimates_are_positive_and_shaped() {
+        let (ds, model) = setup();
+        let est =
+            estimate_heterogeneity(7, &model, &ds, &LocalSgdConfig::fast(), 3).unwrap();
+        assert_eq!(est.g_squared.len(), ds.n_clients());
+        assert_eq!(est.sigma_squared.len(), ds.n_clients());
+        assert!(est.g_squared.iter().all(|&g| g > 0.0));
+        assert!(est.sigma_squared.iter().all(|&s| s >= 0.0));
+        assert!(est.l_bound > 0.0);
+        assert_eq!(est.mu, model.mu());
+        assert!(est.w0_dist_squared > 0.0);
+    }
+
+    #[test]
+    fn estimation_is_deterministic_per_seed() {
+        let (ds, model) = setup();
+        let a = estimate_heterogeneity(3, &model, &ds, &LocalSgdConfig::fast(), 2).unwrap();
+        let b = estimate_heterogeneity(3, &model, &ds, &LocalSgdConfig::fast(), 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn g_estimates_reflect_client_heterogeneity() {
+        let (ds, model) = setup();
+        let est =
+            estimate_heterogeneity(11, &model, &ds, &LocalSgdConfig::fast(), 3).unwrap();
+        // Non-i.i.d. shards: the spread of G_n across clients is material.
+        let max = est.g_squared.iter().cloned().fold(f64::MIN, f64::max);
+        let min = est.g_squared.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 1.05, "G_n spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn weighted_g_squared_applies_weights() {
+        let est = HeterogeneityEstimate {
+            g_squared: vec![4.0, 9.0],
+            sigma_squared: vec![0.0, 0.0],
+            l_bound: 1.0,
+            mu: 0.1,
+            w0_dist_squared: 1.0,
+        };
+        assert_eq!(est.weighted_g_squared(&[0.5, 2.0]), vec![1.0, 36.0]);
+    }
+
+    #[test]
+    fn local_optima_beat_or_match_zero_model_locally() {
+        let (ds, model) = setup();
+        let losses = local_optimum_global_losses(&model, &ds, 40, 0.3).unwrap();
+        assert_eq!(losses.len(), ds.n_clients());
+        // Each F(w*_n) is a valid finite loss; skewed local shards give
+        // global losses above the all-data optimum.
+        assert!(losses.iter().all(|&l| l.is_finite() && l > 0.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! # fedfl-model — convex ML substrate
+//!
+//! The paper trains a convex multinomial logistic-regression model with
+//! mini-batch local SGD (Section VI-A.2: batch size 24, `E = 100` local
+//! iterations, initial learning rate 0.1 with decay 0.996). This crate
+//! implements that model and everything the mechanism needs from it:
+//!
+//! * [`params`] — flat parameter vectors with the linear-algebra operations
+//!   the aggregation rules use.
+//! * [`logistic`] — softmax cross-entropy loss with ℓ2 regularisation, full
+//!   and mini-batch gradients. The ℓ2 term makes the objective µ-strongly
+//!   convex (Assumption 1).
+//! * [`sgd`] — local SGD with the paper's learning-rate schedules, tracking
+//!   the squared stochastic-gradient norms that estimate `G_n`
+//!   (Assumption 3).
+//! * [`metrics`] — training loss and test accuracy.
+//! * [`estimate`] — empirical estimators for `G_n`, the smoothness constant
+//!   `L` and the gradient variance `σ_n²`, used to instantiate the
+//!   convergence bound of Theorem 1.
+//!
+//! # Example
+//!
+//! ```
+//! use fedfl_data::synthetic::SyntheticConfig;
+//! use fedfl_model::logistic::LogisticModel;
+//! use fedfl_model::params::ModelParams;
+//!
+//! let ds = SyntheticConfig::small().generate(1)?;
+//! let model = LogisticModel::new(ds.dim(), ds.n_classes(), 1e-4)?;
+//! let params = ModelParams::zeros(ds.dim(), ds.n_classes());
+//! let loss = model.loss(&params, ds.client(0).samples());
+//! assert!(loss > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod estimate;
+pub mod logistic;
+pub mod metrics;
+pub mod params;
+pub mod sgd;
+
+pub use error::ModelError;
+pub use logistic::LogisticModel;
+pub use params::ModelParams;

@@ -1,0 +1,353 @@
+//! Multinomial (softmax) logistic regression with ℓ2 regularisation.
+//!
+//! The objective on a sample set `S` is
+//!
+//! ```text
+//! F(w) = (1/|S|) Σ_{(x,y) ∈ S} −log softmax(W·[x;1])_y + (µ/2)‖w‖²
+//! ```
+//!
+//! which is µ-strongly convex and L-smooth (Assumption 1 of the paper);
+//! multinomial logistic regression is exactly the model used in the paper's
+//! experiments (Section VI-A.2).
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+use fedfl_data::Sample;
+use serde::{Deserialize, Serialize};
+
+/// A multinomial logistic-regression problem definition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticModel {
+    dim: usize,
+    n_classes: usize,
+    l2_reg: f64,
+}
+
+impl LogisticModel {
+    /// Define a model over `dim` features and `n_classes` classes with ℓ2
+    /// regularisation strength `l2_reg` (the strong-convexity modulus µ).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if `dim == 0`, `n_classes < 2`,
+    /// or `l2_reg` is negative/non-finite.
+    pub fn new(dim: usize, n_classes: usize, l2_reg: f64) -> Result<Self, ModelError> {
+        if dim == 0 {
+            return Err(ModelError::InvalidConfig {
+                field: "dim",
+                reason: "must be positive".into(),
+            });
+        }
+        if n_classes < 2 {
+            return Err(ModelError::InvalidConfig {
+                field: "n_classes",
+                reason: "need at least two classes".into(),
+            });
+        }
+        if !l2_reg.is_finite() || l2_reg < 0.0 {
+            return Err(ModelError::InvalidConfig {
+                field: "l2_reg",
+                reason: format!("must be finite and non-negative, got {l2_reg}"),
+            });
+        }
+        Ok(Self {
+            dim,
+            n_classes,
+            l2_reg,
+        })
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Strong-convexity modulus µ (the ℓ2 coefficient).
+    pub fn mu(&self) -> f64 {
+        self.l2_reg
+    }
+
+    /// Fresh zero parameters of the right shape.
+    pub fn zero_params(&self) -> ModelParams {
+        ModelParams::zeros(self.dim, self.n_classes)
+    }
+
+    /// Check that `params` matches this model's shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] on mismatch.
+    pub fn check_shape(&self, params: &ModelParams) -> Result<(), ModelError> {
+        if params.dim() != self.dim || params.n_classes() != self.n_classes {
+            return Err(ModelError::ShapeMismatch {
+                expected: (self.dim, self.n_classes),
+                found: (params.dim(), params.n_classes()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Numerically-stable softmax probabilities from logits (in place).
+    pub fn softmax(logits: &mut [f64]) {
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut total = 0.0;
+        for z in logits.iter_mut() {
+            *z = (*z - max).exp();
+            total += *z;
+        }
+        for z in logits.iter_mut() {
+            *z /= total;
+        }
+    }
+
+    /// Average cross-entropy loss plus ℓ2 penalty on `samples`.
+    ///
+    /// Returns only the ℓ2 penalty when `samples` is empty (an empty shard
+    /// contributes no data term).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on shape mismatch.
+    pub fn loss(&self, params: &ModelParams, samples: &[Sample]) -> f64 {
+        debug_assert!(self.check_shape(params).is_ok());
+        let reg = 0.5 * self.l2_reg * params.norm().powi(2);
+        if samples.is_empty() {
+            return reg;
+        }
+        let mut total = 0.0;
+        for s in samples {
+            let logits = params.logits(&s.features);
+            let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let log_sum: f64 = logits.iter().map(|&z| (z - max).exp()).sum::<f64>().ln() + max;
+            total += log_sum - logits[s.label];
+        }
+        total / samples.len() as f64 + reg
+    }
+
+    /// Full-batch gradient of [`LogisticModel::loss`] at `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on shape mismatch.
+    pub fn gradient(&self, params: &ModelParams, samples: &[Sample]) -> ModelParams {
+        self.gradient_of(params, samples.iter())
+    }
+
+    /// Gradient over an arbitrary iterator of samples (used for mini-batches
+    /// without materialising them).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on shape mismatch.
+    pub fn gradient_of<'a, I>(&self, params: &ModelParams, samples: I) -> ModelParams
+    where
+        I: Iterator<Item = &'a Sample>,
+    {
+        debug_assert!(self.check_shape(params).is_ok());
+        let mut grad = self.zero_params();
+        let mut count = 0usize;
+        for s in samples {
+            count += 1;
+            let mut probs = params.logits(&s.features);
+            Self::softmax(&mut probs);
+            for c in 0..self.n_classes {
+                let coef = probs[c] - if c == s.label { 1.0 } else { 0.0 };
+                let row = grad.class_weights_mut(c);
+                for (j, &xj) in s.features.iter().enumerate() {
+                    row[j] += coef * xj;
+                }
+                row[self.dim] += coef; // bias input is 1
+            }
+        }
+        if count > 0 {
+            grad.scale(1.0 / count as f64);
+        }
+        // ℓ2 term: ∇(µ/2 ‖w‖²) = µ w.
+        grad.add_scaled(self.l2_reg, params);
+        grad
+    }
+
+    /// Predicted class (argmax of logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on shape mismatch.
+    pub fn predict(&self, params: &ModelParams, features: &[f64]) -> usize {
+        let logits = params.logits(features);
+        let mut best = 0;
+        for (i, &z) in logits.iter().enumerate() {
+            if z > logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// An upper bound on the smoothness constant `L` of the loss on a sample
+    /// set: `L ≤ (1/2)·max‖[x;1]‖² + µ` for softmax cross-entropy (the
+    /// softmax Hessian has spectral norm at most 1/2).
+    pub fn smoothness_upper_bound(&self, samples: &[Sample]) -> f64 {
+        let max_x2 = samples
+            .iter()
+            .map(|s| fedfl_num::linalg::norm2_squared(&s.features) + 1.0)
+            .fold(0.0f64, f64::max);
+        0.5 * max_x2 + self.l2_reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like_samples() -> Vec<Sample> {
+        vec![
+            Sample::new(vec![2.0, 0.1], 0),
+            Sample::new(vec![1.8, -0.2], 0),
+            Sample::new(vec![-2.0, 0.3], 1),
+            Sample::new(vec![-2.2, 0.0], 1),
+        ]
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(LogisticModel::new(0, 2, 0.0).is_err());
+        assert!(LogisticModel::new(2, 1, 0.0).is_err());
+        assert!(LogisticModel::new(2, 2, -1.0).is_err());
+        assert!(LogisticModel::new(2, 2, f64::NAN).is_err());
+        assert!(LogisticModel::new(2, 2, 0.1).is_ok());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut z = vec![1000.0, 1001.0, 999.0];
+        LogisticModel::softmax(&mut z);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(z.iter().all(|&p| p.is_finite() && p >= 0.0));
+        assert!(z[1] > z[0] && z[0] > z[2]);
+    }
+
+    #[test]
+    fn zero_params_loss_is_log_classes() {
+        let model = LogisticModel::new(2, 4, 0.0).unwrap();
+        let params = model.zero_params();
+        let samples = vec![Sample::new(vec![1.0, -1.0], 2)];
+        let loss = model.loss(&params, &samples);
+        assert!((loss - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_set_gives_pure_regulariser() {
+        let model = LogisticModel::new(2, 2, 2.0).unwrap();
+        let mut params = model.zero_params();
+        params.as_mut_slice()[0] = 3.0;
+        assert!((model.loss(&params, &[]) - 0.5 * 2.0 * 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let model = LogisticModel::new(2, 3, 0.05).unwrap();
+        let mut params = model.zero_params();
+        for (i, v) in params.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f64 * 0.37).sin() * 0.5;
+        }
+        let samples = vec![
+            Sample::new(vec![0.5, -1.0], 0),
+            Sample::new(vec![-0.3, 0.8], 2),
+            Sample::new(vec![1.5, 0.2], 1),
+        ];
+        let grad = model.gradient(&params, &samples);
+        let eps = 1e-6;
+        for i in 0..params.len() {
+            let mut plus = params.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = params.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fd = (model.loss(&plus, &samples) - model.loss(&minus, &samples)) / (2.0 * eps);
+            assert!(
+                (grad.as_slice()[i] - fd).abs() < 1e-5,
+                "component {i}: analytic {} vs fd {fd}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss_and_learns() {
+        let model = LogisticModel::new(2, 2, 1e-3).unwrap();
+        let samples = xor_like_samples();
+        let mut params = model.zero_params();
+        let mut prev = model.loss(&params, &samples);
+        for _ in 0..200 {
+            let g = model.gradient(&params, &samples);
+            params.add_scaled(-0.5, &g);
+            let now = model.loss(&params, &samples);
+            assert!(now <= prev + 1e-9, "loss increased: {prev} -> {now}");
+            prev = now;
+        }
+        for s in &samples {
+            assert_eq!(model.predict(&params, &s.features), s.label);
+        }
+    }
+
+    #[test]
+    fn strong_convexity_via_gradient_monotonicity() {
+        // <∇F(w1) − ∇F(w2), w1 − w2> >= µ ‖w1 − w2‖² for µ-strongly convex F.
+        let mu = 0.7;
+        let model = LogisticModel::new(2, 3, mu).unwrap();
+        let samples = xor_like_samples()
+            .into_iter()
+            .map(|mut s| {
+                s.label %= 3;
+                s
+            })
+            .collect::<Vec<_>>();
+        let mut w1 = model.zero_params();
+        let mut w2 = model.zero_params();
+        for (i, v) in w1.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f64).cos();
+        }
+        for (i, v) in w2.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f64 * 2.0).sin() - 0.3;
+        }
+        let g1 = model.gradient(&w1, &samples);
+        let g2 = model.gradient(&w2, &samples);
+        let gdiff = g1.delta(&g2);
+        let wdiff = w1.delta(&w2);
+        let inner = fedfl_num::linalg::dot(gdiff.as_slice(), wdiff.as_slice());
+        let d2 = wdiff.norm().powi(2);
+        assert!(inner >= mu * d2 - 1e-9, "inner {inner} vs mu*d2 {}", mu * d2);
+    }
+
+    #[test]
+    fn smoothness_bound_dominates_gradient_lipschitz_ratio() {
+        let model = LogisticModel::new(2, 2, 0.1).unwrap();
+        let samples = xor_like_samples();
+        let l_bound = model.smoothness_upper_bound(&samples);
+        // Empirical Lipschitz ratio along random directions must not exceed it.
+        let mut w1 = model.zero_params();
+        for (i, v) in w1.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f64 * 0.13).sin();
+        }
+        let mut w2 = w1.clone();
+        for v in w2.as_mut_slice().iter_mut() {
+            *v += 0.01;
+        }
+        let g1 = model.gradient(&w1, &samples);
+        let g2 = model.gradient(&w2, &samples);
+        let ratio = g1.delta(&g2).norm() / w1.delta(&w2).norm();
+        assert!(ratio <= l_bound, "ratio {ratio} vs bound {l_bound}");
+    }
+
+    #[test]
+    fn check_shape_errors() {
+        let model = LogisticModel::new(3, 2, 0.0).unwrap();
+        assert!(model.check_shape(&ModelParams::zeros(3, 2)).is_ok());
+        assert!(model.check_shape(&ModelParams::zeros(2, 2)).is_err());
+        assert!(model.check_shape(&ModelParams::zeros(3, 4)).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Evaluation metrics: global loss and test accuracy.
+//!
+//! The paper's Figure 4 reports global training loss (equation (2)) and test
+//! accuracy over time; these helpers compute both from a parameter vector.
+
+use crate::logistic::LogisticModel;
+use crate::params::ModelParams;
+use fedfl_data::{FederatedDataset, Sample};
+
+/// Classification accuracy of `params` on `samples` (0 for an empty set).
+pub fn accuracy(model: &LogisticModel, params: &ModelParams, samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .filter(|s| model.predict(params, &s.features) == s.label)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+/// Global training loss `F(w) = Σ_n a_n F_n(w)` (equation (2) of the paper).
+pub fn global_loss(model: &LogisticModel, params: &ModelParams, dataset: &FederatedDataset) -> f64 {
+    let weights = dataset.weights();
+    dataset
+        .clients()
+        .iter()
+        .zip(&weights)
+        .map(|(c, &a)| a * model.loss(params, c.samples()))
+        .sum()
+}
+
+/// Test accuracy on the dataset's held-out test set.
+pub fn test_accuracy(
+    model: &LogisticModel,
+    params: &ModelParams,
+    dataset: &FederatedDataset,
+) -> f64 {
+    accuracy(model, params, dataset.test_set().samples())
+}
+
+/// Per-client local losses `F_n(w)` in client order.
+pub fn local_losses(
+    model: &LogisticModel,
+    params: &ModelParams,
+    dataset: &FederatedDataset,
+) -> Vec<f64> {
+    dataset
+        .clients()
+        .iter()
+        .map(|c| model.loss(params, c.samples()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_data::synthetic::SyntheticConfig;
+
+    #[test]
+    fn accuracy_bounds_and_empty_set() {
+        let model = LogisticModel::new(2, 2, 0.0).unwrap();
+        let params = model.zero_params();
+        assert_eq!(accuracy(&model, &params, &[]), 0.0);
+        let samples = vec![Sample::new(vec![1.0, 1.0], 0)];
+        let a = accuracy(&model, &params, &samples);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn global_loss_is_weighted_mixture_of_local_losses() {
+        let ds = SyntheticConfig::small().generate(2).unwrap();
+        let model = LogisticModel::new(ds.dim(), ds.n_classes(), 1e-4).unwrap();
+        let params = model.zero_params();
+        let global = global_loss(&model, &params, &ds);
+        let locals = local_losses(&model, &params, &ds);
+        let manual: f64 = ds
+            .weights()
+            .iter()
+            .zip(&locals)
+            .map(|(&a, &l)| a * l)
+            .sum();
+        assert!((global - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_params_loss_is_log_n_classes() {
+        let ds = SyntheticConfig::small().generate(2).unwrap();
+        let model = LogisticModel::new(ds.dim(), ds.n_classes(), 0.0).unwrap();
+        let params = model.zero_params();
+        let loss = global_loss(&model, &params, &ds);
+        assert!((loss - (ds.n_classes() as f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trained_model_beats_random_guessing() {
+        let ds = SyntheticConfig::small().generate(4).unwrap();
+        let model = LogisticModel::new(ds.dim(), ds.n_classes(), 1e-4).unwrap();
+        let mut params = model.zero_params();
+        // A few full-gradient steps on the pooled data.
+        let pooled: Vec<Sample> = ds
+            .clients()
+            .iter()
+            .flat_map(|c| c.samples().to_vec())
+            .collect();
+        for _ in 0..60 {
+            let g = model.gradient(&params, &pooled);
+            params.add_scaled(-0.5, &g);
+        }
+        let acc = test_accuracy(&model, &params, &ds);
+        let chance = 1.0 / ds.n_classes() as f64;
+        assert!(acc > 1.5 * chance, "accuracy {acc} vs chance {chance}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Model parameter vectors.
+//!
+//! A multinomial logistic-regression model over `dim` features and
+//! `n_classes` classes is parameterised by a `n_classes × (dim + 1)` weight
+//! matrix (the last column is the per-class bias), stored flat. The
+//! aggregation rules of the FL simulator treat parameters as plain vectors,
+//! so [`ModelParams`] exposes the axpy-style operations they need.
+
+use fedfl_num::linalg;
+use serde::{Deserialize, Serialize};
+
+/// Flat parameter vector of a multinomial logistic-regression model.
+///
+/// # Example
+///
+/// ```
+/// use fedfl_model::params::ModelParams;
+///
+/// let mut w = ModelParams::zeros(3, 2);
+/// assert_eq!(w.len(), 2 * 4); // two classes × (3 features + bias)
+/// w.as_mut_slice()[0] = 1.0;
+/// assert_eq!(w.class_weights(0)[0], 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    dim: usize,
+    n_classes: usize,
+    data: Vec<f64>,
+}
+
+impl ModelParams {
+    /// All-zero parameters (the paper's `w⁰ = 0` initialisation).
+    pub fn zeros(dim: usize, n_classes: usize) -> Self {
+        Self {
+            dim,
+            n_classes,
+            data: vec![0.0; n_classes * (dim + 1)],
+        }
+    }
+
+    /// Feature dimension (excluding bias).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the model has zero parameters (never true for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the flat parameter slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat parameter slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row of weights for class `c`: `dim` feature weights followed by the
+    /// bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= n_classes`.
+    pub fn class_weights(&self, c: usize) -> &[f64] {
+        let stride = self.dim + 1;
+        &self.data[c * stride..(c + 1) * stride]
+    }
+
+    /// Mutable row of weights for class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= n_classes`.
+    pub fn class_weights_mut(&mut self, c: usize) -> &mut [f64] {
+        let stride = self.dim + 1;
+        &mut self.data[c * stride..(c + 1) * stride]
+    }
+
+    /// Whether `other` has the same `(dim, n_classes)` shape.
+    pub fn same_shape(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.n_classes == other.n_classes
+    }
+
+    /// `self += alpha · other` (used by the aggregation rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on shape mismatch.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Self) {
+        debug_assert!(self.same_shape(other), "add_scaled: shape mismatch");
+        linalg::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// `self *= alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        linalg::scale(alpha, &mut self.data);
+    }
+
+    /// Difference `self − other` as a new vector (a model *update*).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on shape mismatch.
+    pub fn delta(&self, other: &Self) -> Self {
+        debug_assert!(self.same_shape(other), "delta: shape mismatch");
+        let mut out = vec![0.0; self.data.len()];
+        linalg::sub(&self.data, &other.data, &mut out);
+        Self {
+            dim: self.dim,
+            n_classes: self.n_classes,
+            data: out,
+        }
+    }
+
+    /// Euclidean norm of the parameter vector.
+    pub fn norm(&self) -> f64 {
+        linalg::norm2(&self.data)
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on shape mismatch.
+    pub fn dist_squared(&self, other: &Self) -> f64 {
+        debug_assert!(self.same_shape(other), "dist_squared: shape mismatch");
+        linalg::dist2_squared(&self.data, &other.data)
+    }
+
+    /// Logits `W·[x; 1]` for one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x.len() != dim`.
+    pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.dim, "logits: feature length mismatch");
+        (0..self.n_classes)
+            .map(|c| {
+                let row = self.class_weights(c);
+                linalg::dot(&row[..self.dim], x) + row[self.dim]
+            })
+            .collect()
+    }
+
+    /// Weighted average of parameter vectors: `Σ w_i · params_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or shapes differ.
+    pub fn weighted_sum(items: &[(f64, &Self)]) -> Self {
+        assert!(!items.is_empty(), "weighted_sum needs at least one item");
+        let mut acc = Self::zeros(items[0].1.dim, items[0].1.n_classes);
+        for &(w, p) in items {
+            assert!(acc.same_shape(p), "weighted_sum: shape mismatch");
+            acc.add_scaled(w, p);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_rows() {
+        let mut w = ModelParams::zeros(4, 3);
+        assert_eq!(w.len(), 15);
+        assert_eq!((w.dim(), w.n_classes()), (4, 3));
+        assert!(!w.is_empty());
+        w.class_weights_mut(2)[4] = 9.0; // class-2 bias
+        assert_eq!(w.class_weights(2), &[0.0, 0.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn logits_include_bias() {
+        let mut w = ModelParams::zeros(2, 2);
+        w.class_weights_mut(0).copy_from_slice(&[1.0, -1.0, 0.5]);
+        w.class_weights_mut(1).copy_from_slice(&[0.0, 2.0, -0.5]);
+        let z = w.logits(&[3.0, 1.0]);
+        assert_eq!(z, vec![3.0 - 1.0 + 0.5, 2.0 - 0.5]);
+    }
+
+    #[test]
+    fn arithmetic_operations() {
+        let mut a = ModelParams::zeros(1, 1);
+        let mut b = ModelParams::zeros(1, 1);
+        a.as_mut_slice().copy_from_slice(&[1.0, 2.0]);
+        b.as_mut_slice().copy_from_slice(&[3.0, 4.0]);
+        a.add_scaled(2.0, &b);
+        assert_eq!(a.as_slice(), &[7.0, 10.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[3.5, 5.0]);
+        let d = a.delta(&b);
+        assert_eq!(d.as_slice(), &[0.5, 1.0]);
+        assert!((a.dist_squared(&b) - (0.25 + 1.0)).abs() < 1e-12);
+        assert!((d.norm() - (0.25f64 + 1.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_recovers_average() {
+        let mut a = ModelParams::zeros(1, 1);
+        let mut b = ModelParams::zeros(1, 1);
+        a.as_mut_slice().copy_from_slice(&[2.0, 0.0]);
+        b.as_mut_slice().copy_from_slice(&[0.0, 4.0]);
+        let avg = ModelParams::weighted_sum(&[(0.5, &a), (0.5, &b)]);
+        assert_eq!(avg.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn weighted_sum_rejects_empty() {
+        ModelParams::weighted_sum(&[]);
+    }
+
+    #[test]
+    fn same_shape_detects_mismatch() {
+        let a = ModelParams::zeros(2, 2);
+        let b = ModelParams::zeros(3, 2);
+        assert!(!a.same_shape(&b));
+        assert!(a.same_shape(&a.clone()));
+    }
+}

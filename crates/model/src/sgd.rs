@@ -1,0 +1,334 @@
+//! Local SGD — the client-side optimiser of FedAvg.
+//!
+//! Each participating client runs `E` mini-batch SGD steps on its local loss
+//! (equation (1) of the paper) starting from the current global model. The
+//! paper's experiments use batch size 24, `E = 100`, initial learning rate
+//! 0.1 with multiplicative decay 0.996 per round; its theory uses the
+//! `η_r = 2 / (µ(r + γ))` schedule of Theorem 1. Both schedules are
+//! provided.
+
+use crate::error::ModelError;
+use crate::logistic::LogisticModel;
+use crate::params::ModelParams;
+use fedfl_data::Sample;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Learning-rate schedule across communication rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f64),
+    /// `η_r = initial · decay^r` — the experimental schedule of the paper
+    /// (initial 0.1, decay 0.996).
+    ExponentialDecay {
+        /// Learning rate at round 0.
+        initial: f64,
+        /// Multiplicative decay per round.
+        decay: f64,
+    },
+    /// `η_r = 2 / (µ (γ + r))` with `γ = max(8L, µE)/µ` — the theoretical
+    /// schedule of Theorem 1.
+    Theoretical {
+        /// Strong-convexity modulus µ.
+        mu: f64,
+        /// Smoothness constant L.
+        l: f64,
+        /// Local iterations per round E.
+        local_steps: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's experimental schedule: initial 0.1, decay 0.996.
+    pub fn paper_default() -> Self {
+        LrSchedule::ExponentialDecay {
+            initial: 0.1,
+            decay: 0.996,
+        }
+    }
+
+    /// Learning rate for communication round `r` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule parameters are non-positive.
+    pub fn rate(&self, round: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant(eta) => {
+                assert!(eta > 0.0, "learning rate must be positive");
+                eta
+            }
+            LrSchedule::ExponentialDecay { initial, decay } => {
+                assert!(initial > 0.0 && decay > 0.0, "invalid decay schedule");
+                initial * decay.powi(round as i32)
+            }
+            LrSchedule::Theoretical { mu, l, local_steps } => {
+                assert!(mu > 0.0 && l > 0.0 && local_steps > 0, "invalid schedule");
+                let gamma = (8.0 * l).max(mu * local_steps as f64) / mu;
+                2.0 / (mu * (gamma + round as f64))
+            }
+        }
+    }
+}
+
+/// Configuration of the client-side optimiser.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalSgdConfig {
+    /// Local iterations per round `E`.
+    pub local_steps: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+}
+
+impl LocalSgdConfig {
+    /// The paper's experimental configuration: `E = 100`, batch 24,
+    /// exponential-decay schedule.
+    pub fn paper_default() -> Self {
+        Self {
+            local_steps: 100,
+            batch_size: 24,
+            schedule: LrSchedule::paper_default(),
+        }
+    }
+
+    /// A fast configuration for tests and examples.
+    pub fn fast() -> Self {
+        Self {
+            local_steps: 5,
+            batch_size: 16,
+            schedule: LrSchedule::paper_default(),
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for zero steps or batch size.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.local_steps == 0 {
+            return Err(ModelError::InvalidConfig {
+                field: "local_steps",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(ModelError::InvalidConfig {
+                field: "batch_size",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one client's local training in one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalUpdate {
+    /// Locally-updated parameters `w_n^{r+1}`.
+    pub params: ModelParams,
+    /// Squared norms `‖∇̃F_n‖²` of every stochastic gradient evaluated,
+    /// used to estimate `G_n²` (Assumption 3).
+    pub grad_norms_squared: Vec<f64>,
+}
+
+impl LocalUpdate {
+    /// Maximum squared stochastic-gradient norm seen this round.
+    pub fn max_grad_norm_squared(&self) -> f64 {
+        self.grad_norms_squared
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean squared stochastic-gradient norm seen this round.
+    pub fn mean_grad_norm_squared(&self) -> f64 {
+        if self.grad_norms_squared.is_empty() {
+            0.0
+        } else {
+            self.grad_norms_squared.iter().sum::<f64>() / self.grad_norms_squared.len() as f64
+        }
+    }
+}
+
+/// Run `E` local SGD steps from `start` on `samples`.
+///
+/// Mini-batches are drawn with replacement, which matches the unbiasedness
+/// requirement of Assumption 2 (each stochastic gradient is an unbiased
+/// estimate of the local full gradient).
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyDataset`] when `samples` is empty and
+/// [`ModelError::InvalidConfig`]/[`ModelError::ShapeMismatch`] for invalid
+/// configuration or parameter shape.
+pub fn run_local_sgd<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &LogisticModel,
+    start: &ModelParams,
+    samples: &[Sample],
+    config: &LocalSgdConfig,
+    round: usize,
+) -> Result<LocalUpdate, ModelError> {
+    config.validate()?;
+    model.check_shape(start)?;
+    if samples.is_empty() {
+        return Err(ModelError::EmptyDataset);
+    }
+    let eta = config.schedule.rate(round);
+    let batch = config.batch_size.min(samples.len());
+    let mut params = start.clone();
+    let mut grad_norms_squared = Vec::with_capacity(config.local_steps);
+    let mut batch_indices = vec![0usize; batch];
+    for _ in 0..config.local_steps {
+        for slot in batch_indices.iter_mut() {
+            *slot = rng.random_range(0..samples.len());
+        }
+        let grad = model.gradient_of(&params, batch_indices.iter().map(|&i| &samples[i]));
+        grad_norms_squared.push(grad.norm().powi(2));
+        params.add_scaled(-eta, &grad);
+    }
+    Ok(LocalUpdate {
+        params,
+        grad_norms_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_num::rng::seeded;
+
+    fn toy_samples() -> Vec<Sample> {
+        (0..64)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                Sample::new(vec![sign * 2.0, sign * -1.0], usize::from(i % 2 == 1))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedules_decay_correctly() {
+        let exp = LrSchedule::ExponentialDecay {
+            initial: 0.1,
+            decay: 0.996,
+        };
+        assert!((exp.rate(0) - 0.1).abs() < 1e-15);
+        assert!((exp.rate(1) - 0.0996).abs() < 1e-12);
+        assert!(exp.rate(100) < exp.rate(50));
+
+        let theory = LrSchedule::Theoretical {
+            mu: 0.1,
+            l: 1.0,
+            local_steps: 10,
+        };
+        // γ = max(8, 1)/0.1 = 80, η_0 = 2/(0.1·80) = 0.25.
+        assert!((theory.rate(0) - 0.25).abs() < 1e-12);
+        assert!(theory.rate(10) < theory.rate(0));
+
+        assert_eq!(LrSchedule::Constant(0.05).rate(7), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn constant_schedule_rejects_zero() {
+        LrSchedule::Constant(0.0).rate(0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LocalSgdConfig::paper_default().validate().is_ok());
+        let mut bad = LocalSgdConfig::fast();
+        bad.local_steps = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = LocalSgdConfig::fast();
+        bad.batch_size = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn sgd_reduces_local_loss() {
+        let model = LogisticModel::new(2, 2, 1e-3).unwrap();
+        let samples = toy_samples();
+        let start = model.zero_params();
+        let mut rng = seeded(3);
+        let config = LocalSgdConfig {
+            local_steps: 50,
+            batch_size: 16,
+            schedule: LrSchedule::Constant(0.2),
+        };
+        let update = run_local_sgd(&mut rng, &model, &start, &samples, &config, 0).unwrap();
+        assert!(model.loss(&update.params, &samples) < model.loss(&start, &samples));
+        assert_eq!(update.grad_norms_squared.len(), 50);
+        assert!(update.max_grad_norm_squared() >= update.mean_grad_norm_squared());
+    }
+
+    #[test]
+    fn sgd_is_deterministic_per_seed() {
+        let model = LogisticModel::new(2, 2, 1e-3).unwrap();
+        let samples = toy_samples();
+        let start = model.zero_params();
+        let config = LocalSgdConfig::fast();
+        let a = run_local_sgd(&mut seeded(9), &model, &start, &samples, &config, 0).unwrap();
+        let b = run_local_sgd(&mut seeded(9), &model, &start, &samples, &config, 0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sgd_rejects_empty_dataset_and_bad_shape() {
+        let model = LogisticModel::new(2, 2, 0.0).unwrap();
+        let config = LocalSgdConfig::fast();
+        let start = model.zero_params();
+        assert_eq!(
+            run_local_sgd(&mut seeded(1), &model, &start, &[], &config, 0),
+            Err(ModelError::EmptyDataset)
+        );
+        let wrong = ModelParams::zeros(3, 2);
+        assert!(matches!(
+            run_local_sgd(&mut seeded(1), &model, &wrong, &toy_samples(), &config, 0),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn later_rounds_take_smaller_steps() {
+        let model = LogisticModel::new(2, 2, 1e-3).unwrap();
+        let samples = toy_samples();
+        let start = model.zero_params();
+        let config = LocalSgdConfig {
+            local_steps: 10,
+            batch_size: 8,
+            schedule: LrSchedule::ExponentialDecay {
+                initial: 0.1,
+                decay: 0.5,
+            },
+        };
+        let early = run_local_sgd(&mut seeded(4), &model, &start, &samples, &config, 0).unwrap();
+        let late = run_local_sgd(&mut seeded(4), &model, &start, &samples, &config, 10).unwrap();
+        let early_move = early.params.dist_squared(&start);
+        let late_move = late.params.dist_squared(&start);
+        assert!(
+            late_move < early_move,
+            "late {late_move} vs early {early_move}"
+        );
+    }
+
+    #[test]
+    fn batch_larger_than_dataset_is_clamped() {
+        let model = LogisticModel::new(2, 2, 0.0).unwrap();
+        let samples = toy_samples()[..4].to_vec();
+        let config = LocalSgdConfig {
+            local_steps: 3,
+            batch_size: 1000,
+            schedule: LrSchedule::Constant(0.1),
+        };
+        let start = model.zero_params();
+        let update =
+            run_local_sgd(&mut seeded(5), &model, &start, &samples, &config, 0).unwrap();
+        assert_eq!(update.grad_norms_squared.len(), 3);
+    }
+}

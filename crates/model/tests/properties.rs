@@ -1,0 +1,175 @@
+//! Property-based tests for the convex ML substrate: analytic gradients,
+//! convexity structure, and optimiser invariants on random instances.
+
+use fedfl_data::Sample;
+use fedfl_model::logistic::LogisticModel;
+use fedfl_model::params::ModelParams;
+use fedfl_model::sgd::{run_local_sgd, LocalSgdConfig, LrSchedule};
+use fedfl_num::linalg::dot;
+use fedfl_num::rng::seeded;
+use proptest::prelude::*;
+
+fn random_samples(dim: usize, n_classes: usize, count: usize, seed: u64) -> Vec<Sample> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..count)
+        .map(|_| {
+            let features: Vec<f64> = (0..dim).map(|_| next() * 4.0 - 2.0).collect();
+            let label = (next() * n_classes as f64) as usize % n_classes;
+            Sample::new(features, label)
+        })
+        .collect()
+}
+
+fn random_params(dim: usize, n_classes: usize, scale: f64, seed: u64) -> ModelParams {
+    let mut p = ModelParams::zeros(dim, n_classes);
+    for (i, v) in p.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i as f64 + seed as f64 % 97.0) * 0.61803).sin() * scale;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gradient_matches_finite_differences(
+        dim in 2usize..5,
+        n_classes in 2usize..4,
+        mu in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let model = LogisticModel::new(dim, n_classes, mu).unwrap();
+        let samples = random_samples(dim, n_classes, 6, seed);
+        let params = random_params(dim, n_classes, 0.5, seed);
+        let grad = model.gradient(&params, &samples);
+        let eps = 1e-6;
+        for i in 0..params.len() {
+            let mut plus = params.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = params.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fd = (model.loss(&plus, &samples) - model.loss(&minus, &samples)) / (2.0 * eps);
+            prop_assert!(
+                (grad.as_slice()[i] - fd).abs() < 1e-4,
+                "component {i}: {} vs {fd}", grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_is_convex_along_segments(
+        dim in 2usize..5,
+        n_classes in 2usize..4,
+        t in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let model = LogisticModel::new(dim, n_classes, 0.01).unwrap();
+        let samples = random_samples(dim, n_classes, 8, seed);
+        let w1 = random_params(dim, n_classes, 0.8, seed);
+        let w2 = random_params(dim, n_classes, 0.8, seed.wrapping_add(1));
+        // w_t = (1-t) w1 + t w2.
+        let mut wt = w1.clone();
+        wt.scale(1.0 - t);
+        wt.add_scaled(t, &w2);
+        let lhs = model.loss(&wt, &samples);
+        let rhs = (1.0 - t) * model.loss(&w1, &samples) + t * model.loss(&w2, &samples);
+        prop_assert!(lhs <= rhs + 1e-9, "convexity violated: {lhs} > {rhs}");
+    }
+
+    #[test]
+    fn gradient_monotonicity_certifies_strong_convexity(
+        dim in 2usize..5,
+        mu in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let model = LogisticModel::new(dim, 3, mu).unwrap();
+        let samples = random_samples(dim, 3, 8, seed);
+        let w1 = random_params(dim, 3, 1.0, seed);
+        let w2 = random_params(dim, 3, 1.0, seed.wrapping_add(7));
+        let g1 = model.gradient(&w1, &samples);
+        let g2 = model.gradient(&w2, &samples);
+        let gdiff = g1.delta(&g2);
+        let wdiff = w1.delta(&w2);
+        let inner = dot(gdiff.as_slice(), wdiff.as_slice());
+        let d2 = wdiff.norm().powi(2);
+        prop_assert!(inner >= mu * d2 - 1e-9, "{inner} < {}", mu * d2);
+    }
+
+    #[test]
+    fn full_batch_gd_never_increases_loss(
+        dim in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let model = LogisticModel::new(dim, 3, 1e-3).unwrap();
+        let samples = random_samples(dim, 3, 12, seed);
+        let l = model.smoothness_upper_bound(&samples);
+        let step = 1.0 / l; // guaranteed-descent step for L-smooth f
+        let mut params = model.zero_params();
+        let mut prev = model.loss(&params, &samples);
+        for _ in 0..15 {
+            let g = model.gradient(&params, &samples);
+            params.add_scaled(-step, &g);
+            let now = model.loss(&params, &samples);
+            prop_assert!(now <= prev + 1e-10, "ascent: {prev} -> {now}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn sgd_grad_norm_history_has_expected_length(
+        steps in 1usize..30,
+        batch in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let model = LogisticModel::new(3, 2, 1e-3).unwrap();
+        let samples = random_samples(3, 2, 20, seed);
+        let config = LocalSgdConfig {
+            local_steps: steps,
+            batch_size: batch,
+            schedule: LrSchedule::Constant(0.05),
+        };
+        let update = run_local_sgd(
+            &mut seeded(seed),
+            &model,
+            &model.zero_params(),
+            &samples,
+            &config,
+            0,
+        )
+        .unwrap();
+        prop_assert_eq!(update.grad_norms_squared.len(), steps);
+        prop_assert!(update.grad_norms_squared.iter().all(|&g| g.is_finite() && g >= 0.0));
+    }
+
+    #[test]
+    fn softmax_probabilities_are_a_distribution(
+        logits in prop::collection::vec(-50.0f64..50.0, 2..8),
+    ) {
+        let mut z = logits;
+        LogisticModel::softmax(&mut z);
+        prop_assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(z.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn predictions_are_shift_invariant(
+        dim in 2usize..5,
+        shift in -100.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        // Adding the same constant to every class row's bias shifts all
+        // logits equally and cannot change the argmax.
+        let model = LogisticModel::new(dim, 3, 0.0).unwrap();
+        let params = random_params(dim, 3, 1.0, seed);
+        let mut shifted = params.clone();
+        for c in 0..3 {
+            shifted.class_weights_mut(c)[dim] += shift;
+        }
+        let x: Vec<f64> = (0..dim).map(|i| (i as f64).cos()).collect();
+        prop_assert_eq!(model.predict(&params, &x), model.predict(&shifted, &x));
+    }
+}

@@ -1,0 +1,449 @@
+//! Probability distributions used across the workspace.
+//!
+//! The paper's experiments draw the per-client local-cost parameters `c_n`
+//! and intrinsic-value parameters `v_n` from Exponential distributions
+//! (Section VI-A.2), partition dataset sizes by a power law (bounded
+//! Pareto), and the hardware-heterogeneity substitute draws client compute
+//! speeds and link rates from LogNormal distributions. All samplers are
+//! implemented here from uniform variates so that the workspace needs no
+//! external distribution crate.
+
+use crate::error::NumError;
+use rand::{Rng, RngExt};
+
+/// Normal (Gaussian) distribution sampled with the Box–Muller transform.
+///
+/// # Example
+///
+/// ```
+/// use fedfl_num::dist::Normal;
+/// use fedfl_num::rng::seeded;
+///
+/// let n = Normal::new(5.0, 2.0)?;
+/// let mut rng = seeded(1);
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// # Ok::<(), fedfl_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a Normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidParameter`] if `std_dev` is negative or
+    /// either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NumError> {
+        if !mean.is_finite() {
+            return Err(NumError::InvalidParameter {
+                name: "mean",
+                reason: format!("must be finite, got {mean}"),
+            });
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NumError::InvalidParameter {
+                name: "std_dev",
+                reason: format!("must be finite and non-negative, got {std_dev}"),
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0,1] so the log is finite.
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * radius * theta.cos()
+    }
+
+    /// Fill a vector with `n` independent samples.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`), sampled by
+/// inverse-CDF.
+///
+/// The paper draws the client cost parameters `c_n` and intrinsic values
+/// `v_n` "following exponential distribution among clients" with the setup
+/// means of Table I; [`Exponential::with_mean`] matches that usage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an Exponential distribution from its rate parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidParameter`] if `rate` is not strictly
+    /// positive and finite.
+    pub fn new(rate: f64) -> Result<Self, NumError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(NumError::InvalidParameter {
+                name: "rate",
+                reason: format!("must be finite and positive, got {rate}"),
+            });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Create an Exponential distribution from its mean (`1/rate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidParameter`] if `mean` is not strictly
+    /// positive and finite.
+    pub fn with_mean(mean: f64) -> Result<Self, NumError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(NumError::InvalidParameter {
+                name: "mean",
+                reason: format!("must be finite and positive, got {mean}"),
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// Rate parameter `lambda`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean of the distribution (`1/lambda`).
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>(); // in (0, 1]
+        -u.ln() / self.rate
+    }
+
+    /// Fill a vector with `n` independent samples.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// LogNormal distribution: `exp(N(mu, sigma))`.
+///
+/// Used by the simulated cross-device testbed for client compute speeds and
+/// wireless link rates, which are positive and right-skewed in practice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Create a LogNormal from the location `mu` and scale `sigma` of the
+    /// underlying normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidParameter`] under the same conditions as
+    /// [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NumError> {
+        Ok(Self {
+            normal: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Create a LogNormal whose *median* is `median` and whose underlying
+    /// normal scale is `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidParameter`] if `median` is not strictly
+    /// positive or `sigma` is invalid.
+    pub fn with_median(median: f64, sigma: f64) -> Result<Self, NumError> {
+        if !median.is_finite() || median <= 0.0 {
+            return Err(NumError::InvalidParameter {
+                name: "median",
+                reason: format!("must be finite and positive, got {median}"),
+            });
+        }
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+
+    /// Fill a vector with `n` independent samples.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Bounded Pareto (power-law) distribution on `[lo, hi]` with shape `alpha`.
+///
+/// The paper distributes per-client sample counts "in an unbalanced
+/// power-law distribution"; the bounded Pareto is the standard realisation
+/// of that description and keeps every client non-empty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Create a bounded Pareto distribution on `[lo, hi]` with shape `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidParameter`] unless `0 < lo < hi` and
+    /// `alpha > 0` (all finite).
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Result<Self, NumError> {
+        if !lo.is_finite() || lo <= 0.0 {
+            return Err(NumError::InvalidParameter {
+                name: "lo",
+                reason: format!("must be finite and positive, got {lo}"),
+            });
+        }
+        if !hi.is_finite() || hi <= lo {
+            return Err(NumError::InvalidParameter {
+                name: "hi",
+                reason: format!("must be finite and greater than lo={lo}, got {hi}"),
+            });
+        }
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(NumError::InvalidParameter {
+                name: "alpha",
+                reason: format!("must be finite and positive, got {alpha}"),
+            });
+        }
+        Ok(Self { lo, hi, alpha })
+    }
+
+    /// Lower bound of the support.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the support.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draw one sample by inverse-CDF of the truncated Pareto.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        let la = self.lo.powf(-self.alpha);
+        let ha = self.hi.powf(-self.alpha);
+        // Inverse CDF of bounded Pareto.
+        (la - u * (la - ha)).powf(-1.0 / self.alpha)
+    }
+
+    /// Fill a vector with `n` independent samples.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Draw from a Bernoulli with success probability `p` (clamped to `[0, 1]`).
+///
+/// Values of `p` outside `[0, 1]` are clamped rather than rejected because
+/// equilibrium solvers can produce participation levels like `1.0 + 1e-16`
+/// from floating-point round-off.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    rng.random::<f64>() < p
+}
+
+/// Draw an index from the categorical distribution given by `weights`
+/// (non-negative, not all zero).
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidParameter`] if `weights` is empty, contains a
+/// negative or non-finite value, or sums to zero.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Result<usize, NumError> {
+    if weights.is_empty() {
+        return Err(NumError::EmptyInput);
+    }
+    let mut total = 0.0;
+    for &w in weights {
+        if !w.is_finite() || w < 0.0 {
+            return Err(NumError::InvalidParameter {
+                name: "weights",
+                reason: format!("must be finite and non-negative, got {w}"),
+            });
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(NumError::InvalidParameter {
+            name: "weights",
+            reason: "must not sum to zero".into(),
+        });
+    }
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return Ok(i);
+        }
+    }
+    Ok(weights.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::stats::{mean, variance};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(11);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let xs = d.sample_vec(&mut rng, 200_000);
+        assert!((mean(&xs).unwrap() - 3.0).abs() < 0.03);
+        assert!((variance(&xs).unwrap() - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut rng = seeded(3);
+        let d = Normal::new(7.0, 0.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 7.0);
+        }
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = seeded(12);
+        let d = Exponential::with_mean(50.0).unwrap();
+        let xs = d.sample_vec(&mut rng, 200_000);
+        assert!((mean(&xs).unwrap() - 50.0).abs() < 0.6);
+        // Var = mean^2 for exponential.
+        assert!((variance(&xs).unwrap() - 2500.0).abs() < 60.0);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn exponential_rejects_bad_params() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::with_mean(0.0).is_err());
+        assert!(Exponential::with_mean(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lognormal_positive_and_median() {
+        let mut rng = seeded(13);
+        let d = LogNormal::with_median(10.0, 0.5).unwrap();
+        let mut xs = d.sample_vec(&mut rng, 100_001);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 10.0).abs() < 0.2, "median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_support_and_skew() {
+        let mut rng = seeded(14);
+        let d = BoundedPareto::new(10.0, 1000.0, 1.2).unwrap();
+        let xs = d.sample_vec(&mut rng, 50_000);
+        assert!(xs.iter().all(|&x| (10.0..=1000.0).contains(&x)));
+        // Power law with small alpha: mean well above the median.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean(&xs).unwrap() > 1.3 * median);
+    }
+
+    #[test]
+    fn bounded_pareto_rejects_bad_params() {
+        assert!(BoundedPareto::new(0.0, 10.0, 1.0).is_err());
+        assert!(BoundedPareto::new(10.0, 10.0, 1.0).is_err());
+        assert!(BoundedPareto::new(10.0, 5.0, 1.0).is_err());
+        assert!(BoundedPareto::new(1.0, 10.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = seeded(15);
+        for &p in &[0.0, 0.25, 0.5, 0.9, 1.0] {
+            let hits = (0..100_000).filter(|_| bernoulli(&mut rng, p)).count();
+            let freq = hits as f64 / 100_000.0;
+            assert!(
+                (freq - p).abs() < 0.01,
+                "p={p} freq={freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn bernoulli_clamps_out_of_range() {
+        let mut rng = seeded(16);
+        assert!(!bernoulli(&mut rng, -0.5));
+        assert!(bernoulli(&mut rng, 1.5));
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = seeded(17);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[categorical(&mut rng, &w).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn categorical_rejects_bad_weights() {
+        let mut rng = seeded(18);
+        assert_eq!(categorical(&mut rng, &[]), Err(NumError::EmptyInput));
+        assert!(categorical(&mut rng, &[0.0, 0.0]).is_err());
+        assert!(categorical(&mut rng, &[-1.0, 2.0]).is_err());
+        assert!(categorical(&mut rng, &[f64::NAN]).is_err());
+    }
+}

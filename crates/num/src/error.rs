@@ -1,0 +1,97 @@
+//! Error type shared by the numeric routines.
+
+use std::fmt;
+
+/// Error returned by numeric routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// A distribution or solver was constructed with an invalid parameter.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A bracketing root finder was given an interval that does not bracket
+    /// a sign change.
+    NoBracket {
+        /// Lower end of the interval.
+        lo: f64,
+        /// Upper end of the interval.
+        hi: f64,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the method that failed.
+        method: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A dimension mismatch between linear-algebra operands.
+    DimensionMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the shape that was found.
+        found: String,
+    },
+    /// The input slice was empty where at least one element is required.
+    EmptyInput,
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NumError::NoBracket { lo, hi } => {
+                write!(f, "interval [{lo}, {hi}] does not bracket a root")
+            }
+            NumError::NoConvergence { method, iterations } => {
+                write!(f, "{method} did not converge after {iterations} iterations")
+            }
+            NumError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            NumError::EmptyInput => write!(f, "input must contain at least one element"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NumError::InvalidParameter {
+                name: "sigma",
+                reason: "must be positive".into(),
+            },
+            NumError::NoBracket { lo: 0.0, hi: 1.0 },
+            NumError::NoConvergence {
+                method: "newton",
+                iterations: 100,
+            },
+            NumError::DimensionMismatch {
+                expected: "3x2".into(),
+                found: "2x3".into(),
+            },
+            NumError::EmptyInput,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumError>();
+    }
+}

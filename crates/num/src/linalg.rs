@@ -1,0 +1,319 @@
+//! Dense vector and matrix operations.
+//!
+//! The multinomial logistic-regression substrate needs only a small set of
+//! BLAS-1/2 operations on `f64` data: dot products, axpy updates, scaling,
+//! norms, and row-major matrix–vector products. They are implemented here so
+//! the workspace carries no external linear-algebra dependency.
+
+use crate::error::NumError;
+use serde::{Deserialize, Serialize};
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length wins (standard `zip` semantics), so callers should treat a
+/// mismatch as a bug.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// `y += alpha * x` (axpy).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm2_squared(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn dist2_squared(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dist2_squared: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// `out = a - b` elementwise.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    debug_assert_eq!(a.len(), out.len(), "sub: output length mismatch");
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Row-major dense matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use fedfl_num::linalg::Matrix;
+///
+/// let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// # Ok::<(), fedfl_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, NumError> {
+        if data.len() != rows * cols {
+            return Err(NumError::DimensionMismatch {
+                expected: format!("{rows}x{cols} = {} elements", rows * cols),
+                found: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Create a matrix from a list of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if rows have unequal lengths
+    /// and [`NumError::EmptyInput`] if there are no rows.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, NumError> {
+        let n_rows = rows.len();
+        if n_rows == 0 {
+            return Err(NumError::EmptyInput);
+        }
+        let n_cols = rows[0].len();
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for (i, row) in rows.into_iter().enumerate() {
+            if row.len() != n_cols {
+                return Err(NumError::DimensionMismatch {
+                    expected: format!("row of length {n_cols}"),
+                    found: format!("row {i} of length {}", row.len()),
+                });
+            }
+            data.extend(row);
+        }
+        Ok(Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds {}", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds {}", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Set element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `y.len() != rows`.
+    pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(y.len(), self.rows, "matvec_t: length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            axpy(y[i], self.row(i), &mut out);
+        }
+        out
+    }
+
+    /// Rank-1 update `self += alpha * u * vᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on dimension mismatch.
+    pub fn rank1_update(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        debug_assert_eq!(u.len(), self.rows, "rank1_update: u length mismatch");
+        debug_assert_eq!(v.len(), self.cols, "rank1_update: v length mismatch");
+        for i in 0..self.rows {
+            let coef = alpha * u[i];
+            axpy(coef, v, &mut self.data[i * self.cols..(i + 1) * self.cols]);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        norm2(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, -5.0, 6.0];
+        assert_eq!(dot(&a, &b), 12.0);
+        assert_eq!(norm2_squared(&a), 14.0);
+        assert!((norm2(&a) - 14.0_f64.sqrt()).abs() < 1e-15);
+        assert_eq!(dist2_squared(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn axpy_scale_sub() {
+        let x = [1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![6.0, 12.0]);
+        let mut out = vec![0.0; 2];
+        sub(&y, &x, &mut out);
+        assert_eq!(out, vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn matrix_constructors() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert!(m.data().iter().all(|&x| x == 0.0));
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_rows(vec![]).is_err());
+        assert!(Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn matvec_roundtrip() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn rank1_update_matches_manual() {
+        let mut m = Matrix::zeros(2, 2);
+        m.rank1_update(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(m.get(0, 0), 8.0);
+        assert_eq!(m.get(0, 1), 10.0);
+        assert_eq!(m.get(1, 0), 24.0);
+        assert_eq!(m.get(1, 1), 30.0);
+    }
+
+    #[test]
+    fn accessors_and_frobenius() {
+        let mut m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]).unwrap();
+        assert_eq!(m.frobenius_norm(), 5.0);
+        m.set(0, 1, 1.0);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.row(1), &[0.0, 4.0]);
+        m.row_mut(1)[0] = 9.0;
+        assert_eq!(m.get(1, 0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Matrix::zeros(1, 1).get(1, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! One-dimensional minimisation: golden-section and fixed-step grid search.
+//!
+//! The paper solves the server's non-convex Stage-I problem P1'' by fixing
+//! the auxiliary variable `M = Σ c_n q_n²`, solving the then-convex inner
+//! problem, and running "a linear search method with a fixed step-size ε₀"
+//! over `M`. [`grid_search_min`] is that linear search; [`golden_section_min`]
+//! is the refinement we use to polish the best grid cell.
+
+use crate::error::NumError;
+
+/// Result of a one-dimensional search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// Argument at which the minimum was found.
+    pub argmin: f64,
+    /// Objective value at [`SearchResult::argmin`].
+    pub min_value: f64,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Minimise `f` over `[lo, hi]` by evaluating on a fixed-step grid with step
+/// `step` (the paper's ε₀), returning the best grid point.
+///
+/// Points where `f` returns NaN are skipped, which lets callers encode
+/// infeasibility as NaN.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidParameter`] if the interval or step is invalid,
+/// and [`NumError::NoConvergence`] if every evaluation was NaN.
+pub fn grid_search_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    step: f64,
+) -> Result<SearchResult, NumError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(NumError::InvalidParameter {
+            name: "interval",
+            reason: format!("need finite lo <= hi, got [{lo}, {hi}]"),
+        });
+    }
+    if !step.is_finite() || step <= 0.0 {
+        return Err(NumError::InvalidParameter {
+            name: "step",
+            reason: format!("must be finite and positive, got {step}"),
+        });
+    }
+    let mut best: Option<(f64, f64)> = None;
+    let mut x = lo;
+    let mut evaluations = 0;
+    loop {
+        let fx = f(x);
+        evaluations += 1;
+        if fx.is_finite() {
+            best = match best {
+                Some((bx, bv)) if bv <= fx => Some((bx, bv)),
+                _ => Some((x, fx)),
+            };
+        }
+        if x >= hi {
+            break;
+        }
+        x = (x + step).min(hi);
+    }
+    match best {
+        Some((argmin, min_value)) => Ok(SearchResult {
+            argmin,
+            min_value,
+            evaluations,
+        }),
+        None => Err(NumError::NoConvergence {
+            method: "grid_search_min",
+            iterations: evaluations,
+        }),
+    }
+}
+
+/// Minimise a unimodal `f` over `[lo, hi]` by golden-section search.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidParameter`] if the interval is invalid.
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<SearchResult, NumError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(NumError::InvalidParameter {
+            name: "interval",
+            reason: format!("need finite lo <= hi, got [{lo}, {hi}]"),
+        });
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    let mut evaluations = 2;
+    while (b - a) > tol && evaluations < 500 {
+        if fc <= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+        evaluations += 1;
+    }
+    let (argmin, min_value) = if fc <= fd { (c, fc) } else { (d, fd) };
+    Ok(SearchResult {
+        argmin,
+        min_value,
+        evaluations,
+    })
+}
+
+/// Two-phase minimisation: coarse grid pass followed by golden-section
+/// refinement around the best grid cell. This is the solver the server uses
+/// for the outer `M`-search of Problem P1''.
+///
+/// # Errors
+///
+/// Propagates errors from [`grid_search_min`] and [`golden_section_min`].
+pub fn refine_search_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    step: f64,
+    tol: f64,
+) -> Result<SearchResult, NumError> {
+    let coarse = grid_search_min(&mut f, lo, hi, step)?;
+    let a = (coarse.argmin - step).max(lo);
+    let b = (coarse.argmin + step).min(hi);
+    let fine = golden_section_min(&mut f, a, b, tol)?;
+    let total_evals = coarse.evaluations + fine.evaluations;
+    // A NaN-plateau around the grid minimum can make the local refinement
+    // worse than the grid point; keep the better of the two.
+    if fine.min_value.is_finite() && fine.min_value <= coarse.min_value {
+        Ok(SearchResult {
+            evaluations: total_evals,
+            ..fine
+        })
+    } else {
+        Ok(SearchResult {
+            evaluations: total_evals,
+            ..coarse
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_finds_parabola_minimum() {
+        let r = grid_search_min(|x| (x - 3.0) * (x - 3.0), 0.0, 10.0, 0.1).unwrap();
+        assert!((r.argmin - 3.0).abs() < 0.051, "argmin {}", r.argmin);
+    }
+
+    #[test]
+    fn grid_skips_nan_regions() {
+        let r = grid_search_min(
+            |x| if x < 2.0 { f64::NAN } else { (x - 5.0).powi(2) },
+            0.0,
+            10.0,
+            0.5,
+        )
+        .unwrap();
+        assert!((r.argmin - 5.0).abs() < 0.26);
+    }
+
+    #[test]
+    fn grid_all_nan_is_error() {
+        assert!(matches!(
+            grid_search_min(|_| f64::NAN, 0.0, 1.0, 0.1),
+            Err(NumError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_single_point_interval() {
+        let r = grid_search_min(|x| x * x, 2.0, 2.0, 0.5).unwrap();
+        assert_eq!(r.argmin, 2.0);
+        assert_eq!(r.min_value, 4.0);
+    }
+
+    #[test]
+    fn grid_rejects_bad_inputs() {
+        assert!(grid_search_min(|x| x, 1.0, 0.0, 0.1).is_err());
+        assert!(grid_search_min(|x| x, 0.0, 1.0, 0.0).is_err());
+        assert!(grid_search_min(|x| x, 0.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn golden_section_high_precision() {
+        let r = golden_section_min(|x| (x - std::f64::consts::E).powi(2), 0.0, 10.0, 1e-9).unwrap();
+        assert!((r.argmin - std::f64::consts::E).abs() < 1e-7);
+    }
+
+    #[test]
+    fn golden_section_picks_boundary_minimum() {
+        let r = golden_section_min(|x| x, 2.0, 5.0, 1e-9).unwrap();
+        assert!((r.argmin - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refine_beats_coarse_grid() {
+        let f = |x: f64| (x - 3.123_456).powi(2);
+        let coarse = grid_search_min(f, 0.0, 10.0, 0.5).unwrap();
+        let refined = refine_search_min(f, 0.0, 10.0, 0.5, 1e-10).unwrap();
+        assert!(refined.min_value <= coarse.min_value);
+        assert!((refined.argmin - 3.123_456).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,535 @@
+//! Convex solvers: projected gradient descent on a box, quadratic-penalty
+//! treatment of coupling constraints, and monotone bisection.
+//!
+//! The paper solves the inner problem of P1'' "via a convex optimization
+//! tool, e.g., CVX". We replace CVX with a projected-gradient method plus a
+//! quadratic-penalty continuation for the two coupling constraints (the
+//! budget inequality and the `Σ c_n q_n² = M` equality); the outer
+//! budget-tightening searches (Lemma 3) use [`bisect_monotone`].
+
+use crate::error::NumError;
+
+/// Box constraints `lo[i] <= x[i] <= hi[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxConstraints {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoxConstraints {
+    /// Create box constraints from per-coordinate bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if the vectors differ in
+    /// length and [`NumError::InvalidParameter`] if any `lo[i] > hi[i]` or a
+    /// bound is NaN.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Result<Self, NumError> {
+        if lo.len() != hi.len() {
+            return Err(NumError::DimensionMismatch {
+                expected: format!("hi of length {}", lo.len()),
+                found: format!("length {}", hi.len()),
+            });
+        }
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            if l.is_nan() || h.is_nan() || l > h {
+                return Err(NumError::InvalidParameter {
+                    name: "bounds",
+                    reason: format!("need lo <= hi at index {i}, got [{l}, {h}]"),
+                });
+            }
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Uniform box `[lo, hi]^dim`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BoxConstraints::new`].
+    pub fn uniform(dim: usize, lo: f64, hi: f64) -> Result<Self, NumError> {
+        Self::new(vec![lo; dim], vec![hi; dim])
+    }
+
+    /// Dimension of the box.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Project `x` onto the box in place.
+    pub fn project(&self, x: &mut [f64]) {
+        for ((xi, &l), &h) in x.iter_mut().zip(&self.lo).zip(&self.hi) {
+            *xi = xi.clamp(l, h);
+        }
+    }
+
+    /// Whether `x` lies in the box up to tolerance `tol`.
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .zip(&self.lo)
+                .zip(&self.hi)
+                .all(|((&xi, &l), &h)| xi >= l - tol && xi <= h + tol)
+    }
+
+    /// Midpoint of the box, a canonical feasible starting iterate.
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| 0.5 * (l + h))
+            .collect()
+    }
+}
+
+/// Configuration for [`projected_gradient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgdConfig {
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// Initial step size tried by the backtracking line search.
+    pub initial_step: f64,
+    /// Multiplicative backtracking factor in `(0, 1)`.
+    pub backtrack: f64,
+    /// Convergence tolerance on the projected-gradient step norm.
+    pub tol: f64,
+}
+
+impl Default for PgdConfig {
+    fn default() -> Self {
+        Self {
+            max_iter: 2_000,
+            initial_step: 1.0,
+            backtrack: 0.5,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Outcome of a projected-gradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgdResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Objective value at the final iterate.
+    pub value: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the step-norm tolerance was reached.
+    pub converged: bool,
+}
+
+/// Minimise a smooth objective over a box by projected gradient descent with
+/// Armijo backtracking.
+///
+/// `fg` evaluates the objective and writes the gradient into its second
+/// argument. Convergence to the global minimum is guaranteed for convex
+/// objectives; for non-convex ones a stationary point is returned.
+///
+/// # Errors
+///
+/// Returns [`NumError::DimensionMismatch`] when `x0` does not match the box
+/// dimension and [`NumError::InvalidParameter`] for invalid configuration.
+pub fn projected_gradient<F>(
+    mut fg: F,
+    x0: &[f64],
+    bounds: &BoxConstraints,
+    config: &PgdConfig,
+) -> Result<PgdResult, NumError>
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    if x0.len() != bounds.dim() {
+        return Err(NumError::DimensionMismatch {
+            expected: format!("x0 of length {}", bounds.dim()),
+            found: format!("length {}", x0.len()),
+        });
+    }
+    if !(config.backtrack > 0.0 && config.backtrack < 1.0) {
+        return Err(NumError::InvalidParameter {
+            name: "backtrack",
+            reason: format!("must lie in (0, 1), got {}", config.backtrack),
+        });
+    }
+    if !(config.initial_step > 0.0 && config.initial_step.is_finite()) {
+        return Err(NumError::InvalidParameter {
+            name: "initial_step",
+            reason: format!("must be finite and positive, got {}", config.initial_step),
+        });
+    }
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    bounds.project(&mut x);
+    let mut grad = vec![0.0; n];
+    let mut value = fg(&x, &mut grad);
+    let mut step = config.initial_step;
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < config.max_iter {
+        iterations += 1;
+        // Backtracking: find a step giving sufficient decrease.
+        let mut accepted = false;
+        let mut candidate = vec![0.0; n];
+        let mut trial_step = step;
+        for _ in 0..60 {
+            for i in 0..n {
+                candidate[i] = x[i] - trial_step * grad[i];
+            }
+            bounds.project(&mut candidate);
+            let mut cand_grad = vec![0.0; n];
+            let cand_value = fg(&candidate, &mut cand_grad);
+            // Armijo condition w.r.t. the projected step.
+            let mut decrease = 0.0;
+            for i in 0..n {
+                let d = candidate[i] - x[i];
+                decrease += grad[i] * d + 0.5 / trial_step.max(1e-300) * d * d;
+            }
+            if cand_value.is_finite() && cand_value <= value + 1e-4 * decrease.min(0.0) {
+                let step_norm: f64 = candidate
+                    .iter()
+                    .zip(&x)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                x.copy_from_slice(&candidate);
+                grad = cand_grad;
+                value = cand_value;
+                // Allow the step to grow back.
+                step = (trial_step / config.backtrack).min(config.initial_step * 1e6);
+                accepted = true;
+                if step_norm < config.tol {
+                    converged = true;
+                }
+                break;
+            }
+            trial_step *= config.backtrack;
+        }
+        if !accepted || converged {
+            converged = converged || !accepted;
+            break;
+        }
+    }
+    Ok(PgdResult {
+        x,
+        value,
+        iterations,
+        converged,
+    })
+}
+
+/// A coupling constraint handled by quadratic penalty in
+/// [`penalty_minimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// `g(x) = 0`.
+    Equality,
+    /// `g(x) <= 0`.
+    Inequality,
+}
+
+/// Minimise `f` over a box subject to scalar coupling constraints, by
+/// quadratic-penalty continuation around [`projected_gradient`].
+///
+/// Each constraint is a closure returning `(g(x), ∇g(x))`; the penalty
+/// weight is escalated geometrically until the worst violation falls below
+/// `feas_tol`.
+///
+/// # Errors
+///
+/// Propagates [`projected_gradient`] errors; returns
+/// [`NumError::NoConvergence`] if feasibility is not reached.
+#[allow(clippy::type_complexity)]
+pub fn penalty_minimize<F>(
+    mut fg: F,
+    constraints: &mut [(ConstraintKind, Box<dyn FnMut(&[f64], &mut [f64]) -> f64 + '_>)],
+    x0: &[f64],
+    bounds: &BoxConstraints,
+    config: &PgdConfig,
+    feas_tol: f64,
+) -> Result<PgdResult, NumError>
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let n = bounds.dim();
+    let mut x = x0.to_vec();
+    let mut rho = 10.0;
+    let mut last = None;
+    for _round in 0..18 {
+        let mut cons_grad = vec![0.0; n];
+        let result = {
+            let constraints = &mut *constraints;
+            let fg = &mut fg;
+            projected_gradient(
+                |y: &[f64], grad: &mut [f64]| {
+                    let mut value = fg(y, grad);
+                    for (kind, c) in constraints.iter_mut() {
+                        cons_grad.iter_mut().for_each(|g| *g = 0.0);
+                        let g = c(y, &mut cons_grad);
+                        let active = match kind {
+                            ConstraintKind::Equality => true,
+                            ConstraintKind::Inequality => g > 0.0,
+                        };
+                        if active {
+                            value += 0.5 * rho * g * g;
+                            for i in 0..n {
+                                grad[i] += rho * g * cons_grad[i];
+                            }
+                        }
+                    }
+                    value
+                },
+                &x,
+                bounds,
+                config,
+            )?
+        };
+        x.copy_from_slice(&result.x);
+        // Measure raw violation.
+        let mut worst: f64 = 0.0;
+        let mut scratch = vec![0.0; n];
+        for (kind, c) in constraints.iter_mut() {
+            let g = c(&x, &mut scratch);
+            let v = match kind {
+                ConstraintKind::Equality => g.abs(),
+                ConstraintKind::Inequality => g.max(0.0),
+            };
+            worst = worst.max(v);
+        }
+        last = Some(result);
+        if worst <= feas_tol {
+            return Ok(last.unwrap());
+        }
+        rho *= 4.0;
+    }
+    match last {
+        Some(r) => Ok(r), // Best effort: caller can check feasibility.
+        None => Err(NumError::NoConvergence {
+            method: "penalty_minimize",
+            iterations: 0,
+        }),
+    }
+}
+
+/// Find `x` in `[lo, hi]` with `f(x) = target` for a nondecreasing `f`,
+/// clamping at the endpoints.
+///
+/// Returns `lo` if `f(lo) >= target` and `hi` if `f(hi) <= target`, which is
+/// the behaviour the budget-tightening searches want: if even the cheapest
+/// admissible choice overshoots the budget the search saturates at the
+/// boundary instead of failing.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidParameter`] for an invalid interval.
+pub fn bisect_monotone<F: FnMut(f64) -> f64>(
+    mut f: F,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<f64, NumError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(NumError::InvalidParameter {
+            name: "interval",
+            reason: format!("need finite lo <= hi, got [{lo}, {hi}]"),
+        });
+    }
+    let flo = f(lo);
+    if flo >= target {
+        return Ok(lo);
+    }
+    let fhi = f(hi);
+    if fhi <= target {
+        return Ok(hi);
+    }
+    let mut a = lo;
+    let mut b = hi;
+    for _ in 0..200 {
+        let mid = 0.5 * (a + b);
+        if (b - a) < tol {
+            return Ok(mid);
+        }
+        if f(mid) < target {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_projection_clamps() {
+        let b = BoxConstraints::uniform(3, 0.0, 1.0).unwrap();
+        let mut x = vec![-1.0, 0.5, 2.0];
+        b.project(&mut x);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+        assert!(b.contains(&x, 0.0));
+    }
+
+    #[test]
+    fn box_rejects_inverted_bounds() {
+        assert!(BoxConstraints::new(vec![1.0], vec![0.0]).is_err());
+        assert!(BoxConstraints::new(vec![0.0, 0.0], vec![1.0]).is_err());
+        assert!(BoxConstraints::new(vec![f64::NAN], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn pgd_solves_quadratic() {
+        // min ||x - t||^2 over [0,1]^3 with t = (0.3, -2, 5) -> (0.3, 0, 1).
+        let t = [0.3, -2.0, 5.0];
+        let b = BoxConstraints::uniform(3, 0.0, 1.0).unwrap();
+        let r = projected_gradient(
+            |x, g| {
+                let mut v = 0.0;
+                for i in 0..3 {
+                    let d = x[i] - t[i];
+                    g[i] = 2.0 * d;
+                    v += d * d;
+                }
+                v
+            },
+            &[0.5, 0.5, 0.5],
+            &b,
+            &PgdConfig::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 0.3).abs() < 1e-6);
+        assert!(r.x[1].abs() < 1e-6);
+        assert!((r.x[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pgd_handles_ill_conditioned_quadratic() {
+        // min x'Dx with D = diag(1, 1000) from a far start.
+        let b = BoxConstraints::uniform(2, -10.0, 10.0).unwrap();
+        let r = projected_gradient(
+            |x, g| {
+                g[0] = 2.0 * x[0];
+                g[1] = 2000.0 * x[1];
+                x[0] * x[0] + 1000.0 * x[1] * x[1]
+            },
+            &[9.0, 9.0],
+            &b,
+            &PgdConfig {
+                max_iter: 20_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.value < 1e-8, "value {}", r.value);
+    }
+
+    #[test]
+    fn pgd_dimension_mismatch() {
+        let b = BoxConstraints::uniform(2, 0.0, 1.0).unwrap();
+        assert!(projected_gradient(|_, _| 0.0, &[0.0], &b, &PgdConfig::default()).is_err());
+    }
+
+    #[test]
+    fn pgd_rejects_bad_config() {
+        let b = BoxConstraints::uniform(1, 0.0, 1.0).unwrap();
+        let bad = PgdConfig {
+            backtrack: 1.5,
+            ..Default::default()
+        };
+        assert!(projected_gradient(|_, _| 0.0, &[0.5], &b, &bad).is_err());
+    }
+
+    #[test]
+    fn penalty_enforces_equality() {
+        // min sum((x-2)^2) s.t. sum(x) = 1, x in [0, 5]^2 -> x = (0.5, 0.5).
+        let b = BoxConstraints::uniform(2, 0.0, 5.0).unwrap();
+        let mut constraints: Vec<(
+            ConstraintKind,
+            Box<dyn FnMut(&[f64], &mut [f64]) -> f64>,
+        )> = vec![(
+            ConstraintKind::Equality,
+            Box::new(|x: &[f64], g: &mut [f64]| {
+                g[0] = 1.0;
+                g[1] = 1.0;
+                x[0] + x[1] - 1.0
+            }),
+        )];
+        let r = penalty_minimize(
+            |x, g| {
+                let mut v = 0.0;
+                for i in 0..2 {
+                    let d = x[i] - 2.0;
+                    g[i] = 2.0 * d;
+                    v += d * d;
+                }
+                v
+            },
+            &mut constraints,
+            &[2.0, 2.0],
+            &b,
+            &PgdConfig::default(),
+            1e-6,
+        )
+        .unwrap();
+        assert!((r.x[0] - 0.5).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 0.5).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn penalty_inactive_inequality_is_free() {
+        // Constraint x0 <= 10 never binds.
+        let b = BoxConstraints::uniform(1, -5.0, 5.0).unwrap();
+        let mut constraints: Vec<(
+            ConstraintKind,
+            Box<dyn FnMut(&[f64], &mut [f64]) -> f64>,
+        )> = vec![(
+            ConstraintKind::Inequality,
+            Box::new(|x: &[f64], g: &mut [f64]| {
+                g[0] = 1.0;
+                x[0] - 10.0
+            }),
+        )];
+        let r = penalty_minimize(
+            |x, g| {
+                g[0] = 2.0 * (x[0] - 1.0);
+                (x[0] - 1.0) * (x[0] - 1.0)
+            },
+            &mut constraints,
+            &[0.0],
+            &b,
+            &PgdConfig::default(),
+            1e-8,
+        )
+        .unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bisect_monotone_hits_target() {
+        let x = bisect_monotone(|x| x * x * x, 8.0, 0.0, 10.0, 1e-12).unwrap();
+        assert!((x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_monotone_clamps_at_boundaries() {
+        assert_eq!(bisect_monotone(|x| x, -5.0, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(bisect_monotone(|x| x, 5.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_monotone_rejects_bad_interval() {
+        assert!(bisect_monotone(|x| x, 0.5, 1.0, 0.0, 1e-12).is_err());
+    }
+}

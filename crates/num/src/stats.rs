@@ -1,0 +1,287 @@
+//! Descriptive statistics for the experiment harness.
+//!
+//! Experiments in the paper are averaged over 20 independent runs and report
+//! means and variability; the bound-fidelity ablation additionally needs
+//! rank correlation between the bound-predicted objective and the simulated
+//! loss.
+
+use crate::error::NumError;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyInput`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64, NumError> {
+    if xs.is_empty() {
+        return Err(NumError::EmptyInput);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`).
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyInput`] for an empty slice.
+pub fn variance(xs: &[f64]) -> Result<f64, NumError> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (divides by `n − 1`; 0 for a single sample).
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyInput`] for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Result<f64, NumError> {
+    if xs.is_empty() {
+        return Err(NumError::EmptyInput);
+    }
+    if xs.len() == 1 {
+        return Ok(0.0);
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    Ok((ss / (xs.len() - 1) as f64).sqrt())
+}
+
+/// Linear-interpolation quantile for `p` in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyInput`] for an empty slice and
+/// [`NumError::InvalidParameter`] for `p` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> Result<f64, NumError> {
+    if xs.is_empty() {
+        return Err(NumError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(NumError::InvalidParameter {
+            name: "p",
+            reason: format!("must lie in [0, 1], got {p}"),
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile).
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyInput`] for an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64, NumError> {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient of paired samples.
+///
+/// # Errors
+///
+/// Returns [`NumError::DimensionMismatch`] for unequal lengths,
+/// [`NumError::EmptyInput`] for empty input, and
+/// [`NumError::InvalidParameter`] if either series is constant (undefined
+/// correlation).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, NumError> {
+    if xs.len() != ys.len() {
+        return Err(NumError::DimensionMismatch {
+            expected: format!("ys of length {}", xs.len()),
+            found: format!("length {}", ys.len()),
+        });
+    }
+    if xs.is_empty() {
+        return Err(NumError::EmptyInput);
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(NumError::InvalidParameter {
+            name: "series",
+            reason: "correlation undefined for a constant series".into(),
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation of paired samples (ties get average ranks).
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, NumError> {
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Average ranks of a sample (1-based; ties share the mean rank).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Mean together with a normal-approximation 95% confidence half-width
+/// (`1.96 · s/√n`).
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyInput`] for an empty slice.
+pub fn mean_ci95(xs: &[f64]) -> Result<(f64, f64), NumError> {
+    let m = mean(xs)?;
+    let s = std_dev(xs)?;
+    Ok((m, 1.96 * s / (xs.len() as f64).sqrt()))
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::EmptyInput`] for an empty slice.
+    pub fn of(xs: &[f64]) -> Result<Self, NumError> {
+        if xs.is_empty() {
+            return Err(NumError::EmptyInput);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Ok(Self {
+            n: xs.len(),
+            mean: mean(xs)?,
+            std_dev: std_dev(xs)?,
+            min,
+            median: median(xs)?,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert_eq!(variance(&xs).unwrap(), 4.0);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert_eq!(mean(&[]), Err(NumError::EmptyInput));
+        assert_eq!(variance(&[]), Err(NumError::EmptyInput));
+        assert_eq!(std_dev(&[]), Err(NumError::EmptyInput));
+        assert_eq!(median(&[]), Err(NumError::EmptyInput));
+        assert!(Summary::of(&[]).is_err());
+    }
+
+    #[test]
+    fn single_sample() {
+        assert_eq!(std_dev(&[3.0]).unwrap(), 0.0);
+        assert_eq!(median(&[3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let zs: Vec<f64> = xs.iter().map(|&x| -x).collect();
+        assert!((pearson(&xs, &zs).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).is_err());
+        assert!(pearson(&xs, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but nonlinear relation has Spearman 1.
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (_, wa) = mean_ci95(&a).unwrap();
+        let (_, wb) = mean_ci95(&b).unwrap();
+        assert!(wb < wa);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Model aggregation rules.
+//!
+//! The centrepiece is the paper's Lemma 1: for independent participation
+//! levels `q`, aggregating
+//!
+//! ```text
+//! w^{r+1} = w^r + Σ_{n ∈ S(q)_r} (a_n / q_n) (w_n^{r+1} − w^r)
+//! ```
+//!
+//! gives `E[w^{r+1}] = Σ_n a_n w_n^{r+1}`, the full-participation aggregate
+//! — the model is *unbiased*. Two biased baselines from the paper's
+//! discussion are implemented for ablation: plain weighted averaging over
+//! the participants (what deterministic-subset mechanisms do) and the
+//! "naive inverse" reweighting the remark after Lemma 1 shows is *not*
+//! unbiased for independent participation.
+
+use crate::participation::ParticipationLevels;
+use fedfl_model::ModelParams;
+use serde::{Deserialize, Serialize};
+
+/// Which aggregation rule the server applies each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationRule {
+    /// Lemma 1: inverse-probability reweighted *update* aggregation —
+    /// unbiased for any independent `q`.
+    UnbiasedInverseProbability,
+    /// Plain data-weighted average over the realised participant set
+    /// (biased towards frequently-participating clients).
+    ParticipantWeightedAverage,
+    /// The incorrect inverse weighting of whole models discussed in the
+    /// remark after Lemma 1: `Σ_{i∈S} a_i/(|S| q_i) · w_i^{r+1}` — biased
+    /// unless sampling is uniform.
+    NaiveInverseWeighting,
+}
+
+impl AggregationRule {
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregationRule::UnbiasedInverseProbability => "unbiased (Lemma 1)",
+            AggregationRule::ParticipantWeightedAverage => "participant weighted average",
+            AggregationRule::NaiveInverseWeighting => "naive inverse weighting",
+        }
+    }
+
+    /// Combine the participants' local results into the next global model.
+    ///
+    /// `updates` holds `(client index, locally-trained parameters)` for the
+    /// realised participant set; `weights` are the data weights `a_n` over
+    /// *all* clients; `q` are the participation levels. When no client
+    /// participated the global model is returned unchanged (the round is
+    /// skipped), matching the behaviour of a synchronous server that
+    /// receives nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an update's client index is out of range or parameter
+    /// shapes disagree.
+    pub fn aggregate(
+        &self,
+        global: &ModelParams,
+        updates: &[(usize, ModelParams)],
+        weights: &[f64],
+        q: &ParticipationLevels,
+    ) -> ModelParams {
+        assert_eq!(weights.len(), q.len(), "weights/levels length mismatch");
+        if updates.is_empty() {
+            return global.clone();
+        }
+        for (n, params) in updates {
+            assert!(*n < weights.len(), "client index {n} out of range");
+            assert!(
+                params.same_shape(global),
+                "client {n} returned mismatched parameter shape"
+            );
+        }
+        match self {
+            AggregationRule::UnbiasedInverseProbability => {
+                let mut next = global.clone();
+                for (n, params) in updates {
+                    let delta = params.delta(global);
+                    next.add_scaled(weights[*n] / q.level(*n), &delta);
+                }
+                next
+            }
+            AggregationRule::ParticipantWeightedAverage => {
+                let total: f64 = updates.iter().map(|(n, _)| weights[*n]).sum();
+                if total <= 0.0 {
+                    return global.clone();
+                }
+                let items: Vec<(f64, &ModelParams)> = updates
+                    .iter()
+                    .map(|(n, p)| (weights[*n] / total, p))
+                    .collect();
+                ModelParams::weighted_sum(&items)
+            }
+            AggregationRule::NaiveInverseWeighting => {
+                let k = updates.len() as f64;
+                let items: Vec<(f64, &ModelParams)> = updates
+                    .iter()
+                    .map(|(n, p)| (weights[*n] / (k * q.level(*n)), p))
+                    .collect();
+                ModelParams::weighted_sum(&items)
+            }
+        }
+    }
+}
+
+/// The full-participation aggregate `Σ_n a_n w_n^{r+1}` that Lemma 1's
+/// expectation recovers — used as ground truth in unbiasedness tests and by
+/// the full-participation reference runs.
+///
+/// # Panics
+///
+/// Panics if shapes or lengths disagree.
+pub fn full_participation_aggregate(
+    updates: &[ModelParams],
+    weights: &[f64],
+) -> ModelParams {
+    assert_eq!(updates.len(), weights.len(), "length mismatch");
+    let items: Vec<(f64, &ModelParams)> =
+        weights.iter().cloned().zip(updates.iter()).collect();
+    ModelParams::weighted_sum(&items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_num::rng::seeded;
+
+    /// Build a tiny scenario: scalar-ish params (dim 1, 2 classes = 4 numbers).
+    fn make_params(values: &[f64]) -> ModelParams {
+        let mut p = ModelParams::zeros(1, 2);
+        p.as_mut_slice().copy_from_slice(values);
+        p
+    }
+
+    fn scenario() -> (ModelParams, Vec<ModelParams>, Vec<f64>) {
+        let global = make_params(&[1.0, 1.0, 1.0, 1.0]);
+        let locals = vec![
+            make_params(&[2.0, 0.0, 1.0, 1.0]),
+            make_params(&[0.0, 3.0, 1.0, 1.0]),
+            make_params(&[1.0, 1.0, 5.0, 1.0]),
+        ];
+        let weights = vec![0.5, 0.3, 0.2];
+        (global, locals, weights)
+    }
+
+    #[test]
+    fn full_participation_recovers_weighted_average() {
+        let (_, locals, weights) = scenario();
+        let agg = full_participation_aggregate(&locals, &weights);
+        assert!((agg.as_slice()[0] - (0.5 * 2.0 + 0.3 * 0.0 + 0.2 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbiased_rule_with_q1_equals_full_participation() {
+        let (global, locals, weights) = scenario();
+        let q = ParticipationLevels::full(3);
+        let updates: Vec<(usize, ModelParams)> =
+            locals.iter().cloned().enumerate().collect();
+        let agg = AggregationRule::UnbiasedInverseProbability
+            .aggregate(&global, &updates, &weights, &q);
+        let reference = full_participation_aggregate(&locals, &weights);
+        for (a, b) in agg.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unbiased_rule_is_unbiased_in_expectation() {
+        // Monte-Carlo check of Lemma 1 over the participation randomness.
+        let (global, locals, weights) = scenario();
+        let q = ParticipationLevels::new(vec![0.3, 0.6, 0.9]).unwrap();
+        let reference = full_participation_aggregate(&locals, &weights);
+        let mut rng = seeded(17);
+        let trials = 200_000;
+        let mut mean = ModelParams::zeros(1, 2);
+        for _ in 0..trials {
+            let participants = q.sample_participants(&mut rng);
+            let updates: Vec<(usize, ModelParams)> = participants
+                .iter()
+                .map(|&n| (n, locals[n].clone()))
+                .collect();
+            let agg = AggregationRule::UnbiasedInverseProbability
+                .aggregate(&global, &updates, &weights, &q);
+            mean.add_scaled(1.0 / trials as f64, &agg);
+        }
+        for (m, r) in mean.as_slice().iter().zip(reference.as_slice()) {
+            assert!((m - r).abs() < 0.02, "mean {m} vs reference {r}");
+        }
+    }
+
+    #[test]
+    fn naive_inverse_is_biased_under_nonuniform_q() {
+        // The remark after Lemma 1: inverse weighting of whole models is NOT
+        // unbiased when the q_n differ.
+        let (global, locals, weights) = scenario();
+        let q = ParticipationLevels::new(vec![0.2, 0.9, 0.5]).unwrap();
+        let reference = full_participation_aggregate(&locals, &weights);
+        let mut rng = seeded(23);
+        let trials = 100_000;
+        let mut mean = ModelParams::zeros(1, 2);
+        for _ in 0..trials {
+            let participants = q.sample_participants(&mut rng);
+            let updates: Vec<(usize, ModelParams)> = participants
+                .iter()
+                .map(|&n| (n, locals[n].clone()))
+                .collect();
+            let agg = AggregationRule::NaiveInverseWeighting
+                .aggregate(&global, &updates, &weights, &q);
+            mean.add_scaled(1.0 / trials as f64, &agg);
+        }
+        let bias: f64 = mean
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .map(|(m, r)| (m - r).abs())
+            .sum();
+        assert!(bias > 0.05, "naive scheme unexpectedly unbiased: {bias}");
+    }
+
+    #[test]
+    fn participant_average_ignores_absent_clients() {
+        let (global, locals, weights) = scenario();
+        let q = ParticipationLevels::new(vec![0.5, 0.5, 0.5]).unwrap();
+        let updates = vec![(0usize, locals[0].clone())];
+        let agg = AggregationRule::ParticipantWeightedAverage
+            .aggregate(&global, &updates, &weights, &q);
+        // Sole participant: the aggregate IS its model.
+        assert_eq!(agg.as_slice(), locals[0].as_slice());
+    }
+
+    #[test]
+    fn empty_round_keeps_global_model() {
+        let (global, _, weights) = scenario();
+        let q = ParticipationLevels::new(vec![0.5, 0.5, 0.5]).unwrap();
+        for rule in [
+            AggregationRule::UnbiasedInverseProbability,
+            AggregationRule::ParticipantWeightedAverage,
+            AggregationRule::NaiveInverseWeighting,
+        ] {
+            let agg = rule.aggregate(&global, &[], &weights, &q);
+            assert_eq!(agg.as_slice(), global.as_slice(), "{}", rule.name());
+        }
+    }
+
+    #[test]
+    fn rule_names_are_distinct() {
+        let names = [
+            AggregationRule::UnbiasedInverseProbability.name(),
+            AggregationRule::ParticipantWeightedAverage.name(),
+            AggregationRule::NaiveInverseWeighting.name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn aggregate_rejects_bad_index() {
+        let (global, locals, weights) = scenario();
+        let q = ParticipationLevels::full(3);
+        AggregationRule::UnbiasedInverseProbability.aggregate(
+            &global,
+            &[(7, locals[0].clone())],
+            &weights,
+            &q,
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Intermittent client availability.
+//!
+//! The paper motivates randomized participation partly by device usage
+//! patterns: "clients may be only intermittently available due to their
+//! usage patterns, which prevents them from participating in every training
+//! round" (Section I). This module models that layer explicitly:
+//! a client can only join round `r` if it is *available* in round `r`, and
+//! its effective participation probability becomes
+//! `q_eff = q_n · P(available)`.
+//!
+//! Two regimes matter for the unbiasedness guarantee of Lemma 1:
+//!
+//! * [`AvailabilityPattern::Random`] — availability is i.i.d. Bernoulli per
+//!   round. The product `q_n · p_n` is again an independent per-round
+//!   probability, so aggregating with the *effective* levels keeps Lemma 1
+//!   exact ([`AvailabilityModel::effective_levels`]).
+//! * [`AvailabilityPattern::DutyCycle`] — deterministic on/off phases
+//!   (e.g. "charging overnight"). In an off round the client's effective
+//!   probability is zero, so no reweighting can make that round unbiased;
+//!   the integration tests demonstrate the resulting bias, which is exactly
+//!   why the paper's mechanism keeps every `q_n > 0` *per round*.
+
+use crate::error::SimError;
+use crate::participation::{ParticipationLevels, MIN_PARTICIPATION};
+use fedfl_num::dist::bernoulli;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// When a client is reachable by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AvailabilityPattern {
+    /// Always reachable (the implicit assumption of the main experiments).
+    AlwaysOn,
+    /// Reachable i.i.d. with this probability each round.
+    Random {
+        /// Per-round availability probability in `(0, 1]`.
+        probability: f64,
+    },
+    /// Deterministic duty cycle: available in rounds `r` with
+    /// `(r + offset) % period < on_rounds`.
+    DutyCycle {
+        /// Cycle length in rounds.
+        period: usize,
+        /// Leading rounds of each cycle the client is reachable.
+        on_rounds: usize,
+        /// Phase shift of the cycle.
+        offset: usize,
+    },
+}
+
+impl AvailabilityPattern {
+    /// Validate the pattern parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for probabilities outside
+    /// `(0, 1]` or degenerate duty cycles.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match *self {
+            AvailabilityPattern::AlwaysOn => Ok(()),
+            AvailabilityPattern::Random { probability } => {
+                if !(probability.is_finite() && probability > 0.0 && probability <= 1.0) {
+                    return Err(SimError::InvalidConfig {
+                        field: "probability",
+                        reason: format!("must lie in (0, 1], got {probability}"),
+                    });
+                }
+                Ok(())
+            }
+            AvailabilityPattern::DutyCycle {
+                period, on_rounds, ..
+            } => {
+                if period == 0 || on_rounds == 0 || on_rounds > period {
+                    return Err(SimError::InvalidConfig {
+                        field: "duty cycle",
+                        reason: format!(
+                            "need 1 <= on_rounds <= period, got on={on_rounds}, period={period}"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether the client is reachable in `round` (random patterns draw
+    /// from `rng`).
+    pub fn is_available<R: Rng + ?Sized>(&self, round: usize, rng: &mut R) -> bool {
+        match *self {
+            AvailabilityPattern::AlwaysOn => true,
+            AvailabilityPattern::Random { probability } => bernoulli(rng, probability),
+            AvailabilityPattern::DutyCycle {
+                period,
+                on_rounds,
+                offset,
+            } => (round + offset) % period < on_rounds,
+        }
+    }
+
+    /// Long-run fraction of rounds the client is reachable.
+    pub fn availability_rate(&self) -> f64 {
+        match *self {
+            AvailabilityPattern::AlwaysOn => 1.0,
+            AvailabilityPattern::Random { probability } => probability,
+            AvailabilityPattern::DutyCycle {
+                period, on_rounds, ..
+            } => on_rounds as f64 / period as f64,
+        }
+    }
+
+    /// Whether per-round availability is independent across rounds, i.e.
+    /// the pattern composes with Lemma 1 via effective levels.
+    pub fn preserves_unbiasedness(&self) -> bool {
+        matches!(
+            self,
+            AvailabilityPattern::AlwaysOn | AvailabilityPattern::Random { .. }
+        )
+    }
+}
+
+/// Per-client availability patterns for a federation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityModel {
+    patterns: Vec<AvailabilityPattern>,
+}
+
+impl AvailabilityModel {
+    /// Wrap validated per-client patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if empty or any pattern is
+    /// invalid.
+    pub fn new(patterns: Vec<AvailabilityPattern>) -> Result<Self, SimError> {
+        if patterns.is_empty() {
+            return Err(SimError::InvalidConfig {
+                field: "patterns",
+                reason: "need at least one client".into(),
+            });
+        }
+        for p in &patterns {
+            p.validate()?;
+        }
+        Ok(Self { patterns })
+    }
+
+    /// Everyone always on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clients == 0`.
+    pub fn always_on(n_clients: usize) -> Self {
+        Self::new(vec![AvailabilityPattern::AlwaysOn; n_clients])
+            .expect("always-on model is valid for n >= 1")
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the model is empty (never true after validation).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Borrow the patterns.
+    pub fn patterns(&self) -> &[AvailabilityPattern] {
+        &self.patterns
+    }
+
+    /// Whether every pattern composes with Lemma 1 (see
+    /// [`AvailabilityPattern::preserves_unbiasedness`]).
+    pub fn preserves_unbiasedness(&self) -> bool {
+        self.patterns
+            .iter()
+            .all(AvailabilityPattern::preserves_unbiasedness)
+    }
+
+    /// The effective independent participation levels
+    /// `q_eff,n = q_n · rate_n`, floored at the simulator minimum — these
+    /// are what the unbiased aggregation must divide by when availability
+    /// is random.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the level count mismatches or an effective
+    /// level falls below the floor.
+    pub fn effective_levels(
+        &self,
+        q: &ParticipationLevels,
+    ) -> Result<ParticipationLevels, SimError> {
+        if q.len() != self.patterns.len() {
+            return Err(SimError::InvalidConfig {
+                field: "q",
+                reason: format!(
+                    "{} levels for {} availability patterns",
+                    q.len(),
+                    self.patterns.len()
+                ),
+            });
+        }
+        let levels: Vec<f64> = q
+            .as_slice()
+            .iter()
+            .zip(&self.patterns)
+            .map(|(&qn, p)| (qn * p.availability_rate()).max(MIN_PARTICIPATION))
+            .collect();
+        ParticipationLevels::new(levels)
+    }
+
+    /// Reachability mask for one round.
+    pub fn available_mask<R: Rng + ?Sized>(&self, round: usize, rng: &mut R) -> Vec<bool> {
+        self.patterns
+            .iter()
+            .map(|p| p.is_available(round, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_num::rng::seeded;
+
+    #[test]
+    fn validation_rules() {
+        assert!(AvailabilityPattern::AlwaysOn.validate().is_ok());
+        assert!(AvailabilityPattern::Random { probability: 0.5 }.validate().is_ok());
+        assert!(AvailabilityPattern::Random { probability: 0.0 }.validate().is_err());
+        assert!(AvailabilityPattern::Random { probability: 1.5 }.validate().is_err());
+        assert!(AvailabilityPattern::DutyCycle {
+            period: 10,
+            on_rounds: 3,
+            offset: 0
+        }
+        .validate()
+        .is_ok());
+        assert!(AvailabilityPattern::DutyCycle {
+            period: 0,
+            on_rounds: 0,
+            offset: 0
+        }
+        .validate()
+        .is_err());
+        assert!(AvailabilityPattern::DutyCycle {
+            period: 5,
+            on_rounds: 6,
+            offset: 0
+        }
+        .validate()
+        .is_err());
+        assert!(AvailabilityModel::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn duty_cycle_is_deterministic_and_periodic() {
+        let p = AvailabilityPattern::DutyCycle {
+            period: 4,
+            on_rounds: 2,
+            offset: 1,
+        };
+        let mut rng = seeded(1);
+        let mask: Vec<bool> = (0..8).map(|r| p.is_available(r, &mut rng)).collect();
+        // (r+1) % 4 < 2 -> rounds 0,3,4,7 on.
+        assert_eq!(mask, vec![true, false, false, true, true, false, false, true]);
+        assert!((p.availability_rate() - 0.5).abs() < 1e-12);
+        assert!(!p.preserves_unbiasedness());
+    }
+
+    #[test]
+    fn random_pattern_matches_its_rate() {
+        let p = AvailabilityPattern::Random { probability: 0.3 };
+        let mut rng = seeded(2);
+        let hits = (0..50_000).filter(|&r| p.is_available(r, &mut rng)).count();
+        assert!((hits as f64 / 50_000.0 - 0.3).abs() < 0.01);
+        assert!(p.preserves_unbiasedness());
+    }
+
+    #[test]
+    fn effective_levels_multiply_rates() {
+        let model = AvailabilityModel::new(vec![
+            AvailabilityPattern::AlwaysOn,
+            AvailabilityPattern::Random { probability: 0.5 },
+        ])
+        .unwrap();
+        let q = ParticipationLevels::new(vec![0.8, 0.8]).unwrap();
+        let eff = model.effective_levels(&q).unwrap();
+        assert!((eff.level(0) - 0.8).abs() < 1e-12);
+        assert!((eff.level(1) - 0.4).abs() < 1e-12);
+        assert!(model.preserves_unbiasedness());
+    }
+
+    #[test]
+    fn effective_levels_reject_mismatch() {
+        let model = AvailabilityModel::always_on(3);
+        let q = ParticipationLevels::new(vec![0.5, 0.5]).unwrap();
+        assert!(model.effective_levels(&q).is_err());
+        assert_eq!(model.len(), 3);
+        assert!(!model.is_empty());
+        assert_eq!(model.patterns().len(), 3);
+    }
+
+    #[test]
+    fn mask_respects_patterns() {
+        let model = AvailabilityModel::new(vec![
+            AvailabilityPattern::AlwaysOn,
+            AvailabilityPattern::DutyCycle {
+                period: 2,
+                on_rounds: 1,
+                offset: 0,
+            },
+        ])
+        .unwrap();
+        let mut rng = seeded(3);
+        assert_eq!(model.available_mask(0, &mut rng), vec![true, true]);
+        assert_eq!(model.available_mask(1, &mut rng), vec![true, false]);
+        assert!(!model.preserves_unbiasedness());
+    }
+}

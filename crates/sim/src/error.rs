@@ -1,0 +1,75 @@
+//! Error type for the simulator.
+
+use fedfl_model::ModelError;
+use std::fmt;
+
+/// Error returned by simulator routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration field was invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A participation level was outside `[0, 1]` or otherwise unusable.
+    InvalidParticipation {
+        /// Index of the offending client.
+        client: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The model substrate reported an error.
+    Model(ModelError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration `{field}`: {reason}")
+            }
+            SimError::InvalidParticipation { client, value } => {
+                write!(f, "client {client} has invalid participation level {value}")
+            }
+            SimError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = SimError::InvalidParticipation {
+            client: 3,
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("client 3"));
+        let m: SimError = ModelError::EmptyDataset.into();
+        assert!(std::error::Error::source(&m).is_some());
+        let c = SimError::InvalidConfig {
+            field: "rounds",
+            reason: "must be positive".into(),
+        };
+        assert!(c.to_string().contains("rounds"));
+    }
+}

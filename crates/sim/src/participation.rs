@@ -1,0 +1,204 @@
+//! Randomized independent client participation.
+//!
+//! In the paper each client independently decides to join round `r` with its
+//! participation level (probability) `q_n` (Section III-A). Unlike active
+//! client-sampling schemes, the `q_n` are *independent*: `Σ q_n` can be
+//! anywhere in `(0, N]`, and the realised participant set `S(q)_r` varies in
+//! size from round to round.
+
+use crate::error::SimError;
+use fedfl_num::dist::bernoulli;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Minimum participation level accepted for a client.
+///
+/// Theorem 1 requires `q_n > 0` for convergence to the unbiased optimum
+/// (`q_n → 0` blows up the `(1−q_n)/q_n` variance term), so levels are
+/// floored here; equilibrium solvers use the same floor for their `q_min`.
+pub const MIN_PARTICIPATION: f64 = 1e-4;
+
+/// A validated vector of independent participation levels `q`.
+///
+/// # Example
+///
+/// ```
+/// use fedfl_sim::participation::ParticipationLevels;
+///
+/// let q = ParticipationLevels::new(vec![0.2, 1.0, 0.75])?;
+/// assert_eq!(q.len(), 3);
+/// assert!((q.expected_participants() - 1.95).abs() < 1e-12);
+/// # Ok::<(), fedfl_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParticipationLevels {
+    levels: Vec<f64>,
+}
+
+impl ParticipationLevels {
+    /// Validate and wrap a vector of levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParticipation`] if any level is not in
+    /// `[MIN_PARTICIPATION, 1]` (up to a small numerical slack above 1,
+    /// which is clamped), and [`SimError::InvalidConfig`] for an empty
+    /// vector.
+    pub fn new(levels: Vec<f64>) -> Result<Self, SimError> {
+        if levels.is_empty() {
+            return Err(SimError::InvalidConfig {
+                field: "levels",
+                reason: "need at least one client".into(),
+            });
+        }
+        let mut clamped = levels;
+        for (i, q) in clamped.iter_mut().enumerate() {
+            if !q.is_finite() || *q < MIN_PARTICIPATION || *q > 1.0 + 1e-9 {
+                return Err(SimError::InvalidParticipation {
+                    client: i,
+                    value: *q,
+                });
+            }
+            *q = q.min(1.0);
+        }
+        Ok(Self { levels: clamped })
+    }
+
+    /// All clients participate with the same level.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParticipationLevels::new`].
+    pub fn uniform(n_clients: usize, level: f64) -> Result<Self, SimError> {
+        Self::new(vec![level; n_clients])
+    }
+
+    /// Full participation (`q_n = 1` for all clients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clients == 0`.
+    pub fn full(n_clients: usize) -> Self {
+        Self::new(vec![1.0; n_clients]).expect("q = 1 is always valid for n >= 1")
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the vector is empty (never true after validation).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Borrow the levels.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Level of client `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn level(&self, n: usize) -> f64 {
+        self.levels[n]
+    }
+
+    /// Expected number of participants per round, `Σ q_n`.
+    pub fn expected_participants(&self) -> f64 {
+        self.levels.iter().sum()
+    }
+
+    /// Whether every client participates in every round.
+    pub fn is_full(&self) -> bool {
+        self.levels.iter().all(|&q| q >= 1.0)
+    }
+
+    /// Draw the participant set `S(q)_r`: each client joins independently
+    /// with probability `q_n`. The returned indices are sorted.
+    pub fn sample_participants<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        (0..self.levels.len())
+            .filter(|&n| bernoulli(rng, self.levels[n]))
+            .collect()
+    }
+}
+
+impl AsRef<[f64]> for ParticipationLevels {
+    fn as_ref(&self) -> &[f64] {
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_num::rng::seeded;
+
+    #[test]
+    fn validation_bounds() {
+        assert!(ParticipationLevels::new(vec![]).is_err());
+        assert!(ParticipationLevels::new(vec![0.0]).is_err());
+        assert!(ParticipationLevels::new(vec![-0.1]).is_err());
+        assert!(ParticipationLevels::new(vec![1.2]).is_err());
+        assert!(ParticipationLevels::new(vec![f64::NAN]).is_err());
+        // Tiny numerical overshoot above 1 is clamped.
+        let q = ParticipationLevels::new(vec![1.0 + 1e-12]).unwrap();
+        assert_eq!(q.level(0), 1.0);
+    }
+
+    #[test]
+    fn full_participation_always_samples_everyone() {
+        let q = ParticipationLevels::full(5);
+        assert!(q.is_full());
+        let mut rng = seeded(1);
+        for _ in 0..10 {
+            assert_eq!(q.sample_participants(&mut rng), vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn sampling_frequency_matches_levels() {
+        let q = ParticipationLevels::new(vec![0.1, 0.9]).unwrap();
+        let mut rng = seeded(2);
+        let mut counts = [0usize; 2];
+        let rounds = 20_000;
+        for _ in 0..rounds {
+            for n in q.sample_participants(&mut rng) {
+                counts[n] += 1;
+            }
+        }
+        assert!((counts[0] as f64 / rounds as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / rounds as f64 - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn expected_participants_is_sum() {
+        let q = ParticipationLevels::new(vec![0.25, 0.5, 1.0]).unwrap();
+        assert!((q.expected_participants() - 1.75).abs() < 1e-12);
+        assert!(!q.is_full());
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let q = ParticipationLevels::uniform(4, 0.3).unwrap();
+        assert_eq!(q.as_slice(), &[0.3; 4]);
+        assert_eq!(q.as_ref().len(), 4);
+        assert!(ParticipationLevels::uniform(0, 0.3).is_err());
+    }
+
+    #[test]
+    fn empty_rounds_are_possible_with_low_q() {
+        let q = ParticipationLevels::uniform(3, MIN_PARTICIPATION).unwrap();
+        let mut rng = seeded(3);
+        let mut saw_empty = false;
+        for _ in 0..50 {
+            if q.sample_participants(&mut rng).is_empty() {
+                saw_empty = true;
+                break;
+            }
+        }
+        assert!(saw_empty, "tiny q should often produce empty rounds");
+    }
+}

@@ -1,0 +1,456 @@
+//! The federated training loop.
+//!
+//! One run of [`run_federated`] reproduces the paper's training pipeline:
+//! every round, each client joins independently with probability `q_n`,
+//! participants run `E` local SGD steps from the current global model, and
+//! the server aggregates with the chosen [`AggregationRule`] while the
+//! simulated testbed clock advances by the straggler-gated round time.
+//!
+//! Client training within a round is executed on a deterministic parallel
+//! worker pool: each client's mini-batch randomness is derived from
+//! `(seed, round, client)` alone, so the result is bit-identical regardless
+//! of thread count.
+
+use crate::aggregation::AggregationRule;
+use crate::error::SimError;
+use crate::participation::ParticipationLevels;
+use crate::timing::SystemProfile;
+use crate::trace::{RoundRecord, TrainingTrace};
+use crossbeam::channel;
+use fedfl_data::FederatedDataset;
+use fedfl_model::metrics::{global_loss, test_accuracy};
+use fedfl_model::sgd::{run_local_sgd, LocalSgdConfig, LocalUpdate};
+use fedfl_model::{LogisticModel, ModelParams};
+use fedfl_num::rng::{seeded, split};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one federated training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlRunConfig {
+    /// Number of communication rounds `R`.
+    pub rounds: usize,
+    /// Client-side optimiser configuration.
+    pub sgd: LocalSgdConfig,
+    /// Server-side aggregation rule.
+    pub aggregation: AggregationRule,
+    /// Evaluate (loss + accuracy) every this many rounds.
+    pub eval_every: usize,
+    /// Master seed; all round/client randomness derives from it.
+    pub seed: u64,
+    /// Worker threads for client training (0 = one per available core).
+    pub n_threads: usize,
+}
+
+impl FlRunConfig {
+    /// The paper's experimental configuration: `R = 1000`, `E = 100`,
+    /// batch 24, decaying learning rate, unbiased aggregation.
+    pub fn paper_default() -> Self {
+        Self {
+            rounds: 1000,
+            sgd: LocalSgdConfig::paper_default(),
+            aggregation: AggregationRule::UnbiasedInverseProbability,
+            eval_every: 10,
+            seed: 0,
+            n_threads: 0,
+        }
+    }
+
+    /// A fast configuration for tests and examples.
+    pub fn fast() -> Self {
+        Self {
+            rounds: 20,
+            sgd: LocalSgdConfig::fast(),
+            aggregation: AggregationRule::UnbiasedInverseProbability,
+            eval_every: 5,
+            seed: 0,
+            n_threads: 0,
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero rounds or evaluation
+    /// period, or an invalid SGD configuration.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.rounds == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "rounds",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.eval_every == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "eval_every",
+                reason: "must be positive".into(),
+            });
+        }
+        self.sgd.validate()?;
+        Ok(())
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.n_threads > 0 {
+            self.n_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Train the participants of one round in parallel and return
+/// `(client index, local update)` pairs in client order.
+fn train_participants(
+    model: &LogisticModel,
+    dataset: &FederatedDataset,
+    global: &ModelParams,
+    participants: &[usize],
+    config: &FlRunConfig,
+    round: usize,
+) -> Result<Vec<(usize, LocalUpdate)>, SimError> {
+    let workers = config.worker_count().min(participants.len().max(1));
+    // Per-client seed: independent of scheduling, so parallel == serial.
+    let client_seed =
+        |client: usize| split(split(config.seed, 0x524E_4400 + round as u64), client as u64);
+
+    if workers <= 1 || participants.len() <= 1 {
+        let mut out = Vec::with_capacity(participants.len());
+        for &n in participants {
+            let mut rng = seeded(client_seed(n));
+            let update = run_local_sgd(
+                &mut rng,
+                model,
+                global,
+                dataset.client(n).samples(),
+                &config.sgd,
+                round,
+            )?;
+            out.push((n, update));
+        }
+        return Ok(out);
+    }
+
+    // Dynamic work queue: client shards are power-law sized, so static
+    // chunking would leave most workers idle behind the largest shard.
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    for &n in participants {
+        job_tx.send(n).expect("queue open");
+    }
+    drop(job_tx);
+
+    let results: Vec<Result<(usize, LocalUpdate), SimError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                while let Ok(n) = job_rx.recv() {
+                    let mut rng = seeded(client_seed(n));
+                    let result = run_local_sgd(
+                        &mut rng,
+                        model,
+                        global,
+                        dataset.client(n).samples(),
+                        &config.sgd,
+                        round,
+                    )
+                    .map(|u| (n, u))
+                    .map_err(SimError::from);
+                    local.push(result);
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut out = Vec::with_capacity(participants.len());
+    for r in results {
+        out.push(r?);
+    }
+    out.sort_by_key(|(n, _)| *n);
+    Ok(out)
+}
+
+/// Run one federated training simulation and return its evaluation trace.
+///
+/// The trace contains one record per evaluation (every
+/// [`FlRunConfig::eval_every`] rounds, plus the initial model at time 0).
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid configuration, mismatched client counts,
+/// or model-substrate failures (e.g. an empty client shard).
+pub fn run_federated(
+    model: &LogisticModel,
+    dataset: &FederatedDataset,
+    q: &ParticipationLevels,
+    system: &SystemProfile,
+    config: &FlRunConfig,
+) -> Result<TrainingTrace, SimError> {
+    config.validate()?;
+    let n = dataset.n_clients();
+    if q.len() != n {
+        return Err(SimError::InvalidConfig {
+            field: "q",
+            reason: format!("{} levels for {n} clients", q.len()),
+        });
+    }
+    if system.n_clients() != n {
+        return Err(SimError::InvalidConfig {
+            field: "system",
+            reason: format!("{} device profiles for {n} clients", system.n_clients()),
+        });
+    }
+
+    let weights = dataset.weights();
+    let mut params = model.zero_params();
+    let model_size = params.len();
+    let mut sim_time = 0.0;
+    let mut trace = TrainingTrace::new();
+    trace.push(RoundRecord {
+        round: 0,
+        sim_time,
+        n_participants: 0,
+        global_loss: global_loss(model, &params, dataset),
+        test_accuracy: test_accuracy(model, &params, dataset),
+    });
+
+    for round in 0..config.rounds {
+        let mut part_rng = seeded(split(config.seed, 0x5041_5254 + round as u64));
+        let participants = q.sample_participants(&mut part_rng);
+        let updates = train_participants(model, dataset, &params, &participants, config, round)?;
+        let update_params: Vec<(usize, ModelParams)> = updates
+            .into_iter()
+            .map(|(n, u)| (n, u.params))
+            .collect();
+        params = config
+            .aggregation
+            .aggregate(&params, &update_params, &weights, q);
+        sim_time += system.round_time(&participants, config.sgd.local_steps, model_size);
+
+        if (round + 1) % config.eval_every == 0 || round + 1 == config.rounds {
+            trace.push(RoundRecord {
+                round: round + 1,
+                sim_time,
+                n_participants: participants.len(),
+                global_loss: global_loss(model, &params, dataset),
+                test_accuracy: test_accuracy(model, &params, dataset),
+            });
+        }
+    }
+    Ok(trace)
+}
+
+/// Run a federated training simulation under intermittent client
+/// availability (see [`crate::availability`]): each round a client can
+/// only join if its availability pattern allows it, and the unbiased
+/// aggregation divides by the *effective* long-run probabilities
+/// `q_eff,n = q_n · rate_n`.
+///
+/// For [`crate::availability::AvailabilityPattern::Random`] patterns this
+/// keeps Lemma 1 exact (the product of independent Bernoullis is an
+/// independent Bernoulli). For deterministic duty cycles the per-round
+/// unbiasedness guarantee is structurally broken — rounds in which a client
+/// is off cannot be reweighted — which this function makes observable.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for mismatched client counts or simulation
+/// failures.
+pub fn run_federated_available(
+    model: &LogisticModel,
+    dataset: &FederatedDataset,
+    q: &ParticipationLevels,
+    availability: &crate::availability::AvailabilityModel,
+    system: &SystemProfile,
+    config: &FlRunConfig,
+) -> Result<TrainingTrace, SimError> {
+    config.validate()?;
+    let n = dataset.n_clients();
+    if q.len() != n || availability.len() != n || system.n_clients() != n {
+        return Err(SimError::InvalidConfig {
+            field: "q/availability/system",
+            reason: format!(
+                "{} levels, {} patterns, {} device profiles for {n} clients",
+                q.len(),
+                availability.len(),
+                system.n_clients()
+            ),
+        });
+    }
+    let q_eff = availability.effective_levels(q)?;
+    let weights = dataset.weights();
+    let mut params = model.zero_params();
+    let model_size = params.len();
+    let mut sim_time = 0.0;
+    let mut trace = TrainingTrace::new();
+    trace.push(RoundRecord {
+        round: 0,
+        sim_time,
+        n_participants: 0,
+        global_loss: global_loss(model, &params, dataset),
+        test_accuracy: test_accuracy(model, &params, dataset),
+    });
+
+    for round in 0..config.rounds {
+        let mut avail_rng = seeded(split(config.seed, 0xAA_A11 + round as u64));
+        let mask = availability.available_mask(round, &mut avail_rng);
+        let mut part_rng = seeded(split(config.seed, 0x5041_5254 + round as u64));
+        let participants: Vec<usize> = q
+            .sample_participants(&mut part_rng)
+            .into_iter()
+            .filter(|&c| mask[c])
+            .collect();
+        let updates = train_participants(model, dataset, &params, &participants, config, round)?;
+        let update_params: Vec<(usize, ModelParams)> = updates
+            .into_iter()
+            .map(|(idx, u)| (idx, u.params))
+            .collect();
+        params = config
+            .aggregation
+            .aggregate(&params, &update_params, &weights, &q_eff);
+        sim_time += system.round_time(&participants, config.sgd.local_steps, model_size);
+        if (round + 1) % config.eval_every == 0 || round + 1 == config.rounds {
+            trace.push(RoundRecord {
+                round: round + 1,
+                sim_time,
+                n_participants: participants.len(),
+                global_loss: global_loss(model, &params, dataset),
+                test_accuracy: test_accuracy(model, &params, dataset),
+            });
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_data::synthetic::SyntheticConfig;
+
+    fn setup() -> (FederatedDataset, LogisticModel, SystemProfile) {
+        let ds = SyntheticConfig::small().generate(33).unwrap();
+        let model = LogisticModel::new(ds.dim(), ds.n_classes(), 1e-3).unwrap();
+        let system = SystemProfile::generate(33, ds.n_clients());
+        (ds, model, system)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (ds, model, system) = setup();
+        let q = ParticipationLevels::uniform(ds.n_clients(), 0.6).unwrap();
+        let mut config = FlRunConfig::fast();
+        config.rounds = 30;
+        let trace = run_federated(&model, &ds, &q, &system, &config).unwrap();
+        let first = trace.records().first().unwrap().global_loss;
+        let last = trace.final_loss().unwrap();
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+        assert!(trace.final_accuracy().unwrap() > 1.0 / ds.n_classes() as f64);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_exactly() {
+        let (ds, model, system) = setup();
+        let q = ParticipationLevels::uniform(ds.n_clients(), 0.7).unwrap();
+        let mut serial = FlRunConfig::fast();
+        serial.rounds = 6;
+        serial.n_threads = 1;
+        let mut parallel = serial;
+        parallel.n_threads = 4;
+        let a = run_federated(&model, &ds, &q, &system, &serial).unwrap();
+        let b = run_federated(&model, &ds, &q, &system, &parallel).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let (ds, model, system) = setup();
+        let q = ParticipationLevels::uniform(ds.n_clients(), 0.5).unwrap();
+        let config = FlRunConfig::fast();
+        let a = run_federated(&model, &ds, &q, &system, &config).unwrap();
+        let b = run_federated(&model, &ds, &q, &system, &config).unwrap();
+        assert_eq!(a, b);
+        let mut other = config;
+        other.seed = 99;
+        let c = run_federated(&model, &ds, &q, &system, &other).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sim_time_advances_monotonically() {
+        let (ds, model, system) = setup();
+        let q = ParticipationLevels::uniform(ds.n_clients(), 0.4).unwrap();
+        let trace = run_federated(&model, &ds, &q, &system, &FlRunConfig::fast()).unwrap();
+        let times: Vec<f64> = trace.records().iter().map(|r| r.sim_time).collect();
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        assert!(trace.duration() > 0.0);
+    }
+
+    #[test]
+    fn full_participation_beats_sparse_on_rounds() {
+        let (ds, model, system) = setup();
+        let mut config = FlRunConfig::fast();
+        config.rounds = 25;
+        let full = run_federated(
+            &model,
+            &ds,
+            &ParticipationLevels::full(ds.n_clients()),
+            &system,
+            &config,
+        )
+        .unwrap();
+        let sparse = run_federated(
+            &model,
+            &ds,
+            &ParticipationLevels::uniform(ds.n_clients(), 0.15).unwrap(),
+            &system,
+            &config,
+        )
+        .unwrap();
+        assert!(
+            full.final_loss().unwrap() < sparse.final_loss().unwrap(),
+            "full {:?} vs sparse {:?}",
+            full.final_loss(),
+            sparse.final_loss()
+        );
+    }
+
+    #[test]
+    fn config_validation_and_shape_checks() {
+        let (ds, model, system) = setup();
+        let q = ParticipationLevels::uniform(ds.n_clients(), 0.5).unwrap();
+        let mut bad = FlRunConfig::fast();
+        bad.rounds = 0;
+        assert!(run_federated(&model, &ds, &q, &system, &bad).is_err());
+        let mut bad = FlRunConfig::fast();
+        bad.eval_every = 0;
+        assert!(run_federated(&model, &ds, &q, &system, &bad).is_err());
+        let short_q = ParticipationLevels::uniform(2, 0.5).unwrap();
+        assert!(run_federated(&model, &ds, &short_q, &system, &FlRunConfig::fast()).is_err());
+        let wrong_system = SystemProfile::generate(1, 3);
+        assert!(
+            run_federated(&model, &ds, &q, &wrong_system, &FlRunConfig::fast()).is_err()
+        );
+    }
+
+    #[test]
+    fn trace_contains_initial_record_plus_evaluations() {
+        let (ds, model, system) = setup();
+        let q = ParticipationLevels::uniform(ds.n_clients(), 0.5).unwrap();
+        let mut config = FlRunConfig::fast();
+        config.rounds = 10;
+        config.eval_every = 3;
+        let trace = run_federated(&model, &ds, &q, &system, &config).unwrap();
+        // Initial + rounds 3, 6, 9, 10.
+        assert_eq!(trace.n_evaluations(), 5);
+        assert_eq!(trace.records()[0].round, 0);
+        assert_eq!(trace.records().last().unwrap().round, 10);
+    }
+}

@@ -1,0 +1,229 @@
+//! Simulated cross-device testbed timing.
+//!
+//! The paper evaluates on 40 Raspberry Pis behind an enterprise Wi-Fi
+//! router (Fig. 3) and reports wall-clock time to target loss/accuracy
+//! (Tables II/III, Fig. 4). This module is the DESIGN.md §3 substitution for
+//! that hardware: each client has a compute speed (local SGD iterations per
+//! second) and an upload rate (parameters per second) drawn from seeded
+//! log-normal distributions, and a synchronous round costs
+//!
+//! ```text
+//! T_round = max_{n ∈ S} (compute_n + upload_n) + server_overhead
+//! ```
+//!
+//! The straggler effect of the max-over-participants is what differentiates
+//! pricing schemes on the time axis: schemes that stimulate many slow,
+//! low-value clients pay for it in round latency.
+
+use fedfl_num::dist::LogNormal;
+use fedfl_num::rng::substream;
+use serde::{Deserialize, Serialize};
+
+/// Heterogeneous device/network profile of the simulated testbed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemProfile {
+    /// Local SGD iterations per second for each client.
+    compute_speed: Vec<f64>,
+    /// Model parameters uploaded per second for each client.
+    upload_rate: Vec<f64>,
+    /// Fixed server-side aggregation overhead per round (seconds).
+    server_overhead: f64,
+    /// Idle time charged for a round with no participants (seconds).
+    idle_round_time: f64,
+}
+
+/// Configuration of the heterogeneity distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Median local-SGD iterations per second (Raspberry-Pi-class device on
+    /// a logistic-regression workload).
+    pub median_compute_speed: f64,
+    /// Log-scale spread of compute speeds.
+    pub compute_sigma: f64,
+    /// Median parameters per second on the uplink.
+    pub median_upload_rate: f64,
+    /// Log-scale spread of upload rates.
+    pub upload_sigma: f64,
+    /// Server aggregation overhead per round (seconds).
+    pub server_overhead: f64,
+    /// Time charged when a round has no participants (seconds).
+    pub idle_round_time: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            // ~200 mini-batch iterations/s for a 784×10 logistic model on a
+            // Pi-class CPU; E = 100 then costs ~0.5 s of compute.
+            median_compute_speed: 200.0,
+            // The paper's prototype uses 40 *identical* Raspberry Pis, so
+            // hardware speeds are nearly homogeneous; the economically
+            // relevant heterogeneity lives in the game's cost/value
+            // parameters. A small spread models thermal/background noise.
+            compute_sigma: 0.08,
+            // ~1.6M parameters/s ≈ 13 Mbit/s of f64 traffic on shared Wi-Fi;
+            // a 7850-parameter model uploads in ~5 ms, a realistic LAN RTT.
+            median_upload_rate: 1.6e6,
+            upload_sigma: 0.15,
+            server_overhead: 0.05,
+            idle_round_time: 0.05,
+        }
+    }
+}
+
+impl SystemProfile {
+    /// Draw a profile for `n_clients` devices from the default
+    /// [`SystemConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clients == 0`.
+    pub fn generate(seed: u64, n_clients: usize) -> Self {
+        Self::generate_with(seed, n_clients, &SystemConfig::default())
+    }
+
+    /// Draw a profile for `n_clients` devices from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clients == 0` or a distribution parameter is invalid.
+    pub fn generate_with(seed: u64, n_clients: usize, config: &SystemConfig) -> Self {
+        assert!(n_clients > 0, "need at least one client");
+        let mut rng = substream(seed, 0x5157);
+        let compute = LogNormal::with_median(config.median_compute_speed, config.compute_sigma)
+            .expect("valid compute distribution");
+        let upload = LogNormal::with_median(config.median_upload_rate, config.upload_sigma)
+            .expect("valid upload distribution");
+        Self {
+            compute_speed: compute.sample_vec(&mut rng, n_clients),
+            upload_rate: upload.sample_vec(&mut rng, n_clients),
+            server_overhead: config.server_overhead,
+            idle_round_time: config.idle_round_time,
+        }
+    }
+
+    /// A homogeneous profile (identical devices), useful for isolating
+    /// statistical effects in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clients == 0`.
+    pub fn homogeneous(n_clients: usize, compute_speed: f64, upload_rate: f64) -> Self {
+        assert!(n_clients > 0, "need at least one client");
+        Self {
+            compute_speed: vec![compute_speed; n_clients],
+            upload_rate: vec![upload_rate; n_clients],
+            server_overhead: 0.05,
+            idle_round_time: 0.05,
+        }
+    }
+
+    /// Number of clients in the profile.
+    pub fn n_clients(&self) -> usize {
+        self.compute_speed.len()
+    }
+
+    /// Seconds client `n` needs for `local_steps` SGD iterations plus the
+    /// upload of `model_size` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn client_time(&self, n: usize, local_steps: usize, model_size: usize) -> f64 {
+        local_steps as f64 / self.compute_speed[n] + model_size as f64 / self.upload_rate[n]
+    }
+
+    /// Wall-clock seconds for a synchronous round with the given participant
+    /// set: the slowest participant gates the round.
+    pub fn round_time(&self, participants: &[usize], local_steps: usize, model_size: usize) -> f64 {
+        if participants.is_empty() {
+            return self.idle_round_time;
+        }
+        let slowest = participants
+            .iter()
+            .map(|&n| self.client_time(n, local_steps, model_size))
+            .fold(0.0f64, f64::max);
+        slowest + self.server_overhead
+    }
+
+    /// Per-client compute speeds (iterations/second).
+    pub fn compute_speeds(&self) -> &[f64] {
+        &self.compute_speed
+    }
+
+    /// Per-client upload rates (parameters/second).
+    pub fn upload_rates(&self) -> &[f64] {
+        &self.upload_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_mildly_heterogeneous() {
+        let a = SystemProfile::generate(5, 40);
+        let b = SystemProfile::generate(5, 40);
+        assert_eq!(a, b);
+        // Identical-hardware fleet: a small but non-zero spread.
+        let max = a.compute_speeds().iter().cloned().fold(f64::MIN, f64::max);
+        let min = a.compute_speeds().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 1.02, "expected some spread");
+        assert!(max / min < 3.0, "identical Pis should not differ wildly");
+    }
+
+    #[test]
+    fn custom_config_allows_strong_heterogeneity() {
+        let config = SystemConfig {
+            compute_sigma: 0.8,
+            ..Default::default()
+        };
+        let p = SystemProfile::generate_with(5, 40, &config);
+        let max = p.compute_speeds().iter().cloned().fold(f64::MIN, f64::max);
+        let min = p.compute_speeds().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 2.0, "custom sigma should spread speeds");
+    }
+
+    #[test]
+    fn round_time_is_maximum_over_participants() {
+        let profile = SystemProfile::homogeneous(3, 100.0, 1e6);
+        let mut slow = profile.clone();
+        // Client 2 is 10x slower.
+        slow = SystemProfile {
+            compute_speed: vec![100.0, 100.0, 10.0],
+            upload_rate: vec![1e6; 3],
+            ..slow
+        };
+        let fast_round = slow.round_time(&[0, 1], 100, 1000);
+        let slow_round = slow.round_time(&[0, 1, 2], 100, 1000);
+        assert!(slow_round > fast_round * 5.0);
+    }
+
+    #[test]
+    fn empty_round_costs_idle_time() {
+        let profile = SystemProfile::homogeneous(2, 100.0, 1e6);
+        assert_eq!(profile.round_time(&[], 100, 1000), 0.05);
+    }
+
+    #[test]
+    fn client_time_decomposes() {
+        let profile = SystemProfile::homogeneous(1, 50.0, 1000.0);
+        // 100 steps at 50/s = 2s; 500 params at 1000/s = 0.5s.
+        assert!((profile.client_time(0, 100, 500) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_participants_never_speed_up_a_round() {
+        let profile = SystemProfile::generate(11, 10);
+        let t_small = profile.round_time(&[0, 1], 50, 1000);
+        let t_large = profile.round_time(&[0, 1, 2, 3, 4, 5], 50, 1000);
+        assert!(t_large >= t_small);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        SystemProfile::generate(1, 0);
+    }
+}

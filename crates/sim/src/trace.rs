@@ -1,0 +1,330 @@
+//! Training traces and time-to-target queries.
+//!
+//! The paper's headline comparisons are *time to reach a target loss*
+//! (Table II) and *time to reach a target accuracy* (Table III), read off
+//! loss/accuracy-versus-time curves (Fig. 4). A [`TrainingTrace`] records
+//! one run's evaluation points; [`TraceBundle`] averages several independent
+//! runs the way the paper averages 20.
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluation point of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Communication round index (0-based).
+    pub round: usize,
+    /// Simulated wall-clock seconds since training started.
+    pub sim_time: f64,
+    /// Number of clients that participated in this round.
+    pub n_participants: usize,
+    /// Global training loss `F(w^r)` (equation (2)).
+    pub global_loss: f64,
+    /// Held-out test accuracy.
+    pub test_accuracy: f64,
+}
+
+/// The evaluation series of a single training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingTrace {
+    records: Vec<RoundRecord>,
+}
+
+impl TrainingTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an evaluation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim_time` decreases relative to the last record.
+    pub fn push(&mut self, record: RoundRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(
+                record.sim_time >= last.sim_time,
+                "simulated time must be nondecreasing"
+            );
+        }
+        self.records.push(record);
+    }
+
+    /// Borrow all records.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Number of evaluation points.
+    pub fn n_evaluations(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Final global loss, if any evaluation happened.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.records.last().map(|r| r.global_loss)
+    }
+
+    /// Final test accuracy, if any evaluation happened.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.records.last().map(|r| r.test_accuracy)
+    }
+
+    /// First simulated time at which the loss reached `target` (loss is
+    /// noisy, so the *first crossing* is used, matching how the paper reads
+    /// its curves). `None` if never reached.
+    pub fn time_to_loss(&self, target: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.global_loss <= target)
+            .map(|r| r.sim_time)
+    }
+
+    /// First simulated time at which accuracy reached `target`.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| r.sim_time)
+    }
+
+    /// Loss at the last evaluation not later than `t` (`None` before the
+    /// first evaluation).
+    pub fn loss_at_time(&self, t: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .take_while(|r| r.sim_time <= t)
+            .last()
+            .map(|r| r.global_loss)
+    }
+
+    /// Accuracy at the last evaluation not later than `t`.
+    pub fn accuracy_at_time(&self, t: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .take_while(|r| r.sim_time <= t)
+            .last()
+            .map(|r| r.test_accuracy)
+    }
+
+    /// `(time, loss)` series for plotting.
+    pub fn loss_series(&self) -> Vec<(f64, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.sim_time, r.global_loss))
+            .collect()
+    }
+
+    /// `(time, accuracy)` series for plotting.
+    pub fn accuracy_series(&self) -> Vec<(f64, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.sim_time, r.test_accuracy))
+            .collect()
+    }
+
+    /// Total simulated duration of the run (0 for an empty trace).
+    pub fn duration(&self) -> f64 {
+        self.records.last().map(|r| r.sim_time).unwrap_or(0.0)
+    }
+}
+
+impl FromIterator<RoundRecord> for TrainingTrace {
+    fn from_iter<T: IntoIterator<Item = RoundRecord>>(iter: T) -> Self {
+        let mut trace = TrainingTrace::new();
+        for r in iter {
+            trace.push(r);
+        }
+        trace
+    }
+}
+
+/// Several independent runs of the same configuration, averaged the way the
+/// paper averages its 20 repetitions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceBundle {
+    traces: Vec<TrainingTrace>,
+}
+
+impl TraceBundle {
+    /// Create an empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one run.
+    pub fn push(&mut self, trace: TrainingTrace) {
+        self.traces.push(trace);
+    }
+
+    /// Borrow the runs.
+    pub fn traces(&self) -> &[TrainingTrace] {
+        &self.traces
+    }
+
+    /// Number of runs.
+    pub fn n_runs(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Mean time-to-target-loss over runs that reached the target, together
+    /// with how many did.
+    pub fn mean_time_to_loss(&self, target: f64) -> (Option<f64>, usize) {
+        let times: Vec<f64> = self
+            .traces
+            .iter()
+            .filter_map(|t| t.time_to_loss(target))
+            .collect();
+        let reached = times.len();
+        if reached == 0 {
+            (None, 0)
+        } else {
+            (Some(times.iter().sum::<f64>() / reached as f64), reached)
+        }
+    }
+
+    /// Mean time-to-target-accuracy over runs that reached the target.
+    pub fn mean_time_to_accuracy(&self, target: f64) -> (Option<f64>, usize) {
+        let times: Vec<f64> = self
+            .traces
+            .iter()
+            .filter_map(|t| t.time_to_accuracy(target))
+            .collect();
+        let reached = times.len();
+        if reached == 0 {
+            (None, 0)
+        } else {
+            (Some(times.iter().sum::<f64>() / reached as f64), reached)
+        }
+    }
+
+    /// Mean loss across runs at simulated time `t` (runs without an
+    /// evaluation by `t` are skipped).
+    pub fn mean_loss_at_time(&self, t: f64) -> Option<f64> {
+        let vals: Vec<f64> = self.traces.iter().filter_map(|x| x.loss_at_time(t)).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Mean accuracy across runs at simulated time `t`.
+    pub fn mean_accuracy_at_time(&self, t: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .traces
+            .iter()
+            .filter_map(|x| x.accuracy_at_time(t))
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Standard deviation of the loss across runs at time `t` — the paper
+    /// highlights that its scheme also has *smaller variance*.
+    pub fn loss_std_at_time(&self, t: f64) -> Option<f64> {
+        let vals: Vec<f64> = self.traces.iter().filter_map(|x| x.loss_at_time(t)).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            fedfl_num::stats::std_dev(&vals).ok()
+        }
+    }
+}
+
+impl FromIterator<TrainingTrace> for TraceBundle {
+    fn from_iter<T: IntoIterator<Item = TrainingTrace>>(iter: T) -> Self {
+        Self {
+            traces: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, time: f64, loss: f64, acc: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            sim_time: time,
+            n_participants: 2,
+            global_loss: loss,
+            test_accuracy: acc,
+        }
+    }
+
+    fn sample_trace() -> TrainingTrace {
+        [
+            record(0, 1.0, 2.0, 0.2),
+            record(1, 2.0, 1.5, 0.4),
+            record(2, 3.0, 1.0, 0.6),
+            record(3, 4.0, 0.8, 0.7),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn time_to_targets() {
+        let t = sample_trace();
+        assert_eq!(t.time_to_loss(1.5), Some(2.0));
+        assert_eq!(t.time_to_loss(0.9), Some(4.0));
+        assert_eq!(t.time_to_loss(0.1), None);
+        assert_eq!(t.time_to_accuracy(0.6), Some(3.0));
+        assert_eq!(t.time_to_accuracy(0.99), None);
+    }
+
+    #[test]
+    fn at_time_queries_use_latest_earlier_record() {
+        let t = sample_trace();
+        assert_eq!(t.loss_at_time(2.5), Some(1.5));
+        assert_eq!(t.loss_at_time(0.5), None);
+        assert_eq!(t.accuracy_at_time(10.0), Some(0.7));
+    }
+
+    #[test]
+    fn final_values_and_series() {
+        let t = sample_trace();
+        assert_eq!(t.final_loss(), Some(0.8));
+        assert_eq!(t.final_accuracy(), Some(0.7));
+        assert_eq!(t.duration(), 4.0);
+        assert_eq!(t.loss_series().len(), 4);
+        assert_eq!(t.accuracy_series()[1], (2.0, 0.4));
+        assert_eq!(TrainingTrace::new().final_loss(), None);
+        assert_eq!(TrainingTrace::new().duration(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn push_rejects_time_travel() {
+        let mut t = sample_trace();
+        t.push(record(4, 1.0, 0.5, 0.9));
+    }
+
+    #[test]
+    fn bundle_averages() {
+        let mut fast = TrainingTrace::new();
+        fast.push(record(0, 1.0, 0.5, 0.9));
+        let slow = sample_trace();
+        let bundle: TraceBundle = vec![fast, slow].into_iter().collect();
+        assert_eq!(bundle.n_runs(), 2);
+        let (mean, reached) = bundle.mean_time_to_loss(0.9);
+        assert_eq!(reached, 2);
+        assert!((mean.unwrap() - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        let (_, reached_acc) = bundle.mean_time_to_accuracy(0.9);
+        assert_eq!(reached_acc, 1);
+        assert!(bundle.mean_loss_at_time(1.0).is_some());
+        assert!(bundle.loss_std_at_time(1.0).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn bundle_handles_unreachable_targets() {
+        let bundle: TraceBundle = vec![sample_trace()].into_iter().collect();
+        assert_eq!(bundle.mean_time_to_loss(0.0), (None, 0));
+        assert_eq!(bundle.mean_loss_at_time(0.1), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the simulator: participation statistics,
+//! aggregation identities, and timing monotonicity on random instances.
+
+use fedfl_model::ModelParams;
+use fedfl_num::rng::seeded;
+use fedfl_sim::aggregation::{full_participation_aggregate, AggregationRule};
+use fedfl_sim::participation::ParticipationLevels;
+use fedfl_sim::timing::SystemProfile;
+use fedfl_sim::trace::{RoundRecord, TrainingTrace};
+use proptest::prelude::*;
+
+fn params_from(values: &[f64]) -> ModelParams {
+    let mut p = ModelParams::zeros(values.len().max(1), 1);
+    // shape: 1 class × (len+1); fill the first `len` slots.
+    for (i, &v) in values.iter().enumerate() {
+        p.as_mut_slice()[i] = v;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn participation_levels_validate_and_sum(
+        levels in prop::collection::vec(0.01f64..1.0, 1..32),
+    ) {
+        let q = ParticipationLevels::new(levels.clone()).unwrap();
+        prop_assert_eq!(q.len(), levels.len());
+        let expected: f64 = levels.iter().sum();
+        prop_assert!((q.expected_participants() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_participants_are_sorted_and_unique(
+        levels in prop::collection::vec(0.05f64..1.0, 1..24),
+        seed in any::<u64>(),
+    ) {
+        let q = ParticipationLevels::new(levels).unwrap();
+        let mut rng = seeded(seed);
+        for _ in 0..8 {
+            let s = q.sample_participants(&mut rng);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(s.iter().all(|&n| n < q.len()));
+        }
+    }
+
+    #[test]
+    fn unbiased_rule_with_full_participation_is_exact(
+        values in prop::collection::vec(-10.0f64..10.0, 3..10),
+        weights_raw in prop::collection::vec(0.1f64..5.0, 3..10),
+    ) {
+        let n = values.len().min(weights_raw.len());
+        let total: f64 = weights_raw[..n].iter().sum();
+        let weights: Vec<f64> = weights_raw[..n].iter().map(|w| w / total).collect();
+        let locals: Vec<ModelParams> = values[..n]
+            .iter()
+            .map(|&v| params_from(&[v, v * 0.5, -v]))
+            .collect();
+        let global = params_from(&[0.0, 0.0, 0.0]);
+        let q = ParticipationLevels::full(n);
+        let updates: Vec<(usize, ModelParams)> =
+            locals.iter().cloned().enumerate().collect();
+        let agg = AggregationRule::UnbiasedInverseProbability
+            .aggregate(&global, &updates, &weights, &q);
+        let reference = full_participation_aggregate(&locals, &weights);
+        for (a, b) in agg.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_round_is_identity_for_every_rule(
+        global_vals in prop::collection::vec(-5.0f64..5.0, 3..6),
+        q_level in 0.1f64..0.9,
+    ) {
+        let global = params_from(&global_vals);
+        let n = 4;
+        let weights = vec![0.25; n];
+        let q = ParticipationLevels::uniform(n, q_level).unwrap();
+        for rule in [
+            AggregationRule::UnbiasedInverseProbability,
+            AggregationRule::ParticipantWeightedAverage,
+            AggregationRule::NaiveInverseWeighting,
+        ] {
+            let agg = rule.aggregate(&global, &[], &weights, &q);
+            prop_assert_eq!(agg.as_slice(), global.as_slice());
+        }
+    }
+
+    #[test]
+    fn round_time_is_monotone_in_participants(
+        seed in any::<u64>(),
+        steps in 1usize..200,
+        model_size in 100usize..10_000,
+    ) {
+        let profile = SystemProfile::generate(seed, 8);
+        let small = profile.round_time(&[0, 1], steps, model_size);
+        let large = profile.round_time(&[0, 1, 2, 3, 4], steps, model_size);
+        prop_assert!(large >= small);
+        // And no faster than the slowest member's own time.
+        for &n in &[0usize, 1] {
+            prop_assert!(small >= profile.client_time(n, steps, model_size));
+        }
+    }
+
+    #[test]
+    fn more_local_steps_never_shorten_a_round(
+        seed in any::<u64>(),
+        steps in 1usize..100,
+    ) {
+        let profile = SystemProfile::generate(seed, 4);
+        let t1 = profile.round_time(&[0, 1, 2], steps, 1_000);
+        let t2 = profile.round_time(&[0, 1, 2], steps * 2, 1_000);
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn trace_time_queries_are_consistent(
+        losses in prop::collection::vec(0.1f64..3.0, 2..20),
+    ) {
+        let mut trace = TrainingTrace::new();
+        for (i, &l) in losses.iter().enumerate() {
+            trace.push(RoundRecord {
+                round: i,
+                sim_time: i as f64,
+                n_participants: 1,
+                global_loss: l,
+                test_accuracy: 1.0 - l / 3.0,
+            });
+        }
+        // For any target, the first-crossing time must point at a record
+        // whose loss is <= target, with no earlier crossing.
+        let target = losses.iter().cloned().fold(f64::INFINITY, f64::min) + 0.05;
+        if let Some(t) = trace.time_to_loss(target) {
+            let idx = t as usize;
+            prop_assert!(losses[idx] <= target);
+            for &l in &losses[..idx] {
+                prop_assert!(l > target);
+            }
+        }
+        // duration equals the last record's time.
+        prop_assert_eq!(trace.duration(), (losses.len() - 1) as f64);
+    }
+}

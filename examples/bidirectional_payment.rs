@@ -1,0 +1,78 @@
+//! Bi-directional payments (Theorems 2 and 3).
+//!
+//! Part 1 — cross-client comparison at a single equilibrium (Theorem 2):
+//! among clients identical except for their intrinsic value `v_n`, higher
+//! `v_n` means a *lower* equilibrium participation level and a *lower*
+//! price; past the threshold `v_t = 1/(3λ*)` the price turns negative and
+//! the client pays the server (Theorem 3).
+//!
+//! Part 2 — sweep of one client's value: the payment the server extracts
+//! from that client grows with its appetite for the model, eventually
+//! funding everyone else's participation.
+//!
+//! ```bash
+//! cargo run --release --example bidirectional_payment
+//! ```
+
+use fedfl::core::bound::BoundParams;
+use fedfl::core::game::CplGame;
+use fedfl::core::population::Population;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bound = BoundParams::new(1_000.0, 0.0, 1_000)?;
+
+    // Part 1: five clients identical in (a, G², c) but with rising v_n.
+    let values = vec![0.0, 10.0, 25.0, 60.0, 150.0];
+    let population = Population::builder()
+        .weights(vec![0.2; 5])
+        .g_squared(vec![16.0; 5])
+        .costs(vec![50.0; 5])
+        .values(values.clone())
+        .build()?;
+    let game = CplGame::new(population, bound, 30.0)?;
+    let se = game.solve()?;
+    println!("one equilibrium, clients differing only in v_n (B = 30):");
+    println!("{:>8} {:>9} {:>9} {:>10}", "v_n", "q*_n", "P*_n", "payment");
+    for (n, &v) in values.iter().enumerate() {
+        println!(
+            "{v:>8.0} {:>9.4} {:>9.2} {:>10.2}",
+            se.q()[n],
+            se.prices()[n],
+            se.payments()[n],
+        );
+    }
+    if let Some(vt) = se.payment_threshold() {
+        println!("threshold v_t = 1/(3λ*) = {vt:.1}: prices flip sign there (Theorem 3)");
+    }
+    // Theorem 2: q* strictly decreasing in v among identical clients.
+    assert!(
+        se.q().windows(2).all(|w| w[1] <= w[0] + 1e-9),
+        "Theorem 2 ordering violated"
+    );
+
+    // Part 2: grow one client's value and watch the payment it makes.
+    println!("\nsweeping client 3's value (others fixed at v = 0):");
+    println!("{:>10} {:>9} {:>9} {:>10}", "v(client3)", "q*_3", "P*_3", "payment");
+    for v3 in [0.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
+        let population = Population::builder()
+            .weights(vec![0.25; 4])
+            .g_squared(vec![16.0; 4])
+            .costs(vec![50.0; 4])
+            .values(vec![0.0, 0.0, 0.0, v3])
+            .build()?;
+        let game = CplGame::new(population, bound, 40.0)?;
+        let se = game.solve()?;
+        println!(
+            "{v3:>10.0} {:>9.4} {:>9.2} {:>10.2}",
+            se.q()[3],
+            se.prices()[3],
+            se.payments()[3],
+        );
+    }
+    println!("\nThe sweep shows the revenue channel: the client's rising appetite");
+    println!("for the model turns it into a payer whose contribution funds the");
+    println!("rest of the federation (its own q rises because the server can now");
+    println!("afford everyone — the cross-client ordering of Part 1 is what");
+    println!("Theorem 2 predicts at a fixed equilibrium).");
+    Ok(())
+}

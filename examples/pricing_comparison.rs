@@ -1,0 +1,91 @@
+//! End-to-end pricing comparison on a Setup-1-style workload: generate a
+//! non-i.i.d. federated dataset, estimate the Theorem 1 constants from a
+//! warm-up, solve all three pricing schemes, train under each induced
+//! participation profile, and report time-to-target — a miniature of the
+//! paper's Fig. 4 / Tables II–III.
+//!
+//! ```bash
+//! cargo run --release --example pricing_comparison
+//! ```
+
+use fedfl::core::bound::BoundParams;
+use fedfl::core::population::Population;
+use fedfl::core::pricing::PricingScheme;
+use fedfl::core::server::SolverOptions;
+use fedfl::data::synthetic::SyntheticConfig;
+use fedfl::model::estimate::estimate_heterogeneity;
+use fedfl::model::sgd::{LocalSgdConfig, LrSchedule};
+use fedfl::model::LogisticModel;
+use fedfl::sim::runner::{run_federated, FlRunConfig};
+use fedfl::sim::timing::SystemProfile;
+use fedfl::sim::ParticipationLevels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+    // A scaled-down Setup 1: Synthetic(1,1), 20 clients, power-law sizes.
+    let mut dataset_config = SyntheticConfig::small();
+    dataset_config.n_clients = 20;
+    dataset_config.total_samples = 2_400;
+    let dataset = dataset_config.generate(seed)?;
+    let model = LogisticModel::new(dataset.dim(), dataset.n_classes(), 1e-2)?;
+    let system = SystemProfile::generate(seed, dataset.n_clients());
+
+    let sgd = LocalSgdConfig {
+        local_steps: 50,
+        batch_size: 24,
+        schedule: LrSchedule::ExponentialDecay {
+            initial: 0.1,
+            decay: 0.99,
+        },
+    };
+    let rounds = 150;
+
+    // Warm-up: estimate per-client G_n² the way the paper describes.
+    let estimate = estimate_heterogeneity(seed, &model, &dataset, &sgd, 3)?;
+    let weights = dataset.weights();
+
+    // Population with exponential costs/values (Table I style) and a
+    // calibrated α (see fedfl-bench's experiment module for the recipe).
+    let population =
+        Population::sample(seed, &weights, &estimate.g_squared, 50.0, 4_000.0, 1.0)?;
+    let mean_a2g2: f64 =
+        population.iter().map(|c| c.a2g2()).sum::<f64>() / population.len() as f64;
+    let alpha = 0.5 * 50.0 * rounds as f64 / (4_000.0 * mean_a2g2);
+    let bound = BoundParams::new(alpha, 0.0, rounds)?;
+    let budget = 100.0;
+
+    println!("scheme     spent    E[participants]  bound var.  final loss  time-to-loss");
+    let mut target = f64::NEG_INFINITY;
+    let mut results = Vec::new();
+    for scheme in PricingScheme::all() {
+        let outcome = scheme.solve(&population, &bound, budget, &SolverOptions::default())?;
+        let q = ParticipationLevels::new(outcome.q.clone())?;
+        let config = FlRunConfig {
+            rounds,
+            sgd,
+            eval_every: 4,
+            seed,
+            ..FlRunConfig::fast()
+        };
+        let trace = run_federated(&model, &dataset, &q, &system, &config)?;
+        target = target.max(trace.final_loss().expect("evaluated"));
+        results.push((scheme, outcome, trace));
+    }
+    let target = target * 1.02;
+    for (scheme, outcome, trace) in &results {
+        println!(
+            "{:9} {:8.2} {:>16.2} {:>11.4} {:>11.4}  {}",
+            scheme.name(),
+            outcome.spent,
+            outcome.q.iter().sum::<f64>(),
+            outcome.variance_term(&population, &bound),
+            trace.final_loss().unwrap(),
+            trace
+                .time_to_loss(target)
+                .map(|t| format!("{t:.1} s"))
+                .unwrap_or_else(|| "not reached".into()),
+        );
+    }
+    println!("\n(time-to-loss target {target:.4} = worst final loss + 2%)");
+    Ok(())
+}

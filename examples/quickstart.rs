@@ -1,0 +1,62 @@
+//! Quickstart: solve the CPL game for a small population and inspect the
+//! Stackelberg equilibrium.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use fedfl::core::bound::BoundParams;
+use fedfl::core::game::CplGame;
+use fedfl::core::population::Population;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Six clients: equal data, increasing local costs, mixed intrinsic
+    // values (client 5 loves the global model, client 0 is indifferent).
+    let population = Population::builder()
+        .weights(vec![1.0 / 6.0; 6])
+        .g_squared(vec![25.0, 16.0, 36.0, 9.0, 25.0, 16.0])
+        .costs(vec![20.0, 35.0, 50.0, 65.0, 80.0, 95.0])
+        .values(vec![0.0, 5.0, 10.0, 20.0, 40.0, 120.0])
+        .build()?;
+
+    // Theorem 1 constants: α and β estimated for the task, R rounds.
+    let bound = BoundParams::new(4_000.0, 150.0, 1_000)?;
+
+    // The server has a budget of 60 monetary units.
+    let game = CplGame::new(population, bound, 60.0)?;
+    let equilibrium = game.solve()?;
+
+    println!("Stackelberg equilibrium of the CPL game (budget 60)");
+    println!("{:>7} {:>8} {:>9} {:>10}", "client", "q*", "price P*", "payment");
+    for (n, (&q, &p)) in equilibrium
+        .q()
+        .iter()
+        .zip(equilibrium.prices())
+        .enumerate()
+    {
+        println!("{n:>7} {q:>8.4} {p:>9.2} {:>10.2}", p * q);
+    }
+    println!(
+        "\nspent {:.2} of {:.2} (Lemma 3 tightness: {})",
+        equilibrium.spent(),
+        equilibrium.budget(),
+        equilibrium.is_budget_tight(1e-6),
+    );
+    if let Some(vt) = equilibrium.payment_threshold() {
+        println!("payment-direction threshold v_t = {vt:.1} (Theorem 3): clients with v > v_t pay the server");
+    }
+    println!(
+        "negative payments: {} client(s) pay the server",
+        equilibrium.negative_payment_count()
+    );
+    println!(
+        "bound-predicted optimality gap at q*: {:.4e}",
+        equilibrium.optimality_gap()
+    );
+
+    // Sanity: no client can improve by deviating from q*.
+    let verified =
+        equilibrium.verify_client_optimality(game.population(), game.bound(), 1e-6)?;
+    println!("clients best-responding (Definition 1, Stage II): {verified}");
+    Ok(())
+}

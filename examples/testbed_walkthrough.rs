@@ -1,0 +1,78 @@
+//! Walk through the simulated cross-device testbed: generate a non-i.i.d.
+//! federated dataset, give every client heterogeneous compute/network
+//! speeds, and train with randomized participation under the unbiased
+//! aggregation of Lemma 1 versus the biased participant average.
+//!
+//! ```bash
+//! cargo run --release --example testbed_walkthrough
+//! ```
+
+use fedfl::data::mnistlike::MnistLikeConfig;
+use fedfl::model::LogisticModel;
+use fedfl::sim::aggregation::AggregationRule;
+use fedfl::sim::runner::{run_federated, FlRunConfig};
+use fedfl::sim::timing::SystemProfile;
+use fedfl::sim::ParticipationLevels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 7;
+    let mut config = MnistLikeConfig::small();
+    config.n_clients = 16;
+    let dataset = config.generate(seed)?;
+    println!(
+        "dataset: {} clients, {} samples, dim {}, {} classes, label skew {:.2}, imbalance {:.1}x",
+        dataset.n_clients(),
+        dataset.total_samples(),
+        dataset.dim(),
+        dataset.n_classes(),
+        dataset.label_skew(),
+        dataset.imbalance_ratio(),
+    );
+
+    let system = SystemProfile::generate(seed, dataset.n_clients());
+    let speeds = system.compute_speeds();
+    let fastest = speeds.iter().cloned().fold(f64::MIN, f64::max);
+    let slowest = speeds.iter().cloned().fold(f64::MAX, f64::min);
+    println!("testbed: compute speeds {slowest:.0}..{fastest:.0} iterations/s (heterogeneous devices)");
+
+    let model = LogisticModel::new(dataset.dim(), dataset.n_classes(), 1e-2)?;
+    // Clients decide their own participation: here, descending with index
+    // (as if later clients had higher local costs).
+    let q = ParticipationLevels::new(
+        (0..dataset.n_clients())
+            .map(|n| (1.0 - n as f64 * 0.05).max(0.15))
+            .collect(),
+    )?;
+    println!(
+        "participation levels: {:.2}..{:.2} (expected {:.1} participants/round)",
+        q.as_slice().iter().cloned().fold(f64::MAX, f64::min),
+        q.as_slice().iter().cloned().fold(f64::MIN, f64::max),
+        q.expected_participants(),
+    );
+
+    for rule in [
+        AggregationRule::UnbiasedInverseProbability,
+        AggregationRule::ParticipantWeightedAverage,
+    ] {
+        let mut run = FlRunConfig::fast();
+        run.rounds = 40;
+        run.eval_every = 10;
+        run.aggregation = rule;
+        run.seed = seed;
+        let trace = run_federated(&model, &dataset, &q, &system, &run)?;
+        println!("\naggregation: {}", rule.name());
+        for record in trace.records() {
+            println!(
+                "  round {:>3}  t={:>6.1}s  loss={:.4}  accuracy={:.3}  participants={}",
+                record.round,
+                record.sim_time,
+                record.global_loss,
+                record.test_accuracy,
+                record.n_participants,
+            );
+        }
+    }
+    println!("\nThe unbiased rule tracks the full-participation objective;");
+    println!("the participant average drifts towards frequently-present clients.");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! # fedfl — unbiased federated learning with randomized client participation
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! architecture overview and the `examples/` directory for runnable
+//! walkthroughs.
+
+pub use fedfl_core as core;
+pub use fedfl_data as data;
+pub use fedfl_model as model;
+pub use fedfl_num as num;
+pub use fedfl_sim as sim;

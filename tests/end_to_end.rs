@@ -1,0 +1,221 @@
+//! Cross-crate integration tests: game → participation profile → federated
+//! training on the simulated testbed, exercising the full public API the
+//! way the experiment harness does.
+
+use fedfl::core::bound::BoundParams;
+use fedfl::core::game::CplGame;
+use fedfl::core::population::Population;
+use fedfl::core::pricing::PricingScheme;
+use fedfl::core::server::SolverOptions;
+use fedfl::data::synthetic::SyntheticConfig;
+use fedfl::model::estimate::estimate_heterogeneity;
+use fedfl::model::sgd::{LocalSgdConfig, LrSchedule};
+use fedfl::model::LogisticModel;
+use fedfl::sim::aggregation::AggregationRule;
+use fedfl::sim::runner::{run_federated, FlRunConfig};
+use fedfl::sim::timing::SystemProfile;
+use fedfl::sim::ParticipationLevels;
+
+struct Pipeline {
+    dataset: fedfl::data::FederatedDataset,
+    model: LogisticModel,
+    system: SystemProfile,
+    population: Population,
+    bound: BoundParams,
+    sgd: LocalSgdConfig,
+    rounds: usize,
+}
+
+fn build_pipeline(seed: u64) -> Pipeline {
+    let mut config = SyntheticConfig::small();
+    config.n_clients = 12;
+    config.total_samples = 1_500;
+    let dataset = config.generate(seed).expect("dataset");
+    let model = LogisticModel::new(dataset.dim(), dataset.n_classes(), 1e-2).expect("model");
+    let system = SystemProfile::generate(seed, dataset.n_clients());
+    let sgd = LocalSgdConfig {
+        local_steps: 20,
+        batch_size: 24,
+        schedule: LrSchedule::ExponentialDecay {
+            initial: 0.1,
+            decay: 0.99,
+        },
+    };
+    let rounds = 60;
+    let estimate = estimate_heterogeneity(seed, &model, &dataset, &sgd, 2).expect("estimate");
+    let weights = dataset.weights();
+    let population =
+        Population::sample(seed, &weights, &estimate.g_squared, 50.0, 2_000.0, 1.0)
+            .expect("population");
+    let mean_a2g2: f64 =
+        population.iter().map(|c| c.a2g2()).sum::<f64>() / population.len() as f64;
+    let alpha = 0.5 * 50.0 * rounds as f64 / (2_000.0 * mean_a2g2);
+    let bound = BoundParams::new(alpha, 0.0, rounds).expect("bound");
+    Pipeline {
+        dataset,
+        model,
+        system,
+        population,
+        bound,
+        sgd,
+        rounds,
+    }
+}
+
+fn train(pipeline: &Pipeline, q: &[f64], seed: u64) -> fedfl::sim::TrainingTrace {
+    let levels = ParticipationLevels::new(q.to_vec()).expect("levels");
+    let config = FlRunConfig {
+        rounds: pipeline.rounds,
+        sgd: pipeline.sgd,
+        aggregation: AggregationRule::UnbiasedInverseProbability,
+        eval_every: 10,
+        seed,
+        n_threads: 0,
+    };
+    run_federated(
+        &pipeline.model,
+        &pipeline.dataset,
+        &levels,
+        &pipeline.system,
+        &config,
+    )
+    .expect("training run")
+}
+
+#[test]
+fn equilibrium_profile_trains_to_a_useful_model() {
+    let p = build_pipeline(101);
+    let game = CplGame::new(p.population.clone(), p.bound, 60.0).expect("game");
+    let se = game.solve().expect("solve");
+    assert!(se.is_budget_tight(1e-6) || se.is_saturated());
+    let trace = train(&p, se.q(), 5);
+    let chance = 1.0 / p.dataset.n_classes() as f64;
+    assert!(
+        trace.final_accuracy().unwrap() > 1.5 * chance,
+        "accuracy {:?} vs chance {chance}",
+        trace.final_accuracy()
+    );
+    assert!(trace.final_loss().unwrap() < trace.records()[0].global_loss);
+}
+
+#[test]
+fn optimal_scheme_beats_baselines_on_the_bound_and_matches_budget() {
+    let p = build_pipeline(102);
+    let options = SolverOptions::default();
+    let outcomes: Vec<_> = PricingScheme::all()
+        .into_iter()
+        .map(|s| s.solve(&p.population, &p.bound, 60.0, &options).expect("solve"))
+        .collect();
+    let optimal_var = outcomes[0].variance_term(&p.population, &p.bound);
+    for outcome in &outcomes {
+        assert!(outcome.spent <= 60.0 + 1e-6);
+        assert!(
+            optimal_var <= outcome.variance_term(&p.population, &p.bound) + 1e-9,
+            "{} beat optimal",
+            outcome.scheme.name()
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_fully_deterministic() {
+    let a = build_pipeline(103);
+    let b = build_pipeline(103);
+    assert_eq!(a.population, b.population);
+    let game_a = CplGame::new(a.population.clone(), a.bound, 40.0).unwrap();
+    let game_b = CplGame::new(b.population.clone(), b.bound, 40.0).unwrap();
+    assert_eq!(game_a.solve().unwrap().q(), game_b.solve().unwrap().q());
+    let trace_a = train(&a, game_a.solve().unwrap().q(), 9);
+    let trace_b = train(&b, game_b.solve().unwrap().q(), 9);
+    assert_eq!(trace_a, trace_b);
+}
+
+#[test]
+fn negative_payments_appear_as_intrinsic_values_grow() {
+    // Table V's qualitative shape, end to end.
+    let p = build_pipeline(104);
+    let weights = p.dataset.weights();
+    let g2: Vec<f64> = p.population.iter().map(|c| c.g_squared).collect();
+    let mut counts = Vec::new();
+    for scale in [0.0, 1.0, 20.0] {
+        let population =
+            Population::sample(104, &weights, &g2, 50.0, 2_000.0 * scale, 1.0).unwrap();
+        let game = CplGame::new(population, p.bound, 40.0).unwrap();
+        let se = game.solve().unwrap();
+        counts.push(se.negative_payment_count());
+    }
+    assert_eq!(counts[0], 0, "no intrinsic value, no negative payments");
+    assert!(
+        counts[2] >= counts[1],
+        "negative payments should not shrink with v̄: {counts:?}"
+    );
+    assert!(counts[2] > 0, "high v̄ must produce payers: {counts:?}");
+}
+
+#[test]
+fn m_search_agrees_with_kkt_on_a_real_population() {
+    let p = build_pipeline(105);
+    let game = CplGame::new(p.population.clone(), p.bound, 50.0).unwrap();
+    let kkt = game.solve().unwrap();
+    let msearch = game.solve_via_m_search().unwrap();
+    let rel = (msearch.optimality_gap() - kkt.optimality_gap()).abs()
+        / kkt.optimality_gap().max(1e-12);
+    assert!(rel < 0.05, "solver disagreement: {rel}");
+}
+
+#[test]
+fn unbiased_aggregation_tracks_full_participation_reference() {
+    // Train with moderate q under the unbiased rule and compare the final
+    // loss against full participation: they must land in the same
+    // neighbourhood (the biased baseline is allowed to drift further).
+    let p = build_pipeline(106);
+    let n = p.dataset.n_clients();
+    let q = vec![0.5; n];
+    let unbiased = train(&p, &q, 3);
+    let full = train(&p, &vec![1.0; n], 3);
+    let gap_unbiased =
+        (unbiased.final_loss().unwrap() - full.final_loss().unwrap()).abs();
+    assert!(
+        gap_unbiased < 0.15 * full.final_loss().unwrap() + 0.05,
+        "unbiased run strayed too far from the reference: {gap_unbiased}"
+    );
+}
+
+#[test]
+fn zero_budget_still_yields_a_valid_game_via_intrinsic_values() {
+    // Failure-injection flavour: with B = 0 the optimal scheme must still
+    // produce a usable profile (funded by intrinsic-value payments).
+    let p = build_pipeline(107);
+    let game = CplGame::new(p.population.clone(), p.bound, 0.0).unwrap();
+    let se = game.solve().unwrap();
+    assert!(se.q().iter().all(|&q| q > 0.0));
+    assert!(se.spent() <= 1e-6);
+    let trace = train(&p, se.q(), 1);
+    assert!(trace.final_loss().unwrap().is_finite());
+}
+
+#[test]
+fn single_client_federation_degenerates_gracefully() {
+    let mut config = SyntheticConfig::small();
+    config.n_clients = 1;
+    config.total_samples = 200;
+    config.min_per_client = 200;
+    let dataset = config.generate(9).unwrap();
+    let model = LogisticModel::new(dataset.dim(), dataset.n_classes(), 1e-2).unwrap();
+    let system = SystemProfile::generate(9, 1);
+    let population = Population::builder()
+        .weights(vec![1.0])
+        .g_squared(vec![10.0])
+        .costs(vec![50.0])
+        .values(vec![100.0])
+        .build()
+        .unwrap();
+    let bound = BoundParams::new(100.0, 0.0, 20).unwrap();
+    let game = CplGame::new(population, bound, 10.0).unwrap();
+    let se = game.solve().unwrap();
+    let levels = ParticipationLevels::new(se.q().to_vec()).unwrap();
+    let mut run_config = FlRunConfig::fast();
+    run_config.rounds = 10;
+    let trace = run_federated(&model, &dataset, &levels, &system, &run_config).unwrap();
+    assert!(trace.final_loss().unwrap().is_finite());
+}

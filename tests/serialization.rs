@@ -1,0 +1,121 @@
+//! Serde round-trip tests for the public data structures (C-SERDE): every
+//! configuration and result type that an experiment pipeline would persist
+//! must survive a JSON round trip unchanged.
+
+use fedfl::core::bound::BoundParams;
+use fedfl::core::population::Population;
+use fedfl::core::server::SolverOptions;
+use fedfl::data::mnistlike::MnistLikeConfig;
+use fedfl::data::synthetic::SyntheticConfig;
+use fedfl::model::sgd::{LocalSgdConfig, LrSchedule};
+use fedfl::model::ModelParams;
+use fedfl::sim::aggregation::AggregationRule;
+use fedfl::sim::runner::FlRunConfig;
+use fedfl::sim::timing::{SystemConfig, SystemProfile};
+use fedfl::sim::trace::{RoundRecord, TrainingTrace};
+use fedfl::sim::ParticipationLevels;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn dataset_configs_roundtrip() {
+    let synthetic = SyntheticConfig::paper_setup1();
+    assert_eq!(roundtrip(&synthetic), synthetic);
+    let mnist = MnistLikeConfig::paper_setup2();
+    assert_eq!(roundtrip(&mnist), mnist);
+}
+
+#[test]
+fn model_and_sgd_configs_roundtrip() {
+    let sgd = LocalSgdConfig::paper_default();
+    assert_eq!(roundtrip(&sgd), sgd);
+    for schedule in [
+        LrSchedule::Constant(0.1),
+        LrSchedule::ExponentialDecay {
+            initial: 0.1,
+            decay: 0.996,
+        },
+        LrSchedule::Theoretical {
+            mu: 0.01,
+            l: 2.0,
+            local_steps: 100,
+        },
+    ] {
+        assert_eq!(roundtrip(&schedule), schedule);
+    }
+    let mut params = ModelParams::zeros(3, 2);
+    params.as_mut_slice()[0] = 1.25;
+    assert_eq!(roundtrip(&params), params);
+}
+
+#[test]
+fn game_types_roundtrip() {
+    let population = Population::builder()
+        .weights(vec![0.6, 0.4])
+        .g_squared(vec![4.0, 9.0])
+        .costs(vec![10.0, 20.0])
+        .values(vec![0.0, 5.0])
+        .build()
+        .unwrap();
+    assert_eq!(roundtrip(&population), population);
+    let bound = BoundParams::new(1_000.0, 25.0, 500).unwrap();
+    assert_eq!(roundtrip(&bound), bound);
+    let options = SolverOptions::default();
+    assert_eq!(roundtrip(&options), options);
+}
+
+#[test]
+fn sim_types_roundtrip() {
+    let q = ParticipationLevels::new(vec![0.25, 0.75, 1.0]).unwrap();
+    assert_eq!(roundtrip(&q), q);
+    // f64 JSON round trips can lose the last ulp; compare fields with a
+    // relative tolerance instead of exact equality.
+    let profile = SystemProfile::generate(3, 5);
+    let back = roundtrip(&profile);
+    assert_eq!(back.n_clients(), profile.n_clients());
+    for (a, b) in back
+        .compute_speeds()
+        .iter()
+        .chain(back.upload_rates())
+        .zip(profile.compute_speeds().iter().chain(profile.upload_rates()))
+    {
+        assert!((a - b).abs() <= 1e-9 * b.abs(), "{a} vs {b}");
+    }
+    let system_config = SystemConfig::default();
+    assert_eq!(roundtrip(&system_config), system_config);
+    let run = FlRunConfig::paper_default();
+    assert_eq!(roundtrip(&run), run);
+    for rule in [
+        AggregationRule::UnbiasedInverseProbability,
+        AggregationRule::ParticipantWeightedAverage,
+        AggregationRule::NaiveInverseWeighting,
+    ] {
+        assert_eq!(roundtrip(&rule), rule);
+    }
+}
+
+#[test]
+fn traces_roundtrip() {
+    let mut trace = TrainingTrace::new();
+    trace.push(RoundRecord {
+        round: 0,
+        sim_time: 0.0,
+        n_participants: 3,
+        global_loss: 2.3,
+        test_accuracy: 0.1,
+    });
+    trace.push(RoundRecord {
+        round: 5,
+        sim_time: 1.5,
+        n_participants: 2,
+        global_loss: 1.1,
+        test_accuracy: 0.6,
+    });
+    assert_eq!(roundtrip(&trace), trace);
+}
