@@ -63,9 +63,7 @@ fn bench_aggregation_rules(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(rule.name()),
             &rule,
-            |b, rule| {
-                b.iter(|| rule.aggregate(black_box(&global), &updates, &weights, &q))
-            },
+            |b, rule| b.iter(|| rule.aggregate(black_box(&global), &updates, &weights, &q)),
         );
     }
     group.finish();

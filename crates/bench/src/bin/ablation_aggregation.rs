@@ -55,7 +55,10 @@ fn main() {
             table.row(vec![
                 rule.name().to_string(),
                 format!("{:.4}", losses.iter().sum::<f64>() / losses.len() as f64),
-                format!("{:.2}%", accs.iter().sum::<f64>() / accs.len() as f64 * 100.0),
+                format!(
+                    "{:.2}%",
+                    accs.iter().sum::<f64>() / accs.len() as f64 * 100.0
+                ),
             ]);
         }
         // Full-participation reference (the unbiased target).
@@ -80,6 +83,9 @@ fn main() {
             setup.id,
             setup.dataset.name()
         );
-        save_report(&format!("ablation_aggregation_setup{}.txt", setup.id), &rendered);
+        save_report(
+            &format!("ablation_aggregation_setup{}.txt", setup.id),
+            &rendered,
+        );
     }
 }

@@ -34,7 +34,10 @@ fn main() {
             table.row(vec![
                 format!("{tau:.1}"),
                 format!("{:.2}", sol.spent),
-                format!("{}", (sol.spent - setup.budget).abs() < 1e-4 || sol.saturated),
+                format!(
+                    "{}",
+                    (sol.spent - setup.budget).abs() < 1e-4 || sol.saturated
+                ),
                 format!("{min:.4}"),
                 format!("{max:.4}"),
                 format!(

@@ -18,7 +18,7 @@ fn metrics_at_round(bundle: &TraceBundle, round: usize) -> (f64, f64, f64) {
     let mut losses = Vec::new();
     let mut accs = Vec::new();
     for trace in bundle.traces() {
-        if let Some(r) = trace.records().iter().filter(|r| r.round <= round).next_back() {
+        if let Some(r) = trace.records().iter().rfind(|r| r.round <= round) {
             losses.push(r.global_loss);
             accs.push(r.test_accuracy);
         }

@@ -29,12 +29,9 @@ fn main() {
             .solve_scheme(PricingScheme::Optimal)
             .expect("solve failed");
         // Threshold v_t = 1/(3λ*) from the full equilibrium object.
-        let game = fedfl_core::CplGame::new(
-            prepared.population.clone(),
-            prepared.bound,
-            base.budget,
-        )
-        .expect("game");
+        let game =
+            fedfl_core::CplGame::new(prepared.population.clone(), prepared.bound, base.budget)
+                .expect("game");
         let se = game.solve().expect("solve");
         table.row(vec![
             format!("{v:.0}"),

@@ -153,11 +153,9 @@ pub fn prepare(setup: &Setup, seed: u64) -> Result<PreparedExperiment, HarnessEr
     // population while α stays the fixed task property it is in the paper.
     let calibration_cost = setup.calibration_cost.unwrap_or(setup.mean_cost);
     let calibration_value = setup.calibration_value.unwrap_or(setup.mean_value);
-    let mean_a2g2: f64 =
-        population.iter().map(|c| c.a2g2()).sum::<f64>() / population.len() as f64;
+    let mean_a2g2: f64 = population.iter().map(|c| c.a2g2()).sum::<f64>() / population.len() as f64;
     let alpha = if calibration_value > 0.0 && mean_a2g2 > 0.0 {
-        setup.kappa * calibration_cost * setup.rounds as f64
-            / (calibration_value * mean_a2g2)
+        setup.kappa * calibration_cost * setup.rounds as f64 / (calibration_value * mean_a2g2)
     } else {
         // Zero intrinsic values: α only rescales the objective, any
         // positive value gives the same equilibrium.
@@ -219,11 +217,7 @@ impl PreparedExperiment {
     /// # Errors
     ///
     /// Returns [`HarnessError::Sim`] on simulation failure.
-    pub fn train_with_q(
-        &self,
-        q: &[f64],
-        run_seed: u64,
-    ) -> Result<TrainingTrace, HarnessError> {
+    pub fn train_with_q(&self, q: &[f64], run_seed: u64) -> Result<TrainingTrace, HarnessError> {
         let levels = ParticipationLevels::new(q.to_vec())?;
         Ok(run_federated(
             &self.model,
@@ -335,7 +329,12 @@ pub fn common_loss_target(comparisons: &[SchemeComparison]) -> f64 {
     comparisons
         .iter()
         .filter_map(|c| {
-            let d = c.bundle.traces().iter().map(|t| t.duration()).fold(0.0, f64::max);
+            let d = c
+                .bundle
+                .traces()
+                .iter()
+                .map(|t| t.duration())
+                .fold(0.0, f64::max);
             c.bundle.mean_loss_at_time(d)
         })
         .fold(f64::NEG_INFINITY, f64::max)
@@ -347,7 +346,12 @@ pub fn common_accuracy_target(comparisons: &[SchemeComparison]) -> f64 {
     comparisons
         .iter()
         .filter_map(|c| {
-            let d = c.bundle.traces().iter().map(|t| t.duration()).fold(0.0, f64::max);
+            let d = c
+                .bundle
+                .traces()
+                .iter()
+                .map(|t| t.duration())
+                .fold(0.0, f64::max);
             c.bundle.mean_accuracy_at_time(d)
         })
         .fold(f64::INFINITY, f64::min)
@@ -389,8 +393,8 @@ mod tests {
     fn calibration_matches_configured_means() {
         let s = tiny_setup();
         let prep = prepare(&s, 7).unwrap();
-        let mean_a2g2: f64 = prep.population.iter().map(|c| c.a2g2()).sum::<f64>()
-            / prep.population.len() as f64;
+        let mean_a2g2: f64 =
+            prep.population.iter().map(|c| c.a2g2()).sum::<f64>() / prep.population.len() as f64;
         let expected = s.kappa * s.mean_cost * s.rounds as f64 / (s.mean_value * mean_a2g2);
         assert!(
             (prep.bound.alpha() - expected).abs() / expected < 1e-12,

@@ -182,7 +182,13 @@ impl Setup {
     /// profile).
     pub fn all(quick: bool) -> Vec<Setup> {
         (1..=3)
-            .map(|id| if quick { Setup::quick(id) } else { Setup::paper(id) })
+            .map(|id| {
+                if quick {
+                    Setup::quick(id)
+                } else {
+                    Setup::paper(id)
+                }
+            })
             .collect()
     }
 
@@ -203,11 +209,20 @@ mod tests {
     #[test]
     fn paper_setups_match_table1() {
         let s1 = Setup::paper(1);
-        assert_eq!((s1.budget, s1.mean_cost, s1.mean_value), (200.0, 50.0, 4000.0));
+        assert_eq!(
+            (s1.budget, s1.mean_cost, s1.mean_value),
+            (200.0, 50.0, 4000.0)
+        );
         let s2 = Setup::paper(2);
-        assert_eq!((s2.budget, s2.mean_cost, s2.mean_value), (40.0, 20.0, 30000.0));
+        assert_eq!(
+            (s2.budget, s2.mean_cost, s2.mean_value),
+            (40.0, 20.0, 30000.0)
+        );
         let s3 = Setup::paper(3);
-        assert_eq!((s3.budget, s3.mean_cost, s3.mean_value), (500.0, 80.0, 10000.0));
+        assert_eq!(
+            (s3.budget, s3.mean_cost, s3.mean_value),
+            (500.0, 80.0, 10000.0)
+        );
         for s in [s1, s2, s3] {
             assert_eq!(s.rounds, 1000);
             assert_eq!(s.sgd.local_steps, 100);
@@ -229,7 +244,10 @@ mod tests {
             let ds = s.dataset.generate(1).unwrap();
             assert_eq!(ds.n_clients(), 40);
             assert!(ds.total_samples() <= 5_000);
-            assert!(ds.label_skew() > 0.05, "setup {id} lost its non-i.i.d. structure");
+            assert!(
+                ds.label_skew() > 0.05,
+                "setup {id} lost its non-i.i.d. structure"
+            );
         }
     }
 

@@ -164,10 +164,7 @@ pub fn solve_bayesian(
     if !(config.price_floor_fraction > 0.0 && config.price_floor_fraction < 1.0) {
         return Err(GameError::InvalidParameter {
             name: "price_floor_fraction",
-            reason: format!(
-                "must lie in (0, 1), got {}",
-                config.price_floor_fraction
-            ),
+            reason: format!("must lie in (0, 1), got {}", config.price_floor_fraction),
         });
     }
     let n = population.len();
@@ -228,9 +225,7 @@ pub fn solve_bayesian(
         };
         let mut total = 0.0;
         for row in &types {
-            for ((client, &(cost, value)), &price) in
-                population.iter().zip(row).zip(&prices)
-            {
+            for ((client, &(cost, value)), &price) in population.iter().zip(row).zip(&prices) {
                 let virtual_client = crate::population::ClientProfile {
                     cost,
                     value,
@@ -466,14 +461,16 @@ mod tests {
             n_samples: 0,
             ..Default::default()
         };
-        assert!(solve_bayesian(&p, &Prior::Point(1.0), &Prior::Point(0.0), &b, 10.0, &bad)
-            .is_err());
+        assert!(
+            solve_bayesian(&p, &Prior::Point(1.0), &Prior::Point(0.0), &b, 10.0, &bad).is_err()
+        );
         let bad = BayesianConfig {
             price_floor_fraction: 0.0,
             ..Default::default()
         };
-        assert!(solve_bayesian(&p, &Prior::Point(1.0), &Prior::Point(0.0), &b, 10.0, &bad)
-            .is_err());
+        assert!(
+            solve_bayesian(&p, &Prior::Point(1.0), &Prior::Point(0.0), &b, 10.0, &bad).is_err()
+        );
         assert!(Prior::Exponential { mean: 0.0 }
             .sample(&mut fedfl_num::rng::seeded(1))
             .is_err());

@@ -88,7 +88,7 @@ impl BoundParams {
         gamma: f64,
         w0_dist_squared: f64,
     ) -> Result<Self, GameError> {
-        if !(l.is_finite() && l > 0.0) || !(mu.is_finite() && mu > 0.0) {
+        if !(l.is_finite() && l > 0.0 && mu.is_finite() && mu > 0.0) {
             return Err(GameError::InvalidParameter {
                 name: "l/mu",
                 reason: format!("must be finite and positive, got L={l}, mu={mu}"),
@@ -235,8 +235,8 @@ mod tests {
         let g2 = [3.0, 5.0];
         let gamma = 0.7;
         let w0 = 1.5;
-        let b = BoundParams::from_constants(l, mu, e, 100, &weights, &sigma2, &g2, gamma, w0)
-            .unwrap();
+        let b =
+            BoundParams::from_constants(l, mu, e, 100, &weights, &sigma2, &g2, gamma, w0).unwrap();
         let alpha_expected = 8.0 * l * e as f64 / (mu * mu);
         assert!((b.alpha() - alpha_expected).abs() < 1e-12);
         let a0 = 0.36 * 1.0 + 0.16 * 2.0 + 8.0 * (0.6 * 3.0 + 0.4 * 5.0) * 9.0;
@@ -313,7 +313,10 @@ mod tests {
             plus[n] += eps;
             let fd = (b.optimality_gap(&p, &plus) - b.optimality_gap(&p, &q)) / eps;
             let analytic = b.marginal_gap(&p, n, q[n]);
-            assert!((fd - analytic).abs() < 1e-4, "client {n}: {fd} vs {analytic}");
+            assert!(
+                (fd - analytic).abs() < 1e-4,
+                "client {n}: {fd} vs {analytic}"
+            );
         }
     }
 }

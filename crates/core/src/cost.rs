@@ -73,11 +73,7 @@ impl CostComponents {
     ///
     /// Returns [`GameError::InvalidParameter`] for a non-positive price or
     /// zero rounds.
-    pub fn cost_coefficient(
-        &self,
-        price_per_second: f64,
-        rounds: usize,
-    ) -> Result<f64, GameError> {
+    pub fn cost_coefficient(&self, price_per_second: f64, rounds: usize) -> Result<f64, GameError> {
         if !(price_per_second.is_finite() && price_per_second > 0.0) {
             return Err(GameError::InvalidParameter {
                 name: "price_per_second",

@@ -101,7 +101,11 @@ impl StackelbergEquilibrium {
     /// Per-client payments `P*_n q*_n` (negative = the client pays the
     /// server).
     pub fn payments(&self) -> Vec<f64> {
-        self.prices.iter().zip(&self.q).map(|(&p, &q)| p * q).collect()
+        self.prices
+            .iter()
+            .zip(&self.q)
+            .map(|(&p, &q)| p * q)
+            .collect()
     }
 
     /// Number of clients paying the server — the quantity of Table V.
@@ -119,11 +123,7 @@ impl StackelbergEquilibrium {
     /// Theorem 2's invariant `(4R/α)·c_n q*_n³/(a_n²G_n²) + v_n`, evaluated
     /// for every *interior* client (those strictly between the floor and
     /// their cap). At an exact SE all returned values equal `1/λ*`.
-    pub fn theorem2_invariants(
-        &self,
-        population: &Population,
-        bound: &BoundParams,
-    ) -> Vec<f64> {
+    pub fn theorem2_invariants(&self, population: &Population, bound: &BoundParams) -> Vec<f64> {
         let coef = 4.0 / bound.alpha_over_r();
         population
             .iter()
@@ -207,9 +207,7 @@ impl StackelbergEquilibrium {
             let u_star = own_utility(c, bound, self.prices[n], self.q[n]);
             for i in 1..=100 {
                 let q = i as f64 / 100.0 * c.q_max;
-                if own_utility(c, bound, self.prices[n], q)
-                    > u_star + tol * u_star.abs().max(1.0)
-                {
+                if own_utility(c, bound, self.prices[n], q) > u_star + tol * u_star.abs().max(1.0) {
                     return Ok(false);
                 }
             }
@@ -362,8 +360,7 @@ mod tests {
             let c = p.client(n);
             c.cost * c.weight * c.g_squared.sqrt()
         };
-        let interior =
-            |n: usize| se.q()[n] > Q_MIN * 1.01 && se.q()[n] < p.client(n).q_max * 0.999;
+        let interior = |n: usize| se.q()[n] > Q_MIN * 1.01 && se.q()[n] < p.client(n).q_max * 0.999;
         if interior(0) && interior(1) && p.client(0).value < vt && p.client(1).value < vt {
             assert!(caig(0) > caig(1), "fixture must order c·a·G");
             assert!(

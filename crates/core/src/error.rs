@@ -38,7 +38,10 @@ impl fmt::Display for GameError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             GameError::LengthMismatch { expected, found } => {
-                write!(f, "length mismatch: expected {expected} clients, found {found}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} clients, found {found}"
+                )
             }
             GameError::Numeric(e) => write!(f, "numeric error: {e}"),
             GameError::SolverFailed { solver, reason } => {

@@ -29,11 +29,7 @@ impl CplGame {
     /// # Errors
     ///
     /// Returns [`GameError::InvalidParameter`] for a non-finite budget.
-    pub fn new(
-        population: Population,
-        bound: BoundParams,
-        budget: f64,
-    ) -> Result<Self, GameError> {
+    pub fn new(population: Population, bound: BoundParams, budget: f64) -> Result<Self, GameError> {
         if !budget.is_finite() {
             return Err(GameError::InvalidParameter {
                 name: "budget",
@@ -96,8 +92,7 @@ impl CplGame {
     ///
     /// Returns [`GameError::SolverFailed`] if no feasible `M` exists.
     pub fn solve_via_m_search(&self) -> Result<StackelbergEquilibrium, GameError> {
-        let stage_one =
-            solve_m_search(&self.population, &self.bound, self.budget, &self.options)?;
+        let stage_one = solve_m_search(&self.population, &self.bound, self.budget, &self.options)?;
         Ok(StackelbergEquilibrium::from_stage_one(
             stage_one,
             &self.population,

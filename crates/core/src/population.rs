@@ -172,7 +172,9 @@ impl Population {
             vec![0.0; weights.len()]
         } else {
             let value_dist = Exponential::with_mean(mean_value)?;
-            (0..weights.len()).map(|_| value_dist.sample(&mut rng)).collect()
+            (0..weights.len())
+                .map(|_| value_dist.sample(&mut rng))
+                .collect()
         };
         Self::builder()
             .weights(weights.to_vec())
@@ -358,10 +360,19 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(valid_builder().weights(vec![0.5, 0.3, 0.3]).build().is_err());
+        assert!(valid_builder()
+            .weights(vec![0.5, 0.3, 0.3])
+            .build()
+            .is_err());
         assert!(valid_builder().costs(vec![0.0, 1.0, 1.0]).build().is_err());
-        assert!(valid_builder().values(vec![-1.0, 0.0, 0.0]).build().is_err());
-        assert!(valid_builder().g_squared(vec![0.0, 1.0, 1.0]).build().is_err());
+        assert!(valid_builder()
+            .values(vec![-1.0, 0.0, 0.0])
+            .build()
+            .is_err());
+        assert!(valid_builder()
+            .g_squared(vec![0.0, 1.0, 1.0])
+            .build()
+            .is_err());
         assert!(valid_builder().q_max_all(1.5).build().is_err());
         assert!(valid_builder().q_max_all(0.0).build().is_err());
         assert!(Population::new(vec![]).is_err());

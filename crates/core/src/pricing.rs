@@ -88,11 +88,18 @@ impl PricingScheme {
             PricingScheme::Weighted => {
                 let n = population.len() as f64;
                 let weights = population.weights();
-                solve_scaled(*self, population, bound, budget, options, move |i, scale| {
-                    // Normalise so that `scale` is the mean price; keeps the
-                    // bisection range comparable with the uniform scheme.
-                    scale * weights[i] * n
-                })
+                solve_scaled(
+                    *self,
+                    population,
+                    bound,
+                    budget,
+                    options,
+                    move |i, scale| {
+                        // Normalise so that `scale` is the mean price; keeps the
+                        // bisection range comparable with the uniform scheme.
+                        scale * weights[i] * n
+                    },
+                )
             }
         }
     }
@@ -293,7 +300,9 @@ mod tests {
             .collect();
         let first = ratios[0];
         assert!(
-            ratios.iter().all(|&r| (r - first).abs() < 1e-6 * first.abs().max(1.0)),
+            ratios
+                .iter()
+                .all(|&r| (r - first).abs() < 1e-6 * first.abs().max(1.0)),
             "{ratios:?}"
         );
         // The largest client has the largest price.
@@ -306,7 +315,9 @@ mod tests {
         let b = bound();
         let budget = 10.0;
         for scheme in [PricingScheme::Uniform, PricingScheme::Weighted] {
-            let o = scheme.solve(&p, &b, budget, &SolverOptions::default()).unwrap();
+            let o = scheme
+                .solve(&p, &b, budget, &SolverOptions::default())
+                .unwrap();
             if !o.saturated {
                 assert!(
                     (o.spent - budget).abs() < 1e-5,
@@ -344,11 +355,10 @@ mod tests {
 
     #[test]
     fn scheme_names_and_order() {
-        assert_eq!(PricingScheme::all().map(|s| s.name()), [
-            "proposed",
-            "weighted",
-            "uniform"
-        ]);
+        assert_eq!(
+            PricingScheme::all().map(|s| s.name()),
+            ["proposed", "weighted", "uniform"]
+        );
     }
 
     #[test]

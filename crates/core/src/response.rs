@@ -191,10 +191,7 @@ mod tests {
             .filter(|&q| q > 1e-9 && q < c.q_max - 1e-9)
             .collect();
         for w in interior.windows(3) {
-            assert!(
-                w[2] - w[1] >= w[1] - w[0] - 1e-9,
-                "q*(P) not convex: {w:?}"
-            );
+            assert!(w[2] - w[1] >= w[1] - w[0] - 1e-9, "q*(P) not convex: {w:?}");
         }
     }
 
@@ -206,7 +203,10 @@ mod tests {
             for &q in &[0.1, 0.35, 0.8] {
                 let p = inverse_price(&c, &b, q).unwrap();
                 let q_back = best_response(&c, &b, p).unwrap();
-                assert!((q_back - q).abs() < 1e-8, "roundtrip {q} -> {p} -> {q_back}");
+                assert!(
+                    (q_back - q).abs() < 1e-8,
+                    "roundtrip {q} -> {p} -> {q_back}"
+                );
             }
         }
     }

@@ -28,9 +28,9 @@
 use crate::bound::BoundParams;
 use crate::error::GameError;
 use crate::population::{Population, Q_MIN};
-use crate::response::{inverse_price, intrinsic_gain};
+use crate::response::{intrinsic_gain, inverse_price};
 use fedfl_num::solve::{
-    bisect_monotone, penalty_minimize, BoxConstraints, ConstraintKind, PgdConfig,
+    bisect_monotone, penalty_minimize, BoxConstraints, ConstraintFn, ConstraintKind, PgdConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -91,7 +91,12 @@ impl StageOneSolution {
 }
 
 /// Participation profile along the KKT path at `t = 1/λ`.
-fn q_path(population: &Population, bound: &BoundParams, options: &SolverOptions, t: f64) -> Vec<f64> {
+fn q_path(
+    population: &Population,
+    bound: &BoundParams,
+    options: &SolverOptions,
+    t: f64,
+) -> Vec<f64> {
     let coef = bound.alpha_over_r() / 4.0;
     population
         .iter()
@@ -115,7 +120,11 @@ fn spend(population: &Population, bound: &BoundParams, q: &[f64]) -> f64 {
         .sum()
 }
 
-fn prices_for(population: &Population, bound: &BoundParams, q: &[f64]) -> Result<Vec<f64>, GameError> {
+fn prices_for(
+    population: &Population,
+    bound: &BoundParams,
+    q: &[f64],
+) -> Result<Vec<f64>, GameError> {
     population
         .iter()
         .zip(q)
@@ -185,7 +194,11 @@ pub fn solve_kkt(
         (q_at(t_hi), None, true)
     } else {
         let t_star = bisect_monotone(spend_at, budget, 0.0, t_hi, options.tol)?;
-        let lambda = if t_star > 0.0 { Some(1.0 / t_star) } else { None };
+        let lambda = if t_star > 0.0 {
+            Some(1.0 / t_star)
+        } else {
+            None
+        };
         (q_at(t_star), lambda, false)
     };
     let prices = prices_for(population, bound, &q)?;
@@ -243,10 +256,7 @@ pub fn solve_m_search(
     // Inner solve for a fixed M with an explicit warm start; returns the
     // variance-term value and the solution, or None if infeasible.
     let inner = |m: f64, x0: &[f64]| -> Option<(f64, Vec<f64>)> {
-        let mut constraints: Vec<(
-            ConstraintKind,
-            Box<dyn FnMut(&[f64], &mut [f64]) -> f64>,
-        )> = vec![
+        let mut constraints: Vec<(ConstraintKind, ConstraintFn<'_>)> = vec![
             (
                 ConstraintKind::Inequality,
                 Box::new({
@@ -296,9 +306,7 @@ pub fn solve_m_search(
         let q = result.x;
         let m_actual: f64 = costs.iter().zip(&q).map(|(&c, &qi)| c * qi * qi).sum();
         let spent_actual = spend(population, bound, &q);
-        if (m_actual - m).abs() / m_scale > 1e-3
-            || (spent_actual - budget) / budget_scale > 1e-3
-        {
+        if (m_actual - m).abs() / m_scale > 1e-3 || (spent_actual - budget) / budget_scale > 1e-3 {
             return None;
         }
         let value: f64 = a2g2
@@ -383,10 +391,7 @@ mod tests {
             sol.spent
         );
         assert!(sol.lambda.unwrap() > 0.0);
-        assert!(sol
-            .q
-            .iter()
-            .all(|&q| (Q_MIN..=1.0).contains(&q)));
+        assert!(sol.q.iter().all(|&q| (Q_MIN..=1.0).contains(&q)));
     }
 
     #[test]

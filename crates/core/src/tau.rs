@@ -66,7 +66,9 @@ pub fn best_response_tau(
         if price <= 0.0 {
             return Ok(0.0);
         }
-        return Ok((price / (tau * c)).powf(1.0 / (tau - 1.0)).min(client.q_max));
+        return Ok((price / (tau * c))
+            .powf(1.0 / (tau - 1.0))
+            .min(client.q_max));
     }
     // f(q) = P + K/q² − τ c q^{τ−1}: +∞ at 0+, strictly decreasing.
     let f = |q: f64| price + k / (q * q) - tau * c * q.powf(tau - 1.0);
@@ -171,7 +173,11 @@ pub fn solve_kkt_tau(
         (q_at(t_hi), None, true)
     } else {
         let t_star = bisect_monotone(spend_at, budget, 0.0, t_hi, options.tol)?;
-        let lambda = if t_star > 0.0 { Some(1.0 / t_star) } else { None };
+        let lambda = if t_star > 0.0 {
+            Some(1.0 / t_star)
+        } else {
+            None
+        };
         (q_at(t_star), lambda, false)
     };
     let prices = population
@@ -223,8 +229,7 @@ mod tests {
     #[test]
     fn tau_two_matches_the_cubic_machinery() {
         let b = bound();
-        for &(cost, value, price) in &[(50.0, 40.0, 10.0), (20.0, 0.0, 30.0), (80.0, 90.0, -5.0)]
-        {
+        for &(cost, value, price) in &[(50.0, 40.0, 10.0), (20.0, 0.0, 30.0), (80.0, 90.0, -5.0)] {
             let c = client(cost, value);
             let q_tau = best_response_tau(&c, &b, price, 2.0).unwrap();
             let q_cubic = best_response(&c, &b, price).unwrap();
@@ -307,9 +312,7 @@ mod tests {
                 .zip(&sol.q)
                 .filter(|(c, &q)| q > 1e-3 && q < c.q_max * 0.999)
                 .map(|(c, &q)| {
-                    tau * tau * c.cost * q.powf(tau + 1.0)
-                        / (b.alpha_over_r() * c.a2g2())
-                        + c.value
+                    tau * tau * c.cost * q.powf(tau + 1.0) / (b.alpha_over_r() * c.a2g2()) + c.value
                 })
                 .collect();
             if invariants.len() >= 2 {

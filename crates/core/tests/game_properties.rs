@@ -14,10 +14,10 @@ fn population_strategy() -> impl Strategy<Value = Population> {
     (2usize..8)
         .prop_flat_map(|n| {
             (
-                prop::collection::vec(0.1f64..10.0, n),   // raw weights
-                prop::collection::vec(0.5f64..50.0, n),   // G²
-                prop::collection::vec(5.0f64..200.0, n),  // c
-                prop::collection::vec(0.0f64..20.0, n),   // v
+                prop::collection::vec(0.1f64..10.0, n),  // raw weights
+                prop::collection::vec(0.5f64..50.0, n),  // G²
+                prop::collection::vec(5.0f64..200.0, n), // c
+                prop::collection::vec(0.0f64..20.0, n),  // v
             )
         })
         .prop_map(|(raw_w, g2, c, v)| {

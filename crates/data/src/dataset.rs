@@ -271,11 +271,7 @@ impl FederatedDataset {
 
     /// Imbalance ratio `max d_n / min d_n` over non-empty clients.
     pub fn imbalance_ratio(&self) -> f64 {
-        let sizes: Vec<usize> = self
-            .sizes()
-            .into_iter()
-            .filter(|&s| s > 0)
-            .collect();
+        let sizes: Vec<usize> = self.sizes().into_iter().filter(|&s| s > 0).collect();
         let max = *sizes.iter().max().expect("validated non-empty") as f64;
         let min = *sizes.iter().min().expect("validated non-empty") as f64;
         max / min
@@ -313,26 +309,24 @@ mod tests {
         let bad_dim = ClientDataset::new(vec![sample(2, 0)]);
         let bad_label = ClientDataset::new(vec![sample(3, 9)]);
         assert!(FederatedDataset::new(vec![], ClientDataset::default(), 3, 2).is_err());
+        assert!(FederatedDataset::new(
+            vec![ClientDataset::default()],
+            ClientDataset::default(),
+            3,
+            2
+        )
+        .is_err());
         assert!(
-            FederatedDataset::new(vec![ClientDataset::default()], ClientDataset::default(), 3, 2)
+            FederatedDataset::new(vec![ok.clone(), bad_dim], ClientDataset::default(), 3, 2)
                 .is_err()
         );
-        assert!(FederatedDataset::new(
-            vec![ok.clone(), bad_dim],
-            ClientDataset::default(),
-            3,
-            2
-        )
-        .is_err());
-        assert!(FederatedDataset::new(
-            vec![ok.clone(), bad_label],
-            ClientDataset::default(),
-            3,
-            2
-        )
-        .is_err());
-        assert!(FederatedDataset::new(vec![ok], ClientDataset::new(vec![sample(1, 0)]), 3, 2)
-            .is_err());
+        assert!(
+            FederatedDataset::new(vec![ok.clone(), bad_label], ClientDataset::default(), 3, 2)
+                .is_err()
+        );
+        assert!(
+            FederatedDataset::new(vec![ok], ClientDataset::new(vec![sample(1, 0)]), 3, 2).is_err()
+        );
     }
 
     #[test]
@@ -341,7 +335,10 @@ mod tests {
         assert_eq!(ds.label_histograms(), vec![vec![2, 1], vec![0, 1]]);
         // Global: (0.5, 0.5); client0: (2/3, 1/3) tv=1/6; client1: (0,1) tv=1/2.
         let skew = ds.label_skew();
-        assert!((skew - (1.0 / 6.0 + 0.5) / 2.0).abs() < 1e-12, "skew {skew}");
+        assert!(
+            (skew - (1.0 / 6.0 + 0.5) / 2.0).abs() < 1e-12,
+            "skew {skew}"
+        );
     }
 
     #[test]

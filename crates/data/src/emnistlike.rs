@@ -95,7 +95,7 @@ mod tests {
         assert_eq!(ds.n_classes(), 26);
         assert_eq!(ds.n_clients(), 10);
         // Every class covered across the federation.
-        let mut covered = vec![false; 26];
+        let mut covered = [false; 26];
         for c in ds.clients() {
             for (k, cnt) in c.label_histogram(26).into_iter().enumerate() {
                 if cnt > 0 {

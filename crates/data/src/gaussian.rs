@@ -156,10 +156,7 @@ mod tests {
         let g = ClassGaussian::new(&mut rng, 8, 2, 4.0, 1.0).unwrap();
         let labels = vec![0, 1, 1, 0];
         let samples = g.sample_many(&mut rng, &labels);
-        assert_eq!(
-            samples.iter().map(|s| s.label).collect::<Vec<_>>(),
-            labels
-        );
+        assert_eq!(samples.iter().map(|s| s.label).collect::<Vec<_>>(), labels);
         assert!(samples.iter().all(|s| s.features.len() == 8));
     }
 

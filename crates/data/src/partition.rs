@@ -9,7 +9,7 @@
 use crate::error::DataError;
 use fedfl_num::dist::BoundedPareto;
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Split `total` samples among `n_clients` following a bounded-Pareto power
 /// law with shape `shape`, guaranteeing every client at least `min_per_client`
@@ -219,7 +219,7 @@ mod tests {
         for _ in 0..20 {
             let a = class_assignment(&mut rng, 40, 10, 1, 6).unwrap();
             assert_eq!(a.len(), 40);
-            let mut covered = vec![false; 10];
+            let mut covered = [false; 10];
             for classes in &a {
                 assert!(!classes.is_empty() && classes.len() <= 7);
                 for &c in classes {

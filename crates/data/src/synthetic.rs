@@ -97,8 +97,10 @@ impl SyntheticConfig {
                 reason: "need dim >= 1 and n_classes >= 2".into(),
             });
         }
-        if !(self.alpha.is_finite() && self.alpha >= 0.0)
-            || !(self.beta.is_finite() && self.beta >= 0.0)
+        if !(self.alpha.is_finite()
+            && self.alpha >= 0.0
+            && self.beta.is_finite()
+            && self.beta >= 0.0)
         {
             return Err(DataError::InvalidConfig {
                 field: "alpha/beta",
@@ -278,9 +280,7 @@ mod tests {
                     let means: Vec<f64> = ds
                         .clients()
                         .iter()
-                        .map(|c| {
-                            c.iter().map(|s| s.features[j]).sum::<f64>() / c.len() as f64
-                        })
+                        .map(|c| c.iter().map(|s| s.features[j]).sum::<f64>() / c.len() as f64)
                         .collect();
                     fedfl_num::stats::variance(&means).unwrap()
                 })

@@ -176,8 +176,7 @@ mod tests {
     #[test]
     fn estimates_are_positive_and_shaped() {
         let (ds, model) = setup();
-        let est =
-            estimate_heterogeneity(7, &model, &ds, &LocalSgdConfig::fast(), 3).unwrap();
+        let est = estimate_heterogeneity(7, &model, &ds, &LocalSgdConfig::fast(), 3).unwrap();
         assert_eq!(est.g_squared.len(), ds.n_clients());
         assert_eq!(est.sigma_squared.len(), ds.n_clients());
         assert!(est.g_squared.iter().all(|&g| g > 0.0));
@@ -198,8 +197,7 @@ mod tests {
     #[test]
     fn g_estimates_reflect_client_heterogeneity() {
         let (ds, model) = setup();
-        let est =
-            estimate_heterogeneity(11, &model, &ds, &LocalSgdConfig::fast(), 3).unwrap();
+        let est = estimate_heterogeneity(11, &model, &ds, &LocalSgdConfig::fast(), 3).unwrap();
         // Non-i.i.d. shards: the spread of G_n across clients is material.
         let max = est.g_squared.iter().cloned().fold(f64::MIN, f64::max);
         let min = est.g_squared.iter().cloned().fold(f64::MAX, f64::min);

@@ -155,8 +155,8 @@ impl LogisticModel {
             count += 1;
             let mut probs = params.logits(&s.features);
             Self::softmax(&mut probs);
-            for c in 0..self.n_classes {
-                let coef = probs[c] - if c == s.label { 1.0 } else { 0.0 };
+            for (c, &prob) in probs.iter().enumerate() {
+                let coef = prob - if c == s.label { 1.0 } else { 0.0 };
                 let row = grad.class_weights_mut(c);
                 for (j, &xj) in s.features.iter().enumerate() {
                     row[j] += coef * xj;
@@ -320,7 +320,11 @@ mod tests {
         let wdiff = w1.delta(&w2);
         let inner = fedfl_num::linalg::dot(gdiff.as_slice(), wdiff.as_slice());
         let d2 = wdiff.norm().powi(2);
-        assert!(inner >= mu * d2 - 1e-9, "inner {inner} vs mu*d2 {}", mu * d2);
+        assert!(
+            inner >= mu * d2 - 1e-9,
+            "inner {inner} vs mu*d2 {}",
+            mu * d2
+        );
     }
 
     #[test]

@@ -74,12 +74,7 @@ mod tests {
         let params = model.zero_params();
         let global = global_loss(&model, &params, &ds);
         let locals = local_losses(&model, &params, &ds);
-        let manual: f64 = ds
-            .weights()
-            .iter()
-            .zip(&locals)
-            .map(|(&a, &l)| a * l)
-            .sum();
+        let manual: f64 = ds.weights().iter().zip(&locals).map(|(&a, &l)| a * l).sum();
         assert!((global - manual).abs() < 1e-12);
     }
 

@@ -11,7 +11,7 @@ use crate::error::ModelError;
 use crate::logistic::LogisticModel;
 use crate::params::ModelParams;
 use fedfl_data::Sample;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Learning-rate schedule across communication rounds.
@@ -138,10 +138,7 @@ pub struct LocalUpdate {
 impl LocalUpdate {
     /// Maximum squared stochastic-gradient norm seen this round.
     pub fn max_grad_norm_squared(&self) -> f64 {
-        self.grad_norms_squared
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max)
+        self.grad_norms_squared.iter().cloned().fold(0.0, f64::max)
     }
 
     /// Mean squared stochastic-gradient norm seen this round.
@@ -206,7 +203,7 @@ mod tests {
         (0..64)
             .map(|i| {
                 let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
-                Sample::new(vec![sign * 2.0, sign * -1.0], usize::from(i % 2 == 1))
+                Sample::new(vec![sign * 2.0, -sign], usize::from(i % 2 == 1))
             })
             .collect()
     }
@@ -327,8 +324,7 @@ mod tests {
             schedule: LrSchedule::Constant(0.1),
         };
         let start = model.zero_params();
-        let update =
-            run_local_sgd(&mut seeded(5), &model, &start, &samples, &config, 0).unwrap();
+        let update = run_local_sgd(&mut seeded(5), &model, &start, &samples, &config, 0).unwrap();
         assert_eq!(update.grad_norms_squared.len(), 3);
     }
 }

@@ -12,7 +12,9 @@ use proptest::prelude::*;
 fn random_samples(dim: usize, n_classes: usize, count: usize, seed: u64) -> Vec<Sample> {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     (0..count)

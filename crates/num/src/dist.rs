@@ -9,7 +9,7 @@
 //! external distribution crate.
 
 use crate::error::NumError;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Normal (Gaussian) distribution sampled with the Box–Muller transform.
 ///
@@ -411,10 +411,7 @@ mod tests {
         for &p in &[0.0, 0.25, 0.5, 0.9, 1.0] {
             let hits = (0..100_000).filter(|_| bernoulli(&mut rng, p)).count();
             let freq = hits as f64 / 100_000.0;
-            assert!(
-                (freq - p).abs() < 0.01,
-                "p={p} freq={freq}"
-            );
+            assert!((freq - p).abs() < 0.01, "p={p} freq={freq}");
         }
     }
 

@@ -54,10 +54,7 @@ pub fn norm2_squared(x: &[f64]) -> f64 {
 #[inline]
 pub fn dist2_squared(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dist2_squared: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
 }
 
 /// `out = a - b` elementwise.
@@ -188,7 +185,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j]
     }
 
@@ -198,7 +198,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j] = value;
     }
 
@@ -220,8 +223,8 @@ impl Matrix {
     pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
         debug_assert_eq!(y.len(), self.rows, "matvec_t: length mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            axpy(y[i], self.row(i), &mut out);
+        for (i, &yi) in y.iter().enumerate() {
+            axpy(yi, self.row(i), &mut out);
         }
         out
     }
@@ -234,8 +237,8 @@ impl Matrix {
     pub fn rank1_update(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
         debug_assert_eq!(u.len(), self.rows, "rank1_update: u length mismatch");
         debug_assert_eq!(v.len(), self.cols, "rank1_update: v length mismatch");
-        for i in 0..self.rows {
-            let coef = alpha * u[i];
+        for (i, &ui) in u.iter().enumerate() {
+            let coef = alpha * ui;
             axpy(coef, v, &mut self.data[i * self.cols..(i + 1) * self.cols]);
         }
     }

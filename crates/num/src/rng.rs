@@ -6,7 +6,7 @@
 //! [`split`], which makes whole experiments bit-reproducible.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Create a deterministic generator from a 64-bit seed.
 ///
@@ -39,8 +39,7 @@ pub fn seeded(seed: u64) -> StdRng {
 /// assert_ne!(data_seed, sgd_seed);
 /// ```
 pub fn split(parent: u64, label: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(label.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(label.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -24,12 +24,7 @@ pub const DEFAULT_MAX_ITER: usize = 200;
 ///
 /// Returns [`NumError::NoBracket`] if the interval does not bracket a sign
 /// change, and [`NumError::InvalidParameter`] if the interval is invalid.
-pub fn bisect<F: FnMut(f64) -> f64>(
-    mut f: F,
-    lo: f64,
-    hi: f64,
-    tol: f64,
-) -> Result<f64, NumError> {
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> Result<f64, NumError> {
     if !(lo.is_finite() && hi.is_finite()) || lo > hi {
         return Err(NumError::InvalidParameter {
             name: "interval",
@@ -117,7 +112,11 @@ where
             b = x;
         }
         let d = df(x);
-        let newton = if d.abs() > 1e-300 { x - fx / d } else { f64::NAN };
+        let newton = if d.abs() > 1e-300 {
+            x - fx / d
+        } else {
+            f64::NAN
+        };
         x = if newton.is_finite() && newton > a && newton < b {
             newton
         } else {
@@ -256,13 +255,10 @@ pub fn best_response_cubic(c: f64, p: f64, k: f64) -> Result<f64, NumError> {
     // g(q) = 2c q^3 - P q^2 - K; g(0) = -K < 0 and g -> +inf, and any root
     // has g'(root) > 0, so the positive root is unique.
     let roots = cubic_real_roots(2.0 * c, -p, 0.0, -k)?;
-    let root = roots.into_iter().filter(|&r| r > 0.0).fold(f64::NAN, |acc, r| {
-        if acc.is_nan() {
-            r
-        } else {
-            acc.max(r)
-        }
-    });
+    let root = roots
+        .into_iter()
+        .filter(|&r| r > 0.0)
+        .fold(f64::NAN, |acc, r| if acc.is_nan() { r } else { acc.max(r) });
     if root.is_nan() {
         // Fall back to bracketed search; cannot happen analytically but we
         // keep the solver total.

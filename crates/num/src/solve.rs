@@ -238,6 +238,10 @@ pub enum ConstraintKind {
     Inequality,
 }
 
+/// A boxed constraint callback for [`penalty_minimize`]: evaluates `g(x)`
+/// and writes `∇g(x)` into its second argument.
+pub type ConstraintFn<'a> = Box<dyn FnMut(&[f64], &mut [f64]) -> f64 + 'a>;
+
 /// Minimise `f` over a box subject to scalar coupling constraints, by
 /// quadratic-penalty continuation around [`projected_gradient`].
 ///
@@ -249,10 +253,9 @@ pub enum ConstraintKind {
 ///
 /// Propagates [`projected_gradient`] errors; returns
 /// [`NumError::NoConvergence`] if feasibility is not reached.
-#[allow(clippy::type_complexity)]
 pub fn penalty_minimize<F>(
     mut fg: F,
-    constraints: &mut [(ConstraintKind, Box<dyn FnMut(&[f64], &mut [f64]) -> f64 + '_>)],
+    constraints: &mut [(ConstraintKind, ConstraintFn<'_>)],
     x0: &[f64],
     bounds: &BoxConstraints,
     config: &PgdConfig,
@@ -455,10 +458,7 @@ mod tests {
     fn penalty_enforces_equality() {
         // min sum((x-2)^2) s.t. sum(x) = 1, x in [0, 5]^2 -> x = (0.5, 0.5).
         let b = BoxConstraints::uniform(2, 0.0, 5.0).unwrap();
-        let mut constraints: Vec<(
-            ConstraintKind,
-            Box<dyn FnMut(&[f64], &mut [f64]) -> f64>,
-        )> = vec![(
+        let mut constraints: Vec<(ConstraintKind, ConstraintFn<'_>)> = vec![(
             ConstraintKind::Equality,
             Box::new(|x: &[f64], g: &mut [f64]| {
                 g[0] = 1.0;
@@ -491,10 +491,7 @@ mod tests {
     fn penalty_inactive_inequality_is_free() {
         // Constraint x0 <= 10 never binds.
         let b = BoxConstraints::uniform(1, -5.0, 5.0).unwrap();
-        let mut constraints: Vec<(
-            ConstraintKind,
-            Box<dyn FnMut(&[f64], &mut [f64]) -> f64>,
-        )> = vec![(
+        let mut constraints: Vec<(ConstraintKind, ConstraintFn<'_>)> = vec![(
             ConstraintKind::Inequality,
             Box::new(|x: &[f64], g: &mut [f64]| {
                 g[0] = 1.0;

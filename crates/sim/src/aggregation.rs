@@ -113,13 +113,9 @@ impl AggregationRule {
 /// # Panics
 ///
 /// Panics if shapes or lengths disagree.
-pub fn full_participation_aggregate(
-    updates: &[ModelParams],
-    weights: &[f64],
-) -> ModelParams {
+pub fn full_participation_aggregate(updates: &[ModelParams], weights: &[f64]) -> ModelParams {
     assert_eq!(updates.len(), weights.len(), "length mismatch");
-    let items: Vec<(f64, &ModelParams)> =
-        weights.iter().cloned().zip(updates.iter()).collect();
+    let items: Vec<(f64, &ModelParams)> = weights.iter().cloned().zip(updates.iter()).collect();
     ModelParams::weighted_sum(&items)
 }
 
@@ -157,10 +153,9 @@ mod tests {
     fn unbiased_rule_with_q1_equals_full_participation() {
         let (global, locals, weights) = scenario();
         let q = ParticipationLevels::full(3);
-        let updates: Vec<(usize, ModelParams)> =
-            locals.iter().cloned().enumerate().collect();
-        let agg = AggregationRule::UnbiasedInverseProbability
-            .aggregate(&global, &updates, &weights, &q);
+        let updates: Vec<(usize, ModelParams)> = locals.iter().cloned().enumerate().collect();
+        let agg =
+            AggregationRule::UnbiasedInverseProbability.aggregate(&global, &updates, &weights, &q);
         let reference = full_participation_aggregate(&locals, &weights);
         for (a, b) in agg.as_slice().iter().zip(reference.as_slice()) {
             assert!((a - b).abs() < 1e-12);
@@ -207,8 +202,8 @@ mod tests {
                 .iter()
                 .map(|&n| (n, locals[n].clone()))
                 .collect();
-            let agg = AggregationRule::NaiveInverseWeighting
-                .aggregate(&global, &updates, &weights, &q);
+            let agg =
+                AggregationRule::NaiveInverseWeighting.aggregate(&global, &updates, &weights, &q);
             mean.add_scaled(1.0 / trials as f64, &agg);
         }
         let bias: f64 = mean
@@ -225,8 +220,8 @@ mod tests {
         let (global, locals, weights) = scenario();
         let q = ParticipationLevels::new(vec![0.5, 0.5, 0.5]).unwrap();
         let updates = vec![(0usize, locals[0].clone())];
-        let agg = AggregationRule::ParticipantWeightedAverage
-            .aggregate(&global, &updates, &weights, &q);
+        let agg =
+            AggregationRule::ParticipantWeightedAverage.aggregate(&global, &updates, &weights, &q);
         // Sole participant: the aggregate IS its model.
         assert_eq!(agg.as_slice(), locals[0].as_slice());
     }

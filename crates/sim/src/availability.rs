@@ -226,9 +226,15 @@ mod tests {
     #[test]
     fn validation_rules() {
         assert!(AvailabilityPattern::AlwaysOn.validate().is_ok());
-        assert!(AvailabilityPattern::Random { probability: 0.5 }.validate().is_ok());
-        assert!(AvailabilityPattern::Random { probability: 0.0 }.validate().is_err());
-        assert!(AvailabilityPattern::Random { probability: 1.5 }.validate().is_err());
+        assert!(AvailabilityPattern::Random { probability: 0.5 }
+            .validate()
+            .is_ok());
+        assert!(AvailabilityPattern::Random { probability: 0.0 }
+            .validate()
+            .is_err());
+        assert!(AvailabilityPattern::Random { probability: 1.5 }
+            .validate()
+            .is_err());
         assert!(AvailabilityPattern::DutyCycle {
             period: 10,
             on_rounds: 3,
@@ -263,7 +269,10 @@ mod tests {
         let mut rng = seeded(1);
         let mask: Vec<bool> = (0..8).map(|r| p.is_available(r, &mut rng)).collect();
         // (r+1) % 4 < 2 -> rounds 0,3,4,7 on.
-        assert_eq!(mask, vec![true, false, false, true, true, false, false, true]);
+        assert_eq!(
+            mask,
+            vec![true, false, false, true, true, false, false, true]
+        );
         assert!((p.availability_rate() - 0.5).abs() < 1e-12);
         assert!(!p.preserves_unbiasedness());
     }

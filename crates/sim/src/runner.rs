@@ -113,8 +113,12 @@ fn train_participants(
 ) -> Result<Vec<(usize, LocalUpdate)>, SimError> {
     let workers = config.worker_count().min(participants.len().max(1));
     // Per-client seed: independent of scheduling, so parallel == serial.
-    let client_seed =
-        |client: usize| split(split(config.seed, 0x524E_4400 + round as u64), client as u64);
+    let client_seed = |client: usize| {
+        split(
+            split(config.seed, 0x524E_4400 + round as u64),
+            client as u64,
+        )
+    };
 
     if workers <= 1 || participants.len() <= 1 {
         let mut out = Vec::with_capacity(participants.len());
@@ -226,10 +230,8 @@ pub fn run_federated(
         let mut part_rng = seeded(split(config.seed, 0x5041_5254 + round as u64));
         let participants = q.sample_participants(&mut part_rng);
         let updates = train_participants(model, dataset, &params, &participants, config, round)?;
-        let update_params: Vec<(usize, ModelParams)> = updates
-            .into_iter()
-            .map(|(n, u)| (n, u.params))
-            .collect();
+        let update_params: Vec<(usize, ModelParams)> =
+            updates.into_iter().map(|(n, u)| (n, u.params)).collect();
         params = config
             .aggregation
             .aggregate(&params, &update_params, &weights, q);
@@ -397,7 +399,9 @@ mod tests {
     fn full_participation_beats_sparse_on_rounds() {
         let (ds, model, system) = setup();
         let mut config = FlRunConfig::fast();
-        config.rounds = 25;
+        // Long enough for full participation's variance advantage to
+        // dominate the 1/q step-size amplification sparse runs get early.
+        config.rounds = 60;
         let full = run_federated(
             &model,
             &ds,
@@ -435,9 +439,7 @@ mod tests {
         let short_q = ParticipationLevels::uniform(2, 0.5).unwrap();
         assert!(run_federated(&model, &ds, &short_q, &system, &FlRunConfig::fast()).is_err());
         let wrong_system = SystemProfile::generate(1, 3);
-        assert!(
-            run_federated(&model, &ds, &q, &wrong_system, &FlRunConfig::fast()).is_err()
-        );
+        assert!(run_federated(&model, &ds, &q, &wrong_system, &FlRunConfig::fast()).is_err());
     }
 
     #[test]

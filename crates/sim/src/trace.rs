@@ -201,7 +201,11 @@ impl TraceBundle {
     /// Mean loss across runs at simulated time `t` (runs without an
     /// evaluation by `t` are skipped).
     pub fn mean_loss_at_time(&self, t: f64) -> Option<f64> {
-        let vals: Vec<f64> = self.traces.iter().filter_map(|x| x.loss_at_time(t)).collect();
+        let vals: Vec<f64> = self
+            .traces
+            .iter()
+            .filter_map(|x| x.loss_at_time(t))
+            .collect();
         if vals.is_empty() {
             None
         } else {
@@ -226,7 +230,11 @@ impl TraceBundle {
     /// Standard deviation of the loss across runs at time `t` — the paper
     /// highlights that its scheme also has *smaller variance*.
     pub fn loss_std_at_time(&self, t: f64) -> Option<f64> {
-        let vals: Vec<f64> = self.traces.iter().filter_map(|x| x.loss_at_time(t)).collect();
+        let vals: Vec<f64> = self
+            .traces
+            .iter()
+            .filter_map(|x| x.loss_at_time(t))
+            .collect();
         if vals.is_empty() {
             None
         } else {

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Part 2: grow one client's value and watch the payment it makes.
     println!("\nsweeping client 3's value (others fixed at v = 0):");
-    println!("{:>10} {:>9} {:>9} {:>10}", "v(client3)", "q*_3", "P*_3", "payment");
+    println!(
+        "{:>10} {:>9} {:>9} {:>10}",
+        "v(client3)", "q*_3", "P*_3", "payment"
+    );
     for v3 in [0.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
         let population = Population::builder()
             .weights(vec![0.25; 4])

@@ -21,7 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("per-client a_n^2 G_n^2 (the bound's contribution weights):");
     for (n, c) in population.iter().enumerate() {
-        println!("  client {n}: a={:.2} G^2={:>5.1} -> a^2G^2 = {:.3}", c.weight, c.g_squared, c.a2g2());
+        println!(
+            "  client {n}: a={:.2} G^2={:>5.1} -> a^2G^2 = {:.3}",
+            c.weight,
+            c.g_squared,
+            c.a2g2()
+        );
     }
 
     println!("\noptimality gap for different participation profiles:");

@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "                        bound variance term {:.4} (information cost {:+.1}%)",
         bayes.variance_term(&population, &bound),
-        (bayes.variance_term(&population, &bound)
-            / complete.variance_term(&population, &bound)
+        (bayes.variance_term(&population, &bound) / complete.variance_term(&population, &bound)
             - 1.0)
             * 100.0
     );

@@ -46,10 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Population with exponential costs/values (Table I style) and a
     // calibrated α (see fedfl-bench's experiment module for the recipe).
-    let population =
-        Population::sample(seed, &weights, &estimate.g_squared, 50.0, 4_000.0, 1.0)?;
-    let mean_a2g2: f64 =
-        population.iter().map(|c| c.a2g2()).sum::<f64>() / population.len() as f64;
+    let population = Population::sample(seed, &weights, &estimate.g_squared, 50.0, 4_000.0, 1.0)?;
+    let mean_a2g2: f64 = population.iter().map(|c| c.a2g2()).sum::<f64>() / population.len() as f64;
     let alpha = 0.5 * 50.0 * rounds as f64 / (4_000.0 * mean_a2g2);
     let bound = BoundParams::new(alpha, 0.0, rounds)?;
     let budget = 100.0;

@@ -27,13 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let equilibrium = game.solve()?;
 
     println!("Stackelberg equilibrium of the CPL game (budget 60)");
-    println!("{:>7} {:>8} {:>9} {:>10}", "client", "q*", "price P*", "payment");
-    for (n, (&q, &p)) in equilibrium
-        .q()
-        .iter()
-        .zip(equilibrium.prices())
-        .enumerate()
-    {
+    println!(
+        "{:>7} {:>8} {:>9} {:>10}",
+        "client", "q*", "price P*", "payment"
+    );
+    for (n, (&q, &p)) in equilibrium.q().iter().zip(equilibrium.prices()).enumerate() {
         println!("{n:>7} {q:>8.4} {p:>9.2} {:>10.2}", p * q);
     }
     println!(
@@ -55,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Sanity: no client can improve by deviating from q*.
-    let verified =
-        equilibrium.verify_client_optimality(game.population(), game.bound(), 1e-6)?;
+    let verified = equilibrium.verify_client_optimality(game.population(), game.bound(), 1e-6)?;
     println!("clients best-responding (Definition 1, Stage II): {verified}");
     Ok(())
 }

@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let speeds = system.compute_speeds();
     let fastest = speeds.iter().cloned().fold(f64::MIN, f64::max);
     let slowest = speeds.iter().cloned().fold(f64::MAX, f64::min);
-    println!("testbed: compute speeds {slowest:.0}..{fastest:.0} iterations/s (heterogeneous devices)");
+    println!(
+        "testbed: compute speeds {slowest:.0}..{fastest:.0} iterations/s (heterogeneous devices)"
+    );
 
     let model = LogisticModel::new(dataset.dim(), dataset.n_classes(), 1e-2)?;
     // Clients decide their own participation: here, descending with index

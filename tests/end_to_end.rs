@@ -44,11 +44,9 @@ fn build_pipeline(seed: u64) -> Pipeline {
     let rounds = 60;
     let estimate = estimate_heterogeneity(seed, &model, &dataset, &sgd, 2).expect("estimate");
     let weights = dataset.weights();
-    let population =
-        Population::sample(seed, &weights, &estimate.g_squared, 50.0, 2_000.0, 1.0)
-            .expect("population");
-    let mean_a2g2: f64 =
-        population.iter().map(|c| c.a2g2()).sum::<f64>() / population.len() as f64;
+    let population = Population::sample(seed, &weights, &estimate.g_squared, 50.0, 2_000.0, 1.0)
+        .expect("population");
+    let mean_a2g2: f64 = population.iter().map(|c| c.a2g2()).sum::<f64>() / population.len() as f64;
     let alpha = 0.5 * 50.0 * rounds as f64 / (2_000.0 * mean_a2g2);
     let bound = BoundParams::new(alpha, 0.0, rounds).expect("bound");
     Pipeline {
@@ -104,7 +102,10 @@ fn optimal_scheme_beats_baselines_on_the_bound_and_matches_budget() {
     let options = SolverOptions::default();
     let outcomes: Vec<_> = PricingScheme::all()
         .into_iter()
-        .map(|s| s.solve(&p.population, &p.bound, 60.0, &options).expect("solve"))
+        .map(|s| {
+            s.solve(&p.population, &p.bound, 60.0, &options)
+                .expect("solve")
+        })
         .collect();
     let optimal_var = outcomes[0].variance_term(&p.population, &p.bound);
     for outcome in &outcomes {
@@ -158,8 +159,8 @@ fn m_search_agrees_with_kkt_on_a_real_population() {
     let game = CplGame::new(p.population.clone(), p.bound, 50.0).unwrap();
     let kkt = game.solve().unwrap();
     let msearch = game.solve_via_m_search().unwrap();
-    let rel = (msearch.optimality_gap() - kkt.optimality_gap()).abs()
-        / kkt.optimality_gap().max(1e-12);
+    let rel =
+        (msearch.optimality_gap() - kkt.optimality_gap()).abs() / kkt.optimality_gap().max(1e-12);
     assert!(rel < 0.05, "solver disagreement: {rel}");
 }
 
@@ -173,8 +174,7 @@ fn unbiased_aggregation_tracks_full_participation_reference() {
     let q = vec![0.5; n];
     let unbiased = train(&p, &q, 3);
     let full = train(&p, &vec![1.0; n], 3);
-    let gap_unbiased =
-        (unbiased.final_loss().unwrap() - full.final_loss().unwrap()).abs();
+    let gap_unbiased = (unbiased.final_loss().unwrap() - full.final_loss().unwrap()).abs();
     assert!(
         gap_unbiased < 0.15 * full.final_loss().unwrap() + 0.05,
         "unbiased run strayed too far from the reference: {gap_unbiased}"

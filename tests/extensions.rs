@@ -39,8 +39,14 @@ fn tau_profile_trains_like_the_quadratic_one() {
     let dataset = config.generate(11).unwrap();
     let model = LogisticModel::new(dataset.dim(), dataset.n_classes(), 1e-2).unwrap();
     let system = SystemProfile::generate(11, 4);
-    let sol = solve_kkt_tau(&population(), &bound(), 10.0, &SolverOptions::default(), 3.0)
-        .unwrap();
+    let sol = solve_kkt_tau(
+        &population(),
+        &bound(),
+        10.0,
+        &SolverOptions::default(),
+        3.0,
+    )
+    .unwrap();
     let q = ParticipationLevels::new(sol.q.clone()).unwrap();
     let run = FlRunConfig {
         rounds: 20,
@@ -170,14 +176,10 @@ fn random_availability_composes_with_lemma1() {
     };
 
     let always = AvailabilityModel::always_on(8);
-    let reference =
-        run_federated_available(&model, &dataset, &q, &always, &system, &run).unwrap();
+    let reference = run_federated_available(&model, &dataset, &q, &always, &system, &run).unwrap();
 
-    let random = AvailabilityModel::new(vec![
-        AvailabilityPattern::Random { probability: 0.6 };
-        8
-    ])
-    .unwrap();
+    let random =
+        AvailabilityModel::new(vec![AvailabilityPattern::Random { probability: 0.6 }; 8]).unwrap();
     assert!(random.preserves_unbiasedness());
     let randomly_available =
         run_federated_available(&model, &dataset, &q, &random, &system, &run).unwrap();
@@ -227,5 +229,8 @@ fn information_cost_is_nonnegative_on_average() {
             worse += 1;
         }
     }
-    assert!(worse >= trials - 1, "incomplete info too often better: {worse}/{trials}");
+    assert!(
+        worse >= trials - 1,
+        "incomplete info too often better: {worse}/{trials}"
+    );
 }

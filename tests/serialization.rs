@@ -79,12 +79,12 @@ fn sim_types_roundtrip() {
     let profile = SystemProfile::generate(3, 5);
     let back = roundtrip(&profile);
     assert_eq!(back.n_clients(), profile.n_clients());
-    for (a, b) in back
-        .compute_speeds()
-        .iter()
-        .chain(back.upload_rates())
-        .zip(profile.compute_speeds().iter().chain(profile.upload_rates()))
-    {
+    for (a, b) in back.compute_speeds().iter().chain(back.upload_rates()).zip(
+        profile
+            .compute_speeds()
+            .iter()
+            .chain(profile.upload_rates()),
+    ) {
         assert!((a - b).abs() <= 1e-9 * b.abs(), "{a} vs {b}");
     }
     let system_config = SystemConfig::default();

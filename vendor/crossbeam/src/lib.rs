@@ -1,0 +1,174 @@
+//! Vendored stand-in for `crossbeam`: just the multi-producer
+//! multi-consumer [`channel`] the simulator's worker pool uses, built on
+//! `Mutex` + `Condvar`. Semantics match crossbeam where exercised:
+//! cloneable senders *and* receivers, and `recv` draining remaining
+//! messages after all senders disconnect before reporting closure.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message.
+        ///
+        /// # Errors
+        ///
+        /// Never fails in this stand-in (receivers are not tracked); the
+        /// signature matches crossbeam's.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.items.push_back(item);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.senders += 1;
+            drop(state);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message is available or all senders disconnect.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and no sender
+        /// remains.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive of whatever is immediately available.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.items.pop_front().ok_or(RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn drains_queue_then_disconnects() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(x) = rx.recv() {
+                got.push(x);
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn cloned_receivers_partition_messages() {
+            let (tx, rx1) = unbounded::<u32>();
+            let rx2 = rx1.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let h1 = std::thread::spawn(move || {
+                let mut n = 0;
+                while rx1.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            let h2 = std::thread::spawn(move || {
+                let mut n = 0;
+                while rx2.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            assert_eq!(h1.join().unwrap() + h2.join().unwrap(), 100);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (no registry access): the input token
+//! stream is scanned directly for the item shape, and the generated impl is
+//! assembled as a string and re-parsed. Supports exactly what the workspace
+//! uses — non-generic structs (named, tuple, unit) and non-generic enums
+//! with unit, tuple, and struct variants, in serde's default
+//! externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip attributes (`#[...]`, including expanded doc comments) starting at
+/// `i`; returns the index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a comma-separated token slice at top level, tracking `<...>` depth
+/// so commas inside generic arguments do not split.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parse the field names out of a named-field group body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .filter_map(|field_tokens| {
+            let mut i = skip_attrs(&field_tokens, 0);
+            i = skip_vis(&field_tokens, i);
+            match field_tokens.get(i) {
+                Some(TokenTree::Ident(ident)) => Some(ident.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Parse tuple-field arity out of a paren group body.
+fn parse_tuple_arity(body: &[TokenTree]) -> usize {
+    split_top_level_commas(body).len()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&body))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(parse_tuple_arity(&body))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<TokenTree>>()
+                }
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            let variants = split_top_level_commas(&body)
+                .into_iter()
+                .filter_map(|variant_tokens| {
+                    let mut j = skip_attrs(&variant_tokens, 0);
+                    let vname = match variant_tokens.get(j) {
+                        Some(TokenTree::Ident(ident)) => ident.to_string(),
+                        _ => return None,
+                    };
+                    j += 1;
+                    let fields = match variant_tokens.get(j) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Fields::Named(parse_named_fields(&inner))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Fields::Tuple(parse_tuple_arity(&inner))
+                        }
+                        _ => Fields::Unit,
+                    };
+                    Some(Variant {
+                        name: vname,
+                        fields,
+                    })
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{v}(f0) => ::serde::Value::Map(::std::vec![(\
+                               ::std::string::String::from(\"{v}\"), \
+                               ::serde::Serialize::to_value(f0))])"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|idx| format!("f{idx}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![(\
+                                   ::std::string::String::from(\"{v}\"), \
+                                   ::serde::Value::Seq(::std::vec![{items}]))])",
+                                binds = binders.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Fields::Named(field_names) => {
+                            let binds = field_names.join(", ");
+                            let entries: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                                   ::std::string::String::from(\"{v}\"), \
+                                   ::serde::Value::Map(::std::vec![{entries}]))])",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let field_inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::field(entries, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let entries = value.as_map().ok_or_else(|| \
+                           ::serde::Error::custom(\"expected map for struct `{name}`\"))?; \
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        field_inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|idx| format!("::serde::Deserialize::from_value(&items[{idx}])?"))
+                        .collect();
+                    format!(
+                        "let items = value.as_seq().ok_or_else(|| \
+                           ::serde::Error::custom(\"expected sequence for struct `{name}`\"))?; \
+                         if items.len() != {n} {{ \
+                           return ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"expected {n} elements, found {{}}\", items.len()))); \
+                         }} \
+                         ::std::result::Result::Ok({name}({items}))",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v})",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|variant| {
+                    let v = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                               ::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|idx| {
+                                    format!("::serde::Deserialize::from_value(&items[{idx}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => {{ \
+                                   let items = inner.as_seq().ok_or_else(|| \
+                                     ::serde::Error::custom(\
+                                       \"expected sequence for variant `{v}`\"))?; \
+                                   if items.len() != {n} {{ \
+                                     return ::std::result::Result::Err(\
+                                       ::serde::Error::custom(format!(\
+                                         \"expected {n} elements, found {{}}\", items.len()))); \
+                                   }} \
+                                   ::std::result::Result::Ok({name}::{v}({items})) \
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Fields::Named(field_names) => {
+                            let field_inits: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(entries, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => {{ \
+                                   let entries = inner.as_map().ok_or_else(|| \
+                                     ::serde::Error::custom(\
+                                       \"expected map for variant `{v}`\"))?; \
+                                   ::std::result::Result::Ok({name}::{v} {{ {} }}) \
+                                 }}",
+                                field_inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     match value {{ \
+                       ::serde::Value::Str(s) => match s.as_str() {{ \
+                         {unit_arms}, \
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                           format!(\"unknown variant `{{other}}` of `{name}`\"))) \
+                       }}, \
+                       ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                         let (tag, inner) = &entries[0]; \
+                         match tag.as_str() {{ \
+                           {tagged_arms}, \
+                           other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{other}}` of `{name}`\"))) \
+                         }} \
+                       }}, \
+                       other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected variant of `{name}`, found {{}}\", other.kind()))) \
+                     }} \
+                   }} \
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    format!(
+                        "_ => ::std::result::Result::Err(::serde::Error::custom(\
+                           \"`{name}` has no unit variants\"))"
+                    )
+                } else {
+                    unit_arms.join(", ")
+                },
+                tagged_arms = if tagged_arms.is_empty() {
+                    format!(
+                        "_ => ::std::result::Result::Err(::serde::Error::custom(\
+                           \"`{name}` has no data-carrying variants\"))"
+                    )
+                } else {
+                    tagged_arms.join(", ")
+                },
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (vendored data-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (vendored data-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    deserialize_impl(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
