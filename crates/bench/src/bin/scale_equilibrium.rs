@@ -1,0 +1,182 @@
+//! The million-client equilibrium demonstration: synthesize a streaming
+//! population, solve the Stage-I Stackelberg equilibrium with the chunked
+//! parallel KKT solver, verify the paper's invariants on a sample, and
+//! check the determinism contract (parallel output bit-identical to
+//! sequential).
+//!
+//! ```text
+//! scale_equilibrium [--clients N] [--threads T] [--seed S]
+//!                   [--budget-frac F] [--out PATH] [--skip-sequential]
+//! ```
+//!
+//! Defaults: 1,000,000 clients, auto threads, seed 2023, budget at half
+//! the saturation path, report appended to `results/scale_equilibrium.txt`.
+
+use fedfl_core::bound::BoundParams;
+use fedfl_core::equilibrium::StackelbergEquilibrium;
+use fedfl_core::population::{Population, PopulationSpec};
+use fedfl_core::server::{path_budget, solve_kkt, SolverOptions};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Args {
+    clients: usize,
+    threads: usize,
+    seed: u64,
+    budget_frac: f64,
+    out: Option<String>,
+    skip_sequential: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut args = Args {
+            clients: 1_000_000,
+            threads: 0,
+            seed: 2023,
+            budget_frac: 0.5,
+            out: Some("results/scale_equilibrium.txt".into()),
+            skip_sequential: false,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
+            match arg.as_str() {
+                "--clients" => {
+                    args.clients = value("--clients")?
+                        .parse()
+                        .map_err(|e| format!("bad --clients: {e}"))?;
+                }
+                "--threads" => {
+                    args.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?;
+                }
+                "--seed" => {
+                    args.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?;
+                }
+                "--budget-frac" => {
+                    args.budget_frac = value("--budget-frac")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget-frac: {e}"))?;
+                }
+                "--out" => args.out = Some(value("--out")?),
+                "--no-out" => args.out = None,
+                "--skip-sequential" => args.skip_sequential = true,
+                other => {
+                    return Err(format!(
+                        "unknown flag `{other}` (expected --clients N, --threads T, --seed S, \
+                         --budget-frac F, --out PATH, --no-out, --skip-sequential)"
+                    ))
+                }
+            }
+        }
+        if args.clients == 0 {
+            return Err("--clients must be positive".into());
+        }
+        if !(args.budget_frac > 0.0 && args.budget_frac <= 1.0) {
+            return Err("--budget-frac must lie in (0, 1]".into());
+        }
+        Ok(args)
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("scale_equilibrium: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let spec = PopulationSpec::table1_like();
+    let bound = BoundParams::new(4_000.0, 100.0, 1_000).expect("bound");
+
+    println!(
+        "synthesizing {} clients (seed {}) ...",
+        args.clients, args.seed
+    );
+    let t0 = Instant::now();
+    let population = Population::synthesize(args.clients, &spec, args.seed).expect("synthesize");
+    let synth_time = t0.elapsed();
+    println!("  {:.3}s", synth_time.as_secs_f64());
+
+    let options = SolverOptions::with_threads(args.threads);
+    let budget = path_budget(&population, &bound, &options, args.budget_frac);
+    println!(
+        "solving the Stackelberg equilibrium (budget {budget:.4e}, threads {}) ...",
+        args.threads
+    );
+    let t0 = Instant::now();
+    let solution = solve_kkt(&population, &bound, budget, &options).expect("solve");
+    let solve_time = t0.elapsed();
+    println!("  {:.3}s", solve_time.as_secs_f64());
+
+    // Determinism contract: n_threads = 1 must reproduce the same bits.
+    let seq_matches = if args.skip_sequential {
+        None
+    } else {
+        println!("re-solving sequentially to check bit-identity ...");
+        let t0 = Instant::now();
+        let sequential = solve_kkt(&population, &bound, budget, &SolverOptions::with_threads(1))
+            .expect("sequential solve");
+        println!("  {:.3}s", t0.elapsed().as_secs_f64());
+        Some(sequential == solution)
+    };
+
+    // Wrap the solution already computed — no third solve.
+    let se = StackelbergEquilibrium::from_stage_one(solution, &population, &bound, budget);
+    let tight = se.is_budget_tight(1e-5);
+    let theorem2 = se.theorem2_max_residual(&population, &bound, 10_000, args.seed);
+    let negative = se.negative_payment_count();
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "clients={} threads={} seed={} budget={:.6e}\n",
+        args.clients, args.threads, args.seed, budget
+    ));
+    report.push_str(&format!(
+        "  synthesize: {:.3}s   solve_kkt: {:.3}s\n",
+        synth_time.as_secs_f64(),
+        solve_time.as_secs_f64()
+    ));
+    report.push_str(&format!(
+        "  spent={:.6e} budget_tight={} saturated={} lambda={:?}\n",
+        se.spent(),
+        tight,
+        se.is_saturated(),
+        se.lambda()
+    ));
+    report.push_str(&format!(
+        "  theorem2_max_residual(10k sample)={} negative_payments={}\n",
+        theorem2.map_or("n/a".into(), |r| format!("{r:.3e}")),
+        negative
+    ));
+    report.push_str(&format!(
+        "  parallel==sequential: {}\n",
+        seq_matches.map_or("skipped".into(), |m| m.to_string())
+    ));
+    print!("{report}");
+
+    if let Some(path) = &args.out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open report file");
+        file.write_all(report.as_bytes()).expect("write report");
+        println!("appended to {path}");
+    }
+
+    let ok =
+        tight && theorem2.map_or(se.is_saturated(), |r| r < 1e-6) && seq_matches.unwrap_or(true);
+    if !ok {
+        eprintln!("FAILED: equilibrium checks did not hold");
+        std::process::exit(1);
+    }
+}

@@ -31,8 +31,9 @@ use crate::population::Population;
 use crate::response::{best_response, inverse_price};
 use crate::server::SolverOptions;
 use fedfl_num::dist::Exponential;
+use fedfl_num::parallel::{chunked_fill, chunked_sum};
 use fedfl_num::rng::substream;
-use fedfl_num::solve::bisect_monotone;
+use fedfl_num::solve::bisect_monotone_with;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -188,18 +189,20 @@ pub fn solve_bayesian(
         .collect();
 
     // Candidate price vector along the CE KKT path at t, with a floored
-    // target level so prices stay bounded.
+    // target level so prices stay bounded. Filled into a reusable scratch
+    // buffer (no allocation per bisection probe), in parallel chunks.
     let coef = bound.alpha_over_r() / 4.0;
-    let prices_at = |t: f64| -> Result<Vec<f64>, GameError> {
-        ce_profiles
-            .iter()
-            .map(|c| {
+    let threads = config.options.config.n_threads;
+    let fill_prices_at = |t: f64, buf: &mut [f64]| {
+        chunked_fill(buf, threads, |start, slice| {
+            for (k, p) in slice.iter_mut().enumerate() {
+                let c = &ce_profiles[start + k];
                 let slack = (t - c.value).max(0.0);
                 let raw = (coef * c.a2g2() * slack / c.cost).cbrt();
                 let target = raw.clamp(config.price_floor_fraction * c.q_max, c.q_max);
-                inverse_price(c, bound, target)
-            })
-            .collect()
+                *p = inverse_price(c, bound, target).unwrap_or(f64::NAN);
+            }
+        });
     };
 
     // Virtual type table, sampled once so the expected-spend curve is
@@ -217,25 +220,35 @@ pub fn solve_bayesian(
     }
 
     // Expected spend over the sampled types when posting P(t): every
-    // virtual client best-responds with its sampled type.
-    let expected_spend = |t: f64| -> f64 {
-        let prices = match prices_at(t) {
-            Ok(p) => p,
-            Err(_) => return f64::INFINITY,
-        };
+    // virtual client best-responds with its sampled type. Each sample row
+    // is a deterministic chunked reduction over the clients, so the curve
+    // is bit-identical for any thread count.
+    let mut price_buf = vec![0.0f64; n];
+    let mut expected_spend = |t: f64| -> f64 {
+        fill_prices_at(t, &mut price_buf);
+        if price_buf.iter().any(|p| !p.is_finite()) {
+            return f64::INFINITY;
+        }
+        let prices = &price_buf;
         let mut total = 0.0;
         for row in &types {
-            for ((client, &(cost, value)), &price) in population.iter().zip(row).zip(&prices) {
-                let virtual_client = crate::population::ClientProfile {
-                    cost,
-                    value,
-                    ..*client
-                };
-                let q = best_response(&virtual_client, bound, price)
-                    .unwrap_or(0.0)
-                    .clamp(config.options.q_min, client.q_max);
-                total += price * q;
-            }
+            total += chunked_sum(n, threads, |range| {
+                let mut acc = 0.0;
+                for i in range {
+                    let client = population.client(i);
+                    let (cost, value) = row[i];
+                    let virtual_client = crate::population::ClientProfile {
+                        cost,
+                        value,
+                        ..*client
+                    };
+                    let q = best_response(&virtual_client, bound, prices[i])
+                        .unwrap_or(0.0)
+                        .clamp(config.options.q_min, client.q_max);
+                    acc += prices[i] * q;
+                }
+                acc
+            });
         }
         total / config.n_samples as f64
     };
@@ -250,10 +263,23 @@ pub fn solve_bayesian(
     let t_star = if expected_spend(t_hi) <= budget {
         t_hi
     } else {
-        bisect_monotone(expected_spend, budget, 0.0, t_hi, config.options.tol)?
+        bisect_monotone_with(
+            &mut expected_spend,
+            budget,
+            0.0,
+            t_hi,
+            config.options.config.tolerance,
+            config.options.config.max_iters,
+        )?
     };
-    let prices = prices_at(t_star)?;
     let expected_spent = expected_spend(t_star);
+    let prices = price_buf;
+    if let Some(bad) = prices.iter().position(|p| !p.is_finite()) {
+        return Err(GameError::SolverFailed {
+            solver: "bayesian",
+            reason: format!("non-finite posted price for client {bad}"),
+        });
+    }
 
     // True responses.
     let mut q = Vec::with_capacity(n);

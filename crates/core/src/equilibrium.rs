@@ -20,6 +20,8 @@ use crate::error::GameError;
 use crate::population::{Population, Q_MIN};
 use crate::response::{best_response, own_utility};
 use crate::server::StageOneSolution;
+use fedfl_num::rng::substream;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A solved Stackelberg equilibrium of the CPL game.
@@ -35,8 +37,12 @@ pub struct StackelbergEquilibrium {
 }
 
 impl StackelbergEquilibrium {
-    /// Assemble an equilibrium from a Stage-I solution.
-    pub(crate) fn from_stage_one(
+    /// Assemble an equilibrium from a Stage-I solution (as returned by
+    /// [`crate::server::solve_kkt`]), evaluating the Theorem 1 gap once.
+    ///
+    /// Callers that already hold a solution — sweeps, the scale harness —
+    /// use this instead of re-solving through [`crate::game::CplGame`].
+    pub fn from_stage_one(
         solution: StageOneSolution,
         population: &Population,
         bound: &BoundParams,
@@ -131,6 +137,41 @@ impl StackelbergEquilibrium {
             .filter(|(c, &q)| q > Q_MIN * 1.01 && q < c.q_max * 0.999)
             .map(|(c, &q)| coef * c.cost * q.powi(3) / c.a2g2() + c.value)
             .collect()
+    }
+
+    /// Theorem 2 spot check at scale: the maximum relative deviation of
+    /// the invariant `(4R/α)·c_n q*_n³/(a_n²G_n²) + v_n` from `1/λ*` over
+    /// up to `sample` clients drawn deterministically from `seed`
+    /// (with replacement), skipping floored/capped clients.
+    ///
+    /// Computing [`StackelbergEquilibrium::theorem2_invariants`] for a
+    /// million-client equilibrium allocates a vector the size of the
+    /// population; this sampled variant is what the scale harness asserts
+    /// on. Returns `None` when the equilibrium has no interior KKT
+    /// multiplier or no sampled client is interior.
+    pub fn theorem2_max_residual(
+        &self,
+        population: &Population,
+        bound: &BoundParams,
+        sample: usize,
+        seed: u64,
+    ) -> Option<f64> {
+        let target = 1.0 / self.lambda?;
+        let coef = 4.0 / bound.alpha_over_r();
+        let n = population.len();
+        let mut rng = substream(seed, 0x7_4832);
+        let mut worst: Option<f64> = None;
+        for _ in 0..sample {
+            let i = (rng.random::<u64>() % n as u64) as usize;
+            let c = population.client(i);
+            let q = self.q[i];
+            if q > Q_MIN * 1.01 && q < c.q_max * 0.999 {
+                let invariant = coef * c.cost * q.powi(3) / c.a2g2() + c.value;
+                let residual = (invariant - target).abs() / target.abs().max(1.0);
+                worst = Some(worst.map_or(residual, |w| w.max(residual)));
+            }
+        }
+        worst
     }
 
     /// Client `n`'s equilibrium utility
@@ -377,6 +418,21 @@ mod tests {
                 se.prices()
             );
         }
+    }
+
+    #[test]
+    fn sampled_theorem2_residual_matches_the_full_check() {
+        let se = solve(10.0);
+        let residual = se
+            .theorem2_max_residual(&population(), &bound(), 100, 0)
+            .unwrap();
+        assert!(residual < 1e-6, "sampled residual {residual}");
+        // Saturated equilibria have no λ*, so no residual.
+        let saturated = solve(1e9);
+        assert_eq!(
+            saturated.theorem2_max_residual(&population(), &bound(), 100, 0),
+            None
+        );
     }
 
     #[test]

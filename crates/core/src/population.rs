@@ -14,8 +14,9 @@
 //! reproduces that.
 
 use crate::error::GameError;
-use fedfl_num::dist::Exponential;
-use fedfl_num::rng::substream;
+use fedfl_num::dist::{BoundedPareto, Exponential, LogNormal};
+use fedfl_num::rng::{substream, uniform01};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Default minimum participation level enforced by the solvers.
@@ -223,6 +224,287 @@ impl Population {
     pub fn a2g2(&self) -> Vec<f64> {
         self.clients.iter().map(ClientProfile::a2g2).collect()
     }
+
+    /// Extract the struct-of-arrays columns the Stage-I solvers iterate
+    /// over. One pass, one allocation per column; see
+    /// [`PopulationColumns`].
+    pub fn columns(&self) -> PopulationColumns {
+        let n = self.clients.len();
+        let mut cols = PopulationColumns {
+            a2g2: Vec::with_capacity(n),
+            cost: Vec::with_capacity(n),
+            value: Vec::with_capacity(n),
+            q_max: Vec::with_capacity(n),
+        };
+        for c in &self.clients {
+            cols.a2g2.push(c.a2g2());
+            cols.cost.push(c.cost);
+            cols.value.push(c.value);
+            cols.q_max.push(c.q_max);
+        }
+        cols
+    }
+
+    /// Synthesize a heterogeneous population of `n` clients from
+    /// distributional specifications — the scaling counterpart of
+    /// [`Population::sample`].
+    ///
+    /// Client `i`'s raw parameters are drawn from its own RNG substream
+    /// derived from `(seed, i)` alone, so generation is a single O(n)
+    /// streaming pass: any contiguous shard of clients can be produced
+    /// independently (and in any order) and the result is identical.
+    /// Raw data weights are normalised to sum to 1 in one extra pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError`] for `n = 0` or an invalid specification.
+    pub fn synthesize(n: usize, spec: &PopulationSpec, seed: u64) -> Result<Self, GameError> {
+        if n == 0 {
+            return Err(GameError::InvalidParameter {
+                name: "n",
+                reason: "need at least one client".into(),
+            });
+        }
+        spec.validate()?;
+        let mut clients = Vec::with_capacity(n);
+        let mut total_weight = 0.0f64;
+        for i in 0..n {
+            let profile = spec.draw_client_unchecked(seed, i);
+            total_weight += profile.weight;
+            clients.push(profile);
+        }
+        for c in &mut clients {
+            c.weight /= total_weight;
+        }
+        Population::new(clients)
+    }
+}
+
+/// Cache-friendly struct-of-arrays columns of a population.
+///
+/// The Stage-I solvers evaluate the same four per-client scalars —
+/// `a_n² G_n²`, `c_n`, `v_n`, `q_{n,max}` — millions of times inside a
+/// bisection loop. Iterating a `Vec<ClientProfile>` strides over the unused
+/// `weight`/`g_squared` fields and recomputes `a²G²` per visit; these
+/// parallel columns keep each pass sequential in memory and the product
+/// precomputed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationColumns {
+    /// Precomputed `a_n² G_n²` per client.
+    pub a2g2: Vec<f64>,
+    /// Local cost parameters `c_n`.
+    pub cost: Vec<f64>,
+    /// Intrinsic-value preferences `v_n`.
+    pub value: Vec<f64>,
+    /// Participation caps `q_{n,max}`.
+    pub q_max: Vec<f64>,
+}
+
+impl PopulationColumns {
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.a2g2.len()
+    }
+
+    /// Whether the columns are empty.
+    pub fn is_empty(&self) -> bool {
+        self.a2g2.is_empty()
+    }
+}
+
+/// Distribution of one synthesized per-client parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParamDist {
+    /// Every client gets the same value.
+    Constant(f64),
+    /// Exponential with the given mean — the paper's Table I choice for
+    /// costs and values.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Log-normal around a median — mild, always-positive heterogeneity.
+    LogNormal {
+        /// Median of the distribution.
+        median: f64,
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower endpoint.
+        lo: f64,
+        /// Upper endpoint.
+        hi: f64,
+    },
+    /// Bounded Pareto (power law) on `[lo, hi]` — heavy-tailed data-shard
+    /// sizes.
+    BoundedPareto {
+        /// Lower endpoint.
+        lo: f64,
+        /// Upper endpoint.
+        hi: f64,
+        /// Tail exponent.
+        alpha: f64,
+    },
+}
+
+impl ParamDist {
+    /// Validate the distribution for a parameter whose draws must stay
+    /// non-negative — or strictly positive when `strictly_positive` is
+    /// set (costs, weights, `G²`). Draws of *exactly* 0 from a continuous
+    /// distribution are measure-zero and floored by the generator, but a
+    /// specification placing real mass below the requirement is an error,
+    /// not bad luck.
+    fn validate(&self, name: &'static str, strictly_positive: bool) -> Result<(), GameError> {
+        let invalid = |reason: String| GameError::InvalidParameter { name, reason };
+        match *self {
+            ParamDist::Constant(v) => {
+                let ok = v.is_finite() && if strictly_positive { v > 0.0 } else { v >= 0.0 };
+                if !ok {
+                    let need = if strictly_positive { "> 0" } else { ">= 0" };
+                    return Err(invalid(format!(
+                        "constant must be finite and {need}, got {v}"
+                    )));
+                }
+            }
+            ParamDist::Exponential { mean } => {
+                if !(mean.is_finite() && mean > 0.0) {
+                    return Err(invalid(format!("mean must be positive, got {mean}")));
+                }
+            }
+            ParamDist::LogNormal { median, sigma } => {
+                if !(median.is_finite() && median > 0.0 && sigma.is_finite() && sigma >= 0.0) {
+                    return Err(invalid(format!(
+                        "need median > 0 and sigma >= 0, got ({median}, {sigma})"
+                    )));
+                }
+            }
+            ParamDist::Uniform { lo, hi } => {
+                let ok = lo.is_finite()
+                    && hi.is_finite()
+                    && 0.0 <= lo
+                    && lo <= hi
+                    && (!strictly_positive || hi > 0.0);
+                if !ok {
+                    return Err(invalid(format!("need 0 <= lo <= hi, got [{lo}, {hi}]")));
+                }
+            }
+            ParamDist::BoundedPareto { lo, hi, alpha } => {
+                if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi && alpha > 0.0) {
+                    return Err(invalid(format!(
+                        "need 0 < lo < hi and alpha > 0, got ([{lo}, {hi}], {alpha})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ParamDist::Constant(v) => v,
+            ParamDist::Exponential { mean } => {
+                Exponential::with_mean(mean).expect("validated").sample(rng)
+            }
+            ParamDist::LogNormal { median, sigma } => LogNormal::with_median(median, sigma)
+                .expect("validated")
+                .sample(rng),
+            ParamDist::Uniform { lo, hi } => lo + (hi - lo) * uniform01(rng),
+            ParamDist::BoundedPareto { lo, hi, alpha } => BoundedPareto::new(lo, hi, alpha)
+                .expect("validated")
+                .sample(rng),
+        }
+    }
+}
+
+/// Distributional description of a synthesized population — what
+/// [`Population::synthesize`] draws each client from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Raw (unnormalised) data-shard sizes; normalised into the weights
+    /// `a_n`.
+    pub weight: ParamDist,
+    /// Squared gradient-norm bounds `G_n²`.
+    pub g_squared: ParamDist,
+    /// Local cost parameters `c_n`.
+    pub cost: ParamDist,
+    /// Intrinsic-value preferences `v_n`.
+    pub value: ParamDist,
+    /// Participation cap applied to every client.
+    pub q_max: f64,
+}
+
+impl PopulationSpec {
+    /// A heterogeneous default in the spirit of the paper's Table I:
+    /// power-law data shards, uniform gradient heterogeneity, exponential
+    /// costs and values.
+    pub fn table1_like() -> Self {
+        Self {
+            weight: ParamDist::BoundedPareto {
+                lo: 1.0,
+                hi: 1_000.0,
+                alpha: 1.2,
+            },
+            g_squared: ParamDist::Uniform { lo: 4.0, hi: 36.0 },
+            cost: ParamDist::Exponential { mean: 50.0 },
+            value: ParamDist::Exponential { mean: 4_000.0 },
+            q_max: 1.0,
+        }
+    }
+
+    /// Validate the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] describing the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), GameError> {
+        self.weight.validate("weight", true)?;
+        self.g_squared.validate("g_squared", true)?;
+        self.cost.validate("cost", true)?;
+        self.value.validate("value", false)?;
+        if !(self.q_max.is_finite() && self.q_max > Q_MIN && self.q_max <= 1.0) {
+            return Err(GameError::InvalidParameter {
+                name: "q_max",
+                reason: format!("must lie in ({Q_MIN}, 1], got {}", self.q_max),
+            });
+        }
+        Ok(())
+    }
+
+    /// Draw client `index`'s profile (with its *raw*, unnormalised weight)
+    /// from the substream derived from `(seed, index)`.
+    ///
+    /// This is the sharding primitive behind [`Population::synthesize`]:
+    /// the draw touches no state outside the client's own substream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] for an invalid
+    /// specification.
+    pub fn draw_client(&self, seed: u64, index: usize) -> Result<ClientProfile, GameError> {
+        self.validate()?;
+        Ok(self.draw_client_unchecked(seed, index))
+    }
+
+    fn draw_client_unchecked(&self, seed: u64, index: usize) -> ClientProfile {
+        let mut rng = substream(seed, index as u64);
+        // Positive-required parameters are floored away from 0 so that an
+        // unlucky draw (e.g. an Exponential hitting exactly 0) cannot
+        // produce an invalid client.
+        let weight = self.weight.sample(&mut rng).max(1e-12);
+        let g_squared = self.g_squared.sample(&mut rng).max(1e-12);
+        let cost = self.cost.sample(&mut rng).max(1e-12);
+        let value = self.value.sample(&mut rng).max(0.0);
+        ClientProfile {
+            weight,
+            g_squared,
+            cost,
+            value,
+            q_max: self.q_max,
+        }
+    }
 }
 
 impl<'a> IntoIterator for &'a Population {
@@ -419,5 +701,131 @@ mod tests {
         assert!(Population::sample(1, &w, &[1.0], 10.0, 1.0, 1.0).is_err());
         assert!(Population::sample(1, &w, &g, 0.0, 1.0, 1.0).is_err());
         assert!(Population::sample(1, &w, &g, 10.0, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn columns_mirror_the_profiles() {
+        let p = valid_builder().build().unwrap();
+        let cols = p.columns();
+        assert_eq!(cols.len(), p.len());
+        assert!(!cols.is_empty());
+        for (i, c) in p.iter().enumerate() {
+            assert_eq!(cols.a2g2[i], c.a2g2());
+            assert_eq!(cols.cost[i], c.cost);
+            assert_eq!(cols.value[i], c.value);
+            assert_eq!(cols.q_max[i], c.q_max);
+        }
+    }
+
+    #[test]
+    fn synthesize_is_deterministic_and_valid() {
+        let spec = PopulationSpec::table1_like();
+        let a = Population::synthesize(1_000, &spec, 7).unwrap();
+        let b = Population::synthesize(1_000, &spec, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1_000);
+        let total: f64 = a.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        assert_ne!(a, Population::synthesize(1_000, &spec, 8).unwrap());
+    }
+
+    #[test]
+    fn synthesize_draws_are_per_client_streams() {
+        // Client i's raw draw depends only on (seed, i): a prefix of a
+        // larger population matches the smaller one up to renormalisation.
+        let spec = PopulationSpec::table1_like();
+        let small = Population::synthesize(10, &spec, 3).unwrap();
+        let large = Population::synthesize(100, &spec, 3).unwrap();
+        for i in 0..10 {
+            let (s, l) = (small.client(i), large.client(i));
+            assert_eq!(s.cost, l.cost);
+            assert_eq!(s.value, l.value);
+            assert_eq!(s.g_squared, l.g_squared);
+            // Raw weights are equal; normalisation constants differ.
+            let ratio = s.weight / l.weight;
+            let ratio0 = small.client(0).weight / large.client(0).weight;
+            assert!((ratio - ratio0).abs() < 1e-9 * ratio0);
+        }
+        // And draw_client reproduces the raw (pre-normalisation) draw.
+        let direct = spec.draw_client(3, 4).unwrap();
+        assert_eq!(direct.cost, small.client(4).cost);
+    }
+
+    #[test]
+    fn synthesize_supports_every_distribution() {
+        let spec = PopulationSpec {
+            weight: ParamDist::Constant(2.0),
+            g_squared: ParamDist::LogNormal {
+                median: 9.0,
+                sigma: 0.5,
+            },
+            cost: ParamDist::Uniform {
+                lo: 10.0,
+                hi: 100.0,
+            },
+            value: ParamDist::BoundedPareto {
+                lo: 1.0,
+                hi: 1_000.0,
+                alpha: 1.5,
+            },
+            q_max: 0.9,
+        };
+        let p = Population::synthesize(200, &spec, 11).unwrap();
+        assert!(p.iter().all(|c| (c.weight - 0.005).abs() < 1e-12));
+        assert!(p.iter().all(|c| (10.0..=100.0).contains(&c.cost)));
+        assert!(p.iter().all(|c| (1.0..=1_000.0).contains(&c.value)));
+        assert!(p.iter().all(|c| c.q_max == 0.9));
+    }
+
+    #[test]
+    fn synthesize_rejects_bad_specs() {
+        let spec = PopulationSpec::table1_like();
+        assert!(Population::synthesize(0, &spec, 1).is_err());
+        let mut bad = spec;
+        bad.q_max = 0.0;
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.cost = ParamDist::Exponential { mean: -1.0 };
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.weight = ParamDist::BoundedPareto {
+            lo: 5.0,
+            hi: 1.0,
+            alpha: 1.0,
+        };
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.g_squared = ParamDist::Uniform { lo: 2.0, hi: 1.0 };
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.value = ParamDist::LogNormal {
+            median: -1.0,
+            sigma: 1.0,
+        };
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.value = ParamDist::Constant(f64::NAN);
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        // Positive-required parameters reject non-positive support outright
+        // instead of silently clamping every draw to the floor.
+        let mut bad = spec;
+        bad.cost = ParamDist::Constant(-10.0);
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.cost = ParamDist::Constant(0.0);
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.weight = ParamDist::Uniform { lo: -5.0, hi: -1.0 };
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.g_squared = ParamDist::Uniform { lo: 0.0, hi: 0.0 };
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        let mut bad = spec;
+        bad.value = ParamDist::Constant(-5.0);
+        assert!(Population::synthesize(10, &bad, 1).is_err());
+        // value = 0 stays legal (the paper's v = 0 column).
+        let mut ok = spec;
+        ok.value = ParamDist::Constant(0.0);
+        assert!(Population::synthesize(10, &ok, 1).is_ok());
     }
 }

@@ -18,7 +18,7 @@ use crate::error::GameError;
 use crate::population::Population;
 use crate::response::best_response;
 use crate::server::{solve_kkt, SolverOptions, StageOneSolution};
-use fedfl_num::solve::bisect_monotone;
+use fedfl_num::solve::bisect_monotone_with;
 use serde::{Deserialize, Serialize};
 
 /// Which pricing scheme the server runs.
@@ -188,7 +188,7 @@ where
         }
         hi *= 2.0;
     }
-    let scale = bisect_monotone(
+    let scale = bisect_monotone_with(
         |s| match respond(s) {
             Ok((_, _, spent)) => spent,
             Err(_) => f64::INFINITY,
@@ -196,7 +196,8 @@ where
         budget,
         0.0,
         hi,
-        options.tol,
+        options.config.tolerance,
+        options.config.max_iters,
     )?;
     let (prices, q, spent) = respond(scale)?;
     let saturated = q

@@ -24,34 +24,84 @@
 //!
 //! Both return the same profile up to solver tolerance (tested), with the
 //! KKT path being orders of magnitude faster.
+//!
+//! # Scale
+//!
+//! [`solve_kkt`] runs its per-client passes — the λ-evaluation inside the
+//! budget bisection, the final profile fill and the price read-back — as
+//! deterministic chunked reductions over scoped crossbeam workers
+//! ([`fedfl_num::parallel`]): one bisection step is O(N / threads) and
+//! materialises no per-client buffers (each probe costs only the
+//! O(N/8192) chunk bookkeeping of its worker crew), and the chunked
+//! summation tree is fixed by the population size alone, so the same seed
+//! and tolerance produce **bit-identical** prices whether
+//! [`SolverConfig::n_threads`] is 1 or 16. Populations up to millions of
+//! clients are in reach; see the `scale_equilibrium` binary.
 
 use crate::bound::BoundParams;
 use crate::error::GameError;
-use crate::population::{Population, Q_MIN};
+use crate::population::{Population, PopulationColumns, Q_MIN};
 use crate::response::{intrinsic_gain, inverse_price};
+use fedfl_num::parallel::{chunked_fill, chunked_sum};
 use fedfl_num::solve::{
-    bisect_monotone, penalty_minimize, BoxConstraints, ConstraintFn, ConstraintKind, PgdConfig,
+    bisect_monotone_with, penalty_minimize, BoxConstraints, ConstraintFn, ConstraintKind, PgdConfig,
 };
 use serde::{Deserialize, Serialize};
+
+/// Execution configuration shared by the Stage-I solvers: how hard to
+/// iterate and how many workers run the per-client passes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Worker threads for the chunked per-client passes (0 = one per
+    /// available core). Any value produces bit-identical results.
+    pub n_threads: usize,
+    /// Bisection tolerance on the KKT parameter and budget.
+    pub tolerance: f64,
+    /// Iteration budget of the budget-tightening bisection.
+    pub max_iters: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            n_threads: 0,
+            tolerance: 1e-10,
+            max_iters: 200,
+        }
+    }
+}
 
 /// Options shared by the Stage-I solvers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SolverOptions {
     /// Participation floor (Theorem 1 needs `q_n > 0`).
     pub q_min: f64,
-    /// Bisection tolerance on the KKT parameter and budget.
-    pub tol: f64,
     /// Grid steps for the outer `M`-search (the paper's ε₀ divides the `M`
     /// range into this many cells).
     pub m_grid_steps: usize,
+    /// Execution configuration (threads, tolerance, iteration budget).
+    pub config: SolverConfig,
 }
 
 impl Default for SolverOptions {
     fn default() -> Self {
         Self {
             q_min: Q_MIN,
-            tol: 1e-10,
             m_grid_steps: 30,
+            config: SolverConfig::default(),
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Default options with an explicit worker-thread count.
+    pub fn with_threads(n_threads: usize) -> Self {
+        Self {
+            config: SolverConfig {
+                n_threads,
+                ..SolverConfig::default()
+            },
+            ..Self::default()
         }
     }
 }
@@ -90,25 +140,126 @@ impl StageOneSolution {
     }
 }
 
-/// Participation profile along the KKT path at `t = 1/λ`.
-fn q_path(
+/// The path parameter `t` at which every client sits at its cap (plus a
+/// relative epsilon so the saturated profile is strictly inside).
+fn saturation_t(cols: &PopulationColumns, aor: f64) -> f64 {
+    (0..cols.len())
+        .map(|i| 4.0 / aor * cols.cost[i] * cols.q_max[i].powi(3) / cols.a2g2[i] + cols.value[i])
+        .fold(0.0f64, f64::max)
+        * (1.0 + 1e-12)
+        + 1e-12
+}
+
+/// The spend realised on the KKT path at `t = frac · t_sat`, where `t_sat`
+/// saturates every client — a budget that is *exactly achievable* at
+/// equilibrium, so [`solve_kkt`] meets it tightly (Lemma 3).
+///
+/// This is how the scale harness and benches construct interior budgets:
+/// picking a fraction of the floor-to-saturation *spend* range instead
+/// can land in a region where the spend curve of a heavy-tailed
+/// population is steeper than f64 resolution in `t`, and no solver could
+/// be budget-tight there. `frac` is clamped to `[0, 1]`.
+pub fn path_budget(
     population: &Population,
     bound: &BoundParams,
     options: &SolverOptions,
-    t: f64,
-) -> Vec<f64> {
-    let coef = bound.alpha_over_r() / 4.0;
-    population
-        .iter()
-        .map(|c| {
-            let slack = (t - c.value).max(0.0);
-            let raw = (coef * c.a2g2() * slack / c.cost).cbrt();
-            raw.clamp(options.q_min, c.q_max)
-        })
-        .collect()
+    frac: f64,
+) -> f64 {
+    let cols = population.columns();
+    let aor = bound.alpha_over_r();
+    let t = frac.clamp(0.0, 1.0) * saturation_t(&cols, aor);
+    path_spend(&cols, aor, options.q_min, t, options.config.n_threads)
 }
 
-/// Total payment `Σ P_n(q_n) q_n` for a participation profile.
+/// The per-client participation level on the KKT path at `t = 1/λ`:
+/// `clamp(((α/4R)·a²G²·(t − v)/c)^{1/3})`.
+#[inline]
+fn path_q(coef: f64, a2g2: f64, cost: f64, value: f64, q_max: f64, q_min: f64, t: f64) -> f64 {
+    let slack = (t - value).max(0.0);
+    (coef * a2g2 * slack / cost).cbrt().clamp(q_min, q_max)
+}
+
+/// Fused spend along the KKT path: `Σ P(q_n(t)) q_n(t)` evaluated without
+/// materialising the profile — the λ-evaluation inside every bisection
+/// step, as a deterministic chunked parallel reduction.
+fn path_spend(cols: &PopulationColumns, aor: f64, q_min: f64, t: f64, n_threads: usize) -> f64 {
+    let coef = aor / 4.0;
+    chunked_sum(cols.len(), n_threads, |range| {
+        let mut acc = 0.0;
+        for i in range {
+            let q = path_q(
+                coef,
+                cols.a2g2[i],
+                cols.cost[i],
+                cols.value[i],
+                cols.q_max[i],
+                q_min,
+                t,
+            );
+            // P(q)·q = 2 c q² − K/q with K = v (α/R) a²G².
+            acc += 2.0 * cols.cost[i] * q * q - cols.value[i] * aor * cols.a2g2[i] / q;
+        }
+        acc
+    })
+}
+
+/// Fill `out` with the KKT-path profile at `t` (parallel, allocation-free).
+fn fill_path_profile(
+    cols: &PopulationColumns,
+    aor: f64,
+    q_min: f64,
+    t: f64,
+    out: &mut [f64],
+    n_threads: usize,
+) {
+    let coef = aor / 4.0;
+    chunked_fill(out, n_threads, |start, slice| {
+        for (k, q) in slice.iter_mut().enumerate() {
+            let i = start + k;
+            *q = path_q(
+                coef,
+                cols.a2g2[i],
+                cols.cost[i],
+                cols.value[i],
+                cols.q_max[i],
+                q_min,
+                t,
+            );
+        }
+    });
+}
+
+/// Total payment `Σ P_n(q_n) q_n` for an explicit participation profile.
+fn profile_spend(cols: &PopulationColumns, aor: f64, q: &[f64], n_threads: usize) -> f64 {
+    chunked_sum(cols.len(), n_threads, |range| {
+        let mut acc = 0.0;
+        for i in range {
+            let qn = q[i];
+            acc += 2.0 * cols.cost[i] * qn * qn - cols.value[i] * aor * cols.a2g2[i] / qn;
+        }
+        acc
+    })
+}
+
+/// Fill `prices` with the equation-(17) read-back `P_n = 2 c q − K/q²`.
+fn fill_prices(
+    cols: &PopulationColumns,
+    aor: f64,
+    q: &[f64],
+    prices: &mut [f64],
+    n_threads: usize,
+) {
+    chunked_fill(prices, n_threads, |start, slice| {
+        for (k, p) in slice.iter_mut().enumerate() {
+            let i = start + k;
+            let qn = q[i];
+            *p = 2.0 * cols.cost[i] * qn - cols.value[i] * aor * cols.a2g2[i] / (qn * qn);
+        }
+    });
+}
+
+/// Total payment `Σ P_n(q_n) q_n` for a participation profile (profile
+/// view; used by the `M`-search).
 fn spend(population: &Population, bound: &BoundParams, q: &[f64]) -> f64 {
     population
         .iter()
@@ -155,6 +306,21 @@ fn validate_inputs(
             reason: "need at least 2 grid steps".into(),
         });
     }
+    if !(options.config.tolerance.is_finite() && options.config.tolerance > 0.0) {
+        return Err(GameError::InvalidParameter {
+            name: "tolerance",
+            reason: format!(
+                "must be finite and positive, got {}",
+                options.config.tolerance
+            ),
+        });
+    }
+    if options.config.max_iters == 0 {
+        return Err(GameError::InvalidParameter {
+            name: "max_iters",
+            reason: "need at least one bisection iteration".into(),
+        });
+    }
     if population.iter().any(|c| c.q_max <= options.q_min) {
         return Err(GameError::InvalidParameter {
             name: "q_max",
@@ -178,31 +344,61 @@ pub fn solve_kkt(
     options: &SolverOptions,
 ) -> Result<StageOneSolution, GameError> {
     validate_inputs(population, budget, options)?;
+    let cols = population.columns();
+    solve_kkt_columns(&cols, bound, budget, options)
+}
+
+/// [`solve_kkt`] on pre-extracted [`PopulationColumns`]. Internal
+/// factoring for now (inputs are assumed validated); a future sweep API
+/// that keeps the columns alive across many solves would go public here.
+fn solve_kkt_columns(
+    cols: &PopulationColumns,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<StageOneSolution, GameError> {
+    let n = cols.len();
+    let aor = bound.alpha_over_r();
+    let threads = options.config.n_threads;
     // t needed for every client to hit its cap.
-    let t_hi = population
-        .iter()
-        .map(|c| 4.0 / bound.alpha_over_r() * c.cost * c.q_max.powi(3) / c.a2g2() + c.value)
-        .fold(0.0f64, f64::max)
-        * (1.0 + 1e-12)
-        + 1e-12;
+    let t_hi = saturation_t(cols, aor);
 
-    let q_at = |t: f64| q_path(population, bound, options, t);
-    let spend_at = |t: f64| spend(population, bound, &q_at(t));
+    // The λ-evaluation: one fused chunked reduction per bisection probe,
+    // O(N / threads), materialising no per-client buffers.
+    let spend_at = |t: f64| path_spend(cols, aor, options.q_min, t, threads);
 
-    let (q, lambda, saturated) = if spend_at(t_hi) <= budget {
+    let (t_used, lambda, saturated) = if spend_at(t_hi) <= budget {
         // Whole population affordable at the caps: budget slack.
-        (q_at(t_hi), None, true)
+        (t_hi, None, true)
     } else {
-        let t_star = bisect_monotone(spend_at, budget, 0.0, t_hi, options.tol)?;
+        let t_star = bisect_monotone_with(
+            spend_at,
+            budget,
+            0.0,
+            t_hi,
+            options.config.tolerance,
+            options.config.max_iters,
+        )?;
         let lambda = if t_star > 0.0 {
             Some(1.0 / t_star)
         } else {
             None
         };
-        (q_at(t_star), lambda, false)
+        (t_star, lambda, false)
     };
-    let prices = prices_for(population, bound, &q)?;
-    let spent = spend(population, bound, &q);
+    // Materialise the profile and prices once, into buffers filled in
+    // parallel chunks.
+    let mut q = vec![0.0f64; n];
+    fill_path_profile(cols, aor, options.q_min, t_used, &mut q, threads);
+    let mut prices = vec![0.0f64; n];
+    fill_prices(cols, aor, &q, &mut prices, threads);
+    if let Some(bad) = prices.iter().position(|p| !p.is_finite()) {
+        return Err(GameError::SolverFailed {
+            solver: "kkt",
+            reason: format!("non-finite price for client {bad}"),
+        });
+    }
+    let spent = profile_spend(cols, aor, &q, threads);
     Ok(StageOneSolution {
         q,
         prices,
@@ -246,6 +442,7 @@ pub fn solve_m_search(
 
     let pgd = PgdConfig {
         max_iter: 8_000,
+        tol: options.config.tolerance,
         ..Default::default()
     };
     // Constraints are normalised to O(1), so feasibility is relative.

@@ -26,7 +26,7 @@ use crate::population::Population;
 use crate::response::intrinsic_gain;
 use crate::server::{SolverOptions, StageOneSolution};
 use fedfl_num::roots::bisect;
-use fedfl_num::solve::bisect_monotone;
+use fedfl_num::solve::bisect_monotone_with;
 
 fn validate_tau(tau: f64) -> Result<(), GameError> {
     if !(tau.is_finite() && tau > 1.0) {
@@ -172,7 +172,14 @@ pub fn solve_kkt_tau(
     let (q, lambda, saturated) = if spend_at(t_hi) <= budget {
         (q_at(t_hi), None, true)
     } else {
-        let t_star = bisect_monotone(spend_at, budget, 0.0, t_hi, options.tol)?;
+        let t_star = bisect_monotone_with(
+            spend_at,
+            budget,
+            0.0,
+            t_hi,
+            options.config.tolerance,
+            options.config.max_iters,
+        )?;
         let lambda = if t_star > 0.0 {
             Some(1.0 / t_star)
         } else {

@@ -16,6 +16,10 @@
 //!   one-dimensional search over the auxiliary variable `M` in Problem P1''.
 //! * [`solve`] — a projected-gradient solver for smooth convex problems on a
 //!   box, plus monotone bisection used for budget-tightening.
+//! * [`parallel`] — deterministic chunked parallel reductions and fills:
+//!   the per-client passes of the Stage-I solvers run on a worker pool with
+//!   a fixed summation tree, so results are bit-identical regardless of
+//!   thread count.
 //! * [`linalg`] — dense vector/matrix operations backing the multinomial
 //!   logistic-regression substrate.
 //! * [`stats`] — descriptive statistics (mean, variance, quantiles, Pearson
@@ -39,6 +43,7 @@
 pub mod dist;
 pub mod error;
 pub mod linalg;
+pub mod parallel;
 pub mod rng;
 pub mod roots;
 pub mod search;

@@ -336,16 +336,43 @@ where
 ///
 /// Returns [`NumError::InvalidParameter`] for an invalid interval.
 pub fn bisect_monotone<F: FnMut(f64) -> f64>(
-    mut f: F,
+    f: F,
     target: f64,
     lo: f64,
     hi: f64,
     tol: f64,
 ) -> Result<f64, NumError> {
+    bisect_monotone_with(f, target, lo, hi, tol, 200)
+}
+
+/// [`bisect_monotone`] with an explicit iteration budget.
+///
+/// Each iteration halves the bracket, so `max_iters` bounds the number of
+/// `f` evaluations after the two endpoint probes; the midpoint of the final
+/// bracket is returned if the tolerance is not reached first.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidParameter`] for an invalid interval or a zero
+/// iteration budget.
+pub fn bisect_monotone_with<F: FnMut(f64) -> f64>(
+    mut f: F,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<f64, NumError> {
     if !(lo.is_finite() && hi.is_finite()) || lo > hi {
         return Err(NumError::InvalidParameter {
             name: "interval",
             reason: format!("need finite lo <= hi, got [{lo}, {hi}]"),
+        });
+    }
+    if max_iters == 0 {
+        return Err(NumError::InvalidParameter {
+            name: "max_iters",
+            reason: "need at least one bisection iteration".into(),
         });
     }
     let flo = f(lo);
@@ -358,7 +385,7 @@ pub fn bisect_monotone<F: FnMut(f64) -> f64>(
     }
     let mut a = lo;
     let mut b = hi;
-    for _ in 0..200 {
+    for _ in 0..max_iters {
         let mid = 0.5 * (a + b);
         if (b - a) < tol {
             return Ok(mid);
