@@ -7,17 +7,40 @@
 //! ```text
 //! scale_equilibrium [--clients N] [--threads T] [--seed S]
 //!                   [--budget-frac F] [--out PATH] [--skip-sequential]
+//!                   [--json] [--json-out PATH]
 //! ```
 //!
 //! Defaults: 1,000,000 clients, auto threads, seed 2023, budget at half
 //! the saturation path, report appended to `results/scale_equilibrium.txt`.
+//! With `--json`, a machine-readable record of the same run is appended as
+//! one JSON object per line to `results/BENCH_scale.json` (or the given
+//! path) alongside the text report.
 
 use fedfl_core::bound::BoundParams;
 use fedfl_core::equilibrium::StackelbergEquilibrium;
 use fedfl_core::population::{Population, PopulationSpec};
 use fedfl_core::server::{path_budget, solve_kkt, SolverOptions};
+use serde::Serialize;
 use std::io::Write as _;
 use std::time::Instant;
+
+/// The machine-readable record `--json` appends (one object per line).
+#[derive(Debug, Serialize)]
+struct JsonRecord {
+    clients: usize,
+    threads: usize,
+    seed: u64,
+    budget: f64,
+    synthesize_seconds: f64,
+    solve_seconds: f64,
+    spent: f64,
+    budget_tight: bool,
+    saturated: bool,
+    lambda: Option<f64>,
+    theorem2_max_residual: Option<f64>,
+    negative_payments: usize,
+    parallel_matches_sequential: Option<bool>,
+}
 
 struct Args {
     clients: usize,
@@ -25,6 +48,7 @@ struct Args {
     seed: u64,
     budget_frac: f64,
     out: Option<String>,
+    json: Option<String>,
     skip_sequential: bool,
 }
 
@@ -36,6 +60,7 @@ impl Args {
             seed: 2023,
             budget_frac: 0.5,
             out: Some("results/scale_equilibrium.txt".into()),
+            json: None,
             skip_sequential: false,
         };
         let mut iter = std::env::args().skip(1);
@@ -64,11 +89,17 @@ impl Args {
                 }
                 "--out" => args.out = Some(value("--out")?),
                 "--no-out" => args.out = None,
+                "--json" => {
+                    args.json
+                        .get_or_insert_with(|| "results/BENCH_scale.json".into());
+                }
+                "--json-out" => args.json = Some(value("--json-out")?),
                 "--skip-sequential" => args.skip_sequential = true,
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` (expected --clients N, --threads T, --seed S, \
-                         --budget-frac F, --out PATH, --no-out, --skip-sequential)"
+                         --budget-frac F, --out PATH, --no-out, --json, --json-out PATH, \
+                         --skip-sequential)"
                     ))
                 }
             }
@@ -171,6 +202,35 @@ fn main() {
             .expect("open report file");
         file.write_all(report.as_bytes()).expect("write report");
         println!("appended to {path}");
+    }
+
+    if let Some(path) = &args.json {
+        let record = JsonRecord {
+            clients: args.clients,
+            threads: args.threads,
+            seed: args.seed,
+            budget,
+            synthesize_seconds: synth_time.as_secs_f64(),
+            solve_seconds: solve_time.as_secs_f64(),
+            spent: se.spent(),
+            budget_tight: tight,
+            saturated: se.is_saturated(),
+            lambda: se.lambda(),
+            theorem2_max_residual: theorem2,
+            negative_payments: negative,
+            parallel_matches_sequential: seq_matches,
+        };
+        let line = serde_json::to_string(&record).expect("serialize json record");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open json record file");
+        writeln!(file, "{line}").expect("write json record");
+        println!("appended JSON record to {path}");
     }
 
     let ok =

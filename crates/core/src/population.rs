@@ -186,6 +186,33 @@ impl Population {
             .build()
     }
 
+    /// Wrap profiles whose weights are *raw* (unnormalised) data sizes,
+    /// dividing each by their sequential sum so the weights sum to 1.
+    ///
+    /// This is the canonical normalisation step shared by
+    /// [`Population::synthesize`] and the incremental pricing service: a
+    /// delta-applied client store rebuilt through this constructor is
+    /// bit-identical to a from-scratch build over the same profiles in the
+    /// same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError`] if the profiles are empty or any normalised
+    /// profile is invalid.
+    pub fn from_raw(mut clients: Vec<ClientProfile>) -> Result<Self, GameError> {
+        let total: f64 = clients.iter().map(|c| c.weight).sum();
+        if !(total.is_finite() && total > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "weights",
+                reason: format!("raw weights must sum to a positive finite total, got {total}"),
+            });
+        }
+        for c in &mut clients {
+            c.weight /= total;
+        }
+        Population::new(clients)
+    }
+
     /// Number of clients.
     pub fn len(&self) -> usize {
         self.clients.len()
@@ -267,16 +294,10 @@ impl Population {
         }
         spec.validate()?;
         let mut clients = Vec::with_capacity(n);
-        let mut total_weight = 0.0f64;
         for i in 0..n {
-            let profile = spec.draw_client_unchecked(seed, i);
-            total_weight += profile.weight;
-            clients.push(profile);
+            clients.push(spec.draw_client_unchecked(seed, i));
         }
-        for c in &mut clients {
-            c.weight /= total_weight;
-        }
-        Population::new(clients)
+        Population::from_raw(clients)
     }
 }
 
@@ -309,6 +330,58 @@ impl PopulationColumns {
     /// Whether the columns are empty.
     pub fn is_empty(&self) -> bool {
         self.a2g2.is_empty()
+    }
+
+    /// The availability-effective view of these columns.
+    ///
+    /// When client `n` is only reachable a fraction `rate_n` of rounds, its
+    /// *effective* per-round participation is `x = q · rate` (Lemma 1 holds
+    /// with the effective levels). Rewriting the Stage-I problem in `x`
+    /// transforms each client's parameters as
+    ///
+    /// * `cost → cost / rate²` — reaching effective level `x` requires
+    ///   conditional participation `x / rate`, so the cost curve steepens
+    ///   for intermittently-available clients (they are compensated more
+    ///   per unit of effective participation);
+    /// * `q_max → q_max · rate` — the cap on effective participation;
+    /// * `a2g2`, `value` — unchanged (both act on the bound through `x`).
+    ///
+    /// A rate of exactly `1.0` reproduces the input columns bit-for-bit,
+    /// so an all-always-on model prices identically to the paper's
+    /// baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError`] if `rates` has the wrong length or any rate
+    /// falls outside `(0, 1]` — never-available clients must be excluded
+    /// *before* building the solver view (see the pricing service).
+    pub fn effective(&self, rates: &[f64]) -> Result<PopulationColumns, GameError> {
+        if rates.len() != self.len() {
+            return Err(GameError::LengthMismatch {
+                expected: self.len(),
+                found: rates.len(),
+            });
+        }
+        if let Some(bad) = rates
+            .iter()
+            .position(|r| !(r.is_finite() && *r > 0.0 && *r <= 1.0))
+        {
+            return Err(GameError::InvalidParameter {
+                name: "rates",
+                reason: format!("rate {} for client {bad} outside (0, 1]", rates[bad]),
+            });
+        }
+        Ok(PopulationColumns {
+            a2g2: self.a2g2.clone(),
+            cost: self
+                .cost
+                .iter()
+                .zip(rates)
+                .map(|(&c, &r)| c / (r * r))
+                .collect(),
+            value: self.value.clone(),
+            q_max: self.q_max.iter().zip(rates).map(|(&q, &r)| q * r).collect(),
+        })
     }
 }
 
@@ -715,6 +788,50 @@ mod tests {
             assert_eq!(cols.value[i], c.value);
             assert_eq!(cols.q_max[i], c.q_max);
         }
+    }
+
+    #[test]
+    fn from_raw_normalises_like_synthesize() {
+        let raw = |w: f64| ClientProfile {
+            weight: w,
+            g_squared: 4.0,
+            cost: 10.0,
+            value: 1.0,
+            q_max: 1.0,
+        };
+        let p = Population::from_raw(vec![raw(3.0), raw(1.0)]).unwrap();
+        assert_eq!(p.client(0).weight, 0.75);
+        assert_eq!(p.client(1).weight, 0.25);
+        // Degenerate raw weights are rejected.
+        assert!(Population::from_raw(vec![]).is_err());
+        assert!(Population::from_raw(vec![raw(f64::INFINITY)]).is_err());
+        assert!(Population::from_raw(vec![raw(-1.0), raw(0.5)]).is_err());
+    }
+
+    #[test]
+    fn effective_columns_transform_cost_and_cap() {
+        let cols = valid_builder().build().unwrap().columns();
+        let rates = [1.0, 0.5, 0.25];
+        let eff = cols.effective(&rates).unwrap();
+        // Rate 1 is bit-exact identity.
+        assert_eq!(eff.cost[0].to_bits(), cols.cost[0].to_bits());
+        assert_eq!(eff.q_max[0].to_bits(), cols.q_max[0].to_bits());
+        // cost / rate², q_max · rate; a2g2 and value untouched.
+        assert_eq!(eff.cost[1], cols.cost[1] / 0.25);
+        assert_eq!(eff.q_max[1], cols.q_max[1] * 0.5);
+        assert_eq!(eff.cost[2], cols.cost[2] / 0.0625);
+        assert_eq!(eff.a2g2, cols.a2g2);
+        assert_eq!(eff.value, cols.value);
+    }
+
+    #[test]
+    fn effective_columns_reject_bad_rates() {
+        let cols = valid_builder().build().unwrap().columns();
+        assert!(cols.effective(&[1.0, 1.0]).is_err());
+        assert!(cols.effective(&[1.0, 0.0, 1.0]).is_err());
+        assert!(cols.effective(&[1.0, -0.5, 1.0]).is_err());
+        assert!(cols.effective(&[1.0, 1.5, 1.0]).is_err());
+        assert!(cols.effective(&[1.0, f64::NAN, 1.0]).is_err());
     }
 
     #[test]

@@ -41,10 +41,10 @@
 use crate::bound::BoundParams;
 use crate::error::GameError;
 use crate::population::{Population, PopulationColumns, Q_MIN};
-use crate::response::{intrinsic_gain, inverse_price};
 use fedfl_num::parallel::{chunked_fill, chunked_sum};
 use fedfl_num::solve::{
-    bisect_monotone_with, penalty_minimize, BoxConstraints, ConstraintFn, ConstraintKind, PgdConfig,
+    bisect_monotone_instrumented, penalty_minimize, BisectStats, BoxConstraints, ConstraintFn,
+    ConstraintKind, PgdConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -258,31 +258,6 @@ fn fill_prices(
     });
 }
 
-/// Total payment `Σ P_n(q_n) q_n` for a participation profile (profile
-/// view; used by the `M`-search).
-fn spend(population: &Population, bound: &BoundParams, q: &[f64]) -> f64 {
-    population
-        .iter()
-        .zip(q)
-        .map(|(c, &qn)| {
-            // P(q)·q = 2 c q² − K/q with K = v (α/R) a²G².
-            2.0 * c.cost * qn * qn - intrinsic_gain(c, bound) / qn
-        })
-        .sum()
-}
-
-fn prices_for(
-    population: &Population,
-    bound: &BoundParams,
-    q: &[f64],
-) -> Result<Vec<f64>, GameError> {
-    population
-        .iter()
-        .zip(q)
-        .map(|(c, &qn)| inverse_price(c, bound, qn))
-        .collect()
-}
-
 fn validate_inputs(
     population: &Population,
     budget: f64,
@@ -330,6 +305,80 @@ fn validate_inputs(
     Ok(())
 }
 
+/// Input validation for the columns-level solver entry points, mirroring
+/// [`validate_inputs`] for callers that never materialise a [`Population`].
+fn validate_columns(
+    cols: &PopulationColumns,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<(), GameError> {
+    for (len, _name) in [
+        (cols.cost.len(), "cost"),
+        (cols.value.len(), "value"),
+        (cols.q_max.len(), "q_max"),
+    ] {
+        if len != cols.a2g2.len() {
+            return Err(GameError::LengthMismatch {
+                expected: cols.a2g2.len(),
+                found: len,
+            });
+        }
+    }
+    if cols.is_empty() {
+        return Err(GameError::InvalidParameter {
+            name: "columns",
+            reason: "need at least one client".into(),
+        });
+    }
+    if !budget.is_finite() {
+        return Err(GameError::InvalidParameter {
+            name: "budget",
+            reason: format!("must be finite, got {budget}"),
+        });
+    }
+    if !(options.q_min > 0.0 && options.q_min < 1.0) {
+        return Err(GameError::InvalidParameter {
+            name: "q_min",
+            reason: format!("must lie in (0, 1), got {}", options.q_min),
+        });
+    }
+    if !(options.config.tolerance.is_finite() && options.config.tolerance > 0.0) {
+        return Err(GameError::InvalidParameter {
+            name: "tolerance",
+            reason: format!(
+                "must be finite and positive, got {}",
+                options.config.tolerance
+            ),
+        });
+    }
+    if options.config.max_iters == 0 {
+        return Err(GameError::InvalidParameter {
+            name: "max_iters",
+            reason: "need at least one bisection iteration".into(),
+        });
+    }
+    for i in 0..cols.len() {
+        let valid = cols.a2g2[i].is_finite()
+            && cols.a2g2[i] > 0.0
+            && cols.cost[i].is_finite()
+            && cols.cost[i] > 0.0
+            && cols.value[i].is_finite()
+            && cols.value[i] >= 0.0
+            && cols.q_max[i].is_finite()
+            && cols.q_max[i] > options.q_min;
+        if !valid {
+            return Err(GameError::InvalidParameter {
+                name: "columns",
+                reason: format!(
+                    "client {i} invalid: a2g2={}, cost={}, value={}, q_max={} (need positives and q_max > q_min)",
+                    cols.a2g2[i], cols.cost[i], cols.value[i], cols.q_max[i]
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Solve Stage I along the KKT path (the fast solver).
 ///
 /// # Errors
@@ -345,18 +394,80 @@ pub fn solve_kkt(
 ) -> Result<StageOneSolution, GameError> {
     validate_inputs(population, budget, options)?;
     let cols = population.columns();
-    solve_kkt_columns(&cols, bound, budget, options)
+    Ok(solve_kkt_columns_unchecked(&cols, bound, budget, options, None)?.0)
 }
 
-/// [`solve_kkt`] on pre-extracted [`PopulationColumns`]. Internal
-/// factoring for now (inputs are assumed validated); a future sweep API
-/// that keeps the columns alive across many solves would go public here.
-fn solve_kkt_columns(
+/// Diagnostics of one KKT solve: where on the path it landed and how the
+/// budget bisection ran. The incremental pricing service's warm-start
+/// contract — bit-identical prices, fewer iterations — is expressed and
+/// verified in these numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KktDiagnostics {
+    /// The path parameter `t = 1/λ` the profile was materialised at (the
+    /// natural warm-start hint for the next solve of a perturbed
+    /// population).
+    pub t_star: f64,
+    /// Midpoint iterations of the budget bisection (0 for saturated or
+    /// endpoint-clamped solves).
+    pub bisect_iterations: usize,
+    /// Distinct spend evaluations, including the saturation probe, the
+    /// bisection endpoints and any warm-start verification probes.
+    pub bisect_evaluations: usize,
+    /// Dyadic depth of the bracket the bisection started from (0 = cold).
+    pub warm_start_depth: usize,
+}
+
+/// [`solve_kkt`] on pre-extracted [`PopulationColumns`] — the sweep/service
+/// entry point that keeps the columns alive across many solves.
+///
+/// # Errors
+///
+/// Returns [`GameError`] for invalid inputs (mismatched column lengths,
+/// non-finite budget, a client with `q_max <= q_min`, or non-positive
+/// `a2g2`/`cost` entries).
+pub fn solve_kkt_columns(
     cols: &PopulationColumns,
     bound: &BoundParams,
     budget: f64,
     options: &SolverOptions,
 ) -> Result<StageOneSolution, GameError> {
+    validate_columns(cols, budget, options)?;
+    Ok(solve_kkt_columns_unchecked(cols, bound, budget, options, None)?.0)
+}
+
+/// [`solve_kkt_columns`] with an optional warm-start hint, returning solve
+/// diagnostics alongside the solution.
+///
+/// `hint` is a guess at the path parameter `t = 1/λ` — typically
+/// [`KktDiagnostics::t_star`] of the previous solve of a slightly different
+/// population. The budget bisection descends its dyadic bracket tree toward
+/// the hint and verifies containment before trusting it
+/// ([`fedfl_num::solve::bisect_monotone_instrumented`]), so the returned
+/// solution is **bit-identical** to the cold [`solve_kkt_columns`] result
+/// for any hint; a good hint only removes bisection iterations, a useless
+/// one falls back to the full bracket.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_kkt_columns`].
+pub fn solve_kkt_columns_hinted(
+    cols: &PopulationColumns,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+    hint: Option<f64>,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
+    validate_columns(cols, budget, options)?;
+    solve_kkt_columns_unchecked(cols, bound, budget, options, hint)
+}
+
+fn solve_kkt_columns_unchecked(
+    cols: &PopulationColumns,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+    hint: Option<f64>,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
     let n = cols.len();
     let aor = bound.alpha_over_r();
     let threads = options.config.n_threads;
@@ -367,24 +478,25 @@ fn solve_kkt_columns(
     // O(N / threads), materialising no per-client buffers.
     let spend_at = |t: f64| path_spend(cols, aor, options.q_min, t, threads);
 
-    let (t_used, lambda, saturated) = if spend_at(t_hi) <= budget {
+    let (t_used, lambda, saturated, stats) = if spend_at(t_hi) <= budget {
         // Whole population affordable at the caps: budget slack.
-        (t_hi, None, true)
+        (t_hi, None, true, BisectStats::default())
     } else {
-        let t_star = bisect_monotone_with(
+        let (t_star, stats) = bisect_monotone_instrumented(
             spend_at,
             budget,
             0.0,
             t_hi,
             options.config.tolerance,
             options.config.max_iters,
+            hint,
         )?;
         let lambda = if t_star > 0.0 {
             Some(1.0 / t_star)
         } else {
             None
         };
-        (t_star, lambda, false)
+        (t_star, lambda, false, stats)
     };
     // Materialise the profile and prices once, into buffers filled in
     // parallel chunks.
@@ -399,13 +511,142 @@ fn solve_kkt_columns(
         });
     }
     let spent = profile_spend(cols, aor, &q, threads);
-    Ok(StageOneSolution {
-        q,
-        prices,
-        spent,
-        lambda,
-        saturated,
-    })
+    Ok((
+        StageOneSolution {
+            q,
+            prices,
+            spent,
+            lambda,
+            saturated,
+        },
+        KktDiagnostics {
+            t_star: t_used,
+            bisect_iterations: stats.iterations,
+            bisect_evaluations: stats.evaluations + 1, // + the saturation probe
+            warm_start_depth: stats.start_depth,
+        },
+    ))
+}
+
+/// A cheap closed-form estimate of the KKT path parameter `t* = 1/λ*` at
+/// which the path spend meets `budget` — the warm-start hint generator for
+/// incremental re-solves.
+///
+/// Clients are split at the reference parameter `t_ref` (typically the
+/// previous solve's [`KktDiagnostics::t_star`]) into cap-saturated and
+/// interior sets. Saturated clients contribute their exact, `t`-independent
+/// spend `C`; interior clients are modelled by the zero-value form of the
+/// path, whose spend is `K · t^(2/3)` (exact for `v = 0`, relatively off by
+/// `O(v/t)` otherwise). Solving `C + K·t^(2/3) = budget` in closed form and
+/// refining the split once at the estimate costs a few `O(N)` passes —
+/// cheap next to a bisection — and lands within a handful of dyadic levels
+/// of the true root under realistic churn.
+///
+/// The result is *only a hint*: [`solve_kkt_columns_hinted`] verifies the
+/// bracket it implies before trusting it, so a misprediction costs a few
+/// probes, never correctness. Returns `None` when the model degenerates
+/// (no interior clients at the split, or no budget left after `C`).
+pub fn estimate_path_parameter(
+    cols: &PopulationColumns,
+    bound: &BoundParams,
+    budget: f64,
+    t_ref: f64,
+    n_threads: usize,
+) -> Option<f64> {
+    if cols.is_empty() || !(t_ref.is_finite() && t_ref > 0.0) {
+        return None;
+    }
+    let aor = bound.alpha_over_r();
+    let coef = aor / 4.0;
+    let mut t = t_ref;
+    let mut estimate = None;
+    for _ in 0..8 {
+        let saturated_spend = chunked_sum(cols.len(), n_threads, |range| {
+            let mut acc = 0.0;
+            for i in range {
+                let t_sat =
+                    cols.cost[i] * cols.q_max[i].powi(3) / (coef * cols.a2g2[i]) + cols.value[i];
+                if t_sat <= t {
+                    let q = cols.q_max[i];
+                    acc += 2.0 * cols.cost[i] * q * q - cols.value[i] * aor * cols.a2g2[i] / q;
+                }
+            }
+            acc
+        });
+        let remaining = budget - saturated_spend;
+        if remaining <= 0.0 {
+            // The split is too high: the clamped spend alone busts the
+            // budget, so the root sits below — halve and retry.
+            t *= 0.5;
+            continue;
+        }
+        let interior_coefficient = chunked_sum(cols.len(), n_threads, |range| {
+            let mut acc = 0.0;
+            for i in range {
+                let t_sat =
+                    cols.cost[i] * cols.q_max[i].powi(3) / (coef * cols.a2g2[i]) + cols.value[i];
+                if t_sat > t {
+                    let ka = coef * cols.a2g2[i];
+                    acc += 2.0 * cols.cost[i].cbrt() * (ka * ka).cbrt();
+                }
+            }
+            acc
+        });
+        if interior_coefficient.is_nan() || interior_coefficient <= 0.0 {
+            // Everyone saturated with budget to spare: the slack regime,
+            // where the solver never bisects anyway.
+            break;
+        }
+        let ratio = remaining / interior_coefficient;
+        let refined = ratio * ratio.sqrt(); // ratio^{3/2}
+        if !(refined.is_finite() && refined > 0.0) {
+            break;
+        }
+        let converged = (refined - t).abs() <= 1e-3 * t;
+        estimate = Some(refined);
+        t = refined;
+        if converged {
+            break;
+        }
+    }
+    estimate
+}
+
+/// Theorem 2 spot check directly on solver columns: the maximum relative
+/// deviation of the invariant `(4R/α)·c_n q_n³/a_n²G_n² + v_n` from `1/λ*`
+/// over up to `sample` clients drawn deterministically from `seed` (with
+/// replacement), skipping floored/capped clients.
+///
+/// This is the columns-level counterpart of
+/// [`crate::equilibrium::StackelbergEquilibrium::theorem2_max_residual`];
+/// the pricing service asserts it after every incremental re-solve. Returns
+/// `None` when the solution has no interior KKT multiplier or no sampled
+/// client is interior.
+pub fn theorem2_max_residual_columns(
+    cols: &PopulationColumns,
+    bound: &BoundParams,
+    solution: &StageOneSolution,
+    sample: usize,
+    seed: u64,
+) -> Option<f64> {
+    let target = 1.0 / solution.lambda?;
+    let coef = 4.0 / bound.alpha_over_r();
+    let n = cols.len().min(solution.q.len());
+    if n == 0 {
+        return None;
+    }
+    let mut rng = fedfl_num::rng::substream(seed, 0x7_4832);
+    let mut worst: Option<f64> = None;
+    for _ in 0..sample {
+        let i = (rand::Rng::random::<u64>(&mut rng) % n as u64) as usize;
+        let q = solution.q[i];
+        if q > Q_MIN * 1.01 && q < cols.q_max[i] * 0.999 {
+            let invariant = coef * cols.cost[i] * q.powi(3) / cols.a2g2[i] + cols.value[i];
+            let residual = (invariant - target).abs() / target.abs().max(1.0);
+            worst = Some(worst.map_or(residual, |w| w.max(residual)));
+        }
+    }
+    worst
 }
 
 /// Solve Stage I with the paper's literal two-step `M`-search on P1″.
@@ -428,17 +669,39 @@ pub fn solve_m_search(
 ) -> Result<StageOneSolution, GameError> {
     validate_inputs(population, budget, options)?;
     let n = population.len();
-    let a2g2 = population.a2g2();
-    let costs: Vec<f64> = population.iter().map(|c| c.cost).collect();
-    let gains: Vec<f64> = population
-        .iter()
-        .map(|c| intrinsic_gain(c, bound))
-        .collect();
+    let threads = options.config.n_threads;
+    let aor = bound.alpha_over_r();
+    // Struct-of-arrays view plus precomputed intrinsic gains
+    // `K_n = v_n (α/R) a_n²G_n²`: every inner pass below is a chunked
+    // reduction or fill over these columns, so one PGD iteration strides
+    // each column once and allocates no per-client vectors.
+    let cols = population.columns();
+    let gains: Vec<f64> = (0..n).map(|i| cols.value[i] * aor * cols.a2g2[i]).collect();
     let lo: Vec<f64> = vec![options.q_min; n];
-    let hi: Vec<f64> = population.iter().map(|c| c.q_max).collect();
+    let hi: Vec<f64> = cols.q_max.clone();
     let bounds_box = BoxConstraints::new(lo.clone(), hi.clone())?;
-    let m_lo: f64 = costs.iter().zip(&lo).map(|(&c, &q)| c * q * q).sum();
-    let m_hi: f64 = costs.iter().zip(&hi).map(|(&c, &q)| c * q * q).sum();
+    // `M(q) = Σ c_n q_n²` and the realised spend, as chunked reductions.
+    let m_of = |q: &[f64]| {
+        chunked_sum(n, threads, |range| {
+            let mut acc = 0.0;
+            for i in range {
+                acc += cols.cost[i] * q[i] * q[i];
+            }
+            acc
+        })
+    };
+    let spend_of = |q: &[f64]| profile_spend(&cols, aor, q, threads);
+    let variance_of = |q: &[f64]| {
+        chunked_sum(n, threads, |range| {
+            let mut acc = 0.0;
+            for i in range {
+                acc += cols.a2g2[i] * (1.0 / q[i] - 1.0);
+            }
+            acc
+        })
+    };
+    let m_lo = m_of(&lo);
+    let m_hi = m_of(&hi);
 
     let pgd = PgdConfig {
         max_iter: 8_000,
@@ -456,40 +719,46 @@ pub fn solve_m_search(
         let mut constraints: Vec<(ConstraintKind, ConstraintFn<'_>)> = vec![
             (
                 ConstraintKind::Inequality,
-                Box::new({
-                    let gains = gains.clone();
-                    move |q: &[f64], g: &mut [f64]| {
-                        let mut val = 2.0 * m - budget;
-                        for i in 0..q.len() {
-                            val -= gains[i] / q[i];
-                            g[i] = gains[i] / (q[i] * q[i]) / budget_scale;
+                Box::new(|q: &[f64], g: &mut [f64]| {
+                    let gain_term = chunked_sum(n, threads, |range| {
+                        let mut acc = 0.0;
+                        for i in range {
+                            acc += gains[i] / q[i];
                         }
-                        val / budget_scale
-                    }
+                        acc
+                    });
+                    chunked_fill(g, threads, |start, slice| {
+                        for (k, gi) in slice.iter_mut().enumerate() {
+                            let i = start + k;
+                            *gi = gains[i] / (q[i] * q[i]) / budget_scale;
+                        }
+                    });
+                    (2.0 * m - budget - gain_term) / budget_scale
                 }),
             ),
             (
                 ConstraintKind::Equality,
-                Box::new({
-                    let costs = costs.clone();
-                    move |q: &[f64], g: &mut [f64]| {
-                        let mut val = -m;
-                        for i in 0..q.len() {
-                            val += costs[i] * q[i] * q[i];
-                            g[i] = 2.0 * costs[i] * q[i] / m_scale;
+                Box::new(|q: &[f64], g: &mut [f64]| {
+                    let val = m_of(q) - m;
+                    chunked_fill(g, threads, |start, slice| {
+                        for (k, gi) in slice.iter_mut().enumerate() {
+                            let i = start + k;
+                            *gi = 2.0 * cols.cost[i] * q[i] / m_scale;
                         }
-                        val / m_scale
-                    }
+                    });
+                    val / m_scale
                 }),
             ),
         ];
         let result = penalty_minimize(
             |q: &[f64], g: &mut [f64]| {
-                let mut val = 0.0;
-                for i in 0..q.len() {
-                    val += a2g2[i] * (1.0 / q[i] - 1.0);
-                    g[i] = -a2g2[i] / (q[i] * q[i]);
-                }
+                let val = variance_of(q);
+                chunked_fill(g, threads, |start, slice| {
+                    for (k, gi) in slice.iter_mut().enumerate() {
+                        let i = start + k;
+                        *gi = -cols.a2g2[i] / (q[i] * q[i]);
+                    }
+                });
                 val
             },
             &mut constraints,
@@ -501,17 +770,12 @@ pub fn solve_m_search(
         .ok()?;
         // Check feasibility of the returned point.
         let q = result.x;
-        let m_actual: f64 = costs.iter().zip(&q).map(|(&c, &qi)| c * qi * qi).sum();
-        let spent_actual = spend(population, bound, &q);
+        let m_actual = m_of(&q);
+        let spent_actual = spend_of(&q);
         if (m_actual - m).abs() / m_scale > 1e-3 || (spent_actual - budget) / budget_scale > 1e-3 {
             return None;
         }
-        let value: f64 = a2g2
-            .iter()
-            .zip(&q)
-            .map(|(&ag, &qi)| ag * (1.0 / qi - 1.0))
-            .sum();
-        Some((value, q))
+        Some((variance_of(&q), q))
     };
 
     // Linear search over M with a fixed step ε₀ (the paper's outer loop),
@@ -520,18 +784,20 @@ pub fn solve_m_search(
     let steps = options.m_grid_steps;
     let mut best: Option<(f64, Vec<f64>)> = None;
     let mut warm: Vec<f64> = hi.clone();
+    let mut x0 = vec![0.0f64; n];
     for k in (0..=steps).rev() {
         let m = m_lo + (m_hi - m_lo) * k as f64 / steps as f64;
         // Rescale the warm start towards the target M for a feasible-ish x0.
-        let m_warm: f64 = costs.iter().zip(&warm).map(|(&c, &qi)| c * qi * qi).sum();
+        let m_warm = m_of(&warm);
         let ratio = (m / m_warm.max(1e-300)).sqrt().clamp(0.1, 10.0);
-        let x0: Vec<f64> = warm
-            .iter()
-            .zip(lo.iter().zip(&hi))
-            .map(|(&w, (&l, &h))| (w * ratio).clamp(l, h))
-            .collect();
+        chunked_fill(&mut x0, threads, |start, slice| {
+            for (j, xj) in slice.iter_mut().enumerate() {
+                let i = start + j;
+                *xj = (warm[i] * ratio).clamp(lo[i], hi[i]);
+            }
+        });
         if let Some((value, q)) = inner(m, &x0) {
-            warm = q.clone();
+            warm.copy_from_slice(&q);
             if best.as_ref().map(|(v, _)| value < *v).unwrap_or(true) {
                 best = Some((value, q));
             }
@@ -541,12 +807,19 @@ pub fn solve_m_search(
         solver: "m_search",
         reason: "no feasible M found".into(),
     })?;
-    let prices = prices_for(population, bound, &q)?;
-    let spent = spend(population, bound, &q);
+    let mut prices = vec![0.0f64; n];
+    fill_prices(&cols, aor, &q, &mut prices, threads);
+    if let Some(bad) = prices.iter().position(|p| !p.is_finite()) {
+        return Err(GameError::SolverFailed {
+            solver: "m_search",
+            reason: format!("non-finite price for client {bad}"),
+        });
+    }
+    let spent = spend_of(&q);
     let saturated = q
         .iter()
-        .zip(population.iter())
-        .all(|(&qi, c)| qi >= c.q_max - 1e-6)
+        .zip(&cols.q_max)
+        .all(|(&qi, &cap)| qi >= cap - 1e-6)
         && spent < budget - 1e-9;
     Ok(StageOneSolution {
         q,
@@ -718,6 +991,133 @@ mod tests {
             ..Default::default()
         };
         assert!(solve_m_search(&p, &b, 10.0, &bad).is_err());
+    }
+
+    #[test]
+    fn columns_solver_matches_population_solver_bitwise() {
+        let p = population();
+        let b = bound();
+        let from_population = solve_kkt(&p, &b, 10.0, &SolverOptions::default()).unwrap();
+        let from_columns =
+            solve_kkt_columns(&p.columns(), &b, 10.0, &SolverOptions::default()).unwrap();
+        assert_eq!(from_population, from_columns);
+    }
+
+    #[test]
+    fn hinted_solver_is_bit_identical_and_skips_iterations() {
+        let p = population();
+        let b = bound();
+        let cols = p.columns();
+        let opts = SolverOptions::default();
+        let (cold, cold_diag) = solve_kkt_columns_hinted(&cols, &b, 10.0, &opts, None).unwrap();
+        for hint in [
+            None,
+            Some(cold_diag.t_star),
+            Some(cold_diag.t_star * 1.001),
+            Some(cold_diag.t_star * 0.5),
+            Some(f64::NAN),
+            Some(-1.0),
+            Some(1e300),
+        ] {
+            let (warm, diag) = solve_kkt_columns_hinted(&cols, &b, 10.0, &opts, hint).unwrap();
+            assert_eq!(warm, cold, "hint {hint:?}");
+            assert!(
+                diag.bisect_iterations <= cold_diag.bisect_iterations,
+                "hint {hint:?}: {} > {}",
+                diag.bisect_iterations,
+                cold_diag.bisect_iterations
+            );
+        }
+        let (_, exact) =
+            solve_kkt_columns_hinted(&cols, &b, 10.0, &opts, Some(cold_diag.t_star)).unwrap();
+        assert!(
+            exact.warm_start_depth > 10,
+            "depth {}",
+            exact.warm_start_depth
+        );
+        assert!(exact.bisect_iterations < cold_diag.bisect_iterations / 2);
+    }
+
+    #[test]
+    fn columns_solver_validates_inputs() {
+        let p = population();
+        let b = bound();
+        let mut cols = p.columns();
+        cols.cost.pop();
+        assert!(solve_kkt_columns(&cols, &b, 10.0, &SolverOptions::default()).is_err());
+        let mut cols = p.columns();
+        cols.cost[1] = 0.0;
+        assert!(solve_kkt_columns(&cols, &b, 10.0, &SolverOptions::default()).is_err());
+        let mut cols = p.columns();
+        cols.q_max[0] = Q_MIN / 2.0;
+        assert!(solve_kkt_columns(&cols, &b, 10.0, &SolverOptions::default()).is_err());
+        let empty = PopulationColumns {
+            a2g2: vec![],
+            cost: vec![],
+            value: vec![],
+            q_max: vec![],
+        };
+        assert!(solve_kkt_columns(&empty, &b, 10.0, &SolverOptions::default()).is_err());
+        assert!(solve_kkt_columns(&p.columns(), &b, f64::NAN, &SolverOptions::default()).is_err());
+    }
+
+    #[test]
+    fn path_parameter_estimate_lands_near_the_root() {
+        use crate::population::{ParamDist, PopulationSpec};
+        // A mostly-zero-value synthetic population: the closed-form model
+        // is near-exact there, so the estimate must land within a few
+        // dyadic levels of the true path parameter.
+        let spec = PopulationSpec {
+            value: ParamDist::Constant(0.0),
+            ..PopulationSpec::table1_like()
+        };
+        let p = Population::synthesize(500, &spec, 11).unwrap();
+        let b = bound();
+        let opts = SolverOptions::default();
+        let budget = path_budget(&p, &b, &opts, 0.4);
+        let cols = p.columns();
+        let (_, diag) = solve_kkt_columns_hinted(&cols, &b, budget, &opts, None).unwrap();
+        // Start the split from a deliberately wrong reference.
+        let estimate = estimate_path_parameter(&cols, &b, budget, diag.t_star * 3.0, 1).unwrap();
+        let rel = (estimate - diag.t_star).abs() / diag.t_star;
+        assert!(
+            rel < 0.05,
+            "estimate {estimate} vs t* {} ({rel})",
+            diag.t_star
+        );
+        // Degenerate inputs give no estimate instead of nonsense.
+        assert_eq!(
+            estimate_path_parameter(&cols, &b, budget, f64::NAN, 1),
+            None
+        );
+        assert_eq!(estimate_path_parameter(&cols, &b, budget, -1.0, 1), None);
+        let empty = PopulationColumns {
+            a2g2: vec![],
+            cost: vec![],
+            value: vec![],
+            q_max: vec![],
+        };
+        assert_eq!(estimate_path_parameter(&empty, &b, budget, 1.0, 1), None);
+        // A budget below any interior spend (here: deeply negative, while
+        // every client's saturated/zero-value spend is non-negative)
+        // degenerates the model.
+        assert_eq!(
+            estimate_path_parameter(&cols, &b, -1e18, diag.t_star, 1),
+            None
+        );
+    }
+
+    #[test]
+    fn columns_residual_matches_equilibrium_residual() {
+        use crate::equilibrium::StackelbergEquilibrium;
+        let p = population();
+        let b = bound();
+        let sol = solve_kkt(&p, &b, 10.0, &SolverOptions::default()).unwrap();
+        let via_columns = theorem2_max_residual_columns(&p.columns(), &b, &sol, 100, 0).unwrap();
+        let se = StackelbergEquilibrium::from_stage_one(sol, &p, &b, 10.0);
+        let via_equilibrium = se.theorem2_max_residual(&p, &b, 100, 0).unwrap();
+        assert_eq!(via_columns.to_bits(), via_equilibrium.to_bits());
+        assert!(via_columns < 1e-6);
     }
 
     #[test]

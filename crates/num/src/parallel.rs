@@ -30,13 +30,20 @@ use crossbeam::channel;
 pub const DEFAULT_CHUNK: usize = 8_192;
 
 /// Resolve a thread-count knob: `0` means one worker per available core.
+///
+/// The core-count lookup is a syscall, and auto-threaded reductions can
+/// sit in solver inner loops (the M-search calls one per gradient
+/// evaluation), so the answer is cached for the life of the process.
 pub fn resolve_threads(n_threads: usize) -> usize {
+    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     if n_threads > 0 {
         n_threads
     } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        *AVAILABLE.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
 }
 

@@ -175,19 +175,21 @@ where
     let mut step = config.initial_step;
     let mut iterations = 0;
     let mut converged = false;
+    // Scratch buffers reused across iterations and backtracking trials, so
+    // one PGD step allocates nothing proportional to the dimension.
+    let mut candidate = vec![0.0; n];
+    let mut cand_grad = vec![0.0; n];
 
     while iterations < config.max_iter {
         iterations += 1;
         // Backtracking: find a step giving sufficient decrease.
         let mut accepted = false;
-        let mut candidate = vec![0.0; n];
         let mut trial_step = step;
         for _ in 0..60 {
             for i in 0..n {
                 candidate[i] = x[i] - trial_step * grad[i];
             }
             bounds.project(&mut candidate);
-            let mut cand_grad = vec![0.0; n];
             let cand_value = fg(&candidate, &mut cand_grad);
             // Armijo condition w.r.t. the projected step.
             let mut decrease = 0.0;
@@ -203,7 +205,7 @@ where
                     .sum::<f64>()
                     .sqrt();
                 x.copy_from_slice(&candidate);
-                grad = cand_grad;
+                std::mem::swap(&mut grad, &mut cand_grad);
                 value = cand_value;
                 // Allow the step to grow back.
                 step = (trial_step / config.backtrack).min(config.initial_step * 1e6);
@@ -356,13 +358,83 @@ pub fn bisect_monotone<F: FnMut(f64) -> f64>(
 /// Returns [`NumError::InvalidParameter`] for an invalid interval or a zero
 /// iteration budget.
 pub fn bisect_monotone_with<F: FnMut(f64) -> f64>(
-    mut f: F,
+    f: F,
     target: f64,
     lo: f64,
     hi: f64,
     tol: f64,
     max_iters: usize,
 ) -> Result<f64, NumError> {
+    Ok(bisect_monotone_instrumented(f, target, lo, hi, tol, max_iters, None)?.0)
+}
+
+/// Statistics of one monotone-bisection run — what the warm-start contract
+/// of the pricing service is measured by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BisectStats {
+    /// Midpoint bisection steps performed (the classic iteration count).
+    pub iterations: usize,
+    /// Distinct evaluations of `f`, including the two endpoint probes and
+    /// any warm-start verification probes.
+    pub evaluations: usize,
+    /// Dyadic depth of the bracket the bisection started from: `0` for a
+    /// cold start, `d > 0` when a warm-start hint let the search skip the
+    /// first `d` halvings.
+    pub start_depth: usize,
+}
+
+/// Evaluate `f(x)` through a tiny bit-keyed memo so warm-start verification
+/// probes and the subsequent bisection never pay for the same point twice.
+fn memo_eval<F: FnMut(f64) -> f64>(
+    f: &mut F,
+    cache: &mut Vec<(u64, f64)>,
+    stats: &mut BisectStats,
+    x: f64,
+) -> f64 {
+    let bits = x.to_bits();
+    if let Some(&(_, v)) = cache.iter().find(|&&(b, _)| b == bits) {
+        return v;
+    }
+    stats.evaluations += 1;
+    let v = f(x);
+    cache.push((bits, v));
+    v
+}
+
+/// [`bisect_monotone_with`], instrumented and optionally warm-started.
+///
+/// `hint` is a guess at the root — typically the previous solution of a
+/// perturbed instance (the pricing service passes the last solve's `1/λ*`).
+/// The search descends the dyadic bracket tree of `[lo, hi]` toward the
+/// hint *without evaluating `f`*, then binary-searches over depth for the
+/// deepest bracket that still contains the root (each containment test is
+/// at most two memoised evaluations of `f`), and runs the ordinary
+/// bisection from there.
+///
+/// **Bit-identity contract:** because every bracket reachable this way is a
+/// bracket the cold bisection itself would reach — the depth-`d` dyadic
+/// interval `[a, b]` with `f(a) < target ≤ f(b)` is unique for a monotone
+/// `f` — the returned root is bit-identical to the cold
+/// [`bisect_monotone_with`] result whenever the tolerance (rather than the
+/// iteration cap) terminates the search, for *any* hint. The cap is also
+/// mirrored: a warm start at depth `d` leaves `max_iters − d` iterations,
+/// so even cap-terminated runs agree. A useless hint costs at most
+/// `2·log₂(max_iters)` extra evaluations; a good one skips
+/// `start_depth` iterations.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidParameter`] for an invalid interval or a zero
+/// iteration budget.
+pub fn bisect_monotone_instrumented<F: FnMut(f64) -> f64>(
+    mut f: F,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iters: usize,
+    hint: Option<f64>,
+) -> Result<(f64, BisectStats), NumError> {
     if !(lo.is_finite() && hi.is_finite()) || lo > hi {
         return Err(NumError::InvalidParameter {
             name: "interval",
@@ -375,28 +447,93 @@ pub fn bisect_monotone_with<F: FnMut(f64) -> f64>(
             reason: "need at least one bisection iteration".into(),
         });
     }
+    let mut stats = BisectStats {
+        iterations: 0,
+        evaluations: 1,
+        start_depth: 0,
+    };
     let flo = f(lo);
     if flo >= target {
-        return Ok(lo);
+        return Ok((lo, stats));
     }
+    stats.evaluations += 1;
     let fhi = f(hi);
     if fhi <= target {
-        return Ok(hi);
+        return Ok((hi, stats));
     }
+
     let mut a = lo;
     let mut b = hi;
-    for _ in 0..max_iters {
-        let mid = 0.5 * (a + b);
-        if (b - a) < tol {
-            return Ok(mid);
+    let mut cache: Vec<(u64, f64)> = Vec::new();
+    let warm = hint.is_some_and(|h| h.is_finite() && h > lo && h < hi);
+    if warm {
+        let h = hint.expect("checked above");
+        cache.push((lo.to_bits(), flo));
+        cache.push((hi.to_bits(), fhi));
+        // The chain of dyadic brackets toward the hint; chain[d] is the
+        // depth-d bracket. Built with the exact arithmetic of the cold
+        // loop (`mid = 0.5 * (a + b)`), so its intervals are the cold
+        // bisection's own candidate brackets.
+        let mut chain: Vec<(f64, f64)> = vec![(lo, hi)];
+        let (mut ca, mut cb) = (lo, hi);
+        while chain.len() <= max_iters && (cb - ca) >= tol {
+            let mid = 0.5 * (ca + cb);
+            if mid <= ca || mid >= cb {
+                break; // f64 resolution exhausted
+            }
+            if h < mid {
+                cb = mid;
+            } else {
+                ca = mid;
+            }
+            chain.push((ca, cb));
         }
-        if f(mid) < target {
+        // Containment — f(a_d) < target && f(b_d) >= target — is a prefix
+        // property of the chain (endpoints move monotonically toward the
+        // hint and f is monotone), so the deepest valid start depth is
+        // found by binary search over depth. Depth 0 is known valid from
+        // the endpoint probes above.
+        let (mut lo_d, mut hi_d) = (0usize, chain.len() - 1);
+        while lo_d < hi_d {
+            let m = lo_d + (hi_d - lo_d).div_ceil(2);
+            let (am, bm) = chain[m];
+            let contains = memo_eval(&mut f, &mut cache, &mut stats, am) < target
+                && memo_eval(&mut f, &mut cache, &mut stats, bm) >= target;
+            if contains {
+                lo_d = m;
+            } else {
+                hi_d = m - 1;
+            }
+        }
+        stats.start_depth = lo_d;
+        (a, b) = chain[lo_d];
+    }
+
+    // A warm start at depth d has d of the cap's halvings already behind
+    // it, so cap-terminated runs stop at the same depth as a cold run.
+    for _ in 0..(max_iters - stats.start_depth) {
+        let mid = 0.5 * (a + b);
+        if (b - a) < tol || mid <= a || mid >= b {
+            // Tolerance reached — or f64 resolution exhausted, where the
+            // midpoint stops moving and further iterations cannot change
+            // the bracket (the monotone invariant pins the branch), so
+            // returning now is bit-identical to running out the cap.
+            return Ok((mid, stats));
+        }
+        stats.iterations += 1;
+        let fmid = if warm {
+            memo_eval(&mut f, &mut cache, &mut stats, mid)
+        } else {
+            stats.evaluations += 1;
+            f(mid)
+        };
+        if fmid < target {
             a = mid;
         } else {
             b = mid;
         }
     }
-    Ok(0.5 * (a + b))
+    Ok((0.5 * (a + b), stats))
 }
 
 #[cfg(test)]
@@ -555,5 +692,109 @@ mod tests {
     #[test]
     fn bisect_monotone_rejects_bad_interval() {
         assert!(bisect_monotone(|x| x, 0.5, 1.0, 0.0, 1e-12).is_err());
+        assert!(bisect_monotone_instrumented(|x| x, 0.5, 0.0, 1.0, 1e-12, 0, None).is_err());
+    }
+
+    /// A family of strictly increasing test functions for the warm-start
+    /// identity checks.
+    fn monotone_fn(k: usize) -> impl Fn(f64) -> f64 {
+        move |x: f64| match k {
+            0 => x * x * x,
+            1 => x.exp_m1() + 0.25 * x,
+            2 => x / (1.0 + x.abs()) + 1e-3 * x,
+            _ => x.atan() + 0.5 * x,
+        }
+    }
+
+    #[test]
+    fn hinted_bisection_is_bit_identical_to_cold_for_any_hint() {
+        for k in 0..4 {
+            let f = monotone_fn(k);
+            for &target in &[0.1, 1.0, 4.7, 7.99] {
+                let cold = bisect_monotone_with(&f, target, -3.0, 10.0, 1e-12, 200).unwrap();
+                for &hint in &[
+                    f64::NAN,
+                    f64::INFINITY,
+                    -3.0,
+                    10.0,
+                    -2.999,
+                    9.999,
+                    cold,
+                    cold + 1e-9,
+                    cold - 0.5,
+                    cold + 2.0,
+                    0.0,
+                ] {
+                    let (warm, stats) = bisect_monotone_instrumented(
+                        &f,
+                        target,
+                        -3.0,
+                        10.0,
+                        1e-12,
+                        200,
+                        Some(hint),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        warm.to_bits(),
+                        cold.to_bits(),
+                        "k={k} target={target} hint={hint}: {warm} vs {cold}"
+                    );
+                    // The warm start can only remove halvings, never add.
+                    let (_, cold_stats) =
+                        bisect_monotone_instrumented(&f, target, -3.0, 10.0, 1e-12, 200, None)
+                            .unwrap();
+                    assert!(
+                        stats.iterations <= cold_stats.iterations,
+                        "hint={hint}: warm {} > cold {} iterations",
+                        stats.iterations,
+                        cold_stats.iterations
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn good_hints_skip_deep_into_the_bracket_tree() {
+        let f = |x: f64| x * x * x;
+        let cold = bisect_monotone_with(f, 8.0, 0.0, 10.0, 1e-12, 200).unwrap();
+        let (warm, stats) =
+            bisect_monotone_instrumented(f, 8.0, 0.0, 10.0, 1e-12, 200, Some(cold)).unwrap();
+        assert_eq!(warm.to_bits(), cold.to_bits());
+        assert!(
+            stats.start_depth > 20,
+            "exact hint should verify deep: depth {}",
+            stats.start_depth
+        );
+        let (_, cold_stats) =
+            bisect_monotone_instrumented(f, 8.0, 0.0, 10.0, 1e-12, 200, None).unwrap();
+        assert!(stats.iterations < cold_stats.iterations / 2);
+        assert!(stats.evaluations < cold_stats.evaluations);
+    }
+
+    #[test]
+    fn hinted_bisection_respects_endpoint_clamps() {
+        // Clamping at the endpoints ignores the hint entirely.
+        let (x, s) =
+            bisect_monotone_instrumented(|x| x, -5.0, 0.0, 1.0, 1e-12, 200, Some(0.5)).unwrap();
+        assert_eq!(x, 0.0);
+        assert_eq!(s.evaluations, 1);
+        let (x, _) =
+            bisect_monotone_instrumented(|x| x, 5.0, 0.0, 1.0, 1e-12, 200, Some(0.5)).unwrap();
+        assert_eq!(x, 1.0);
+    }
+
+    #[test]
+    fn hinted_bisection_agrees_under_a_binding_iteration_cap() {
+        // With the cap (not the tolerance) terminating the search, a warm
+        // start still stops at the same dyadic depth as a cold run.
+        let f = |x: f64| x * x * x;
+        let cold = bisect_monotone_with(f, 8.0, 0.0, 10.0, 1e-30, 17).unwrap();
+        for &hint in &[1.9, 2.0, 2.2, 7.5] {
+            let (warm, _) =
+                bisect_monotone_instrumented(f, 8.0, 0.0, 10.0, 1e-30, 17, Some(hint)).unwrap();
+            assert_eq!(warm.to_bits(), cold.to_bits(), "hint {hint}");
+        }
     }
 }

@@ -1,0 +1,146 @@
+//! Error type for the pricing service.
+
+use fedfl_core::GameError;
+use fedfl_sim::SimError;
+use std::fmt;
+
+use crate::ClientId;
+
+/// Error returned by the pricing service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The service configuration is invalid.
+    InvalidConfig {
+        /// Which field is invalid.
+        field: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A submitted client's parameters are invalid.
+    InvalidClient {
+        /// Position of the offending client within the submitted batch.
+        index: usize,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A command referenced a client id the service does not know.
+    UnknownClient(ClientId),
+    /// A `RemoveClients` batch named the same (registered) client twice;
+    /// the batch was rejected atomically and the client is still
+    /// registered.
+    DuplicateRemoval(ClientId),
+    /// An availability model's length disagrees with the population.
+    AvailabilityMismatch {
+        /// Number of clients currently registered.
+        clients: usize,
+        /// Number of patterns submitted.
+        patterns: usize,
+    },
+    /// The service holds no clients (or none that are priceable), so there
+    /// is no equilibrium to serve.
+    NoPriceableClients {
+        /// Total clients registered.
+        registered: usize,
+    },
+    /// The re-solved equilibrium violated the Theorem 2 invariant beyond
+    /// the configured tolerance — the service refuses to serve prices it
+    /// cannot certify.
+    InvariantViolated {
+        /// Maximum sampled relative residual.
+        residual: f64,
+        /// The configured tolerance it exceeded.
+        tolerance: f64,
+    },
+    /// An underlying equilibrium-engine call failed.
+    Game(GameError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::InvalidConfig { field, reason } => {
+                write!(f, "invalid service config `{field}`: {reason}")
+            }
+            ServiceError::InvalidClient { index, reason } => {
+                write!(f, "invalid client at batch index {index}: {reason}")
+            }
+            ServiceError::UnknownClient(id) => write!(f, "unknown client id {id}"),
+            ServiceError::DuplicateRemoval(id) => {
+                write!(f, "client id {id} appears twice in one removal batch")
+            }
+            ServiceError::AvailabilityMismatch { clients, patterns } => write!(
+                f,
+                "availability model has {patterns} patterns for {clients} clients"
+            ),
+            ServiceError::NoPriceableClients { registered } => write!(
+                f,
+                "no priceable clients ({registered} registered, all excluded or none present)"
+            ),
+            ServiceError::InvariantViolated {
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "theorem 2 invariant violated after re-solve: residual {residual:.3e} > {tolerance:.3e}"
+            ),
+            ServiceError::Game(e) => write!(f, "equilibrium engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Game(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GameError> for ServiceError {
+    fn from(e: GameError) -> Self {
+        ServiceError::Game(e)
+    }
+}
+
+impl From<SimError> for ServiceError {
+    fn from(e: SimError) -> Self {
+        ServiceError::InvalidConfig {
+            field: "availability",
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServiceError::UnknownClient(ClientId(7))
+            .to_string()
+            .contains('7'));
+        assert!(ServiceError::DuplicateRemoval(ClientId(3))
+            .to_string()
+            .contains("twice"));
+        assert!(ServiceError::InvariantViolated {
+            residual: 1e-3,
+            tolerance: 1e-6
+        }
+        .to_string()
+        .contains("theorem 2"));
+        let e: ServiceError = GameError::LengthMismatch {
+            expected: 2,
+            found: 1,
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ServiceError::AvailabilityMismatch {
+            clients: 3,
+            patterns: 2
+        }
+        .to_string()
+        .contains("3 clients"));
+    }
+}

@@ -1,0 +1,699 @@
+//! The pricing service: command processing and the incremental re-solve.
+
+use crate::error::ServiceError;
+use crate::store::ClientStore;
+use crate::{AvailabilityModel, ClientId, ClientParams};
+use fedfl_core::bound::BoundParams;
+use fedfl_core::population::Population;
+use fedfl_core::server::{
+    estimate_path_parameter, solve_kkt_columns_hinted, theorem2_max_residual_columns, SolverOptions,
+};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a [`PricingService`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// The Theorem 1 bound constants `(α, β, R)` the mechanism prices
+    /// against.
+    pub bound: BoundParams,
+    /// The server's per-deployment budget `B`.
+    pub budget: f64,
+    /// Stage-I solver options (floor, tolerance, worker threads).
+    pub solver: SolverOptions,
+    /// Price against effective participation `q_eff = q · rate`. When
+    /// `false` (the default), availability patterns are ignored and the
+    /// service reproduces the paper's always-on pricing bit-for-bit.
+    pub availability_aware: bool,
+    /// Maximum sampled Theorem 2 residual accepted after a re-solve.
+    pub residual_tolerance: f64,
+    /// Number of invariant samples drawn per re-solve.
+    pub residual_sample: usize,
+    /// Seed of the deterministic residual sampler.
+    pub residual_seed: u64,
+}
+
+impl ServiceConfig {
+    /// A configuration with the default solver, always-on pricing, and a
+    /// `1e-6` Theorem 2 tolerance sampled at 1024 clients per re-solve.
+    pub fn new(bound: BoundParams, budget: f64) -> Self {
+        Self {
+            bound,
+            budget,
+            solver: SolverOptions::default(),
+            availability_aware: false,
+            residual_tolerance: 1e-6,
+            residual_sample: 1024,
+            residual_seed: 0x5EED,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServiceError> {
+        if !self.budget.is_finite() {
+            return Err(ServiceError::InvalidConfig {
+                field: "budget",
+                reason: format!("must be finite, got {}", self.budget),
+            });
+        }
+        if !(self.residual_tolerance.is_finite() && self.residual_tolerance > 0.0) {
+            return Err(ServiceError::InvalidConfig {
+                field: "residual_tolerance",
+                reason: format!(
+                    "must be finite and positive, got {}",
+                    self.residual_tolerance
+                ),
+            });
+        }
+        if self.residual_sample == 0 {
+            return Err(ServiceError::InvalidConfig {
+                field: "residual_sample",
+                reason: "sampling zero clients would silently disable the Theorem 2 \
+                         certification"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One request to the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Register new clients; replies with their assigned ids.
+    AddClients(Vec<ClientParams>),
+    /// Deregister clients by id (atomic: an unknown id rejects the batch).
+    RemoveClients(Vec<ClientId>),
+    /// Replace every client's availability pattern; the model is aligned
+    /// to client-insertion order and must match the population size.
+    UpdateAvailability(AvailabilityModel),
+    /// Re-solve the equilibrium now (deltas otherwise re-solve lazily at
+    /// the next read).
+    Reprice,
+    /// Batched price read for the given ids.
+    GetPrices(Vec<ClientId>),
+    /// Full view of the current equilibrium.
+    Snapshot,
+}
+
+/// The service's reply to one [`Command`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Ids assigned to an `AddClients` batch, in submission order.
+    Added(Vec<ClientId>),
+    /// Number of clients removed.
+    Removed(usize),
+    /// The availability model was replaced.
+    AvailabilityUpdated,
+    /// Result of an explicit `Reprice`.
+    Repriced(RepriceReport),
+    /// Quotes for a `GetPrices` batch, in request order.
+    Prices(Vec<PriceQuote>),
+    /// Result of a `Snapshot`.
+    Snapshot(ServiceSnapshot),
+}
+
+/// One client's current quote.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceQuote {
+    /// The client.
+    pub id: ClientId,
+    /// Equilibrium price per unit of (effective) participation. Excluded
+    /// clients — unreachable under the current availability model — are
+    /// quoted `0.0`.
+    pub price: f64,
+    /// The effective participation level `q_eff` the price implements
+    /// (`0.0` for excluded clients).
+    pub q_eff: f64,
+}
+
+/// Diagnostics of one re-solve — the observable half of the warm-start
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepriceReport {
+    /// Clients registered at solve time.
+    pub clients: usize,
+    /// Clients excluded as effectively unreachable (rate `0`, or an
+    /// effective cap below the solver floor).
+    pub excluded: usize,
+    /// KKT multiplier `λ*` (`None` for saturated or floored populations).
+    pub lambda: Option<f64>,
+    /// Realised total payment `Σ P q_eff`.
+    pub spent: f64,
+    /// Whether every priceable client saturated at its cap with budget to
+    /// spare.
+    pub saturated: bool,
+    /// Maximum sampled Theorem 2 residual (`None` when no interior λ*).
+    pub theorem2_residual: Option<f64>,
+    /// Whether a warm-start hint from a previous solve was available.
+    pub warm_started: bool,
+    /// Dyadic depth the λ-bisection started from (0 = cold).
+    pub warm_start_depth: usize,
+    /// Midpoint iterations the λ-bisection ran.
+    pub bisect_iterations: usize,
+    /// Distinct spend evaluations, including warm-start verification.
+    pub bisect_evaluations: usize,
+}
+
+/// Full view of the current equilibrium.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Client ids in insertion order.
+    pub ids: Vec<ClientId>,
+    /// Per-client prices (aligned with `ids`; excluded clients are `0.0`).
+    pub prices: Vec<f64>,
+    /// Per-client effective participation levels (aligned with `ids`).
+    pub q_eff: Vec<f64>,
+    /// The budget the equilibrium was solved for.
+    pub budget: f64,
+    /// The report of the solve that produced this snapshot.
+    pub report: RepriceReport,
+}
+
+/// Cached result of the last successful re-solve, scattered back to the
+/// full client list.
+#[derive(Debug, Clone)]
+struct PricedState {
+    prices: Vec<f64>,
+    q_eff: Vec<f64>,
+    report: RepriceReport,
+}
+
+/// A long-running pricing service owning a churning client population.
+///
+/// See the crate docs for the full contract. All mutating commands are
+/// cheap (`O(batch)` or one `O(N)` compaction); the equilibrium is
+/// re-solved lazily — at the next read, or eagerly via
+/// [`Command::Reprice`] — with the λ-bisection warm-started from the
+/// previous solve.
+#[derive(Debug, Clone)]
+pub struct PricingService {
+    config: ServiceConfig,
+    store: ClientStore,
+    state: Option<PricedState>,
+    dirty: bool,
+    /// Warm-start hint: the previous solve's path parameter `t* = 1/λ*`
+    /// and the total raw weight it was solved at. A delta rescales every
+    /// normalised weight by `W_old / W_new`, shifting the KKT path roughly
+    /// like `t ↦ t · (W_new / W_old)²`, so the hint is rescaled the same
+    /// way before being handed to the bisection (it is only a *hint* — the
+    /// bisection verifies the bracket before trusting it).
+    warm_hint: Option<(f64, f64)>,
+}
+
+impl PricingService {
+    /// Create an empty service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidConfig`] for a non-finite budget or
+    /// tolerance.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            store: ClientStore::default(),
+            state: None,
+            dirty: true,
+            warm_hint: None,
+        })
+    }
+
+    /// Create a service pre-populated with `clients`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] for an invalid config or client batch.
+    pub fn with_clients(
+        config: ServiceConfig,
+        clients: Vec<ClientParams>,
+    ) -> Result<(Self, Vec<ClientId>), ServiceError> {
+        let mut service = Self::new(config)?;
+        let ids = service.add_clients(clients)?;
+        Ok((service, ids))
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether no clients are registered.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Whether deltas have accumulated since the last solve.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Process one command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying typed method's error; failed commands
+    /// leave the service state unchanged.
+    pub fn execute(&mut self, command: Command) -> Result<Response, ServiceError> {
+        match command {
+            Command::AddClients(batch) => self.add_clients(batch).map(Response::Added),
+            Command::RemoveClients(ids) => self.remove_clients(&ids).map(Response::Removed),
+            Command::UpdateAvailability(model) => self
+                .update_availability(&model)
+                .map(|()| Response::AvailabilityUpdated),
+            Command::Reprice => self.reprice().map(Response::Repriced),
+            Command::GetPrices(ids) => self.get_prices(&ids).map(Response::Prices),
+            Command::Snapshot => self.snapshot().map(Response::Snapshot),
+        }
+    }
+
+    /// Register new clients, assigning fresh ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidClient`] (mutating nothing) if any
+    /// submitted parameters are invalid.
+    pub fn add_clients(&mut self, batch: Vec<ClientParams>) -> Result<Vec<ClientId>, ServiceError> {
+        let ids = self.store.add(batch)?;
+        if !ids.is_empty() {
+            self.dirty = true;
+        }
+        Ok(ids)
+    }
+
+    /// Deregister a batch of clients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownClient`] (mutating nothing) if any id
+    /// is unknown or duplicated.
+    pub fn remove_clients(&mut self, ids: &[ClientId]) -> Result<usize, ServiceError> {
+        let removed = self.store.remove(ids)?;
+        if removed > 0 {
+            self.dirty = true;
+        }
+        Ok(removed)
+    }
+
+    /// Replace every client's availability pattern (aligned to insertion
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::AvailabilityMismatch`] if the model size
+    /// disagrees with the population.
+    pub fn update_availability(&mut self, model: &AvailabilityModel) -> Result<(), ServiceError> {
+        self.store.set_availability(model)?;
+        if self.config.availability_aware {
+            self.dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Re-solve the equilibrium now, warm-starting from the previous λ*.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NoPriceableClients`] for an empty or fully
+    /// excluded population, [`ServiceError::InvariantViolated`] if the
+    /// solved equilibrium fails the Theorem 2 check, and
+    /// [`ServiceError::Game`] for solver failures. On error the previous
+    /// priced state is kept (and remains stale).
+    pub fn reprice(&mut self) -> Result<RepriceReport, ServiceError> {
+        let n = self.store.len();
+        let q_min = self.config.solver.q_min;
+        // Rates and the inclusion mask: a client whose effective cap
+        // cannot clear the solver floor (never-available clients have
+        // rate 0) is excluded from the solve and quoted price 0, q_eff 0.
+        let rates: Vec<f64> = if self.config.availability_aware {
+            self.store
+                .records()
+                .iter()
+                .map(|r| r.params.availability.availability_rate())
+                .collect()
+        } else {
+            vec![1.0; n]
+        };
+        let included: Vec<bool> = self
+            .store
+            .records()
+            .iter()
+            .zip(&rates)
+            .map(|(r, &rate)| rate > 0.0 && r.params.q_max * rate > q_min)
+            .collect();
+        let included_count = included.iter().filter(|&&inc| inc).count();
+        if included_count == 0 {
+            return Err(ServiceError::NoPriceableClients { registered: n });
+        }
+
+        // Rebuild the solver view from the raw store — the same
+        // normalisation path a from-scratch solve over these clients
+        // takes, which is what keeps incremental prices bit-identical.
+        let profiles = self.store.raw_profiles(&included);
+        let total_weight: f64 = profiles.iter().map(|p| p.weight).sum();
+        let population = Population::from_raw(profiles)?;
+        let cols = population.columns();
+        let included_rates: Vec<f64> = rates
+            .iter()
+            .zip(&included)
+            .filter(|(_, &inc)| inc)
+            .map(|(&r, _)| r)
+            .collect();
+        // `effective` at rate 1.0 is a bit-exact identity, so the default
+        // always-on path skips the four O(N) column copies entirely.
+        let eff = if included_rates.iter().all(|&r| r == 1.0) {
+            cols
+        } else {
+            cols.effective(&included_rates)?
+        };
+
+        // Warm-start hint: rescale the previous path parameter for the
+        // weight renormalisation the delta caused, then refine it with the
+        // closed-form spend model on the new columns. Both are heuristics;
+        // the bisection verifies the implied bracket before trusting it.
+        let hint = self.warm_hint.map(|(t, w_old)| {
+            let ratio = total_weight / w_old;
+            let t_scaled = t * ratio * ratio;
+            estimate_path_parameter(
+                &eff,
+                &self.config.bound,
+                self.config.budget,
+                t_scaled,
+                self.config.solver.config.n_threads,
+            )
+            .unwrap_or(t_scaled)
+        });
+        let (solution, diag) = solve_kkt_columns_hinted(
+            &eff,
+            &self.config.bound,
+            self.config.budget,
+            &self.config.solver,
+            hint,
+        )?;
+
+        // Certify the equilibrium before serving it (Theorem 2).
+        let residual = theorem2_max_residual_columns(
+            &eff,
+            &self.config.bound,
+            &solution,
+            self.config.residual_sample,
+            self.config.residual_seed,
+        );
+        if let Some(r) = residual {
+            if r > self.config.residual_tolerance {
+                return Err(ServiceError::InvariantViolated {
+                    residual: r,
+                    tolerance: self.config.residual_tolerance,
+                });
+            }
+        }
+
+        let report = RepriceReport {
+            clients: n,
+            excluded: n - included_count,
+            lambda: solution.lambda,
+            spent: solution.spent,
+            saturated: solution.saturated,
+            theorem2_residual: residual,
+            warm_started: hint.is_some(),
+            warm_start_depth: diag.warm_start_depth,
+            bisect_iterations: diag.bisect_iterations,
+            bisect_evaluations: diag.bisect_evaluations,
+        };
+
+        // Scatter the solved profile back over the full client list.
+        let mut prices = vec![0.0f64; n];
+        let mut q_eff = vec![0.0f64; n];
+        let mut j = 0usize;
+        for i in 0..n {
+            if included[i] {
+                prices[i] = solution.prices[j];
+                q_eff[i] = solution.q[j];
+                j += 1;
+            }
+        }
+        self.state = Some(PricedState {
+            prices,
+            q_eff,
+            report,
+        });
+        self.warm_hint = (diag.t_star > 0.0).then_some((diag.t_star, total_weight));
+        self.dirty = false;
+        Ok(report)
+    }
+
+    /// Re-solve only if deltas have accumulated.
+    fn ensure_priced(&mut self) -> Result<(), ServiceError> {
+        if self.dirty || self.state.is_none() {
+            self.reprice()?;
+        }
+        Ok(())
+    }
+
+    /// Batched price read (re-solving first if the state is stale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownClient`] for an unregistered id,
+    /// plus any [`PricingService::reprice`] error.
+    pub fn get_prices(&mut self, ids: &[ClientId]) -> Result<Vec<PriceQuote>, ServiceError> {
+        self.ensure_priced()?;
+        let state = self.state.as_ref().expect("priced above");
+        ids.iter()
+            .map(|&id| {
+                let pos = self
+                    .store
+                    .position(id)
+                    .ok_or(ServiceError::UnknownClient(id))?;
+                Ok(PriceQuote {
+                    id,
+                    price: state.prices[pos],
+                    q_eff: state.q_eff[pos],
+                })
+            })
+            .collect()
+    }
+
+    /// Full equilibrium view (re-solving first if the state is stale).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PricingService::reprice`] errors.
+    pub fn snapshot(&mut self) -> Result<ServiceSnapshot, ServiceError> {
+        self.ensure_priced()?;
+        let state = self.state.as_ref().expect("priced above");
+        Ok(ServiceSnapshot {
+            ids: self.store.records().iter().map(|r| r.id).collect(),
+            prices: state.prices.clone(),
+            q_eff: state.q_eff.clone(),
+            budget: self.config.budget,
+            report: state.report,
+        })
+    }
+
+    /// The report of the most recent successful re-solve, if any.
+    pub fn last_report(&self) -> Option<&RepriceReport> {
+        self.state.as_ref().map(|s| &s.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AvailabilityPattern;
+
+    fn bound() -> BoundParams {
+        BoundParams::new(4_000.0, 100.0, 1_000).unwrap()
+    }
+
+    fn client(k: usize) -> ClientParams {
+        ClientParams::always_on(
+            1.0 + k as f64,
+            4.0 + k as f64,
+            30.0 + 10.0 * k as f64,
+            2.0 * k as f64,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn command_stream_round_trip() {
+        let mut service = PricingService::new(ServiceConfig::new(bound(), 10.0)).unwrap();
+        assert!(service.is_empty());
+        let ids = match service
+            .execute(Command::AddClients((0..4).map(client).collect()))
+            .unwrap()
+        {
+            Response::Added(ids) => ids,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(service.len(), 4);
+        assert!(service.is_dirty());
+        let report = match service.execute(Command::Reprice).unwrap() {
+            Response::Repriced(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert!(!service.is_dirty());
+        assert_eq!(report.clients, 4);
+        assert_eq!(report.excluded, 0);
+        assert!(!report.warm_started);
+        let quotes = match service
+            .execute(Command::GetPrices(vec![ids[2], ids[0]]))
+            .unwrap()
+        {
+            Response::Prices(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(quotes[0].id, ids[2]);
+        assert!(quotes.iter().all(|q| q.price.is_finite()));
+        match service
+            .execute(Command::RemoveClients(vec![ids[1]]))
+            .unwrap()
+        {
+            Response::Removed(1) => {}
+            other => panic!("{other:?}"),
+        }
+        // Reads lazily re-solve after a delta, now warm-started.
+        let snapshot = match service.execute(Command::Snapshot).unwrap() {
+            Response::Snapshot(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(snapshot.ids.len(), 3);
+        assert!(snapshot.report.warm_started);
+        assert!(service.last_report().is_some());
+    }
+
+    #[test]
+    fn empty_service_cannot_price() {
+        let mut service = PricingService::new(ServiceConfig::new(bound(), 10.0)).unwrap();
+        assert!(matches!(
+            service.reprice(),
+            Err(ServiceError::NoPriceableClients { registered: 0 })
+        ));
+        assert!(service.get_prices(&[ClientId(0)]).is_err());
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let (mut service, ids) = PricingService::with_clients(
+            ServiceConfig::new(bound(), 10.0),
+            (0..3).map(client).collect(),
+        )
+        .unwrap();
+        assert!(matches!(
+            service.get_prices(&[ClientId(99)]),
+            Err(ServiceError::UnknownClient(ClientId(99)))
+        ));
+        assert!(service.remove_clients(&[ClientId(99)]).is_err());
+        assert_eq!(service.len(), 3);
+        assert!(service.get_prices(&ids).is_ok());
+    }
+
+    #[test]
+    fn never_available_clients_get_zero_not_nan() {
+        let mut config = ServiceConfig::new(bound(), 10.0);
+        config.availability_aware = true;
+        let mut dead = client(1);
+        // A valid pattern with a vanishing rate: effectively unreachable.
+        dead.availability = AvailabilityPattern::Random { probability: 1e-12 };
+        let (mut service, ids) =
+            PricingService::with_clients(config, vec![client(0), dead, client(2), client(3)])
+                .unwrap();
+        let report = service.reprice().unwrap();
+        assert_eq!(report.excluded, 1);
+        let quotes = service.get_prices(&ids).unwrap();
+        assert_eq!(quotes[1].price, 0.0);
+        assert_eq!(quotes[1].q_eff, 0.0);
+        assert!(quotes
+            .iter()
+            .all(|q| q.price.is_finite() && q.q_eff.is_finite()));
+        assert!(quotes[0].q_eff > 0.0);
+    }
+
+    #[test]
+    fn availability_flag_off_reproduces_always_on_prices() {
+        let patterns = [
+            AvailabilityPattern::AlwaysOn,
+            AvailabilityPattern::Random { probability: 0.5 },
+            AvailabilityPattern::DutyCycle {
+                period: 4,
+                on_rounds: 1,
+                offset: 0,
+            },
+        ];
+        let clients: Vec<ClientParams> = (0..3)
+            .map(|k| {
+                let mut c = client(k);
+                c.availability = patterns[k];
+                c
+            })
+            .collect();
+        let mut aware_cfg = ServiceConfig::new(bound(), 10.0);
+        aware_cfg.availability_aware = true;
+        let (mut aware, _) = PricingService::with_clients(aware_cfg, clients.clone()).unwrap();
+        let (mut blind, _) =
+            PricingService::with_clients(ServiceConfig::new(bound(), 10.0), clients.clone())
+                .unwrap();
+        let (mut plain, _) = PricingService::with_clients(
+            ServiceConfig::new(bound(), 10.0),
+            clients
+                .iter()
+                .map(|c| ClientParams {
+                    availability: AvailabilityPattern::AlwaysOn,
+                    ..*c
+                })
+                .collect(),
+        )
+        .unwrap();
+        let aware_snap = aware.snapshot().unwrap();
+        let blind_snap = blind.snapshot().unwrap();
+        let plain_snap = plain.snapshot().unwrap();
+        // The flag off ignores patterns entirely: bit-identical to always-on.
+        assert_eq!(blind_snap.prices, plain_snap.prices);
+        // The flag on prices the intermittent clients differently.
+        assert_ne!(aware_snap.prices, plain_snap.prices);
+        // Updating availability only dirties an availability-aware service.
+        let model = AvailabilityModel::always_on(3);
+        blind.update_availability(&model).unwrap();
+        assert!(!blind.is_dirty());
+        aware.update_availability(&model).unwrap();
+        assert!(aware.is_dirty());
+        let aware_now_plain = aware.snapshot().unwrap();
+        assert_eq!(aware_now_plain.prices, plain_snap.prices);
+        // Mismatched model length is rejected.
+        assert!(aware
+            .update_availability(&AvailabilityModel::always_on(2))
+            .is_err());
+    }
+
+    #[test]
+    fn intermittent_clients_are_compensated_more_per_effective_unit() {
+        // Two identical zero-value clients, one available half the time:
+        // the rarer client's effective cost doubles... quadruples, so its
+        // price per unit of effective participation must be higher.
+        let mut config = ServiceConfig::new(bound(), 8.0);
+        config.availability_aware = true;
+        let base = ClientParams::always_on(1.0, 9.0, 50.0, 0.0, 1.0);
+        let mut flaky = base;
+        flaky.availability = AvailabilityPattern::Random { probability: 0.5 };
+        let (mut service, ids) = PricingService::with_clients(config, vec![base, flaky]).unwrap();
+        let quotes = service.get_prices(&ids).unwrap();
+        assert!(
+            quotes[1].price > quotes[0].price,
+            "flaky client must earn a higher price: {quotes:?}"
+        );
+        assert!(quotes[1].q_eff < quotes[0].q_eff);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = ServiceConfig::new(bound(), f64::NAN);
+        assert!(PricingService::new(config).is_err());
+        config.budget = 10.0;
+        config.residual_tolerance = 0.0;
+        assert!(PricingService::new(config).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! The service's client store: raw-weighted profiles under churn.
+//!
+//! The store keeps clients in **insertion order** and holds *raw* data
+//! weights (`d_n`, not the normalised `a_n`): normalisation depends on who
+//! else is currently registered, so it is re-derived at solve time via
+//! [`fedfl_core::population::Population::from_raw`]. This is what makes the
+//! incremental path bit-identical to a from-scratch solve — both normalise
+//! the same raw profiles in the same order.
+
+use crate::error::ServiceError;
+use crate::{ClientId, ClientParams};
+use fedfl_core::population::ClientProfile;
+use fedfl_sim::availability::AvailabilityModel;
+use std::collections::HashMap;
+
+/// One registered client.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ClientRecord {
+    /// The id handed out at registration.
+    pub id: ClientId,
+    /// The client's submitted parameters.
+    pub params: ClientParams,
+}
+
+/// Insertion-ordered client store with id lookup and batched delta apply.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClientStore {
+    records: Vec<ClientRecord>,
+    index: HashMap<u64, usize>,
+    next_id: u64,
+}
+
+impl ClientStore {
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrow the records in insertion order.
+    pub fn records(&self) -> &[ClientRecord] {
+        &self.records
+    }
+
+    /// Position of `id` in insertion order, if registered.
+    pub fn position(&self, id: ClientId) -> Option<usize> {
+        self.index.get(&id.0).copied()
+    }
+
+    /// Append validated clients, assigning fresh ids.
+    pub fn add(&mut self, batch: Vec<ClientParams>) -> Result<Vec<ClientId>, ServiceError> {
+        for (index, params) in batch.iter().enumerate() {
+            params
+                .validate()
+                .map_err(|reason| ServiceError::InvalidClient { index, reason })?;
+        }
+        let mut ids = Vec::with_capacity(batch.len());
+        for params in batch {
+            let id = ClientId(self.next_id);
+            self.next_id += 1;
+            self.index.insert(id.0, self.records.len());
+            self.records.push(ClientRecord { id, params });
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Remove a batch of ids (order-preserving compaction, one O(N) pass).
+    ///
+    /// Rejects the whole batch — mutating nothing — if any id is unknown
+    /// or duplicated within the batch.
+    pub fn remove(&mut self, ids: &[ClientId]) -> Result<usize, ServiceError> {
+        let mut doomed = vec![false; self.records.len()];
+        for &id in ids {
+            let pos = self.position(id).ok_or(ServiceError::UnknownClient(id))?;
+            if doomed[pos] {
+                return Err(ServiceError::DuplicateRemoval(id));
+            }
+            doomed[pos] = true;
+        }
+        let removed = ids.len();
+        if removed == 0 {
+            return Ok(0);
+        }
+        let mut keep = 0usize;
+        for (i, &dead) in doomed.iter().enumerate() {
+            if !dead {
+                self.records.swap(keep, i);
+                keep += 1;
+            }
+        }
+        for record in self.records.drain(keep..) {
+            self.index.remove(&record.id.0);
+        }
+        for (pos, record) in self.records.iter().enumerate() {
+            self.index.insert(record.id.0, pos);
+        }
+        Ok(removed)
+    }
+
+    /// Replace every client's availability pattern from a model aligned to
+    /// insertion order.
+    pub fn set_availability(&mut self, model: &AvailabilityModel) -> Result<(), ServiceError> {
+        if model.len() != self.records.len() {
+            return Err(ServiceError::AvailabilityMismatch {
+                clients: self.records.len(),
+                patterns: model.len(),
+            });
+        }
+        for (record, &pattern) in self.records.iter_mut().zip(model.patterns()) {
+            record.params.availability = pattern;
+        }
+        Ok(())
+    }
+
+    /// The raw-weighted [`ClientProfile`]s of the records selected by
+    /// `included`, in insertion order.
+    pub fn raw_profiles(&self, included: &[bool]) -> Vec<ClientProfile> {
+        self.records
+            .iter()
+            .zip(included)
+            .filter(|(_, &inc)| inc)
+            .map(|(r, _)| r.params.raw_profile())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(weight: f64) -> ClientParams {
+        ClientParams {
+            data_size: weight,
+            g_squared: 4.0,
+            cost: 10.0,
+            value: 1.0,
+            q_max: 1.0,
+            availability: fedfl_sim::availability::AvailabilityPattern::AlwaysOn,
+        }
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids_and_indexes() {
+        let mut store = ClientStore::default();
+        let ids = store.add(vec![params(1.0), params(2.0)]).unwrap();
+        assert_eq!(ids, vec![ClientId(0), ClientId(1)]);
+        assert_eq!(store.position(ClientId(1)), Some(1));
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn add_rejects_invalid_without_mutation() {
+        let mut store = ClientStore::default();
+        let mut bad = params(1.0);
+        bad.cost = -1.0;
+        assert!(matches!(
+            store.add(vec![params(1.0), bad]),
+            Err(ServiceError::InvalidClient { index: 1, .. })
+        ));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn remove_preserves_order_and_reindexes() {
+        let mut store = ClientStore::default();
+        let ids = store
+            .add(vec![params(1.0), params(2.0), params(3.0), params(4.0)])
+            .unwrap();
+        assert_eq!(store.remove(&[ids[1], ids[3]]).unwrap(), 2);
+        assert_eq!(store.len(), 2);
+        let order: Vec<ClientId> = store.records().iter().map(|r| r.id).collect();
+        assert_eq!(order, vec![ids[0], ids[2]]);
+        assert_eq!(store.position(ids[2]), Some(1));
+        assert_eq!(store.position(ids[1]), None);
+        // Unknown and duplicate ids reject the whole batch atomically.
+        assert!(store.remove(&[ids[1]]).is_err());
+        assert!(store.remove(&[ids[0], ids[0]]).is_err());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.remove(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn ids_are_never_reused_after_removal() {
+        let mut store = ClientStore::default();
+        let ids = store.add(vec![params(1.0)]).unwrap();
+        store.remove(&[ids[0]]).unwrap();
+        let fresh = store.add(vec![params(1.0)]).unwrap();
+        assert_ne!(fresh[0], ids[0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! The service's two load-bearing contracts, property-tested under random
+//! churn:
+//!
+//! 1. **Bit-identity** — after any sequence of add/remove/availability
+//!    deltas, the incrementally re-solved prices equal a from-scratch
+//!    `solve_kkt` over the same clients (same thread count) *bit for bit*.
+//! 2. **Warm-start dominance** — the warm-started λ-bisection never runs
+//!    more midpoint iterations than a cold solve of the same instance.
+
+use fedfl_core::bound::BoundParams;
+use fedfl_core::population::{ClientProfile, Population};
+use fedfl_core::server::{path_budget, solve_kkt, solve_kkt_columns_hinted, SolverOptions};
+use fedfl_num::rng::substream;
+use fedfl_service::{AvailabilityPattern, ClientId, ClientParams, PricingService, ServiceConfig};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn bound() -> BoundParams {
+    BoundParams::new(4_000.0, 100.0, 1_000).unwrap()
+}
+
+/// Draw one client from the op stream's RNG.
+fn draw_client<R: Rng>(rng: &mut R, availability_mode: u8) -> ClientParams {
+    let u = |rng: &mut R, lo: f64, hi: f64| {
+        lo + (hi - lo) * (rng.random::<u64>() as f64 / u64::MAX as f64)
+    };
+    let availability = match availability_mode {
+        0 => AvailabilityPattern::AlwaysOn,
+        1 => AvailabilityPattern::Random {
+            probability: u(rng, 0.3, 1.0),
+        },
+        _ => match rng.random::<u64>() % 4 {
+            0 => AvailabilityPattern::AlwaysOn,
+            1 => AvailabilityPattern::Random {
+                probability: u(rng, 0.2, 1.0),
+            },
+            // Effectively unreachable: exercises the exclusion path.
+            2 => AvailabilityPattern::Random { probability: 1e-9 },
+            _ => AvailabilityPattern::DutyCycle {
+                period: 1 + (rng.random::<u64>() % 8) as usize,
+                on_rounds: 1,
+                offset: (rng.random::<u64>() % 8) as usize,
+            },
+        },
+    };
+    ClientParams {
+        data_size: u(rng, 0.1, 10.0),
+        g_squared: u(rng, 1.0, 40.0),
+        cost: u(rng, 5.0, 100.0),
+        value: if rng.random::<u64>() % 4 == 0 {
+            0.0
+        } else {
+            u(rng, 0.0, 20.0)
+        },
+        q_max: u(rng, 0.3, 1.0),
+        availability,
+    }
+}
+
+/// The from-scratch reference: rebuild the included sub-population exactly
+/// as a fresh deployment would and solve it cold, returning full-length
+/// (price, q_eff) vectors plus the cold bisection iteration count.
+fn reference_solve(
+    mirror: &[(ClientId, ClientParams)],
+    config: &ServiceConfig,
+) -> (Vec<f64>, Vec<f64>, usize) {
+    let rates: Vec<f64> = mirror
+        .iter()
+        .map(|(_, p)| {
+            if config.availability_aware {
+                p.availability.availability_rate()
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let included: Vec<bool> = mirror
+        .iter()
+        .zip(&rates)
+        .map(|((_, p), &r)| r > 0.0 && p.q_max * r > config.solver.q_min)
+        .collect();
+    let profiles: Vec<ClientProfile> = mirror
+        .iter()
+        .zip(&included)
+        .filter(|(_, &inc)| inc)
+        .map(|((_, p), _)| p.raw_profile())
+        .collect();
+    let population = Population::from_raw(profiles).expect("reference population");
+    let all_on = rates
+        .iter()
+        .zip(&included)
+        .all(|(&r, &inc)| !inc || r == 1.0);
+    let (solution, diag) = if all_on {
+        // Exercise the *public* from-scratch path where it applies.
+        let sol = solve_kkt(&population, &bound(), config.budget, &config.solver)
+            .expect("from-scratch solve");
+        let (check, diag) = solve_kkt_columns_hinted(
+            &population.columns(),
+            &bound(),
+            config.budget,
+            &config.solver,
+            None,
+        )
+        .expect("cold columns solve");
+        assert_eq!(sol, check, "columns path drifted from solve_kkt");
+        (sol, diag)
+    } else {
+        let included_rates: Vec<f64> = rates
+            .iter()
+            .zip(&included)
+            .filter(|(_, &inc)| inc)
+            .map(|(&r, _)| r)
+            .collect();
+        let eff = population
+            .columns()
+            .effective(&included_rates)
+            .expect("effective view");
+        solve_kkt_columns_hinted(&eff, &bound(), config.budget, &config.solver, None)
+            .expect("cold effective solve")
+    };
+    let n = mirror.len();
+    let mut prices = vec![0.0f64; n];
+    let mut q_eff = vec![0.0f64; n];
+    let mut j = 0;
+    for i in 0..n {
+        if included[i] {
+            prices[i] = solution.prices[j];
+            q_eff[i] = solution.q[j];
+            j += 1;
+        }
+    }
+    (prices, q_eff, diag.bisect_iterations)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str, step: usize) {
+    assert_eq!(a.len(), b.len(), "{what} length at step {step}");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}] diverged at step {step}: {x} vs {y}"
+        );
+    }
+}
+
+/// Drive one random churn history through the service, checking both
+/// contracts after every re-solve.
+fn run_churn(seed: u64, n0: usize, steps: usize, availability_mode: u8, threads: usize) {
+    let mut rng = substream(seed, 0xC0FFEE);
+    let mut config = ServiceConfig::new(bound(), 0.0);
+    config.solver = SolverOptions::with_threads(threads);
+    config.availability_aware = availability_mode > 0;
+    let initial: Vec<ClientParams> = (0..n0)
+        .map(|_| draw_client(&mut rng, availability_mode))
+        .collect();
+    // An interior-ish budget derived from the initial always-on population
+    // (churn may still drive the solve to its saturated/floored corners —
+    // those must stay bit-identical too).
+    let budget_pop =
+        Population::from_raw(initial.iter().map(ClientParams::raw_profile).collect()).unwrap();
+    config.budget = path_budget(&budget_pop, &bound(), &config.solver, 0.45);
+
+    let (mut service, ids) =
+        PricingService::with_clients(config, initial.clone()).expect("service");
+    let mut mirror: Vec<(ClientId, ClientParams)> = ids.into_iter().zip(initial).collect();
+    let mut warm_total = 0usize;
+    let mut cold_total = 0usize;
+
+    for step in 0..=steps {
+        if step > 0 {
+            // Mutate: a batch of adds and a batch of removes.
+            let n_add = (rng.random::<u64>() % 5) as usize;
+            let batch: Vec<ClientParams> = (0..n_add)
+                .map(|_| draw_client(&mut rng, availability_mode))
+                .collect();
+            let new_ids = service.add_clients(batch.clone()).expect("add");
+            mirror.extend(new_ids.into_iter().zip(batch));
+            let n_rem = ((rng.random::<u64>() % 5) as usize).min(mirror.len().saturating_sub(1));
+            let mut doomed = Vec::new();
+            for _ in 0..n_rem {
+                let pos = (rng.random::<u64>() % mirror.len() as u64) as usize;
+                doomed.push(mirror.remove(pos).0);
+            }
+            service.remove_clients(&doomed).expect("remove");
+        }
+        let snapshot = match service.snapshot() {
+            Ok(s) => s,
+            Err(fedfl_service::ServiceError::NoPriceableClients { .. }) => {
+                // Everyone excluded: the reference has nothing to check.
+                continue;
+            }
+            Err(e) => panic!("step {step}: {e}"),
+        };
+        let expected_ids: Vec<ClientId> = mirror.iter().map(|(id, _)| *id).collect();
+        assert_eq!(snapshot.ids, expected_ids, "id order at step {step}");
+        let (ref_prices, ref_q, cold_iters) = reference_solve(&mirror, service.config());
+        assert_bits_eq(&snapshot.prices, &ref_prices, "price", step);
+        assert_bits_eq(&snapshot.q_eff, &ref_q, "q_eff", step);
+        // Warm-start dominance: never more iterations than the cold solve.
+        assert!(
+            snapshot.report.bisect_iterations <= cold_iters,
+            "step {step}: warm {} > cold {cold_iters} iterations",
+            snapshot.report.bisect_iterations
+        );
+        if step > 0 {
+            warm_total += snapshot.report.bisect_iterations;
+            cold_total += cold_iters;
+        }
+    }
+    // Across a whole history the warm starts must actually save work
+    // (equality every step would mean the hint never verified).
+    if steps >= 6 && cold_total > 0 {
+        assert!(
+            warm_total < cold_total,
+            "warm starts saved nothing over {steps} steps ({warm_total} vs {cold_total})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn incremental_reprice_is_bit_identical_under_churn(
+        seed in 0u64..1_000_000,
+        n0 in 1usize..40,
+        steps in 1usize..10,
+        mode in 0u8..3,
+    ) {
+        run_churn(seed, n0, steps, mode, 1);
+    }
+
+    #[test]
+    fn incremental_reprice_is_bit_identical_with_threads(
+        seed in 0u64..1_000_000,
+        n0 in 2usize..30,
+        steps in 1usize..6,
+        mode in 0u8..3,
+    ) {
+        run_churn(seed, n0, steps, mode, 3);
+    }
+}
+
+#[test]
+fn long_always_on_history_accumulates_savings() {
+    run_churn(2023, 64, 24, 0, 1);
+}
+
+#[test]
+fn long_availability_aware_history_accumulates_savings() {
+    run_churn(7, 64, 24, 2, 1);
+}

@@ -85,6 +85,9 @@ impl AvailabilityPattern {
 
     /// Whether the client is reachable in `round` (random patterns draw
     /// from `rng`).
+    ///
+    /// Total even for unvalidated patterns: a degenerate duty cycle with
+    /// `period == 0` is never available (no modulo-by-zero panic).
     pub fn is_available<R: Rng + ?Sized>(&self, round: usize, rng: &mut R) -> bool {
         match *self {
             AvailabilityPattern::AlwaysOn => true,
@@ -93,18 +96,38 @@ impl AvailabilityPattern {
                 period,
                 on_rounds,
                 offset,
-            } => (round + offset) % period < on_rounds,
+            } => period > 0 && (round + offset) % period < on_rounds,
         }
     }
 
-    /// Long-run fraction of rounds the client is reachable.
+    /// Long-run fraction of rounds the client is reachable, always in
+    /// `[0, 1]`.
+    ///
+    /// Total even for unvalidated patterns — the pricing layer keys its
+    /// never-available handling off an exact `0.0`, so the degenerate
+    /// cases must not leak NaN into prices: a duty cycle with
+    /// `period == 0` has rate `0.0` (not `0/0 = NaN`), `on_rounds` above
+    /// `period` caps at `1.0`, and random probabilities are clamped to
+    /// `[0, 1]`.
     pub fn availability_rate(&self) -> f64 {
         match *self {
             AvailabilityPattern::AlwaysOn => 1.0,
-            AvailabilityPattern::Random { probability } => probability,
+            AvailabilityPattern::Random { probability } => {
+                if probability.is_nan() {
+                    0.0
+                } else {
+                    probability.clamp(0.0, 1.0)
+                }
+            }
             AvailabilityPattern::DutyCycle {
                 period, on_rounds, ..
-            } => on_rounds as f64 / period as f64,
+            } => {
+                if period == 0 {
+                    0.0
+                } else {
+                    on_rounds.min(period) as f64 / period as f64
+                }
+            }
         }
     }
 
@@ -175,6 +198,16 @@ impl AvailabilityModel {
         self.patterns
             .iter()
             .all(AvailabilityPattern::preserves_unbiasedness)
+    }
+
+    /// Per-client long-run availability rates in client order — the vector
+    /// the availability-aware pricing service feeds into the effective
+    /// participation view (`q_eff = q · rate`).
+    pub fn rates(&self) -> Vec<f64> {
+        self.patterns
+            .iter()
+            .map(AvailabilityPattern::availability_rate)
+            .collect()
     }
 
     /// The effective independent participation levels
@@ -308,6 +341,60 @@ mod tests {
         assert_eq!(model.len(), 3);
         assert!(!model.is_empty());
         assert_eq!(model.patterns().len(), 3);
+    }
+
+    #[test]
+    fn rate_zero_edge_cases_stay_finite() {
+        // Unvalidated degenerate patterns must yield an exact 0.0 rate —
+        // never NaN — so the pricing layer can exclude never-available
+        // clients instead of producing NaN prices.
+        let degenerate = [
+            AvailabilityPattern::DutyCycle {
+                period: 0,
+                on_rounds: 0,
+                offset: 3,
+            },
+            AvailabilityPattern::Random { probability: 0.0 },
+            AvailabilityPattern::Random { probability: -0.5 },
+            AvailabilityPattern::Random {
+                probability: f64::NAN,
+            },
+        ];
+        let mut rng = seeded(9);
+        for p in degenerate {
+            assert_eq!(p.availability_rate(), 0.0, "{p:?}");
+            // And a never-available client is indeed never available.
+            assert!((0..32).all(|r| !p.is_available(r, &mut rng)), "{p:?}");
+        }
+        // Out-of-range-high parameters clamp to 1.0 instead of > 1 rates.
+        assert_eq!(
+            AvailabilityPattern::Random { probability: 1.5 }.availability_rate(),
+            1.0
+        );
+        assert_eq!(
+            AvailabilityPattern::DutyCycle {
+                period: 4,
+                on_rounds: 9,
+                offset: 0
+            }
+            .availability_rate(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn rates_export_matches_patterns() {
+        let model = AvailabilityModel::new(vec![
+            AvailabilityPattern::AlwaysOn,
+            AvailabilityPattern::Random { probability: 0.25 },
+            AvailabilityPattern::DutyCycle {
+                period: 8,
+                on_rounds: 2,
+                offset: 1,
+            },
+        ])
+        .unwrap();
+        assert_eq!(model.rates(), vec![1.0, 0.25, 0.25]);
     }
 
     #[test]
