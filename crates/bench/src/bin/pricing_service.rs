@@ -9,16 +9,20 @@
 //!
 //! ```text
 //! pricing_service [--clients N] [--batches B] [--batch-size K]
-//!                 [--threads T] [--seed S] [--budget-frac F]
+//!                 [--threads T] [--shards S] [--seed S] [--budget-frac F]
 //!                 [--availability P] [--verify-every V]
-//!                 [--out PATH] [--no-out]
+//!                 [--out PATH] [--no-out] [--json] [--json-out PATH]
 //! ```
 //!
 //! Defaults: 10,000 initial clients, 120 batches of 50 adds + 50 removes,
-//! auto threads, seed 2023, budget at 45% of the initial saturation path,
-//! always-on clients, verification every 10 steps, report appended to
-//! `results/pricing_service.txt`. Exits non-zero if any verification or
-//! the service's per-solve Theorem 2 assertion fails.
+//! auto threads, 256 store shards, seed 2023, budget at 45% of the
+//! initial saturation path, always-on clients, verification every 10
+//! steps, report appended to `results/pricing_service.txt`. The report
+//! records the dirty-shard accounting — how many shards (and what
+//! fraction of the population's columns) each churn batch actually
+//! rebuilt. With `--json`, a machine-readable record is appended to
+//! `results/BENCH_scale.json` (or the given path). Exits non-zero if any
+//! verification or the service's per-solve Theorem 2 assertion fails.
 
 use fedfl_core::bound::BoundParams;
 use fedfl_core::population::{ClientProfile, Population, PopulationSpec};
@@ -26,19 +30,45 @@ use fedfl_core::server::{path_budget, solve_kkt_columns_hinted, SolverOptions};
 use fedfl_num::rng::substream;
 use fedfl_service::{AvailabilityPattern, ClientId, ClientParams, PricingService, ServiceConfig};
 use rand::Rng;
+use serde::Serialize;
 use std::io::Write as _;
 use std::time::Instant;
+
+/// The machine-readable record `--json` appends (one object per line).
+#[derive(Debug, Serialize)]
+struct JsonRecord {
+    bench: &'static str,
+    clients: usize,
+    batches: usize,
+    batch_size: usize,
+    threads: usize,
+    shards: usize,
+    seed: u64,
+    availability: f64,
+    budget: f64,
+    cold_solve_seconds: f64,
+    mean_resolve_seconds: f64,
+    max_resolve_seconds: f64,
+    mean_warm_iterations: f64,
+    mean_dirty_shards: f64,
+    mean_rebuilt_column_fraction: f64,
+    max_rebuilt_column_fraction: f64,
+    verified_steps: usize,
+    worst_theorem2_residual: f64,
+}
 
 struct Args {
     clients: usize,
     batches: usize,
     batch_size: usize,
     threads: usize,
+    shards: usize,
     seed: u64,
     budget_frac: f64,
     availability: f64,
     verify_every: usize,
     out: Option<String>,
+    json: Option<String>,
 }
 
 impl Args {
@@ -48,11 +78,13 @@ impl Args {
             batches: 120,
             batch_size: 50,
             threads: 0,
+            shards: 256,
             seed: 2023,
             budget_frac: 0.45,
             availability: 0.0,
             verify_every: 10,
             out: Some("results/pricing_service.txt".into()),
+            json: None,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -62,23 +94,33 @@ impl Args {
                 "--batches" => args.batches = parse(value("--batches")?)?,
                 "--batch-size" => args.batch_size = parse(value("--batch-size")?)?,
                 "--threads" => args.threads = parse(value("--threads")?)?,
+                "--shards" => args.shards = parse(value("--shards")?)?,
                 "--seed" => args.seed = parse(value("--seed")?)?,
                 "--budget-frac" => args.budget_frac = parse(value("--budget-frac")?)?,
                 "--availability" => args.availability = parse(value("--availability")?)?,
                 "--verify-every" => args.verify_every = parse(value("--verify-every")?)?,
                 "--out" => args.out = Some(value("--out")?),
                 "--no-out" => args.out = None,
+                "--json" => {
+                    args.json
+                        .get_or_insert_with(|| "results/BENCH_scale.json".into());
+                }
+                "--json-out" => args.json = Some(value("--json-out")?),
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` (expected --clients N, --batches B, \
-                         --batch-size K, --threads T, --seed S, --budget-frac F, \
-                         --availability P, --verify-every V, --out PATH, --no-out)"
+                         --batch-size K, --threads T, --shards S, --seed S, \
+                         --budget-frac F, --availability P, --verify-every V, \
+                         --out PATH, --no-out, --json, --json-out PATH)"
                     ))
                 }
             }
         }
         if args.clients == 0 || args.batches == 0 {
             return Err("--clients and --batches must be positive".into());
+        }
+        if args.shards == 0 {
+            return Err("--shards must be positive".into());
         }
         if !(args.budget_frac > 0.0 && args.budget_frac <= 1.0) {
             return Err("--budget-frac must lie in (0, 1]".into());
@@ -204,6 +246,7 @@ fn main() {
     let mut config = ServiceConfig::new(bound(), 0.0);
     config.solver = SolverOptions::with_threads(args.threads);
     config.availability_aware = args.availability > 0.0;
+    config.shards = args.shards;
     // Budget from the initial always-on population's saturation path.
     let initial_population =
         Population::from_raw(initial.iter().map(ClientParams::raw_profile).collect())
@@ -240,6 +283,9 @@ fn main() {
     let mut depth_total = 0usize;
     let mut verified_steps = 0usize;
     let mut worst_residual = first.theorem2_residual.unwrap_or(0.0);
+    let mut dirty_shards_total = 0usize;
+    let mut rebuilt_fraction_total = 0.0f64;
+    let mut rebuilt_fraction_max = 0.0f64;
 
     for step in 1..=args.batches {
         // One churn batch: `batch_size` arrivals, `batch_size` departures.
@@ -262,6 +308,10 @@ fn main() {
         warm_evals_total += report.bisect_evaluations;
         depth_total += report.warm_start_depth;
         worst_residual = worst_residual.max(report.theorem2_residual.unwrap_or(0.0));
+        dirty_shards_total += report.dirty_shards;
+        let rebuilt_fraction = report.rebuilt_columns as f64 / report.clients.max(1) as f64;
+        rebuilt_fraction_total += rebuilt_fraction;
+        rebuilt_fraction_max = rebuilt_fraction_max.max(rebuilt_fraction);
 
         let verify = args.verify_every > 0 && step % args.verify_every == 0;
         if verify {
@@ -304,13 +354,17 @@ fn main() {
 
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
     let max = latencies.iter().cloned().fold(0.0f64, f64::max);
+    let mean_dirty_shards = dirty_shards_total as f64 / args.batches as f64;
+    let mean_rebuilt_fraction = rebuilt_fraction_total / args.batches as f64;
     let mut report = String::new();
     report.push_str(&format!(
-        "clients={} batches={} batch_size={} threads={} seed={} availability={} budget={:.6e}\n",
+        "clients={} batches={} batch_size={} threads={} shards={} seed={} availability={} \
+         budget={:.6e}\n",
         args.clients,
         args.batches,
         args.batch_size,
         args.threads,
+        args.shards,
         args.seed,
         args.availability,
         service.config().budget
@@ -338,6 +392,14 @@ fn main() {
         ));
     }
     report.push_str(&format!(
+        "  dirty-shard rebuilds: mean {:.1} of {} shards, mean {:.1}% / max {:.1}% of columns \
+         per batch\n",
+        mean_dirty_shards,
+        args.shards,
+        100.0 * mean_rebuilt_fraction,
+        100.0 * rebuilt_fraction_max
+    ));
+    report.push_str(&format!(
         "  worst theorem2 residual: {worst_residual:.3e} (asserted < {:.1e} every step)\n",
         service.config().residual_tolerance
     ));
@@ -354,5 +416,39 @@ fn main() {
             .expect("open report file");
         file.write_all(report.as_bytes()).expect("write report");
         println!("appended to {path}");
+    }
+
+    if let Some(path) = &args.json {
+        let record = JsonRecord {
+            bench: "pricing_service",
+            clients: args.clients,
+            batches: args.batches,
+            batch_size: args.batch_size,
+            threads: args.threads,
+            shards: args.shards,
+            seed: args.seed,
+            availability: args.availability,
+            budget: service.config().budget,
+            cold_solve_seconds: cold_latency,
+            mean_resolve_seconds: mean,
+            max_resolve_seconds: max,
+            mean_warm_iterations: warm_iters_total as f64 / args.batches as f64,
+            mean_dirty_shards,
+            mean_rebuilt_column_fraction: mean_rebuilt_fraction,
+            max_rebuilt_column_fraction: rebuilt_fraction_max,
+            verified_steps,
+            worst_theorem2_residual: worst_residual,
+        };
+        let line = serde_json::to_string(&record).expect("serialize json record");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open json record file");
+        writeln!(file, "{line}").expect("write json record");
+        println!("appended JSON record to {path}");
     }
 }

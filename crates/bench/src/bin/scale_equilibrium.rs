@@ -5,21 +5,30 @@
 //! sequential).
 //!
 //! ```text
-//! scale_equilibrium [--clients N] [--threads T] [--seed S]
+//! scale_equilibrium [--clients N] [--threads T] [--shards S] [--seed S]
 //!                   [--budget-frac F] [--out PATH] [--skip-sequential]
 //!                   [--json] [--json-out PATH]
 //! ```
 //!
-//! Defaults: 1,000,000 clients, auto threads, seed 2023, budget at half
-//! the saturation path, report appended to `results/scale_equilibrium.txt`.
-//! With `--json`, a machine-readable record of the same run is appended as
-//! one JSON object per line to `results/BENCH_scale.json` (or the given
-//! path) alongside the text report.
+//! Defaults: 1,000,000 clients, auto threads, 1 shard, seed 2023, budget
+//! at half the saturation path, report appended to
+//! `results/scale_equilibrium.txt`. With `--shards S > 1`, each shard's
+//! clients are materialised independently (`ShardedPopulation::synthesize`,
+//! always asserted to concatenate to the flat population) and the solve
+//! runs over the shard column-sets (`solve_kkt_sharded`); the sequential
+//! flat re-solve then asserts the sharded solution bit-identical to the
+//! unsharded path — unless `--skip-sequential` suppresses that (solve-
+//! level) check. With `--json`, a machine-readable record of the same run
+//! is appended as one JSON object per line to `results/BENCH_scale.json`
+//! (or the given path) alongside the text report.
 
 use fedfl_core::bound::BoundParams;
 use fedfl_core::equilibrium::StackelbergEquilibrium;
 use fedfl_core::population::{Population, PopulationSpec};
-use fedfl_core::server::{path_budget, solve_kkt, SolverOptions};
+use fedfl_core::server::{
+    path_budget, path_budget_sharded, solve_kkt, solve_kkt_sharded, SolverOptions,
+};
+use fedfl_core::shard::ShardedPopulation;
 use serde::Serialize;
 use std::io::Write as _;
 use std::time::Instant;
@@ -29,6 +38,7 @@ use std::time::Instant;
 struct JsonRecord {
     clients: usize,
     threads: usize,
+    shards: usize,
     seed: u64,
     budget: f64,
     synthesize_seconds: f64,
@@ -40,11 +50,13 @@ struct JsonRecord {
     theorem2_max_residual: Option<f64>,
     negative_payments: usize,
     parallel_matches_sequential: Option<bool>,
+    sharded_synthesis_matches_flat: Option<bool>,
 }
 
 struct Args {
     clients: usize,
     threads: usize,
+    shards: usize,
     seed: u64,
     budget_frac: f64,
     out: Option<String>,
@@ -57,6 +69,7 @@ impl Args {
         let mut args = Args {
             clients: 1_000_000,
             threads: 0,
+            shards: 1,
             seed: 2023,
             budget_frac: 0.5,
             out: Some("results/scale_equilibrium.txt".into()),
@@ -76,6 +89,11 @@ impl Args {
                     args.threads = value("--threads")?
                         .parse()
                         .map_err(|e| format!("bad --threads: {e}"))?;
+                }
+                "--shards" => {
+                    args.shards = value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("bad --shards: {e}"))?;
                 }
                 "--seed" => {
                     args.seed = value("--seed")?
@@ -97,15 +115,18 @@ impl Args {
                 "--skip-sequential" => args.skip_sequential = true,
                 other => {
                     return Err(format!(
-                        "unknown flag `{other}` (expected --clients N, --threads T, --seed S, \
-                         --budget-frac F, --out PATH, --no-out, --json, --json-out PATH, \
-                         --skip-sequential)"
+                        "unknown flag `{other}` (expected --clients N, --threads T, --shards S, \
+                         --seed S, --budget-frac F, --out PATH, --no-out, --json, \
+                         --json-out PATH, --skip-sequential)"
                     ))
                 }
             }
         }
         if args.clients == 0 {
             return Err("--clients must be positive".into());
+        }
+        if args.shards == 0 {
+            return Err("--shards must be positive".into());
         }
         if !(args.budget_frac > 0.0 && args.budget_frac <= 1.0) {
             return Err("--budget-frac must lie in (0, 1]".into());
@@ -136,26 +157,60 @@ fn main() {
 
     let options = SolverOptions::with_threads(args.threads);
     let budget = path_budget(&population, &bound, &options, args.budget_frac);
+    // With --shards > 1, materialise each shard independently (the unit a
+    // distributed deployment hands to a worker) and solve over the shard
+    // column-sets; both must be bit-identical to the flat path.
+    let sharded = if args.shards > 1 {
+        println!(
+            "materialising {} shards independently and re-deriving the budget ...",
+            args.shards
+        );
+        let t0 = Instant::now();
+        let sharded = ShardedPopulation::synthesize(args.clients, &spec, args.seed, args.shards)
+            .expect("sharded synthesize");
+        println!("  {:.3}s", t0.elapsed().as_secs_f64());
+        let sharded_budget = path_budget_sharded(&sharded, &bound, &options, args.budget_frac);
+        assert_eq!(
+            sharded_budget.to_bits(),
+            budget.to_bits(),
+            "sharded path budget diverged from flat"
+        );
+        Some(sharded)
+    } else {
+        None
+    };
     println!(
-        "solving the Stackelberg equilibrium (budget {budget:.4e}, threads {}) ...",
-        args.threads
+        "solving the Stackelberg equilibrium (budget {budget:.4e}, threads {}, shards {}) ...",
+        args.threads, args.shards
     );
     let t0 = Instant::now();
-    let solution = solve_kkt(&population, &bound, budget, &options).expect("solve");
+    let solution = match &sharded {
+        Some(sharded) => solve_kkt_sharded(sharded, &bound, budget, &options).expect("solve"),
+        None => solve_kkt(&population, &bound, budget, &options).expect("solve"),
+    };
     let solve_time = t0.elapsed();
     println!("  {:.3}s", solve_time.as_secs_f64());
 
-    // Determinism contract: n_threads = 1 must reproduce the same bits.
+    // Determinism contracts: n_threads = 1 (and, with --shards, the flat
+    // unsharded solve) must reproduce the same bits.
     let seq_matches = if args.skip_sequential {
         None
     } else {
-        println!("re-solving sequentially to check bit-identity ...");
+        println!("re-solving sequentially (flat, 1 thread) to check bit-identity ...");
         let t0 = Instant::now();
         let sequential = solve_kkt(&population, &bound, budget, &SolverOptions::with_threads(1))
             .expect("sequential solve");
         println!("  {:.3}s", t0.elapsed().as_secs_f64());
         Some(sequential == solution)
     };
+    // Synthesis-level identity: the independently materialised shards
+    // must concatenate to the flat population. (Solve-level identity is
+    // covered by `seq_matches` above — the flat sequential re-solve is
+    // compared against the sharded `solution` — and is therefore skipped
+    // together with it under --skip-sequential.)
+    let sharded_synth_matches = sharded
+        .as_ref()
+        .map(|sharded| sharded.concat() == population.columns());
 
     // Wrap the solution already computed — no third solve.
     let se = StackelbergEquilibrium::from_stage_one(solution, &population, &bound, budget);
@@ -165,8 +220,8 @@ fn main() {
 
     let mut report = String::new();
     report.push_str(&format!(
-        "clients={} threads={} seed={} budget={:.6e}\n",
-        args.clients, args.threads, args.seed, budget
+        "clients={} threads={} shards={} seed={} budget={:.6e}\n",
+        args.clients, args.threads, args.shards, args.seed, budget
     ));
     report.push_str(&format!(
         "  synthesize: {:.3}s   solve_kkt: {:.3}s\n",
@@ -189,6 +244,12 @@ fn main() {
         "  parallel==sequential: {}\n",
         seq_matches.map_or("skipped".into(), |m| m.to_string())
     ));
+    if let Some(matches) = sharded_synth_matches {
+        report.push_str(&format!(
+            "  sharded synthesis ({} shards) == flat: {matches}\n",
+            args.shards
+        ));
+    }
     print!("{report}");
 
     if let Some(path) = &args.out {
@@ -208,6 +269,7 @@ fn main() {
         let record = JsonRecord {
             clients: args.clients,
             threads: args.threads,
+            shards: args.shards,
             seed: args.seed,
             budget,
             synthesize_seconds: synth_time.as_secs_f64(),
@@ -219,6 +281,7 @@ fn main() {
             theorem2_max_residual: theorem2,
             negative_payments: negative,
             parallel_matches_sequential: seq_matches,
+            sharded_synthesis_matches_flat: sharded_synth_matches,
         };
         let line = serde_json::to_string(&record).expect("serialize json record");
         if let Some(dir) = std::path::Path::new(path).parent() {
@@ -233,8 +296,10 @@ fn main() {
         println!("appended JSON record to {path}");
     }
 
-    let ok =
-        tight && theorem2.map_or(se.is_saturated(), |r| r < 1e-6) && seq_matches.unwrap_or(true);
+    let ok = tight
+        && theorem2.map_or(se.is_saturated(), |r| r < 1e-6)
+        && seq_matches.unwrap_or(true)
+        && sharded_synth_matches.unwrap_or(true);
     if !ok {
         eprintln!("FAILED: equilibrium checks did not hold");
         std::process::exit(1);

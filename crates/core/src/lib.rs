@@ -65,6 +65,7 @@ pub mod population;
 pub mod pricing;
 pub mod response;
 pub mod server;
+pub mod shard;
 pub mod tau;
 
 pub use bound::BoundParams;
@@ -73,3 +74,4 @@ pub use error::GameError;
 pub use game::CplGame;
 pub use population::{ClientProfile, Population};
 pub use pricing::PricingScheme;
+pub use shard::ShardedPopulation;

@@ -561,7 +561,7 @@ impl PopulationSpec {
         Ok(self.draw_client_unchecked(seed, index))
     }
 
-    fn draw_client_unchecked(&self, seed: u64, index: usize) -> ClientProfile {
+    pub(crate) fn draw_client_unchecked(&self, seed: u64, index: usize) -> ClientProfile {
         let mut rng = substream(seed, index as u64);
         // Positive-required parameters are floored away from 0 so that an
         // unlucky draw (e.g. an Exponential hitting exactly 0) cannot

@@ -41,7 +41,8 @@
 use crate::bound::BoundParams;
 use crate::error::GameError;
 use crate::population::{Population, PopulationColumns, Q_MIN};
-use fedfl_num::parallel::{chunked_fill, chunked_sum};
+use crate::shard::ShardedPopulation;
+use fedfl_num::parallel::{chunked_fill, chunked_sum, multi_shard_sum};
 use fedfl_num::solve::{
     bisect_monotone_instrumented, penalty_minimize, BisectStats, BoxConstraints, ConstraintFn,
     ConstraintKind, PgdConfig,
@@ -58,6 +59,16 @@ pub struct SolverConfig {
     /// Bisection tolerance on the KKT parameter and budget.
     pub tolerance: f64,
     /// Iteration budget of the budget-tightening bisection.
+    ///
+    /// The default (2,200) exceeds the ~2,100 halvings that exhaust f64
+    /// resolution on *any* finite bracket, so the bisection always
+    /// terminates on the tolerance or the f64-resolution stagnation stop —
+    /// never on this cap. That matters for heavy-tailed populations, whose
+    /// saturation parameter can sit 50+ decades above the budget root: a
+    /// cap below the bracket's dyadic depth silently truncates the search
+    /// (and the warm-start containment chain with it). The cap remains a
+    /// backstop against non-terminating spend callbacks, not a precision
+    /// knob.
     pub max_iters: usize,
 }
 
@@ -66,7 +77,7 @@ impl Default for SolverConfig {
         Self {
             n_threads: 0,
             tolerance: 1e-10,
-            max_iters: 200,
+            max_iters: 2_200,
         }
     }
 }
@@ -140,11 +151,113 @@ impl StageOneSolution {
     }
 }
 
+/// Borrowed view of one or many shard column-sets — the abstraction every
+/// Stage-I per-client pass runs on.
+///
+/// A flat [`PopulationColumns`] is a single-shard view; a
+/// [`ShardedPopulation`] contributes one shard per column-set. Reductions
+/// are evaluated as a two-level merge: each shard produces its per-chunk
+/// partial sums ([`chunk_partial_sums`]) and the partials are merged **in
+/// shard order** ([`merge_shard_partials`]). Because shard boundaries are
+/// chunk-aligned, the merged summation tree is the flat reduction's tree —
+/// results are bit-identical for any shard count and any thread count.
+struct ShardView<'a> {
+    shards: Vec<&'a PopulationColumns>,
+    /// Prefix offsets plus the total length (`offsets.len() == shards + 1`).
+    offsets: Vec<usize>,
+}
+
+impl<'a> ShardView<'a> {
+    /// View flat columns as a single shard.
+    fn single(cols: &'a PopulationColumns) -> Self {
+        Self {
+            shards: vec![cols],
+            offsets: vec![0, cols.len()],
+        }
+    }
+
+    /// View a sharded population's column-sets.
+    fn of(population: &'a ShardedPopulation) -> Self {
+        let shards: Vec<&PopulationColumns> = population.shards().iter().collect();
+        let mut offsets = Vec::with_capacity(shards.len() + 1);
+        offsets.push(0);
+        let mut total = 0usize;
+        for shard in &shards {
+            total += shard.len();
+            offsets.push(total);
+        }
+        Self { shards, offsets }
+    }
+
+    /// Total number of clients across all shards.
+    fn len(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Two-level deterministic reduction: `f` receives a shard's columns,
+    /// a shard-local index range, and the shard's global offset (for
+    /// indexing global per-client arrays such as a profile `q`). All
+    /// shards' chunks share one job queue and one worker crew per call
+    /// ([`multi_shard_sum`]), so a probe over many small shards spawns no
+    /// per-shard crews and hits no per-shard barriers.
+    fn sum<F>(&self, n_threads: usize, f: F) -> f64
+    where
+        F: Fn(&PopulationColumns, std::ops::Range<usize>, usize) -> f64 + Sync,
+    {
+        if self.shards.len() == 1 {
+            let shard = self.shards[0];
+            return chunked_sum(shard.len(), n_threads, |range| f(shard, range, 0));
+        }
+        let lens: Vec<usize> = self.shards.iter().map(|s| s.len()).collect();
+        multi_shard_sum(&lens, n_threads, |s, local| {
+            f(self.shards[s], local, self.offsets[s])
+        })
+    }
+
+    /// Fill the global buffer `out` shard by shard; `f` receives a shard's
+    /// columns, the shard-local start index of the slice, the shard's
+    /// global offset, and the output sub-slice to write.
+    fn fill<F>(&self, out: &mut [f64], n_threads: usize, f: F)
+    where
+        F: Fn(&PopulationColumns, usize, usize, &mut [f64]) + Sync,
+    {
+        debug_assert_eq!(out.len(), self.len());
+        for (shard, &offset) in self.shards.iter().zip(&self.offsets) {
+            chunked_fill(
+                &mut out[offset..offset + shard.len()],
+                n_threads,
+                |local_start, slice| f(shard, local_start, offset, slice),
+            );
+        }
+    }
+
+    /// The shard and shard-local index of global client `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn locate(&self, i: usize) -> (&'a PopulationColumns, usize) {
+        let s = self.offsets.partition_point(|&o| o <= i) - 1;
+        (self.shards[s], i - self.offsets[s])
+    }
+}
+
 /// The path parameter `t` at which every client sits at its cap (plus a
 /// relative epsilon so the saturated profile is strictly inside).
-fn saturation_t(cols: &PopulationColumns, aor: f64) -> f64 {
-    (0..cols.len())
-        .map(|i| 4.0 / aor * cols.cost[i] * cols.q_max[i].powi(3) / cols.a2g2[i] + cols.value[i])
+fn saturation_t(view: &ShardView<'_>, aor: f64) -> f64 {
+    view.shards
+        .iter()
+        .map(|cols| {
+            (0..cols.len())
+                .map(|i| {
+                    4.0 / aor * cols.cost[i] * cols.q_max[i].powi(3) / cols.a2g2[i] + cols.value[i]
+                })
+                .fold(0.0f64, f64::max)
+        })
         .fold(0.0f64, f64::max)
         * (1.0 + 1e-12)
         + 1e-12
@@ -166,9 +279,29 @@ pub fn path_budget(
     frac: f64,
 ) -> f64 {
     let cols = population.columns();
+    path_budget_view(&ShardView::single(&cols), bound, options, frac)
+}
+
+/// [`path_budget`] over shard column-sets — bit-identical to the flat
+/// version over the concatenated population, for any shard count.
+pub fn path_budget_sharded(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    options: &SolverOptions,
+    frac: f64,
+) -> f64 {
+    path_budget_view(&ShardView::of(population), bound, options, frac)
+}
+
+fn path_budget_view(
+    view: &ShardView<'_>,
+    bound: &BoundParams,
+    options: &SolverOptions,
+    frac: f64,
+) -> f64 {
     let aor = bound.alpha_over_r();
-    let t = frac.clamp(0.0, 1.0) * saturation_t(&cols, aor);
-    path_spend(&cols, aor, options.q_min, t, options.config.n_threads)
+    let t = frac.clamp(0.0, 1.0) * saturation_t(view, aor);
+    path_spend(view, aor, options.q_min, t, options.config.n_threads)
 }
 
 /// The per-client participation level on the KKT path at `t = 1/λ`:
@@ -181,10 +314,10 @@ fn path_q(coef: f64, a2g2: f64, cost: f64, value: f64, q_max: f64, q_min: f64, t
 
 /// Fused spend along the KKT path: `Σ P(q_n(t)) q_n(t)` evaluated without
 /// materialising the profile — the λ-evaluation inside every bisection
-/// step, as a deterministic chunked parallel reduction.
-fn path_spend(cols: &PopulationColumns, aor: f64, q_min: f64, t: f64, n_threads: usize) -> f64 {
+/// step, as a two-level merge of per-shard partial spends.
+fn path_spend(view: &ShardView<'_>, aor: f64, q_min: f64, t: f64, n_threads: usize) -> f64 {
     let coef = aor / 4.0;
-    chunked_sum(cols.len(), n_threads, |range| {
+    view.sum(n_threads, |cols, range, _offset| {
         let mut acc = 0.0;
         for i in range {
             let q = path_q(
@@ -205,7 +338,7 @@ fn path_spend(cols: &PopulationColumns, aor: f64, q_min: f64, t: f64, n_threads:
 
 /// Fill `out` with the KKT-path profile at `t` (parallel, allocation-free).
 fn fill_path_profile(
-    cols: &PopulationColumns,
+    view: &ShardView<'_>,
     aor: f64,
     q_min: f64,
     t: f64,
@@ -213,9 +346,9 @@ fn fill_path_profile(
     n_threads: usize,
 ) {
     let coef = aor / 4.0;
-    chunked_fill(out, n_threads, |start, slice| {
+    view.fill(out, n_threads, |cols, local_start, _offset, slice| {
         for (k, q) in slice.iter_mut().enumerate() {
-            let i = start + k;
+            let i = local_start + k;
             *q = path_q(
                 coef,
                 cols.a2g2[i],
@@ -229,12 +362,13 @@ fn fill_path_profile(
     });
 }
 
-/// Total payment `Σ P_n(q_n) q_n` for an explicit participation profile.
-fn profile_spend(cols: &PopulationColumns, aor: f64, q: &[f64], n_threads: usize) -> f64 {
-    chunked_sum(cols.len(), n_threads, |range| {
+/// Total payment `Σ P_n(q_n) q_n` for an explicit participation profile
+/// (indexed by the view's global order).
+fn profile_spend(view: &ShardView<'_>, aor: f64, q: &[f64], n_threads: usize) -> f64 {
+    view.sum(n_threads, |cols, range, offset| {
         let mut acc = 0.0;
         for i in range {
-            let qn = q[i];
+            let qn = q[offset + i];
             acc += 2.0 * cols.cost[i] * qn * qn - cols.value[i] * aor * cols.a2g2[i] / qn;
         }
         acc
@@ -242,17 +376,11 @@ fn profile_spend(cols: &PopulationColumns, aor: f64, q: &[f64], n_threads: usize
 }
 
 /// Fill `prices` with the equation-(17) read-back `P_n = 2 c q − K/q²`.
-fn fill_prices(
-    cols: &PopulationColumns,
-    aor: f64,
-    q: &[f64],
-    prices: &mut [f64],
-    n_threads: usize,
-) {
-    chunked_fill(prices, n_threads, |start, slice| {
+fn fill_prices(view: &ShardView<'_>, aor: f64, q: &[f64], prices: &mut [f64], n_threads: usize) {
+    view.fill(prices, n_threads, |cols, local_start, offset, slice| {
         for (k, p) in slice.iter_mut().enumerate() {
-            let i = start + k;
-            let qn = q[i];
+            let i = local_start + k;
+            let qn = q[offset + i];
             *p = 2.0 * cols.cost[i] * qn - cols.value[i] * aor * cols.a2g2[i] / (qn * qn);
         }
     });
@@ -305,31 +433,8 @@ fn validate_inputs(
     Ok(())
 }
 
-/// Input validation for the columns-level solver entry points, mirroring
-/// [`validate_inputs`] for callers that never materialise a [`Population`].
-fn validate_columns(
-    cols: &PopulationColumns,
-    budget: f64,
-    options: &SolverOptions,
-) -> Result<(), GameError> {
-    for (len, _name) in [
-        (cols.cost.len(), "cost"),
-        (cols.value.len(), "value"),
-        (cols.q_max.len(), "q_max"),
-    ] {
-        if len != cols.a2g2.len() {
-            return Err(GameError::LengthMismatch {
-                expected: cols.a2g2.len(),
-                found: len,
-            });
-        }
-    }
-    if cols.is_empty() {
-        return Err(GameError::InvalidParameter {
-            name: "columns",
-            reason: "need at least one client".into(),
-        });
-    }
+/// Budget/option checks shared by every columns-level entry point.
+fn validate_solver_knobs(budget: f64, options: &SolverOptions) -> Result<(), GameError> {
     if !budget.is_finite() {
         return Err(GameError::InvalidParameter {
             name: "budget",
@@ -357,23 +462,57 @@ fn validate_columns(
             reason: "need at least one bisection iteration".into(),
         });
     }
-    for i in 0..cols.len() {
-        let valid = cols.a2g2[i].is_finite()
-            && cols.a2g2[i] > 0.0
-            && cols.cost[i].is_finite()
-            && cols.cost[i] > 0.0
-            && cols.value[i].is_finite()
-            && cols.value[i] >= 0.0
-            && cols.q_max[i].is_finite()
-            && cols.q_max[i] > options.q_min;
-        if !valid {
-            return Err(GameError::InvalidParameter {
-                name: "columns",
-                reason: format!(
-                    "client {i} invalid: a2g2={}, cost={}, value={}, q_max={} (need positives and q_max > q_min)",
-                    cols.a2g2[i], cols.cost[i], cols.value[i], cols.q_max[i]
-                ),
-            });
+    Ok(())
+}
+
+/// Input validation for the columns-level solver entry points, mirroring
+/// [`validate_inputs`] for callers that never materialise a [`Population`]
+/// — applied shard by shard, reporting global client indices.
+fn validate_view(
+    view: &ShardView<'_>,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<(), GameError> {
+    for shard in &view.shards {
+        for (len, _name) in [
+            (shard.cost.len(), "cost"),
+            (shard.value.len(), "value"),
+            (shard.q_max.len(), "q_max"),
+        ] {
+            if len != shard.a2g2.len() {
+                return Err(GameError::LengthMismatch {
+                    expected: shard.a2g2.len(),
+                    found: len,
+                });
+            }
+        }
+    }
+    if view.is_empty() {
+        return Err(GameError::InvalidParameter {
+            name: "columns",
+            reason: "need at least one client".into(),
+        });
+    }
+    validate_solver_knobs(budget, options)?;
+    for (cols, &offset) in view.shards.iter().zip(&view.offsets) {
+        for i in 0..cols.len() {
+            let valid = cols.a2g2[i].is_finite()
+                && cols.a2g2[i] > 0.0
+                && cols.cost[i].is_finite()
+                && cols.cost[i] > 0.0
+                && cols.value[i].is_finite()
+                && cols.value[i] >= 0.0
+                && cols.q_max[i].is_finite()
+                && cols.q_max[i] > options.q_min;
+            if !valid {
+                return Err(GameError::InvalidParameter {
+                    name: "columns",
+                    reason: format!(
+                        "client {} invalid: a2g2={}, cost={}, value={}, q_max={} (need positives and q_max > q_min)",
+                        offset + i, cols.a2g2[i], cols.cost[i], cols.value[i], cols.q_max[i]
+                    ),
+                });
+            }
         }
     }
     Ok(())
@@ -394,7 +533,7 @@ pub fn solve_kkt(
 ) -> Result<StageOneSolution, GameError> {
     validate_inputs(population, budget, options)?;
     let cols = population.columns();
-    Ok(solve_kkt_columns_unchecked(&cols, bound, budget, options, None)?.0)
+    Ok(solve_kkt_view_unchecked(&ShardView::single(&cols), bound, budget, options, None)?.0)
 }
 
 /// Diagnostics of one KKT solve: where on the path it landed and how the
@@ -431,8 +570,49 @@ pub fn solve_kkt_columns(
     budget: f64,
     options: &SolverOptions,
 ) -> Result<StageOneSolution, GameError> {
-    validate_columns(cols, budget, options)?;
-    Ok(solve_kkt_columns_unchecked(cols, bound, budget, options, None)?.0)
+    let view = ShardView::single(cols);
+    validate_view(&view, budget, options)?;
+    Ok(solve_kkt_view_unchecked(&view, bound, budget, options, None)?.0)
+}
+
+/// [`solve_kkt_columns`] over a slice of shard column-sets: each λ-probe
+/// evaluates the shards' partial spends and merges them in shard order, so
+/// the result is **bit-identical** to the flat solve over
+/// [`ShardedPopulation::concat`] for any shard count and thread count —
+/// the contract that lets shards live on independent workers.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_kkt_columns`], reported with global client
+/// indices.
+pub fn solve_kkt_sharded(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<StageOneSolution, GameError> {
+    let view = ShardView::of(population);
+    validate_view(&view, budget, options)?;
+    Ok(solve_kkt_view_unchecked(&view, bound, budget, options, None)?.0)
+}
+
+/// [`solve_kkt_sharded`] with an optional warm-start hint and solve
+/// diagnostics — the sharded counterpart of [`solve_kkt_columns_hinted`],
+/// with the same bit-identity guarantee for any hint.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_kkt_columns`].
+pub fn solve_kkt_sharded_hinted(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+    hint: Option<f64>,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
+    let view = ShardView::of(population);
+    validate_view(&view, budget, options)?;
+    solve_kkt_view_unchecked(&view, bound, budget, options, hint)
 }
 
 /// [`solve_kkt_columns`] with an optional warm-start hint, returning solve
@@ -457,26 +637,27 @@ pub fn solve_kkt_columns_hinted(
     options: &SolverOptions,
     hint: Option<f64>,
 ) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
-    validate_columns(cols, budget, options)?;
-    solve_kkt_columns_unchecked(cols, bound, budget, options, hint)
+    let view = ShardView::single(cols);
+    validate_view(&view, budget, options)?;
+    solve_kkt_view_unchecked(&view, bound, budget, options, hint)
 }
 
-fn solve_kkt_columns_unchecked(
-    cols: &PopulationColumns,
+fn solve_kkt_view_unchecked(
+    view: &ShardView<'_>,
     bound: &BoundParams,
     budget: f64,
     options: &SolverOptions,
     hint: Option<f64>,
 ) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
-    let n = cols.len();
+    let n = view.len();
     let aor = bound.alpha_over_r();
     let threads = options.config.n_threads;
     // t needed for every client to hit its cap.
-    let t_hi = saturation_t(cols, aor);
+    let t_hi = saturation_t(view, aor);
 
-    // The λ-evaluation: one fused chunked reduction per bisection probe,
-    // O(N / threads), materialising no per-client buffers.
-    let spend_at = |t: f64| path_spend(cols, aor, options.q_min, t, threads);
+    // The λ-evaluation: per-shard partial spends merged in shard order,
+    // O(N / threads) per probe, materialising no per-client buffers.
+    let spend_at = |t: f64| path_spend(view, aor, options.q_min, t, threads);
 
     let (t_used, lambda, saturated, stats) = if spend_at(t_hi) <= budget {
         // Whole population affordable at the caps: budget slack.
@@ -501,16 +682,16 @@ fn solve_kkt_columns_unchecked(
     // Materialise the profile and prices once, into buffers filled in
     // parallel chunks.
     let mut q = vec![0.0f64; n];
-    fill_path_profile(cols, aor, options.q_min, t_used, &mut q, threads);
+    fill_path_profile(view, aor, options.q_min, t_used, &mut q, threads);
     let mut prices = vec![0.0f64; n];
-    fill_prices(cols, aor, &q, &mut prices, threads);
+    fill_prices(view, aor, &q, &mut prices, threads);
     if let Some(bad) = prices.iter().position(|p| !p.is_finite()) {
         return Err(GameError::SolverFailed {
             solver: "kkt",
             reason: format!("non-finite price for client {bad}"),
         });
     }
-    let spent = profile_spend(cols, aor, &q, threads);
+    let spent = profile_spend(view, aor, &q, threads);
     Ok((
         StageOneSolution {
             q,
@@ -553,7 +734,29 @@ pub fn estimate_path_parameter(
     t_ref: f64,
     n_threads: usize,
 ) -> Option<f64> {
-    if cols.is_empty() || !(t_ref.is_finite() && t_ref > 0.0) {
+    estimate_path_parameter_view(&ShardView::single(cols), bound, budget, t_ref, n_threads)
+}
+
+/// [`estimate_path_parameter`] over shard column-sets (bit-identical to
+/// the flat estimate over the concatenation, for any shard count).
+pub fn estimate_path_parameter_sharded(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    budget: f64,
+    t_ref: f64,
+    n_threads: usize,
+) -> Option<f64> {
+    estimate_path_parameter_view(&ShardView::of(population), bound, budget, t_ref, n_threads)
+}
+
+fn estimate_path_parameter_view(
+    view: &ShardView<'_>,
+    bound: &BoundParams,
+    budget: f64,
+    t_ref: f64,
+    n_threads: usize,
+) -> Option<f64> {
+    if view.is_empty() || !(t_ref.is_finite() && t_ref > 0.0) {
         return None;
     }
     let aor = bound.alpha_over_r();
@@ -561,7 +764,7 @@ pub fn estimate_path_parameter(
     let mut t = t_ref;
     let mut estimate = None;
     for _ in 0..8 {
-        let saturated_spend = chunked_sum(cols.len(), n_threads, |range| {
+        let saturated_spend = view.sum(n_threads, |cols, range, _offset| {
             let mut acc = 0.0;
             for i in range {
                 let t_sat =
@@ -580,7 +783,7 @@ pub fn estimate_path_parameter(
             t *= 0.5;
             continue;
         }
-        let interior_coefficient = chunked_sum(cols.len(), n_threads, |range| {
+        let interior_coefficient = view.sum(n_threads, |cols, range, _offset| {
             let mut acc = 0.0;
             for i in range {
                 let t_sat =
@@ -629,9 +832,32 @@ pub fn theorem2_max_residual_columns(
     sample: usize,
     seed: u64,
 ) -> Option<f64> {
+    theorem2_max_residual_view(&ShardView::single(cols), bound, solution, sample, seed)
+}
+
+/// [`theorem2_max_residual_columns`] over shard column-sets — the sampled
+/// indices and residuals are identical to the flat check over the
+/// concatenation, for any shard count.
+pub fn theorem2_max_residual_sharded(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    solution: &StageOneSolution,
+    sample: usize,
+    seed: u64,
+) -> Option<f64> {
+    theorem2_max_residual_view(&ShardView::of(population), bound, solution, sample, seed)
+}
+
+fn theorem2_max_residual_view(
+    view: &ShardView<'_>,
+    bound: &BoundParams,
+    solution: &StageOneSolution,
+    sample: usize,
+    seed: u64,
+) -> Option<f64> {
     let target = 1.0 / solution.lambda?;
     let coef = 4.0 / bound.alpha_over_r();
-    let n = cols.len().min(solution.q.len());
+    let n = view.len().min(solution.q.len());
     if n == 0 {
         return None;
     }
@@ -639,9 +865,11 @@ pub fn theorem2_max_residual_columns(
     let mut worst: Option<f64> = None;
     for _ in 0..sample {
         let i = (rand::Rng::random::<u64>(&mut rng) % n as u64) as usize;
+        let (cols, local) = view.locate(i);
         let q = solution.q[i];
-        if q > Q_MIN * 1.01 && q < cols.q_max[i] * 0.999 {
-            let invariant = coef * cols.cost[i] * q.powi(3) / cols.a2g2[i] + cols.value[i];
+        if q > Q_MIN * 1.01 && q < cols.q_max[local] * 0.999 {
+            let invariant =
+                coef * cols.cost[local] * q.powi(3) / cols.a2g2[local] + cols.value[local];
             let residual = (invariant - target).abs() / target.abs().max(1.0);
             worst = Some(worst.map_or(residual, |w| w.max(residual)));
         }
@@ -668,34 +896,80 @@ pub fn solve_m_search(
     options: &SolverOptions,
 ) -> Result<StageOneSolution, GameError> {
     validate_inputs(population, budget, options)?;
-    let n = population.len();
+    let cols = population.columns();
+    solve_m_search_view(&ShardView::single(&cols), bound, budget, options)
+}
+
+/// [`solve_m_search`] over shard column-sets: the P1″ inner loop's
+/// reductions and gradient fills run as the same two-level shard merge as
+/// the KKT solver, so the search is bit-identical to the flat
+/// [`solve_m_search`] over the concatenated population for any shard
+/// count.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_m_search`].
+pub fn solve_m_search_sharded(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<StageOneSolution, GameError> {
+    let view = ShardView::of(population);
+    validate_view(&view, budget, options)?;
+    if options.m_grid_steps < 2 {
+        return Err(GameError::InvalidParameter {
+            name: "m_grid_steps",
+            reason: "need at least 2 grid steps".into(),
+        });
+    }
+    solve_m_search_view(&view, bound, budget, options)
+}
+
+fn solve_m_search_view(
+    view: &ShardView<'_>,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<StageOneSolution, GameError> {
+    let n = view.len();
     let threads = options.config.n_threads;
     let aor = bound.alpha_over_r();
-    // Struct-of-arrays view plus precomputed intrinsic gains
-    // `K_n = v_n (α/R) a_n²G_n²`: every inner pass below is a chunked
-    // reduction or fill over these columns, so one PGD iteration strides
-    // each column once and allocates no per-client vectors.
-    let cols = population.columns();
-    let gains: Vec<f64> = (0..n).map(|i| cols.value[i] * aor * cols.a2g2[i]).collect();
+    // Precomputed intrinsic gains `K_n = v_n (α/R) a_n²G_n²`: every inner
+    // pass below is a shard-merged reduction or fill over the view's
+    // columns, so one PGD iteration strides each column once and allocates
+    // no per-client vectors.
+    let mut gains = vec![0.0f64; n];
+    view.fill(&mut gains, threads, |cols, local_start, _offset, slice| {
+        for (k, g) in slice.iter_mut().enumerate() {
+            let i = local_start + k;
+            *g = cols.value[i] * aor * cols.a2g2[i];
+        }
+    });
     let lo: Vec<f64> = vec![options.q_min; n];
-    let hi: Vec<f64> = cols.q_max.clone();
+    let mut hi = vec![0.0f64; n];
+    view.fill(&mut hi, threads, |cols, local_start, _offset, slice| {
+        slice.copy_from_slice(&cols.q_max[local_start..local_start + slice.len()]);
+    });
     let bounds_box = BoxConstraints::new(lo.clone(), hi.clone())?;
-    // `M(q) = Σ c_n q_n²` and the realised spend, as chunked reductions.
+    // `M(q) = Σ c_n q_n²` and the realised spend, as shard-merged
+    // reductions.
     let m_of = |q: &[f64]| {
-        chunked_sum(n, threads, |range| {
+        view.sum(threads, |cols, range, offset| {
             let mut acc = 0.0;
             for i in range {
-                acc += cols.cost[i] * q[i] * q[i];
+                let qn = q[offset + i];
+                acc += cols.cost[i] * qn * qn;
             }
             acc
         })
     };
-    let spend_of = |q: &[f64]| profile_spend(&cols, aor, q, threads);
+    let spend_of = |q: &[f64]| profile_spend(view, aor, q, threads);
     let variance_of = |q: &[f64]| {
-        chunked_sum(n, threads, |range| {
+        view.sum(threads, |cols, range, offset| {
             let mut acc = 0.0;
             for i in range {
-                acc += cols.a2g2[i] * (1.0 / q[i] - 1.0);
+                acc += cols.a2g2[i] * (1.0 / q[offset + i] - 1.0);
             }
             acc
         })
@@ -740,10 +1014,10 @@ pub fn solve_m_search(
                 ConstraintKind::Equality,
                 Box::new(|q: &[f64], g: &mut [f64]| {
                     let val = m_of(q) - m;
-                    chunked_fill(g, threads, |start, slice| {
+                    view.fill(g, threads, |cols, local_start, offset, slice| {
                         for (k, gi) in slice.iter_mut().enumerate() {
-                            let i = start + k;
-                            *gi = 2.0 * cols.cost[i] * q[i] / m_scale;
+                            let i = local_start + k;
+                            *gi = 2.0 * cols.cost[i] * q[offset + i] / m_scale;
                         }
                     });
                     val / m_scale
@@ -753,10 +1027,11 @@ pub fn solve_m_search(
         let result = penalty_minimize(
             |q: &[f64], g: &mut [f64]| {
                 let val = variance_of(q);
-                chunked_fill(g, threads, |start, slice| {
+                view.fill(g, threads, |cols, local_start, offset, slice| {
                     for (k, gi) in slice.iter_mut().enumerate() {
-                        let i = start + k;
-                        *gi = -cols.a2g2[i] / (q[i] * q[i]);
+                        let i = local_start + k;
+                        let qn = q[offset + i];
+                        *gi = -cols.a2g2[i] / (qn * qn);
                     }
                 });
                 val
@@ -808,7 +1083,7 @@ pub fn solve_m_search(
         reason: "no feasible M found".into(),
     })?;
     let mut prices = vec![0.0f64; n];
-    fill_prices(&cols, aor, &q, &mut prices, threads);
+    fill_prices(view, aor, &q, &mut prices, threads);
     if let Some(bad) = prices.iter().position(|p| !p.is_finite()) {
         return Err(GameError::SolverFailed {
             solver: "m_search",
@@ -816,11 +1091,7 @@ pub fn solve_m_search(
         });
     }
     let spent = spend_of(&q);
-    let saturated = q
-        .iter()
-        .zip(&cols.q_max)
-        .all(|(&qi, &cap)| qi >= cap - 1e-6)
-        && spent < budget - 1e-9;
+    let saturated = q.iter().zip(&hi).all(|(&qi, &cap)| qi >= cap - 1e-6) && spent < budget - 1e-9;
     Ok(StageOneSolution {
         q,
         prices,
@@ -1118,6 +1389,73 @@ mod tests {
         let via_equilibrium = se.theorem2_max_residual(&p, &b, 100, 0).unwrap();
         assert_eq!(via_columns.to_bits(), via_equilibrium.to_bits());
         assert!(via_columns < 1e-6);
+    }
+
+    #[test]
+    fn sharded_solver_is_bit_identical_to_flat_for_any_shard_count() {
+        use crate::population::PopulationSpec;
+        use fedfl_num::parallel::DEFAULT_CHUNK;
+        // Enough clients for several chunks so shard boundaries genuinely
+        // partition the reduction.
+        let n = DEFAULT_CHUNK * 2 + 531;
+        let p = Population::synthesize(n, &PopulationSpec::table1_like(), 5).unwrap();
+        let b = bound();
+        let budget = path_budget(&p, &b, &SolverOptions::default(), 0.4);
+        let cols = p.columns();
+        let flat = solve_kkt_columns(&cols, &b, budget, &SolverOptions::default()).unwrap();
+        for shard_count in [1, 2, 7, 32] {
+            let sharded = ShardedPopulation::from_columns(&cols, shard_count).unwrap();
+            assert_eq!(
+                path_budget_sharded(&sharded, &b, &SolverOptions::default(), 0.4).to_bits(),
+                budget.to_bits(),
+                "path budget drifted at shard_count {shard_count}"
+            );
+            for threads in [1, 3] {
+                let opts = SolverOptions::with_threads(threads);
+                let sol = solve_kkt_sharded(&sharded, &b, budget, &opts).unwrap();
+                assert_eq!(sol, flat, "shard_count {shard_count} threads {threads}");
+                let (hinted, diag) = solve_kkt_sharded_hinted(
+                    &sharded,
+                    &b,
+                    budget,
+                    &opts,
+                    Some(flat.lambda.map(|l| 1.0 / l).unwrap()),
+                )
+                .unwrap();
+                assert_eq!(hinted, flat, "hinted shard_count {shard_count}");
+                assert!(diag.warm_start_depth > 0, "exact hint should verify deep");
+            }
+            // The sampled Theorem 2 check and the hint estimator agree
+            // with their flat counterparts bit for bit.
+            let flat_res = theorem2_max_residual_columns(&cols, &b, &flat, 256, 3).unwrap();
+            let shard_res = theorem2_max_residual_sharded(&sharded, &b, &flat, 256, 3).unwrap();
+            assert_eq!(flat_res.to_bits(), shard_res.to_bits());
+            let t_star = 1.0 / flat.lambda.unwrap();
+            let flat_est = estimate_path_parameter(&cols, &b, budget, t_star * 2.0, 1);
+            let shard_est = estimate_path_parameter_sharded(&sharded, &b, budget, t_star * 2.0, 1);
+            assert_eq!(
+                flat_est.map(f64::to_bits),
+                shard_est.map(f64::to_bits),
+                "estimate drifted at shard_count {shard_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_m_search_matches_flat() {
+        let p = population();
+        let b = bound();
+        let flat = solve_m_search(&p, &b, 10.0, &SolverOptions::default()).unwrap();
+        let sharded = ShardedPopulation::from(&p);
+        let via_shards =
+            solve_m_search_sharded(&sharded, &b, 10.0, &SolverOptions::default()).unwrap();
+        assert_eq!(via_shards, flat);
+        let bad = SolverOptions {
+            m_grid_steps: 1,
+            ..Default::default()
+        };
+        assert!(solve_m_search_sharded(&sharded, &b, 10.0, &bad).is_err());
+        assert!(solve_m_search_sharded(&sharded, &b, f64::NAN, &SolverOptions::default()).is_err());
     }
 
     #[test]

@@ -474,9 +474,19 @@ pub fn bisect_monotone_instrumented<F: FnMut(f64) -> f64>(
         // depth-d bracket. Built with the exact arithmetic of the cold
         // loop (`mid = 0.5 * (a + b)`), so its intervals are the cold
         // bisection's own candidate brackets.
+        //
+        // The descent stops at the f64 resolution of the *hint*: a bracket
+        // narrower than one ulp of `h` is below the precision the hint was
+        // computed at, so verifying containment there spends probes
+        // without information — on heavy-tailed instances (bracket spans
+        // of 50+ decades) the descent toward a near-zero hint would
+        // otherwise stagnate, pushing `max_iters` sub-resolution brackets
+        // for the containment search to probe. Starting shallower is
+        // always safe: every chain prefix is cold-reachable.
+        let hint_resolution = f64::EPSILON * h.abs();
         let mut chain: Vec<(f64, f64)> = vec![(lo, hi)];
         let (mut ca, mut cb) = (lo, hi);
-        while chain.len() <= max_iters && (cb - ca) >= tol {
+        while chain.len() <= max_iters && (cb - ca) >= tol && (cb - ca) > hint_resolution {
             let mid = 0.5 * (ca + cb);
             if mid <= ca || mid >= cb {
                 break; // f64 resolution exhausted

@@ -6,18 +6,30 @@
 //! churns continuously:
 //!
 //! * **Command stream** — [`Command::AddClients`], [`Command::RemoveClients`],
-//!   [`Command::UpdateAvailability`], [`Command::Reprice`], and the batched
+//!   [`Command::UpdateAvailability`], [`Command::UpdateBudget`],
+//!   [`Command::UpdateBound`], [`Command::Reprice`], and the batched
 //!   reads [`Command::GetPrices`] / [`Command::Snapshot`], all through
 //!   [`PricingService::execute`] (or the equivalent typed methods).
+//! * **Sharded store, dirty-shard rebuilds** — clients are routed to
+//!   [`ServiceConfig::shards`] store shards by id block; each shard caches
+//!   its clients' solver columns (availability rates, inclusion masks, the
+//!   effective `cost/rate²` and `q_max·rate` transforms) and a delta
+//!   dirties only the shards it touches. A re-solve rebuilds **only the
+//!   dirty shards' columns** — `O(N/S · dirty)` instead of the monolithic
+//!   `O(N)` — then gathers them in insertion order with the exact
+//!   `Population::from_raw` normalisation and solves over chunk-aligned
+//!   shard column-sets ([`fedfl_core::server::solve_kkt_sharded_hinted`]).
+//!   Prices are bit-identical for **any** shard count; [`RepriceReport`]
+//!   records the dirty-shard accounting.
 //! * **Incremental re-solve** — population deltas shift the spend curve of
 //!   the KKT path, but the λ\*-bisection can be *warm-started* from the
 //!   previous solve's path parameter: the service passes `t* = 1/λ*` as a
-//!   hint to [`fedfl_core::server::solve_kkt_columns_hinted`], which
-//!   verifies a deep dyadic bracket around it before trusting it. Prices
-//!   are therefore **bit-identical** to a from-scratch
-//!   [`fedfl_core::server::solve_kkt`] over the same clients at every
-//!   step, while warm-started re-solves run measurably fewer bisection
-//!   iterations ([`RepriceReport`] records both).
+//!   hint (rescaled across weight renormalisation, budget and bound
+//!   updates), and the bisection verifies a deep dyadic bracket around it
+//!   before trusting it. Prices are therefore **bit-identical** to a
+//!   from-scratch [`fedfl_core::server::solve_kkt`] over the same clients
+//!   at every step, while warm-started re-solves run measurably fewer
+//!   bisection iterations ([`RepriceReport`] records both).
 //! * **Availability-aware pricing** — with
 //!   [`ServiceConfig::availability_aware`] set, each client is priced
 //!   against its *effective* participation `q_eff = q · rate`, where

@@ -1,12 +1,12 @@
 //! The pricing service: command processing and the incremental re-solve.
 
 use crate::error::ServiceError;
-use crate::store::ClientStore;
+use crate::store::ShardedClientStore;
 use crate::{AvailabilityModel, ClientId, ClientParams};
 use fedfl_core::bound::BoundParams;
-use fedfl_core::population::Population;
 use fedfl_core::server::{
-    estimate_path_parameter, solve_kkt_columns_hinted, theorem2_max_residual_columns, SolverOptions,
+    estimate_path_parameter_sharded, solve_kkt_sharded_hinted, theorem2_max_residual_sharded,
+    SolverOptions,
 };
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +24,12 @@ pub struct ServiceConfig {
     /// `false` (the default), availability patterns are ignored and the
     /// service reproduces the paper's always-on pricing bit-for-bit.
     pub availability_aware: bool,
+    /// Number of store shards — the granularity of dirty tracking under
+    /// churn (a delta rebuilds only the shards it touches) and of the
+    /// solver's partial-spend merge. Prices are **bit-identical for any
+    /// shard count**; the knob only trades rebuild granularity against
+    /// per-shard overhead. Must be at least 1.
+    pub shards: usize,
     /// Maximum sampled Theorem 2 residual accepted after a re-solve.
     pub residual_tolerance: f64,
     /// Number of invariant samples drawn per re-solve.
@@ -33,14 +39,16 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// A configuration with the default solver, always-on pricing, and a
-    /// `1e-6` Theorem 2 tolerance sampled at 1024 clients per re-solve.
+    /// A configuration with the default solver, always-on pricing, 8
+    /// store shards, and a `1e-6` Theorem 2 tolerance sampled at 1024
+    /// clients per re-solve.
     pub fn new(bound: BoundParams, budget: f64) -> Self {
         Self {
             bound,
             budget,
             solver: SolverOptions::default(),
             availability_aware: false,
+            shards: 8,
             residual_tolerance: 1e-6,
             residual_sample: 1024,
             residual_seed: 0x5EED,
@@ -52,6 +60,12 @@ impl ServiceConfig {
             return Err(ServiceError::InvalidConfig {
                 field: "budget",
                 reason: format!("must be finite, got {}", self.budget),
+            });
+        }
+        if self.shards == 0 {
+            return Err(ServiceError::InvalidConfig {
+                field: "shards",
+                reason: "need at least one shard".into(),
             });
         }
         if !(self.residual_tolerance.is_finite() && self.residual_tolerance > 0.0) {
@@ -85,6 +99,15 @@ pub enum Command {
     /// Replace every client's availability pattern; the model is aligned
     /// to client-insertion order and must match the population size.
     UpdateAvailability(AvailabilityModel),
+    /// Replace the deployment budget `B`. No store shard is dirtied — the
+    /// columns are budget-independent — but the equilibrium re-solves
+    /// (warm-started through `estimate_path_parameter` at the new budget)
+    /// at the next read or `Reprice`.
+    UpdateBudget(f64),
+    /// Replace the Theorem 1 bound constants `(α, β, R)`. Like
+    /// `UpdateBudget`, this dirties no shard; the warm-start hint is
+    /// rescaled by the `α/R` ratio before the verified descent.
+    UpdateBound(BoundParams),
     /// Re-solve the equilibrium now (deltas otherwise re-solve lazily at
     /// the next read).
     Reprice,
@@ -103,6 +126,10 @@ pub enum Response {
     Removed(usize),
     /// The availability model was replaced.
     AvailabilityUpdated,
+    /// The budget was replaced.
+    BudgetUpdated,
+    /// The bound constants were replaced.
+    BoundUpdated,
     /// Result of an explicit `Reprice`.
     Repriced(RepriceReport),
     /// Quotes for a `GetPrices` batch, in request order.
@@ -151,6 +178,14 @@ pub struct RepriceReport {
     pub bisect_iterations: usize,
     /// Distinct spend evaluations, including warm-start verification.
     pub bisect_evaluations: usize,
+    /// Number of store shards.
+    pub shard_count: usize,
+    /// Shards whose column caches were rebuilt for this solve (the shards
+    /// the deltas since the previous solve touched).
+    pub dirty_shards: usize,
+    /// Clients whose cached columns were recomputed — the dirty-shard
+    /// contract's cost, `O(N/S · dirty)` instead of `O(N)`.
+    pub rebuilt_columns: usize,
 }
 
 /// Full view of the current equilibrium.
@@ -177,26 +212,36 @@ struct PricedState {
     report: RepriceReport,
 }
 
-/// A long-running pricing service owning a churning client population.
+/// Warm-start state carried between solves: the path parameter
+/// `t* = 1/λ*`, plus the total raw weight and `α/R` it was solved at.
+///
+/// A churn delta rescales every normalised weight by `W_old / W_new`,
+/// shifting the KKT path roughly like `t ↦ t · (W_new / W_old)²`; a bound
+/// update scales it like `t ↦ t · (α/R)_old / (α/R)_new` (the path levels
+/// depend on the product `(α/R)·t`). The rescaled value is refined by the
+/// closed-form spend model and handed to the bisection as a *hint* — the
+/// bisection verifies the bracket before trusting it.
+#[derive(Debug, Clone, Copy)]
+struct WarmHint {
+    t_star: f64,
+    total_weight: f64,
+    aor: f64,
+}
+
+/// A long-running pricing service owning a churning, sharded client
+/// population.
 ///
 /// See the crate docs for the full contract. All mutating commands are
-/// cheap (`O(batch)` or one `O(N)` compaction); the equilibrium is
-/// re-solved lazily — at the next read, or eagerly via
-/// [`Command::Reprice`] — with the λ-bisection warm-started from the
-/// previous solve.
+/// cheap (`O(batch)` or one `O(N)` compaction) and dirty only the store
+/// shards they touch; a re-solve rebuilds only the dirty shards' columns
+/// before the λ-bisection, warm-started from the previous solve.
 #[derive(Debug, Clone)]
 pub struct PricingService {
     config: ServiceConfig,
-    store: ClientStore,
+    store: ShardedClientStore,
     state: Option<PricedState>,
     dirty: bool,
-    /// Warm-start hint: the previous solve's path parameter `t* = 1/λ*`
-    /// and the total raw weight it was solved at. A delta rescales every
-    /// normalised weight by `W_old / W_new`, shifting the KKT path roughly
-    /// like `t ↦ t · (W_new / W_old)²`, so the hint is rescaled the same
-    /// way before being handed to the bisection (it is only a *hint* — the
-    /// bisection verifies the bracket before trusting it).
-    warm_hint: Option<(f64, f64)>,
+    warm_hint: Option<WarmHint>,
 }
 
 impl PricingService {
@@ -209,8 +254,8 @@ impl PricingService {
     pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
         Ok(Self {
+            store: ShardedClientStore::new(config.shards),
             config,
-            store: ClientStore::default(),
             state: None,
             dirty: true,
             warm_hint: None,
@@ -264,6 +309,12 @@ impl PricingService {
             Command::UpdateAvailability(model) => self
                 .update_availability(&model)
                 .map(|()| Response::AvailabilityUpdated),
+            Command::UpdateBudget(budget) => {
+                self.update_budget(budget).map(|()| Response::BudgetUpdated)
+            }
+            Command::UpdateBound(bound) => {
+                self.update_bound(bound).map(|()| Response::BoundUpdated)
+            }
             Command::Reprice => self.reprice().map(Response::Repriced),
             Command::GetPrices(ids) => self.get_prices(&ids).map(Response::Prices),
             Command::Snapshot => self.snapshot().map(Response::Snapshot),
@@ -306,8 +357,54 @@ impl PricingService {
     /// Returns [`ServiceError::AvailabilityMismatch`] if the model size
     /// disagrees with the population.
     pub fn update_availability(&mut self, model: &AvailabilityModel) -> Result<(), ServiceError> {
-        self.store.set_availability(model)?;
-        if self.config.availability_aware {
+        let aware = self.config.availability_aware;
+        let changed = self.store.set_availability(model, aware)?;
+        if aware && changed {
+            self.dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Replace the deployment budget `B`. Dirties no store shard (the
+    /// columns are budget-independent); the next solve re-bisects λ at
+    /// the new budget, warm-started from the previous path parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidConfig`] for a non-finite budget
+    /// (mutating nothing).
+    pub fn update_budget(&mut self, budget: f64) -> Result<(), ServiceError> {
+        if !budget.is_finite() {
+            return Err(ServiceError::InvalidConfig {
+                field: "budget",
+                reason: format!("must be finite, got {budget}"),
+            });
+        }
+        if budget != self.config.budget {
+            self.config.budget = budget;
+            self.dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Replace the Theorem 1 bound constants `(α, β, R)`. Dirties no
+    /// store shard; the warm-start hint is rescaled by the `α/R` ratio
+    /// before the next solve's verified descent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidConfig`] for invalid constants
+    /// (mutating nothing) — deserialized `BoundParams` are re-validated
+    /// here.
+    pub fn update_bound(&mut self, bound: BoundParams) -> Result<(), ServiceError> {
+        let bound = BoundParams::new(bound.alpha(), bound.beta(), bound.rounds()).map_err(|e| {
+            ServiceError::InvalidConfig {
+                field: "bound",
+                reason: e.to_string(),
+            }
+        })?;
+        if bound != self.config.bound {
+            self.config.bound = bound;
             self.dirty = true;
         }
         Ok(())
@@ -324,61 +421,30 @@ impl PricingService {
     /// priced state is kept (and remains stale).
     pub fn reprice(&mut self) -> Result<RepriceReport, ServiceError> {
         let n = self.store.len();
-        let q_min = self.config.solver.q_min;
-        // Rates and the inclusion mask: a client whose effective cap
-        // cannot clear the solver floor (never-available clients have
-        // rate 0) is excluded from the solve and quoted price 0, q_eff 0.
-        let rates: Vec<f64> = if self.config.availability_aware {
-            self.store
-                .records()
-                .iter()
-                .map(|r| r.params.availability.availability_rate())
-                .collect()
-        } else {
-            vec![1.0; n]
-        };
-        let included: Vec<bool> = self
+        // Rebuild only the dirty shards' cached columns (availability
+        // rates, inclusion masks, the effective cost/cap transform) —
+        // O(N/S · dirty) instead of the monolithic O(N) rebuild — then
+        // gather them in global insertion order with the exact
+        // `Population::from_raw` weight normalisation, split into
+        // chunk-aligned solver shards. Prices are therefore bit-identical
+        // to a from-scratch solve over the same clients, for any shard
+        // count.
+        let stats = self
             .store
-            .records()
-            .iter()
-            .zip(&rates)
-            .map(|(r, &rate)| rate > 0.0 && r.params.q_max * rate > q_min)
-            .collect();
-        let included_count = included.iter().filter(|&&inc| inc).count();
-        if included_count == 0 {
-            return Err(ServiceError::NoPriceableClients { registered: n });
-        }
-
-        // Rebuild the solver view from the raw store — the same
-        // normalisation path a from-scratch solve over these clients
-        // takes, which is what keeps incremental prices bit-identical.
-        let profiles = self.store.raw_profiles(&included);
-        let total_weight: f64 = profiles.iter().map(|p| p.weight).sum();
-        let population = Population::from_raw(profiles)?;
-        let cols = population.columns();
-        let included_rates: Vec<f64> = rates
-            .iter()
-            .zip(&included)
-            .filter(|(_, &inc)| inc)
-            .map(|(&r, _)| r)
-            .collect();
-        // `effective` at rate 1.0 is a bit-exact identity, so the default
-        // always-on path skips the four O(N) column copies entirely.
-        let eff = if included_rates.iter().all(|&r| r == 1.0) {
-            cols
-        } else {
-            cols.effective(&included_rates)?
-        };
+            .ensure_caches(self.config.availability_aware, self.config.solver.q_min);
+        let assembled = self.store.assemble(self.config.shards)?;
+        let aor = self.config.bound.alpha_over_r();
 
         // Warm-start hint: rescale the previous path parameter for the
-        // weight renormalisation the delta caused, then refine it with the
-        // closed-form spend model on the new columns. Both are heuristics;
-        // the bisection verifies the implied bracket before trusting it.
-        let hint = self.warm_hint.map(|(t, w_old)| {
-            let ratio = total_weight / w_old;
-            let t_scaled = t * ratio * ratio;
-            estimate_path_parameter(
-                &eff,
+        // weight renormalisation (and any bound update) since the last
+        // solve, then refine it with the closed-form spend model on the
+        // new columns. Both are heuristics; the bisection verifies the
+        // implied bracket before trusting it.
+        let hint = self.warm_hint.map(|warm| {
+            let ratio = assembled.total_raw_weight / warm.total_weight;
+            let t_scaled = warm.t_star * ratio * ratio * (warm.aor / aor);
+            estimate_path_parameter_sharded(
+                &assembled.population,
                 &self.config.bound,
                 self.config.budget,
                 t_scaled,
@@ -386,8 +452,8 @@ impl PricingService {
             )
             .unwrap_or(t_scaled)
         });
-        let (solution, diag) = solve_kkt_columns_hinted(
-            &eff,
+        let (solution, diag) = solve_kkt_sharded_hinted(
+            &assembled.population,
             &self.config.bound,
             self.config.budget,
             &self.config.solver,
@@ -395,8 +461,8 @@ impl PricingService {
         )?;
 
         // Certify the equilibrium before serving it (Theorem 2).
-        let residual = theorem2_max_residual_columns(
-            &eff,
+        let residual = theorem2_max_residual_sharded(
+            &assembled.population,
             &self.config.bound,
             &solution,
             self.config.residual_sample,
@@ -413,7 +479,7 @@ impl PricingService {
 
         let report = RepriceReport {
             clients: n,
-            excluded: n - included_count,
+            excluded: n - assembled.included_count,
             lambda: solution.lambda,
             spent: solution.spent,
             saturated: solution.saturated,
@@ -422,6 +488,9 @@ impl PricingService {
             warm_start_depth: diag.warm_start_depth,
             bisect_iterations: diag.bisect_iterations,
             bisect_evaluations: diag.bisect_evaluations,
+            shard_count: self.store.shard_count(),
+            dirty_shards: stats.dirty_shards,
+            rebuilt_columns: stats.rebuilt_columns,
         };
 
         // Scatter the solved profile back over the full client list.
@@ -429,7 +498,7 @@ impl PricingService {
         let mut q_eff = vec![0.0f64; n];
         let mut j = 0usize;
         for i in 0..n {
-            if included[i] {
+            if assembled.included[i] {
                 prices[i] = solution.prices[j];
                 q_eff[i] = solution.q[j];
                 j += 1;
@@ -440,7 +509,11 @@ impl PricingService {
             q_eff,
             report,
         });
-        self.warm_hint = (diag.t_star > 0.0).then_some((diag.t_star, total_weight));
+        self.warm_hint = (diag.t_star > 0.0).then_some(WarmHint {
+            t_star: diag.t_star,
+            total_weight: assembled.total_raw_weight,
+            aor,
+        });
         self.dirty = false;
         Ok(report)
     }
@@ -486,7 +559,7 @@ impl PricingService {
         self.ensure_priced()?;
         let state = self.state.as_ref().expect("priced above");
         Ok(ServiceSnapshot {
-            ids: self.store.records().iter().map(|r| r.id).collect(),
+            ids: self.store.ids().to_vec(),
             prices: state.prices.clone(),
             q_eff: state.q_eff.clone(),
             budget: self.config.budget,

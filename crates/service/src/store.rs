@@ -1,17 +1,39 @@
-//! The service's client store: raw-weighted profiles under churn.
+//! The service's sharded client store: raw-weighted profiles under churn,
+//! with per-shard dirty tracking.
 //!
-//! The store keeps clients in **insertion order** and holds *raw* data
-//! weights (`d_n`, not the normalised `a_n`): normalisation depends on who
-//! else is currently registered, so it is re-derived at solve time via
-//! [`fedfl_core::population::Population::from_raw`]. This is what makes the
-//! incremental path bit-identical to a from-scratch solve — both normalise
-//! the same raw profiles in the same order.
+//! Clients are routed to a fixed set of shards by id block
+//! (`shard = (id / 32) % shards`, so one registration batch lands in few
+//! shards) while a separate insertion-order index preserves the **global
+//! client order** — the order every solve, snapshot, and from-scratch
+//! verifier uses. Each shard caches the per-client solver inputs that are
+//! expensive to recompute under churn (availability rates, inclusion
+//! masks, the effective-cost transform `c/rate²` and cap `q_max·rate`);
+//! a delta dirties only the shards it touches, and
+//! [`ShardedClientStore::ensure_caches`] rebuilds only those. The
+//! per-solve [`ShardedClientStore::assemble`] pass then gathers the cached
+//! columns in insertion order, normalises raw weights with the same
+//! left-fold `Population::from_raw` performs, and splits the result into
+//! chunk-aligned solver shards — so the sharded service's prices are
+//! bit-identical to a from-scratch solve over the same clients for any
+//! shard count.
+//!
+//! The store keeps *raw* data weights (`d_n`, not the normalised `a_n`):
+//! normalisation depends on who else is currently registered, so it is
+//! re-derived at solve time in the assembly pass.
 
 use crate::error::ServiceError;
 use crate::{ClientId, ClientParams};
-use fedfl_core::population::ClientProfile;
+use fedfl_core::population::PopulationColumns;
+use fedfl_core::shard::ShardedPopulation;
+use fedfl_core::GameError;
+use fedfl_num::parallel::ShardPlan;
 use fedfl_sim::availability::AvailabilityModel;
 use std::collections::HashMap;
+
+/// Consecutive ids routed to the same shard. A churn batch of up to this
+/// many registrations dirties at most two shards; removals dirty the
+/// shards of the departing ids.
+const ROUTE_BLOCK: u64 = 32;
 
 /// One registered client.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,36 +44,121 @@ pub(crate) struct ClientRecord {
     pub params: ClientParams,
 }
 
-/// Insertion-ordered client store with id lookup and batched delta apply.
+/// Cached per-client solver inputs of one shard, aligned with its records.
+///
+/// Everything here is a pure per-client function of the record and the
+/// service's fixed `(availability_aware, q_min)` knobs — never of the rest
+/// of the population — which is what makes the cache shard-local. The
+/// weight-normalisation (and the `a²G²` column that depends on it) is
+/// global and recomputed in the assembly pass.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct ClientStore {
+struct ShardCache {
+    rate: Vec<f64>,
+    included: Vec<bool>,
+    w_raw: Vec<f64>,
+    g2: Vec<f64>,
+    cost_eff: Vec<f64>,
+    value: Vec<f64>,
+    q_max_eff: Vec<f64>,
+}
+
+/// One store shard: its records plus the lazily rebuilt cache
+/// (`None` = dirty).
+#[derive(Debug, Clone, Default)]
+struct StoreShard {
     records: Vec<ClientRecord>,
-    index: HashMap<u64, usize>,
+    cache: Option<ShardCache>,
+}
+
+/// Where a client lives: its shard, its position within the shard, and
+/// its position in the global insertion order.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    shard: usize,
+    local: usize,
+    global: usize,
+}
+
+/// Rebuild statistics of one [`ShardedClientStore::ensure_caches`] call —
+/// the observable half of the dirty-shard contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ShardStats {
+    /// Shards whose caches were rebuilt.
+    pub dirty_shards: usize,
+    /// Clients whose cached columns were recomputed (the sum of the dirty
+    /// shards' sizes).
+    pub rebuilt_columns: usize,
+}
+
+/// The assembled solver view of the current population.
+#[derive(Debug)]
+pub(crate) struct AssembledView {
+    /// Effective solver columns of the included clients, in insertion
+    /// order, split into chunk-aligned solver shards.
+    pub population: ShardedPopulation,
+    /// Global inclusion mask, aligned with [`ShardedClientStore::ids`].
+    pub included: Vec<bool>,
+    /// Number of included clients.
+    pub included_count: usize,
+    /// Total raw weight of the included clients (the warm-start rescale
+    /// reference).
+    pub total_raw_weight: f64,
+}
+
+/// Sharded client store with id lookup, per-shard dirty tracking, and
+/// batched delta apply.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardedClientStore {
+    shards: Vec<StoreShard>,
+    /// Client ids in global insertion order.
+    order: Vec<ClientId>,
+    index: HashMap<u64, Slot>,
     next_id: u64,
 }
 
-impl ClientStore {
+impl ShardedClientStore {
+    /// Create an empty store with `shard_count >= 1` shards.
+    pub fn new(shard_count: usize) -> Self {
+        Self {
+            shards: vec![StoreShard::default(); shard_count.max(1)],
+            order: Vec::new(),
+            index: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
     /// Number of registered clients.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.order.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.order.is_empty()
     }
 
-    /// Borrow the records in insertion order.
-    pub fn records(&self) -> &[ClientRecord] {
-        &self.records
+    /// Number of store shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Position of `id` in insertion order, if registered.
+    /// Client ids in global insertion order.
+    pub fn ids(&self) -> &[ClientId] {
+        &self.order
+    }
+
+    /// Position of `id` in the global insertion order, if registered.
     pub fn position(&self, id: ClientId) -> Option<usize> {
-        self.index.get(&id.0).copied()
+        self.index.get(&id.0).map(|slot| slot.global)
     }
 
-    /// Append validated clients, assigning fresh ids.
+    /// The shard an id is (or would be) routed to.
+    fn route(&self, id: u64) -> usize {
+        ((id / ROUTE_BLOCK) % self.shards.len() as u64) as usize
+    }
+
+    /// Append validated clients, assigning fresh ids and dirtying only the
+    /// shards the new ids route to.
     pub fn add(&mut self, batch: Vec<ClientParams>) -> Result<Vec<ClientId>, ServiceError> {
         for (index, params) in batch.iter().enumerate() {
             params
@@ -62,76 +169,258 @@ impl ClientStore {
         for params in batch {
             let id = ClientId(self.next_id);
             self.next_id += 1;
-            self.index.insert(id.0, self.records.len());
-            self.records.push(ClientRecord { id, params });
+            let shard = self.route(id.0);
+            self.shards[shard].cache = None;
+            self.index.insert(
+                id.0,
+                Slot {
+                    shard,
+                    local: self.shards[shard].records.len(),
+                    global: self.order.len(),
+                },
+            );
+            self.shards[shard].records.push(ClientRecord { id, params });
+            self.order.push(id);
             ids.push(id);
         }
         Ok(ids)
     }
 
-    /// Remove a batch of ids (order-preserving compaction, one O(N) pass).
+    /// Remove a batch of ids (order-preserving compaction of the touched
+    /// shards and the global order), dirtying only the touched shards.
     ///
     /// Rejects the whole batch — mutating nothing — if any id is unknown
     /// or duplicated within the batch.
     pub fn remove(&mut self, ids: &[ClientId]) -> Result<usize, ServiceError> {
-        let mut doomed = vec![false; self.records.len()];
+        let mut doomed_global = vec![false; self.order.len()];
         for &id in ids {
-            let pos = self.position(id).ok_or(ServiceError::UnknownClient(id))?;
-            if doomed[pos] {
+            let slot = self
+                .index
+                .get(&id.0)
+                .copied()
+                .ok_or(ServiceError::UnknownClient(id))?;
+            if doomed_global[slot.global] {
                 return Err(ServiceError::DuplicateRemoval(id));
             }
-            doomed[pos] = true;
+            doomed_global[slot.global] = true;
         }
-        let removed = ids.len();
-        if removed == 0 {
+        if ids.is_empty() {
             return Ok(0);
         }
-        let mut keep = 0usize;
-        for (i, &dead) in doomed.iter().enumerate() {
-            if !dead {
-                self.records.swap(keep, i);
-                keep += 1;
+        // Compact each touched shard, preserving per-shard order.
+        let mut touched = vec![false; self.shards.len()];
+        for &id in ids {
+            touched[self.index[&id.0].shard] = true;
+        }
+        let index = &self.index;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            if touched[s] {
+                shard.cache = None;
+                shard
+                    .records
+                    .retain(|r| !doomed_global[index[&r.id.0].global]);
             }
         }
-        for record in self.records.drain(keep..) {
-            self.index.remove(&record.id.0);
+        // Compact the global order and drop removed ids from the index.
+        for &id in ids {
+            self.index.remove(&id.0);
         }
-        for (pos, record) in self.records.iter().enumerate() {
-            self.index.insert(record.id.0, pos);
+        let mut flags = doomed_global.iter();
+        self.order.retain(|_| !*flags.next().expect("mask aligned"));
+        // Reindex: shard/local for touched shards, global for everyone at
+        // or after the first removal.
+        for (s, shard) in self.shards.iter().enumerate() {
+            if touched[s] {
+                for (local, record) in shard.records.iter().enumerate() {
+                    let slot = self.index.get_mut(&record.id.0).expect("kept id indexed");
+                    slot.shard = s;
+                    slot.local = local;
+                }
+            }
         }
-        Ok(removed)
+        for (global, id) in self.order.iter().enumerate() {
+            self.index.get_mut(&id.0).expect("kept id indexed").global = global;
+        }
+        Ok(ids.len())
     }
 
     /// Replace every client's availability pattern from a model aligned to
-    /// insertion order.
-    pub fn set_availability(&mut self, model: &AvailabilityModel) -> Result<(), ServiceError> {
-        if model.len() != self.records.len() {
+    /// the global insertion order, dirtying only shards whose patterns
+    /// actually changed (and only when `track_dirty` is set — an
+    /// availability-blind service's caches never read the patterns).
+    ///
+    /// Returns whether any pattern changed.
+    pub fn set_availability(
+        &mut self,
+        model: &AvailabilityModel,
+        track_dirty: bool,
+    ) -> Result<bool, ServiceError> {
+        if model.len() != self.order.len() {
             return Err(ServiceError::AvailabilityMismatch {
-                clients: self.records.len(),
+                clients: self.order.len(),
                 patterns: model.len(),
             });
         }
-        for (record, &pattern) in self.records.iter_mut().zip(model.patterns()) {
-            record.params.availability = pattern;
+        let mut changed = false;
+        for (id, &pattern) in self.order.iter().zip(model.patterns()) {
+            let slot = self.index[&id.0];
+            let record = &mut self.shards[slot.shard].records[slot.local];
+            if record.params.availability != pattern {
+                record.params.availability = pattern;
+                changed = true;
+                if track_dirty {
+                    self.shards[slot.shard].cache = None;
+                }
+            }
         }
-        Ok(())
+        Ok(changed)
     }
 
-    /// The raw-weighted [`ClientProfile`]s of the records selected by
-    /// `included`, in insertion order.
-    pub fn raw_profiles(&self, included: &[bool]) -> Vec<ClientProfile> {
-        self.records
-            .iter()
-            .zip(included)
-            .filter(|(_, &inc)| inc)
-            .map(|(r, _)| r.params.raw_profile())
-            .collect()
+    /// Rebuild the caches of dirty shards only, returning how much work
+    /// that took. `O(N/S · dirty)` — the tentpole of the sharded store.
+    pub fn ensure_caches(&mut self, availability_aware: bool, q_min: f64) -> ShardStats {
+        let mut stats = ShardStats::default();
+        for shard in &mut self.shards {
+            if shard.cache.is_some() {
+                continue;
+            }
+            stats.dirty_shards += 1;
+            stats.rebuilt_columns += shard.records.len();
+            let m = shard.records.len();
+            let mut cache = ShardCache {
+                rate: Vec::with_capacity(m),
+                included: Vec::with_capacity(m),
+                w_raw: Vec::with_capacity(m),
+                g2: Vec::with_capacity(m),
+                cost_eff: Vec::with_capacity(m),
+                value: Vec::with_capacity(m),
+                q_max_eff: Vec::with_capacity(m),
+            };
+            for record in &shard.records {
+                let p = &record.params;
+                let rate = if availability_aware {
+                    p.availability.availability_rate()
+                } else {
+                    1.0
+                };
+                // A rate of exactly 1.0 makes both transforms bit-exact
+                // identities, so the always-on path matches the paper's
+                // pricing bit for bit.
+                let included = rate > 0.0 && p.q_max * rate > q_min;
+                cache.rate.push(rate);
+                cache.included.push(included);
+                cache.w_raw.push(p.data_size);
+                cache.g2.push(p.g_squared);
+                cache.cost_eff.push(if included {
+                    p.cost / (rate * rate)
+                } else {
+                    0.0
+                });
+                cache.value.push(p.value);
+                cache.q_max_eff.push(p.q_max * rate);
+            }
+            shard.cache = Some(cache);
+        }
+        stats
+    }
+
+    /// Gather the cached columns in global insertion order, normalise the
+    /// raw weights (the exact left-fold `Population::from_raw` performs
+    /// over the included clients), and split the result into
+    /// `solve_shards` chunk-aligned solver shards.
+    ///
+    /// Must run after [`ShardedClientStore::ensure_caches`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NoPriceableClients`] when every client is
+    /// excluded, and [`ServiceError::Game`] for degenerate raw weights —
+    /// the same conditions the from-scratch `Population::from_raw` path
+    /// rejects.
+    pub fn assemble(&self, solve_shards: usize) -> Result<AssembledView, ServiceError> {
+        let n = self.order.len();
+        let mut included = Vec::with_capacity(n);
+        let mut w_raw = Vec::with_capacity(n);
+        let mut g2 = Vec::with_capacity(n);
+        let mut cost = Vec::with_capacity(n);
+        let mut value = Vec::with_capacity(n);
+        let mut q_max = Vec::with_capacity(n);
+        for id in &self.order {
+            let slot = self.index[&id.0];
+            let cache = self.shards[slot.shard]
+                .cache
+                .as_ref()
+                .expect("ensure_caches runs before assemble");
+            let inc = cache.included[slot.local];
+            included.push(inc);
+            if inc {
+                w_raw.push(cache.w_raw[slot.local]);
+                g2.push(cache.g2[slot.local]);
+                cost.push(cache.cost_eff[slot.local]);
+                value.push(cache.value[slot.local]);
+                q_max.push(cache.q_max_eff[slot.local]);
+            }
+        }
+        let included_count = w_raw.len();
+        if included_count == 0 {
+            return Err(ServiceError::NoPriceableClients { registered: n });
+        }
+        // The same sequential left-fold `Population::from_raw` uses, so
+        // the normalised weights — and everything derived from them — are
+        // bit-identical to the from-scratch path.
+        let total_raw_weight: f64 = w_raw.iter().sum();
+        if !(total_raw_weight.is_finite() && total_raw_weight > 0.0) {
+            return Err(ServiceError::Game(GameError::InvalidParameter {
+                name: "weights",
+                reason: format!(
+                    "raw weights must sum to a positive finite total, got {total_raw_weight}"
+                ),
+            }));
+        }
+        let plan = ShardPlan::new(included_count, solve_shards.max(1))
+            .expect("solve_shards >= 1 by construction");
+        let mut shards = Vec::with_capacity(plan.shard_count());
+        for range in plan.ranges() {
+            let mut cols = PopulationColumns {
+                a2g2: Vec::with_capacity(range.len()),
+                cost: cost[range.clone()].to_vec(),
+                value: value[range.clone()].to_vec(),
+                q_max: q_max[range.clone()].to_vec(),
+            };
+            for i in range {
+                let nw = w_raw[i] / total_raw_weight;
+                if !(nw.is_finite() && nw > 0.0) {
+                    return Err(ServiceError::Game(GameError::InvalidParameter {
+                        name: "weight",
+                        reason: format!("normalised weight must be finite and positive, got {nw}"),
+                    }));
+                }
+                cols.a2g2.push(nw * nw * g2[i]);
+            }
+            shards.push(cols);
+        }
+        let population = ShardedPopulation::from_shards(shards)
+            .expect("plan-split shards are chunk-aligned by construction");
+        Ok(AssembledView {
+            population,
+            included,
+            included_count,
+            total_raw_weight,
+        })
+    }
+
+    #[cfg(test)]
+    fn record(&self, id: ClientId) -> Option<&ClientRecord> {
+        let slot = self.index.get(&id.0)?;
+        Some(&self.shards[slot.shard].records[slot.local])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedfl_core::population::Q_MIN;
+    use fedfl_sim::availability::AvailabilityPattern;
 
     fn params(weight: f64) -> ClientParams {
         ClientParams {
@@ -140,23 +429,25 @@ mod tests {
             cost: 10.0,
             value: 1.0,
             q_max: 1.0,
-            availability: fedfl_sim::availability::AvailabilityPattern::AlwaysOn,
+            availability: AvailabilityPattern::AlwaysOn,
         }
     }
 
     #[test]
     fn add_assigns_sequential_ids_and_indexes() {
-        let mut store = ClientStore::default();
+        let mut store = ShardedClientStore::new(4);
         let ids = store.add(vec![params(1.0), params(2.0)]).unwrap();
         assert_eq!(ids, vec![ClientId(0), ClientId(1)]);
         assert_eq!(store.position(ClientId(1)), Some(1));
         assert_eq!(store.len(), 2);
         assert!(!store.is_empty());
+        assert_eq!(store.shard_count(), 4);
+        assert_eq!(store.ids(), &[ClientId(0), ClientId(1)]);
     }
 
     #[test]
     fn add_rejects_invalid_without_mutation() {
-        let mut store = ClientStore::default();
+        let mut store = ShardedClientStore::new(2);
         let mut bad = params(1.0);
         bad.cost = -1.0;
         assert!(matches!(
@@ -168,14 +459,13 @@ mod tests {
 
     #[test]
     fn remove_preserves_order_and_reindexes() {
-        let mut store = ClientStore::default();
+        let mut store = ShardedClientStore::new(3);
         let ids = store
             .add(vec![params(1.0), params(2.0), params(3.0), params(4.0)])
             .unwrap();
         assert_eq!(store.remove(&[ids[1], ids[3]]).unwrap(), 2);
         assert_eq!(store.len(), 2);
-        let order: Vec<ClientId> = store.records().iter().map(|r| r.id).collect();
-        assert_eq!(order, vec![ids[0], ids[2]]);
+        assert_eq!(store.ids(), &[ids[0], ids[2]]);
         assert_eq!(store.position(ids[2]), Some(1));
         assert_eq!(store.position(ids[1]), None);
         // Unknown and duplicate ids reject the whole batch atomically.
@@ -183,14 +473,109 @@ mod tests {
         assert!(store.remove(&[ids[0], ids[0]]).is_err());
         assert_eq!(store.len(), 2);
         assert_eq!(store.remove(&[]).unwrap(), 0);
+        // Records survive compaction intact.
+        assert_eq!(store.record(ids[2]).unwrap().params.data_size, 3.0);
     }
 
     #[test]
     fn ids_are_never_reused_after_removal() {
-        let mut store = ClientStore::default();
+        let mut store = ShardedClientStore::new(2);
         let ids = store.add(vec![params(1.0)]).unwrap();
         store.remove(&[ids[0]]).unwrap();
         let fresh = store.add(vec![params(1.0)]).unwrap();
         assert_ne!(fresh[0], ids[0]);
+    }
+
+    #[test]
+    fn dirty_tracking_rebuilds_only_touched_shards() {
+        // 8 shards, enough clients that several route blocks are live.
+        let mut store = ShardedClientStore::new(8);
+        let n = ROUTE_BLOCK as usize * 8 + 7;
+        let ids = store
+            .add((0..n).map(|k| params(1.0 + k as f64)).collect())
+            .unwrap();
+        let cold = store.ensure_caches(false, Q_MIN);
+        assert_eq!(cold.dirty_shards, 8);
+        assert_eq!(cold.rebuilt_columns, n);
+        // Nothing dirty: nothing rebuilt.
+        assert_eq!(store.ensure_caches(false, Q_MIN), ShardStats::default());
+        // Removing one client dirties exactly its shard.
+        store.remove(&[ids[0]]).unwrap();
+        let after_remove = store.ensure_caches(false, Q_MIN);
+        assert_eq!(after_remove.dirty_shards, 1);
+        assert!(after_remove.rebuilt_columns < n / 2);
+        // A small add batch lands in at most two shards.
+        store.add(vec![params(5.0), params(6.0)]).unwrap();
+        let after_add = store.ensure_caches(false, Q_MIN);
+        assert!(after_add.dirty_shards <= 2);
+    }
+
+    #[test]
+    fn availability_updates_dirty_only_changed_shards() {
+        let mut store = ShardedClientStore::new(4);
+        let n = ROUTE_BLOCK as usize * 4;
+        store.add((0..n).map(|_| params(1.0)).collect()).unwrap();
+        store.ensure_caches(true, Q_MIN);
+        // An identical model changes nothing and dirties nothing.
+        let same = AvailabilityModel::always_on(n);
+        assert!(!store.set_availability(&same, true).unwrap());
+        assert_eq!(store.ensure_caches(true, Q_MIN), ShardStats::default());
+        // Changing one client's pattern dirties exactly its shard.
+        let mut patterns = vec![AvailabilityPattern::AlwaysOn; n];
+        patterns[3] = AvailabilityPattern::Random { probability: 0.5 };
+        let model = AvailabilityModel::new(patterns).unwrap();
+        assert!(store.set_availability(&model, true).unwrap());
+        let stats = store.ensure_caches(true, Q_MIN);
+        assert_eq!(stats.dirty_shards, 1);
+        assert_eq!(stats.rebuilt_columns, ROUTE_BLOCK as usize);
+        // Mismatched model length is rejected.
+        assert!(store
+            .set_availability(&AvailabilityModel::always_on(n - 1), true)
+            .is_err());
+    }
+
+    #[test]
+    fn assemble_matches_from_raw_normalisation() {
+        use fedfl_core::population::Population;
+        let mut store = ShardedClientStore::new(3);
+        let clients: Vec<ClientParams> = (0..10).map(|k| params(1.0 + k as f64)).collect();
+        store.add(clients.clone()).unwrap();
+        store.ensure_caches(false, Q_MIN);
+        let assembled = store.assemble(2).unwrap();
+        assert_eq!(assembled.included_count, 10);
+        assert!(assembled.included.iter().all(|&inc| inc));
+        let reference =
+            Population::from_raw(clients.iter().map(ClientParams::raw_profile).collect())
+                .unwrap()
+                .columns();
+        assert_eq!(assembled.population.concat(), reference);
+        let expected_total: f64 = clients.iter().map(|c| c.data_size).sum();
+        assert_eq!(
+            assembled.total_raw_weight.to_bits(),
+            expected_total.to_bits()
+        );
+    }
+
+    #[test]
+    fn assemble_excludes_unreachable_clients() {
+        let mut store = ShardedClientStore::new(2);
+        let mut dead = params(2.0);
+        dead.availability = AvailabilityPattern::Random { probability: 1e-12 };
+        store.add(vec![params(1.0), dead, params(3.0)]).unwrap();
+        store.ensure_caches(true, Q_MIN);
+        let assembled = store.assemble(1).unwrap();
+        assert_eq!(assembled.included, vec![true, false, true]);
+        assert_eq!(assembled.included_count, 2);
+        assert_eq!(assembled.population.len(), 2);
+        // All excluded -> NoPriceableClients.
+        let mut empty = ShardedClientStore::new(2);
+        let mut gone = params(1.0);
+        gone.availability = AvailabilityPattern::Random { probability: 1e-12 };
+        empty.add(vec![gone]).unwrap();
+        empty.ensure_caches(true, Q_MIN);
+        assert!(matches!(
+            empty.assemble(1),
+            Err(ServiceError::NoPriceableClients { registered: 1 })
+        ));
     }
 }

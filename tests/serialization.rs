@@ -101,6 +101,46 @@ fn sim_types_roundtrip() {
 }
 
 #[test]
+fn service_commands_roundtrip() {
+    use fedfl::service::{
+        AvailabilityModel, AvailabilityPattern, ClientId, ClientParams, Command, Response,
+        ServiceConfig,
+    };
+    let bound = BoundParams::new(4_000.0, 100.0, 1_000).unwrap();
+    let mut config = ServiceConfig::new(bound, 25.0);
+    config.shards = 16;
+    assert_eq!(roundtrip(&config), config);
+    let commands = vec![
+        Command::AddClients(vec![ClientParams::always_on(2.0, 9.0, 30.0, 1.0, 1.0)]),
+        Command::RemoveClients(vec![ClientId(3), ClientId(7)]),
+        Command::UpdateAvailability(
+            AvailabilityModel::new(vec![
+                AvailabilityPattern::AlwaysOn,
+                AvailabilityPattern::Random { probability: 0.5 },
+            ])
+            .unwrap(),
+        ),
+        Command::UpdateBudget(42.5),
+        Command::UpdateBound(BoundParams::new(6_000.0, 80.0, 1_500).unwrap()),
+        Command::Reprice,
+        Command::GetPrices(vec![ClientId(0)]),
+        Command::Snapshot,
+    ];
+    for command in commands {
+        assert_eq!(roundtrip(&command), command);
+    }
+    for response in [
+        Response::Added(vec![ClientId(0)]),
+        Response::Removed(2),
+        Response::AvailabilityUpdated,
+        Response::BudgetUpdated,
+        Response::BoundUpdated,
+    ] {
+        assert_eq!(roundtrip(&response), response);
+    }
+}
+
+#[test]
 fn traces_roundtrip() {
     let mut trace = TrainingTrace::new();
     trace.push(RoundRecord {
