@@ -1,0 +1,44 @@
+//! Schema/sanity check for the `results/BENCH_scale.json` JSONL ledger.
+//!
+//! ```text
+//! check_bench_records [PATH ...]
+//! ```
+//!
+//! With no arguments, checks `results/BENCH_scale.json`. Prints a
+//! per-file record summary and exits non-zero on the first malformed
+//! record — CI runs this on both the committed ledger and freshly
+//! produced records so the bench trajectory stays machine-readable
+//! across PRs.
+
+use fedfl_bench::schema::check_records;
+
+fn main() {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        paths.push("results/BENCH_scale.json".to_string());
+    }
+    let mut failed = false;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(err) => {
+                eprintln!("check_bench_records: {path}: {err}");
+                failed = true;
+            }
+            Ok(text) => match check_records(&text) {
+                Err(err) => {
+                    eprintln!("check_bench_records: {path}: {err}");
+                    failed = true;
+                }
+                Ok(summary) => {
+                    println!(
+                        "{path}: {} records ok ({} scale, {} pricing_service, {} workload)",
+                        summary.records, summary.scale, summary.pricing_service, summary.workload
+                    );
+                }
+            },
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

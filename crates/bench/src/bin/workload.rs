@@ -1,0 +1,256 @@
+//! Closed-loop workload driver for the pricing service.
+//!
+//! Generates the deterministic diurnal/flash-crowd trace described by a
+//! [`fedfl_workload::WorkloadSpec`], replays it through a live
+//! [`fedfl_service::PricingService`], and reports per-phase p50/p99
+//! re-solve and read latencies, warm-vs-cold bisection iterations, and
+//! dirty-shard fractions. With `--verify-every V`, every V-th step's
+//! served prices are certified bit-identical to a from-scratch solve.
+//!
+//! ```text
+//! workload [--clients N] [--steps S] [--seed S] [--shards K] [--threads T]
+//!          [--period P] [--trough F] [--peak F] [--cohorts C]
+//!          [--arrivals N] [--departures N]
+//!          [--surge-every K] [--surge-size N] [--surge-hold K]
+//!          [--budget-every K] [--budget-frac F] [--budget-tail-alpha A]
+//!          [--reads N] [--read-batch N] [--snapshot-every K]
+//!          [--verify-every V] [--min-population N]
+//!          [--assert-mean-resolve-ms X] [--assert-p99-read-ms X]
+//!          [--out PATH] [--no-out] [--json] [--json-out PATH]
+//! ```
+//!
+//! Defaults are the committed 10k reference trace
+//! ([`WorkloadSpec::reference_10k`]). A human-readable report is appended
+//! to `results/workload.txt`; with `--json`, the machine-readable record
+//! is appended to `results/BENCH_scale.json` (or the given path) after
+//! passing the same schema check CI runs. Exits non-zero on a
+//! bit-identity mismatch, a malformed record, or a busted latency
+//! ceiling.
+
+use fedfl_bench::schema::check_line;
+use fedfl_workload::report::percentile;
+use fedfl_workload::{generate, replay, WorkloadRecord, WorkloadSpec};
+use std::io::Write as _;
+
+struct Args {
+    spec: WorkloadSpec,
+    assert_mean_resolve_ms: Option<f64>,
+    assert_p99_read_ms: Option<f64>,
+    out: Option<String>,
+    json: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut args = Args {
+            spec: WorkloadSpec::reference_10k(),
+            assert_mean_resolve_ms: None,
+            assert_p99_read_ms: None,
+            out: Some("results/workload.txt".into()),
+            json: None,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
+            let spec = &mut args.spec;
+            match arg.as_str() {
+                "--clients" => spec.clients = parse(value("--clients")?)?,
+                "--steps" => spec.steps = parse(value("--steps")?)?,
+                "--seed" => spec.seed = parse(value("--seed")?)?,
+                "--shards" => spec.shards = parse(value("--shards")?)?,
+                "--threads" => spec.threads = parse(value("--threads")?)?,
+                "--period" => spec.diurnal.period = parse(value("--period")?)?,
+                "--trough" => spec.diurnal.trough = parse(value("--trough")?)?,
+                "--peak" => spec.diurnal.peak = parse(value("--peak")?)?,
+                "--cohorts" => spec.cohorts = parse(value("--cohorts")?)?,
+                "--arrivals" => spec.arrivals_per_step = parse(value("--arrivals")?)?,
+                "--departures" => spec.departures_per_step = parse(value("--departures")?)?,
+                "--surge-every" => spec.surge_every = parse(value("--surge-every")?)?,
+                "--surge-size" => spec.surge_size = parse(value("--surge-size")?)?,
+                "--surge-hold" => spec.surge_hold = parse(value("--surge-hold")?)?,
+                "--budget-every" => spec.budget_every = parse(value("--budget-every")?)?,
+                "--budget-frac" => spec.budget_frac = parse(value("--budget-frac")?)?,
+                "--budget-tail-alpha" => {
+                    spec.budget_tail_alpha = parse(value("--budget-tail-alpha")?)?
+                }
+                "--reads" => spec.reads_per_step = parse(value("--reads")?)?,
+                "--read-batch" => spec.read_batch = parse(value("--read-batch")?)?,
+                "--snapshot-every" => spec.snapshot_every = parse(value("--snapshot-every")?)?,
+                "--verify-every" => spec.verify_every = parse(value("--verify-every")?)?,
+                "--min-population" => spec.min_population = parse(value("--min-population")?)?,
+                "--assert-mean-resolve-ms" => {
+                    args.assert_mean_resolve_ms = Some(parse(value("--assert-mean-resolve-ms")?)?)
+                }
+                "--assert-p99-read-ms" => {
+                    args.assert_p99_read_ms = Some(parse(value("--assert-p99-read-ms")?)?)
+                }
+                "--out" => args.out = Some(value("--out")?),
+                "--no-out" => args.out = None,
+                "--json" => {
+                    args.json
+                        .get_or_insert_with(|| "results/BENCH_scale.json".into());
+                }
+                "--json-out" => args.json = Some(value("--json-out")?),
+                other => return Err(format!("unknown flag `{other}` (see --help in the doc)")),
+            }
+        }
+        // Scale the population floor with smaller --clients runs so CI
+        // smokes don't have to pass --min-population explicitly.
+        if args.spec.min_population > args.spec.clients {
+            args.spec.min_population = (args.spec.clients / 10).max(1);
+        }
+        Ok(args)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: String) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad value `{s}`: {e}"))
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("workload: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let spec = &args.spec;
+    if let Err(err) = spec.validate() {
+        eprintln!("workload: {err}");
+        std::process::exit(2);
+    }
+
+    println!(
+        "generating trace: {} clients, {} steps, period {}, {} cohorts, seed {} ...",
+        spec.clients, spec.steps, spec.diurnal.period, spec.cohorts, spec.seed
+    );
+    let trace = match generate(spec) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("workload: {err}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "trace {:016x}: {} commands; replaying through {} shards ({} threads) ...",
+        trace.fingerprint,
+        trace.commands(),
+        spec.shards,
+        spec.threads
+    );
+    let outcome = match replay(spec, &trace) {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("workload: {err}");
+            std::process::exit(1);
+        }
+    };
+    let record = WorkloadRecord::new(spec, &trace, &outcome);
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "workload: clients {} (final {}), steps {}, shards {}, threads {}, seed {}\n",
+        record.clients,
+        record.final_clients,
+        record.steps,
+        record.shards,
+        record.threads,
+        record.seed
+    ));
+    report.push_str(&format!(
+        "  trace {} · {} commands · prices {} · base budget {:.3}\n",
+        record.trace_fingerprint, record.commands, record.price_checksum, record.base_budget
+    ));
+    report.push_str(&format!(
+        "  solves: {} warm ({:.1} iters) / {} cold ({:.1} iters); dirty shards mean {:.3} max {:.3}; rebuilt columns mean {:.3}\n",
+        record.warm_solves,
+        record.mean_warm_iterations,
+        record.cold_solves,
+        record.mean_cold_iterations,
+        record.mean_dirty_shard_fraction,
+        record.max_dirty_shard_fraction,
+        record.mean_rebuilt_column_fraction
+    ));
+    for phase in &record.phases {
+        report.push_str(&format!(
+            "  {:>6}: {} re-solves p50 {:.3} ms p99 {:.3} ms · {} reads p50 {:.3} ms p99 {:.3} ms\n",
+            phase.phase,
+            phase.resolves,
+            phase.resolve_p50_ms,
+            phase.resolve_p99_ms,
+            phase.reads,
+            phase.read_p50_ms,
+            phase.read_p99_ms
+        ));
+    }
+    report.push_str(&format!(
+        "  verified {} / {} steps bit-identical · wall {:.2} s\n",
+        record.verified_steps, record.steps, record.total_wall_seconds
+    ));
+    print!("{report}");
+
+    if let Some(path) = &args.out {
+        if let Err(err) = append(path, &report) {
+            eprintln!("workload: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        println!("report appended to {path}");
+    }
+
+    // The record must pass the same schema gate CI enforces before it is
+    // allowed into the ledger.
+    let line = serde_json::to_string(&record).expect("record serializes");
+    if let Err(err) = check_line(&line) {
+        eprintln!("workload: produced a malformed BENCH record: {err}");
+        eprintln!("workload: record was: {line}");
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.json {
+        if let Err(err) = append(path, &format!("{line}\n")) {
+            eprintln!("workload: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        println!("JSON record appended to {path}");
+    }
+
+    let mut failed = false;
+    if let Some(ceiling) = args.assert_mean_resolve_ms {
+        let mean_ms = record.mean_resolve_ms(&outcome);
+        if mean_ms > ceiling {
+            eprintln!("workload: mean re-solve {mean_ms:.3} ms exceeds ceiling {ceiling:.3} ms");
+            failed = true;
+        } else {
+            println!("mean re-solve {mean_ms:.3} ms within ceiling {ceiling:.3} ms");
+        }
+    }
+    if let Some(ceiling) = args.assert_p99_read_ms {
+        let read_ms: Vec<f64> = outcome.reads.iter().map(|r| r.millis).collect();
+        let p99 = percentile(&read_ms, 0.99);
+        if p99 > ceiling {
+            eprintln!("workload: p99 read {p99:.3} ms exceeds ceiling {ceiling:.3} ms");
+            failed = true;
+        } else {
+            println!("p99 read {p99:.3} ms within ceiling {ceiling:.3} ms");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn append(path: &str, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(text.as_bytes())
+}

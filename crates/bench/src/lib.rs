@@ -11,6 +11,8 @@
 //!   levels → collect traces.
 //! * [`report`] — plain-text table/series printers shared by the `table*`
 //!   and `fig*` binaries.
+//! * [`schema`] — the JSONL schema checker for `results/BENCH_scale.json`
+//!   (run in CI via `check_bench_records`).
 //!
 //! Each paper artefact has a binary: `fig4`, `table2`, `table3`, `table4`,
 //! `table5`, `fig5`, `fig6`, `fig7`, plus the ablations
@@ -22,4 +24,5 @@
 pub mod cli;
 pub mod experiment;
 pub mod report;
+pub mod schema;
 pub mod setups;

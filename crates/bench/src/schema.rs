@@ -1,0 +1,374 @@
+//! Schema/sanity checker for the `results/BENCH_scale.json` JSONL ledger.
+//!
+//! `BENCH_scale.json` is the machine-readable bench trajectory the repo
+//! accumulates across PRs: one JSON object per line, in three shapes —
+//! scale-equilibrium records (no `bench` key), `"bench":"pricing_service"`
+//! churn records, and `"bench":"workload"` closed-loop records. CI runs
+//! this checker (via the `check_bench_records` binary) on both the
+//! committed file and freshly produced records, so the ledger stays
+//! parseable and finite across PRs: a record with a missing field, a
+//! wrong type, a `null` (how the JSON layer spells NaN/∞), or an
+//! out-of-range fraction fails the build.
+
+use serde::Value;
+
+/// What one well-formed ledger looks like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaSummary {
+    /// Total records checked.
+    pub records: usize,
+    /// Scale-equilibrium records (no `bench` key).
+    pub scale: usize,
+    /// `"bench":"pricing_service"` records.
+    pub pricing_service: usize,
+    /// `"bench":"workload"` records.
+    pub workload: usize,
+}
+
+/// Check a whole JSONL ledger.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (1-based) and what
+/// is wrong with it.
+pub fn check_records(text: &str) -> Result<SchemaSummary, String> {
+    let mut summary = SchemaSummary {
+        records: 0,
+        scale: 0,
+        pricing_service: 0,
+        workload: 0,
+    };
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let kind = check_line(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+        summary.records += 1;
+        match kind {
+            RecordKind::Scale => summary.scale += 1,
+            RecordKind::PricingService => summary.pricing_service += 1,
+            RecordKind::Workload => summary.workload += 1,
+        }
+    }
+    if summary.records == 0 {
+        return Err("ledger holds no records".to_string());
+    }
+    Ok(summary)
+}
+
+/// The three record shapes the ledger may hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Scale-equilibrium record (no `bench` key).
+    Scale,
+    /// Incremental pricing-service churn record.
+    PricingService,
+    /// Closed-loop workload record.
+    Workload,
+}
+
+/// Check one JSONL line; returns which record shape it is.
+///
+/// # Errors
+///
+/// Returns a message describing the first violation.
+pub fn check_line(line: &str) -> Result<RecordKind, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let entries = value.as_map().ok_or("record is not a JSON object")?;
+    reject_nulls_and_duplicates(entries, "")?;
+    match field(entries, "bench") {
+        None => {
+            check_fields(entries, SCALE_REQUIRED)?;
+            Ok(RecordKind::Scale)
+        }
+        Some(Value::Str(name)) if name == "pricing_service" => {
+            check_fields(entries, PRICING_SERVICE_REQUIRED)?;
+            Ok(RecordKind::PricingService)
+        }
+        Some(Value::Str(name)) if name == "workload" => {
+            check_fields(entries, WORKLOAD_REQUIRED)?;
+            check_workload(entries)?;
+            Ok(RecordKind::Workload)
+        }
+        Some(Value::Str(name)) => Err(format!("unknown bench kind `{name}`")),
+        Some(other) => Err(format!("`bench` must be a string, found {}", other.kind())),
+    }
+}
+
+/// Field type classes the required-field tables assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldType {
+    /// `U64` (or `I64` ≥ 0): a count.
+    Count,
+    /// Any finite number.
+    Number,
+    /// A finite number in `[0, 1]`.
+    Fraction,
+    /// A boolean.
+    Bool,
+    /// A string.
+    Str,
+    /// A 16-digit lowercase hex string (an FNV-1a fingerprint).
+    Hex64,
+    /// A sequence.
+    Seq,
+}
+
+const SCALE_REQUIRED: &[(&str, FieldType)] = &[
+    ("clients", FieldType::Count),
+    ("threads", FieldType::Count),
+    ("seed", FieldType::Count),
+    ("budget", FieldType::Number),
+    ("synthesize_seconds", FieldType::Number),
+    ("solve_seconds", FieldType::Number),
+    ("spent", FieldType::Number),
+    ("budget_tight", FieldType::Bool),
+    ("saturated", FieldType::Bool),
+    ("negative_payments", FieldType::Count),
+    ("parallel_matches_sequential", FieldType::Bool),
+];
+
+const PRICING_SERVICE_REQUIRED: &[(&str, FieldType)] = &[
+    ("clients", FieldType::Count),
+    ("batches", FieldType::Count),
+    ("batch_size", FieldType::Count),
+    ("threads", FieldType::Count),
+    ("shards", FieldType::Count),
+    ("seed", FieldType::Count),
+    ("availability", FieldType::Fraction),
+    ("budget", FieldType::Number),
+    ("cold_solve_seconds", FieldType::Number),
+    ("mean_resolve_seconds", FieldType::Number),
+    ("max_resolve_seconds", FieldType::Number),
+    ("mean_warm_iterations", FieldType::Number),
+    ("mean_dirty_shards", FieldType::Number),
+    ("mean_rebuilt_column_fraction", FieldType::Fraction),
+    ("max_rebuilt_column_fraction", FieldType::Fraction),
+    ("verified_steps", FieldType::Count),
+    ("worst_theorem2_residual", FieldType::Number),
+];
+
+const WORKLOAD_REQUIRED: &[(&str, FieldType)] = &[
+    ("clients", FieldType::Count),
+    ("steps", FieldType::Count),
+    ("shards", FieldType::Count),
+    ("threads", FieldType::Count),
+    ("seed", FieldType::Count),
+    ("cohorts", FieldType::Count),
+    ("period", FieldType::Count),
+    ("final_clients", FieldType::Count),
+    ("commands", FieldType::Count),
+    ("base_budget", FieldType::Number),
+    ("trace_fingerprint", FieldType::Hex64),
+    ("price_checksum", FieldType::Hex64),
+    ("warm_solves", FieldType::Count),
+    ("cold_solves", FieldType::Count),
+    ("mean_warm_iterations", FieldType::Number),
+    ("mean_cold_iterations", FieldType::Number),
+    ("mean_dirty_shard_fraction", FieldType::Fraction),
+    ("max_dirty_shard_fraction", FieldType::Fraction),
+    ("mean_rebuilt_column_fraction", FieldType::Fraction),
+    ("verified_steps", FieldType::Count),
+    ("total_wall_seconds", FieldType::Number),
+    ("phases", FieldType::Seq),
+];
+
+const PHASE_REQUIRED: &[(&str, FieldType)] = &[
+    ("phase", FieldType::Str),
+    ("resolves", FieldType::Count),
+    ("resolve_p50_ms", FieldType::Number),
+    ("resolve_p99_ms", FieldType::Number),
+    ("reads", FieldType::Count),
+    ("read_p50_ms", FieldType::Number),
+    ("read_p99_ms", FieldType::Number),
+];
+
+fn field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+}
+
+/// `null` anywhere in a record means a NaN or infinity leaked through the
+/// JSON layer (the vendored serde_json writes non-finite floats as
+/// `null`, like the real one) — always malformed. Duplicate keys make a
+/// record ambiguous to downstream readers.
+fn reject_nulls_and_duplicates(entries: &[(String, Value)], path: &str) -> Result<(), String> {
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if entries[..i].iter().any(|(earlier, _)| earlier == key) {
+            return Err(format!("duplicate key `{path}{key}`"));
+        }
+        check_no_null(value, &format!("{path}{key}"))?;
+    }
+    Ok(())
+}
+
+fn check_no_null(value: &Value, path: &str) -> Result<(), String> {
+    match value {
+        Value::Null => Err(format!(
+            "`{path}` is null (NaN or ∞ leaked into the record)"
+        )),
+        Value::Seq(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_no_null(item, &format!("{path}[{i}]"))?;
+            }
+            Ok(())
+        }
+        Value::Map(entries) => reject_nulls_and_duplicates(entries, &format!("{path}.")),
+        _ => Ok(()),
+    }
+}
+
+fn check_fields(entries: &[(String, Value)], required: &[(&str, FieldType)]) -> Result<(), String> {
+    for &(name, ty) in required {
+        let value = field(entries, name).ok_or_else(|| format!("missing field `{name}`"))?;
+        check_type(name, value, ty)?;
+    }
+    Ok(())
+}
+
+fn check_type(name: &str, value: &Value, ty: FieldType) -> Result<(), String> {
+    let number = |value: &Value| -> Option<f64> {
+        match *value {
+            Value::U64(x) => Some(x as f64),
+            Value::I64(x) => Some(x as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    };
+    match ty {
+        FieldType::Count => match *value {
+            Value::U64(_) => Ok(()),
+            Value::I64(x) if x >= 0 => Ok(()),
+            _ => Err(format!("`{name}` must be a non-negative integer")),
+        },
+        FieldType::Number => match number(value) {
+            Some(x) if x.is_finite() => Ok(()),
+            _ => Err(format!("`{name}` must be a finite number")),
+        },
+        FieldType::Fraction => match number(value) {
+            Some(x) if (0.0..=1.0).contains(&x) => Ok(()),
+            _ => Err(format!("`{name}` must be a fraction in [0, 1]")),
+        },
+        FieldType::Bool => match value {
+            Value::Bool(_) => Ok(()),
+            _ => Err(format!("`{name}` must be a boolean")),
+        },
+        FieldType::Str => match value {
+            Value::Str(_) => Ok(()),
+            _ => Err(format!("`{name}` must be a string")),
+        },
+        FieldType::Hex64 => match value {
+            Value::Str(s) if s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit()) => Ok(()),
+            _ => Err(format!("`{name}` must be a 16-digit hex fingerprint")),
+        },
+        FieldType::Seq => match value {
+            Value::Seq(_) => Ok(()),
+            _ => Err(format!("`{name}` must be a sequence")),
+        },
+    }
+}
+
+/// Workload-specific cross-field sanity beyond per-field types.
+fn check_workload(entries: &[(String, Value)]) -> Result<(), String> {
+    let phases = field(entries, "phases")
+        .and_then(Value::as_seq)
+        .expect("checked as Seq above");
+    if phases.is_empty() {
+        return Err("`phases` must name at least one traffic phase".to_string());
+    }
+    for (i, phase) in phases.iter().enumerate() {
+        let phase_entries = phase
+            .as_map()
+            .ok_or_else(|| format!("`phases[{i}]` must be an object"))?;
+        check_fields(phase_entries, PHASE_REQUIRED)?;
+        match field(phase_entries, "phase") {
+            Some(Value::Str(name)) if name == "steady" || name == "flash" => {}
+            _ => return Err(format!("`phases[{i}].phase` must be `steady` or `flash`")),
+        }
+    }
+    let count = |name: &str| -> u64 {
+        match field(entries, name) {
+            Some(Value::U64(x)) => *x,
+            _ => 0,
+        }
+    };
+    if count("final_clients") == 0 {
+        return Err("`final_clients` must be positive (the store was drained)".to_string());
+    }
+    if count("verified_steps") > count("steps") {
+        return Err("`verified_steps` exceeds `steps`".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORKLOAD_LINE: &str = concat!(
+        r#"{"bench":"workload","clients":100,"steps":4,"shards":2,"threads":1,"#,
+        r#""seed":7,"cohorts":2,"period":4,"final_clients":90,"commands":42,"#,
+        r#""base_budget":1234.5,"trace_fingerprint":"00ff00ff00ff00ff","#,
+        r#""price_checksum":"ff00ff00ff00ff00","warm_solves":3,"cold_solves":1,"#,
+        r#""mean_warm_iterations":12.5,"mean_cold_iterations":40.0,"#,
+        r#""mean_dirty_shard_fraction":0.5,"max_dirty_shard_fraction":1.0,"#,
+        r#""mean_rebuilt_column_fraction":0.25,"verified_steps":2,"#,
+        r#""total_wall_seconds":0.5,"phases":[{"phase":"steady","resolves":4,"#,
+        r#""resolve_p50_ms":1.0,"resolve_p99_ms":2.0,"reads":8,"#,
+        r#""read_p50_ms":0.1,"read_p99_ms":0.2}]}"#
+    );
+
+    #[test]
+    fn workload_record_passes() {
+        assert_eq!(check_line(WORKLOAD_LINE), Ok(RecordKind::Workload));
+    }
+
+    #[test]
+    fn null_latency_is_rejected() {
+        let bad = WORKLOAD_LINE.replace(r#""resolve_p50_ms":1.0"#, r#""resolve_p50_ms":null"#);
+        let err = check_line(&bad).unwrap_err();
+        assert!(err.contains("null"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let bad = WORKLOAD_LINE.replace(r#""price_checksum":"ff00ff00ff00ff00","#, "");
+        let err = check_line(&bad).unwrap_err();
+        assert!(err.contains("price_checksum"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_fraction_is_rejected() {
+        let bad = WORKLOAD_LINE.replace(
+            r#""max_dirty_shard_fraction":1.0"#,
+            r#""max_dirty_shard_fraction":1.5"#,
+        );
+        let err = check_line(&bad).unwrap_err();
+        assert!(err.contains("max_dirty_shard_fraction"), "{err}");
+    }
+
+    #[test]
+    fn unknown_bench_kind_is_rejected() {
+        let err = check_line(r#"{"bench":"mystery"}"#).unwrap_err();
+        assert!(err.contains("unknown bench kind"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = check_line(r#"{"clients":1,"clients":2}"#).unwrap_err();
+        assert!(err.contains("duplicate key"), "{err}");
+    }
+
+    #[test]
+    fn non_json_lines_are_rejected() {
+        assert!(check_line("not json").is_err());
+        assert!(check_line("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn empty_ledger_is_rejected() {
+        assert!(check_records("\n\n").is_err());
+    }
+}

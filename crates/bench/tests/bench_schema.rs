@@ -1,0 +1,75 @@
+//! The committed `results/BENCH_scale.json` ledger must always pass the
+//! schema checker — this is the same gate CI applies to fresh records,
+//! run here against the file checked into the repo so a hand-edited or
+//! merge-mangled ledger fails `cargo test` locally too.
+
+use fedfl_bench::schema::{check_line, check_records, RecordKind};
+use fedfl_workload::{generate, replay, WorkloadRecord, WorkloadSpec};
+
+fn committed_ledger() -> String {
+    // CARGO_MANIFEST_DIR = crates/bench; the ledger lives at the root.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_scale.json"
+    );
+    std::fs::read_to_string(path).expect("committed results/BENCH_scale.json")
+}
+
+#[test]
+fn committed_ledger_passes_the_schema_check() {
+    let summary = check_records(&committed_ledger()).expect("ledger is well-formed");
+    assert!(summary.scale >= 2, "scale records from PRs 2/5");
+    assert!(summary.pricing_service >= 1, "service record from PR 3");
+    assert!(
+        summary.workload >= 2,
+        "workload records at two scales (10k and 100k+)"
+    );
+}
+
+#[test]
+fn committed_workload_records_cover_two_scales() {
+    let ledger = committed_ledger();
+    let mut scales: Vec<u64> = Vec::new();
+    for line in ledger.lines().filter(|l| !l.trim().is_empty()) {
+        if check_line(line) == Ok(RecordKind::Workload) {
+            let value: serde::Value = serde_json::from_str(line).expect("checked above");
+            let entries = value.as_map().expect("object");
+            if let Some(serde::Value::U64(clients)) =
+                entries.iter().find(|(k, _)| k == "clients").map(|(_, v)| v)
+            {
+                scales.push(*clients);
+            }
+        }
+    }
+    assert!(
+        scales.iter().any(|&c| c >= 10_000) && scales.iter().any(|&c| c >= 100_000),
+        "need workload records at >=10k and >=100k clients, got {scales:?}"
+    );
+}
+
+#[test]
+fn fresh_workload_records_pass_the_schema_check() {
+    // A real (tiny) run end to end: generate → replay → record → schema.
+    let mut spec = WorkloadSpec::reference_10k();
+    spec.clients = 60;
+    spec.steps = 4;
+    spec.cohorts = 3;
+    spec.arrivals_per_step = 5;
+    spec.departures_per_step = 5;
+    spec.surge_every = 2;
+    spec.surge_size = 10;
+    spec.surge_hold = 1;
+    spec.budget_every = 2;
+    spec.reads_per_step = 2;
+    spec.read_batch = 8;
+    spec.snapshot_every = 2;
+    spec.verify_every = 2;
+    spec.min_population = 10;
+    spec.shards = 2;
+    spec.threads = 1;
+    let trace = generate(&spec).expect("generate");
+    let outcome = replay(&spec, &trace).expect("replay");
+    let record = WorkloadRecord::new(&spec, &trace, &outcome);
+    let line = serde_json::to_string(&record).expect("serialize");
+    assert_eq!(check_line(&line), Ok(RecordKind::Workload), "{line}");
+}

@@ -141,6 +141,136 @@ impl AvailabilityPattern {
     }
 }
 
+/// A population-wide day/night availability cycle: per-round availability
+/// probability rises smoothly from `trough` (deep night) to `peak` (midday)
+/// and back over `period` rounds, following a raised cosine.
+///
+/// Each client carries a *phase* in `[0, 1)` — its timezone offset as a
+/// fraction of the day — so a federation spread across phases produces the
+/// staggered dawn/dusk waves the workload harness replays against the
+/// pricing service. The cycle composes with Lemma 1 the same way
+/// [`AvailabilityPattern::Random`] does: at any fixed round the pattern it
+/// yields is an independent Bernoulli.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCycle {
+    /// Rounds per simulated day.
+    pub period: usize,
+    /// Minimum per-round availability probability, at the phase's midnight.
+    pub trough: f64,
+    /// Maximum per-round availability probability, at the phase's midday.
+    pub peak: f64,
+}
+
+impl DiurnalCycle {
+    /// A validated cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a zero-length period or
+    /// probabilities outside `0 < trough <= peak <= 1`.
+    pub fn new(period: usize, trough: f64, peak: f64) -> Result<Self, SimError> {
+        let cycle = Self {
+            period,
+            trough,
+            peak,
+        };
+        cycle.validate()?;
+        Ok(cycle)
+    }
+
+    /// Validate the cycle parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a zero-length period (which
+    /// would otherwise degenerate to a rate the pricing layer cannot use)
+    /// or probabilities outside `0 < trough <= peak <= 1`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.period == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "period",
+                reason: "diurnal period must cover at least one round".into(),
+            });
+        }
+        let ok = self.trough.is_finite()
+            && self.peak.is_finite()
+            && self.trough > 0.0
+            && self.trough <= self.peak
+            && self.peak <= 1.0;
+        if !ok {
+            return Err(SimError::InvalidConfig {
+                field: "diurnal probabilities",
+                reason: format!(
+                    "need 0 < trough <= peak <= 1, got trough={}, peak={}",
+                    self.trough, self.peak
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Availability probability at `round` for a client at `phase` (its
+    /// timezone offset as a fraction of the day).
+    ///
+    /// Total even for unvalidated cycles — never NaN: a `period == 0`
+    /// cycle pins to the trough, and a non-finite phase is treated as `0`.
+    /// Validated cycles always return a value in `[trough, peak]`.
+    pub fn probability_at(&self, round: usize, phase: f64) -> f64 {
+        let trough = if self.trough.is_nan() {
+            0.0
+        } else {
+            self.trough.clamp(0.0, 1.0)
+        };
+        let peak = if self.peak.is_nan() {
+            trough
+        } else {
+            self.peak.clamp(trough, 1.0)
+        };
+        if self.period == 0 {
+            return trough;
+        }
+        let phase = if phase.is_finite() {
+            phase.rem_euclid(1.0)
+        } else {
+            0.0
+        };
+        let day_fraction = ((round % self.period) as f64 / self.period as f64 + phase).fract();
+        // Raised cosine: trough at day_fraction 0, peak at 0.5.
+        let lift = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * day_fraction).cos());
+        (trough + (peak - trough) * lift).clamp(trough, peak)
+    }
+
+    /// The pattern a client at `phase` follows during `round` — an
+    /// independent Bernoulli at [`DiurnalCycle::probability_at`], collapsed
+    /// to [`AvailabilityPattern::AlwaysOn`] at probability `1`.
+    pub fn pattern_at(&self, round: usize, phase: f64) -> AvailabilityPattern {
+        let probability = self.probability_at(round, phase);
+        if probability >= 1.0 {
+            AvailabilityPattern::AlwaysOn
+        } else {
+            AvailabilityPattern::Random { probability }
+        }
+    }
+
+    /// The full per-client model at `round` for clients at the given
+    /// phases, in client order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `phases` is empty or the
+    /// cycle is invalid (an invalid cycle could emit out-of-range
+    /// Bernoulli patterns, which [`AvailabilityModel::new`] rejects).
+    pub fn model_at(&self, round: usize, phases: &[f64]) -> Result<AvailabilityModel, SimError> {
+        self.validate()?;
+        AvailabilityModel::new(
+            phases
+                .iter()
+                .map(|&phase| self.pattern_at(round, phase))
+                .collect(),
+        )
+    }
+}
+
 /// Per-client availability patterns for a federation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AvailabilityModel {
@@ -395,6 +525,78 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(model.rates(), vec![1.0, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn diurnal_validation_rules() {
+        assert!(DiurnalCycle::new(24, 0.2, 0.9).is_ok());
+        // Zero-length period errors instead of degenerating to NaN rates.
+        assert!(DiurnalCycle::new(0, 0.2, 0.9).is_err());
+        // Probabilities must satisfy 0 < trough <= peak <= 1.
+        assert!(DiurnalCycle::new(24, 0.0, 0.9).is_err());
+        assert!(DiurnalCycle::new(24, 0.9, 0.2).is_err());
+        assert!(DiurnalCycle::new(24, 0.2, 1.5).is_err());
+        assert!(DiurnalCycle::new(24, f64::NAN, 0.9).is_err());
+    }
+
+    #[test]
+    fn diurnal_cycle_is_periodic_and_bounded() {
+        let cycle = DiurnalCycle::new(8, 0.25, 0.95).unwrap();
+        for round in 0..32 {
+            let p = cycle.probability_at(round, 0.0);
+            assert!((0.25..=0.95).contains(&p), "round {round}: {p}");
+            assert_eq!(p, cycle.probability_at(round + 8, 0.0));
+        }
+        // Trough at the phase's midnight, peak at its midday.
+        assert!((cycle.probability_at(0, 0.0) - 0.25).abs() < 1e-12);
+        assert!((cycle.probability_at(4, 0.0) - 0.95).abs() < 1e-12);
+        // A half-day phase offset swaps midnight and midday.
+        assert!((cycle.probability_at(0, 0.5) - 0.95).abs() < 1e-12);
+        // Validated cycles yield valid patterns at every round.
+        for round in 0..8 {
+            assert!(cycle.pattern_at(round, 0.3).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn diurnal_degenerate_inputs_stay_finite() {
+        // Unvalidated degenerate cycles must stay total — the workload
+        // generator guards with validate(), but nothing may emit NaN.
+        let zero_period = DiurnalCycle {
+            period: 0,
+            trough: 0.3,
+            peak: 0.9,
+        };
+        assert_eq!(zero_period.probability_at(7, 0.25), 0.3);
+        let nan_cycle = DiurnalCycle {
+            period: 4,
+            trough: f64::NAN,
+            peak: f64::NAN,
+        };
+        assert_eq!(nan_cycle.probability_at(1, 0.0), 0.0);
+        let cycle = DiurnalCycle::new(4, 0.5, 0.5).unwrap();
+        // Non-finite phases are treated as zero, never propagated.
+        assert_eq!(cycle.probability_at(2, f64::INFINITY), 0.5);
+        // Constant cycles at probability 1 collapse to AlwaysOn.
+        let always = DiurnalCycle::new(4, 1.0, 1.0).unwrap();
+        assert_eq!(always.pattern_at(0, 0.0), AvailabilityPattern::AlwaysOn);
+    }
+
+    #[test]
+    fn diurnal_model_covers_all_phases() {
+        let cycle = DiurnalCycle::new(6, 0.2, 0.8).unwrap();
+        let phases: Vec<f64> = (0..5).map(|k| k as f64 / 5.0).collect();
+        let model = cycle.model_at(2, &phases).unwrap();
+        assert_eq!(model.len(), 5);
+        assert!(model.preserves_unbiasedness());
+        // Invalid cycles and empty phase lists are rejected.
+        assert!(cycle.model_at(2, &[]).is_err());
+        let bad = DiurnalCycle {
+            period: 0,
+            trough: 0.2,
+            peak: 0.8,
+        };
+        assert!(bad.model_at(2, &phases).is_err());
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Replay a generated trace through a live [`PricingService`], timing
+//! every read and re-solve and (optionally) certifying served prices
+//! bit-identical to from-scratch solves.
+
+use crate::error::WorkloadError;
+use crate::generator::{fnv1a, Phase, Trace, TraceOp};
+use crate::spec::WorkloadSpec;
+use fedfl_core::population::{ClientProfile, Population};
+use fedfl_core::server::{path_budget, solve_kkt_columns_hinted, SolverOptions};
+use fedfl_service::{
+    AvailabilityModel, ClientId, ClientParams, Command, PricingService, Response, ServiceConfig,
+    ServiceSnapshot,
+};
+use std::time::Instant;
+
+/// Timing and warm-start diagnostics of one triggered re-solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveSample {
+    /// Traffic regime of the step that triggered the solve.
+    pub phase: Phase,
+    /// Wall-clock of the command that absorbed the solve, in ms.
+    pub millis: f64,
+    /// Whether the λ-bisection started from a warm hint.
+    pub warm: bool,
+    /// Midpoint iterations the bisection ran.
+    pub iterations: usize,
+    /// Shards whose column caches were rebuilt.
+    pub dirty_shards: usize,
+    /// Total store shards.
+    pub shard_count: usize,
+    /// Columns recomputed for this solve.
+    pub rebuilt_columns: usize,
+    /// Clients registered at solve time.
+    pub clients: usize,
+}
+
+/// Timing of one clean (already-priced) read.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadSample {
+    /// Traffic regime of the step issuing the read.
+    pub phase: Phase,
+    /// Wall-clock of the read, in ms.
+    pub millis: f64,
+}
+
+/// Everything a replay run observed.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Budget at `budget_frac` of the initial population's saturation
+    /// path (the base the heavy-tail factors multiply).
+    pub base_budget: f64,
+    /// Clients registered when the trace ended.
+    pub final_clients: usize,
+    /// One sample per triggered re-solve, in trace order.
+    pub solves: Vec<SolveSample>,
+    /// One sample per clean read, in trace order.
+    pub reads: Vec<ReadSample>,
+    /// Steps whose served prices were certified bit-identical to a
+    /// from-scratch solve.
+    pub verified_steps: usize,
+    /// FNV-1a over the final snapshot's `(id, price, q_eff)` bits — equal
+    /// checksums mean bit-identical served equilibria.
+    pub price_checksum: u64,
+    /// Total replay wall-clock, in seconds.
+    pub total_wall_seconds: f64,
+}
+
+/// Replay `trace` (generated from `spec`) through a fresh service.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Service`] if the service rejects a command
+/// and [`WorkloadError::VerificationFailed`] if a `verify_every`
+/// checkpoint finds served prices diverging from a from-scratch solve.
+pub fn replay(spec: &WorkloadSpec, trace: &Trace) -> Result<ReplayOutcome, WorkloadError> {
+    spec.validate()?;
+    let started = Instant::now();
+
+    // The base budget comes from the initial batch's always-on saturation
+    // path, mirroring the service bench so records are comparable.
+    let initial: Vec<ClientParams> = trace
+        .setup
+        .iter()
+        .find_map(|op| match op {
+            TraceOp::AddClients(batch) => Some(batch.clone()),
+            _ => None,
+        })
+        .ok_or_else(|| WorkloadError::InvalidSpec {
+            field: "trace",
+            reason: "setup has no AddClients seeding batch".to_string(),
+        })?;
+    let mut config = ServiceConfig::new(bound(), 0.0);
+    config.solver = SolverOptions::with_threads(spec.threads);
+    config.availability_aware = true;
+    config.shards = spec.shards;
+    let initial_population = Population::from_raw(
+        initial.iter().map(ClientParams::raw_profile).collect(),
+    )
+    .map_err(|e| WorkloadError::InvalidSpec {
+        field: "clients",
+        reason: e.to_string(),
+    })?;
+    let base_budget = path_budget(
+        &initial_population,
+        &bound(),
+        &config.solver,
+        spec.budget_frac,
+    );
+    config.budget = base_budget;
+
+    let mut service = PricingService::new(config)?;
+    let mut mirror: Vec<(ClientId, ClientParams)> = Vec::new();
+    let mut next_id = 0u64;
+    let mut solves = Vec::new();
+    let mut reads = Vec::new();
+    let mut verified_steps = 0usize;
+
+    let mut run_op = |service: &mut PricingService,
+                      mirror: &mut Vec<(ClientId, ClientParams)>,
+                      op: &TraceOp,
+                      phase: Phase|
+     -> Result<(), WorkloadError> {
+        match op {
+            TraceOp::AddClients(batch) => {
+                let response = service.execute(Command::AddClients(batch.clone()))?;
+                let Response::Added(ids) = response else {
+                    unreachable!("AddClients replies Added");
+                };
+                for (id, params) in ids.iter().zip(batch) {
+                    debug_assert_eq!(id.0, next_id, "generator id mirror out of sync");
+                    next_id = id.0 + 1;
+                    mirror.push((*id, *params));
+                }
+            }
+            TraceOp::RemoveClients(ids) => {
+                service.execute(Command::RemoveClients(ids.clone()))?;
+                let gone: std::collections::HashSet<ClientId> = ids.iter().copied().collect();
+                mirror.retain(|(id, _)| !gone.contains(id));
+            }
+            TraceOp::UpdateAvailability(patterns) => {
+                let model = AvailabilityModel::new(patterns.clone()).map_err(|e| {
+                    WorkloadError::InvalidSpec {
+                        field: "availability",
+                        reason: e.to_string(),
+                    }
+                })?;
+                service.execute(Command::UpdateAvailability(model))?;
+                debug_assert_eq!(patterns.len(), mirror.len());
+                for ((_, params), pattern) in mirror.iter_mut().zip(patterns) {
+                    params.availability = *pattern;
+                }
+            }
+            TraceOp::UpdateBudgetFactor(factor) => {
+                service.execute(Command::UpdateBudget(base_budget * factor))?;
+            }
+            TraceOp::GetPrices(ids) => {
+                let dirty = service.is_dirty();
+                let start = Instant::now();
+                service.execute(Command::GetPrices(ids.clone()))?;
+                let millis = start.elapsed().as_secs_f64() * 1e3;
+                if dirty {
+                    solves.push(solve_sample(service, phase, millis));
+                } else {
+                    reads.push(ReadSample { phase, millis });
+                }
+            }
+            TraceOp::Snapshot => {
+                let dirty = service.is_dirty();
+                let start = Instant::now();
+                service.execute(Command::Snapshot)?;
+                let millis = start.elapsed().as_secs_f64() * 1e3;
+                if dirty {
+                    solves.push(solve_sample(service, phase, millis));
+                } else {
+                    reads.push(ReadSample { phase, millis });
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for op in &trace.setup {
+        run_op(&mut service, &mut mirror, op, Phase::Steady)?;
+    }
+    for step in &trace.steps {
+        for op in &step.ops {
+            run_op(&mut service, &mut mirror, op, step.phase)?;
+        }
+        if spec.verify_every > 0 && step.step.is_multiple_of(spec.verify_every) {
+            verify_step(&mut service, &mirror, step.step)?;
+            verified_steps += 1;
+        }
+    }
+
+    // Final untimed snapshot: the deterministic equilibrium checksum.
+    let snapshot = match service.execute(Command::Snapshot)? {
+        Response::Snapshot(snapshot) => snapshot,
+        _ => unreachable!("Snapshot replies Snapshot"),
+    };
+    let price_checksum = checksum(&snapshot);
+
+    Ok(ReplayOutcome {
+        base_budget,
+        final_clients: service.len(),
+        solves,
+        reads,
+        verified_steps,
+        price_checksum,
+        total_wall_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+fn solve_sample(service: &PricingService, phase: Phase, millis: f64) -> SolveSample {
+    let report = service.last_report().expect("read implies a solve");
+    SolveSample {
+        phase,
+        millis,
+        warm: report.warm_started,
+        iterations: report.bisect_iterations,
+        dirty_shards: report.dirty_shards,
+        shard_count: report.shard_count,
+        rebuilt_columns: report.rebuilt_columns,
+        clients: report.clients,
+    }
+}
+
+/// FNV-1a over the snapshot's structural bits.
+fn checksum(snapshot: &ServiceSnapshot) -> u64 {
+    let mut bytes = Vec::with_capacity(snapshot.ids.len() * 24);
+    for ((id, price), q) in snapshot
+        .ids
+        .iter()
+        .zip(&snapshot.prices)
+        .zip(&snapshot.q_eff)
+    {
+        bytes.extend_from_slice(&id.0.to_le_bytes());
+        bytes.extend_from_slice(&price.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&q.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// Certify the served equilibrium bit-identical to a from-scratch solve
+/// over the mirrored population.
+fn verify_step(
+    service: &mut PricingService,
+    mirror: &[(ClientId, ClientParams)],
+    step: usize,
+) -> Result<(), WorkloadError> {
+    let snapshot = match service.execute(Command::Snapshot)? {
+        Response::Snapshot(snapshot) => snapshot,
+        _ => unreachable!("Snapshot replies Snapshot"),
+    };
+    if snapshot.ids.len() != mirror.len() {
+        return Err(WorkloadError::VerificationFailed {
+            step,
+            detail: format!(
+                "population mismatch: service holds {}, mirror holds {}",
+                snapshot.ids.len(),
+                mirror.len()
+            ),
+        });
+    }
+    let (ref_prices, ref_q) = reference(mirror, service.config())?;
+    for (i, (id, _)) in mirror.iter().enumerate() {
+        if snapshot.ids[i] != *id {
+            return Err(WorkloadError::VerificationFailed {
+                step,
+                detail: format!(
+                    "insertion order diverged at index {i}: service {}, mirror {}",
+                    snapshot.ids[i], id
+                ),
+            });
+        }
+        if snapshot.prices[i].to_bits() != ref_prices[i].to_bits()
+            || snapshot.q_eff[i].to_bits() != ref_q[i].to_bits()
+        {
+            return Err(WorkloadError::VerificationFailed {
+                step,
+                detail: format!(
+                    "client {id}: served (price {:?}, q {:?}) vs reference ({:?}, {:?})",
+                    snapshot.prices[i], snapshot.q_eff[i], ref_prices[i], ref_q[i]
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// From-scratch cold solve over the mirror population, scattered back to
+/// the full client list (excluded clients price at `0.0`).
+fn reference(
+    mirror: &[(ClientId, ClientParams)],
+    config: &ServiceConfig,
+) -> Result<(Vec<f64>, Vec<f64>), WorkloadError> {
+    let rates: Vec<f64> = mirror
+        .iter()
+        .map(|(_, p)| {
+            if config.availability_aware {
+                p.availability.availability_rate()
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let included: Vec<bool> = mirror
+        .iter()
+        .zip(&rates)
+        .map(|((_, p), &r)| r > 0.0 && p.q_max * r > config.solver.q_min)
+        .collect();
+    let profiles: Vec<ClientProfile> = mirror
+        .iter()
+        .zip(&included)
+        .filter(|(_, &inc)| inc)
+        .map(|((_, p), _)| p.raw_profile())
+        .collect();
+    let population = Population::from_raw(profiles).map_err(|e| WorkloadError::InvalidSpec {
+        field: "reference population",
+        reason: e.to_string(),
+    })?;
+    let cols = population.columns();
+    let included_rates: Vec<f64> = rates
+        .iter()
+        .zip(&included)
+        .filter(|(_, &inc)| inc)
+        .map(|(&r, _)| r)
+        .collect();
+    let eff = cols
+        .effective(&included_rates)
+        .map_err(|e| WorkloadError::InvalidSpec {
+            field: "effective columns",
+            reason: e.to_string(),
+        })?;
+    let (solution, _diag) =
+        solve_kkt_columns_hinted(&eff, &config.bound, config.budget, &config.solver, None)
+            .map_err(|e| WorkloadError::InvalidSpec {
+                field: "reference solve",
+                reason: e.to_string(),
+            })?;
+    let n = mirror.len();
+    let mut prices = vec![0.0f64; n];
+    let mut q_eff = vec![0.0f64; n];
+    let mut j = 0;
+    for i in 0..n {
+        if included[i] {
+            prices[i] = solution.prices[j];
+            q_eff[i] = solution.q[j];
+            j += 1;
+        }
+    }
+    Ok((prices, q_eff))
+}
+
+/// The Theorem-1 bound constants shared by every workload run (matching
+/// the service bench).
+pub fn bound() -> fedfl_core::bound::BoundParams {
+    fedfl_core::bound::BoundParams::new(4_000.0, 100.0, 1_000).expect("bound")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    fn tiny_spec() -> WorkloadSpec {
+        let mut spec = WorkloadSpec::reference_10k();
+        spec.clients = 48;
+        spec.steps = 6;
+        spec.cohorts = 3;
+        spec.arrivals_per_step = 4;
+        spec.departures_per_step = 4;
+        spec.surge_every = 3;
+        spec.surge_size = 12;
+        spec.surge_hold = 2;
+        spec.budget_every = 2;
+        spec.reads_per_step = 2;
+        spec.read_batch = 6;
+        spec.snapshot_every = 3;
+        spec.verify_every = 2;
+        spec.min_population = 8;
+        spec.shards = 4;
+        spec.threads = 1;
+        spec
+    }
+
+    #[test]
+    fn tiny_replay_verifies_bit_identity_every_other_step() {
+        let spec = tiny_spec();
+        let trace = generate(&spec).expect("generate");
+        let outcome = replay(&spec, &trace).expect("replay");
+        assert_eq!(outcome.verified_steps, 3);
+        assert!(outcome.solves.iter().any(|s| s.warm));
+        assert!(!outcome.reads.is_empty());
+        assert!(outcome.final_clients >= spec.min_population);
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_shard_counts() {
+        let spec = tiny_spec();
+        let trace = generate(&spec).expect("generate");
+        let a = replay(&spec, &trace).expect("replay");
+        let mut sharded = spec.clone();
+        sharded.shards = 1;
+        let b = replay(&sharded, &trace).expect("replay");
+        assert_eq!(a.price_checksum, b.price_checksum);
+        assert_eq!(a.final_clients, b.final_clients);
+        assert_eq!(a.base_budget.to_bits(), b.base_budget.to_bits());
+        let iters_a: Vec<usize> = a.solves.iter().map(|s| s.iterations).collect();
+        let iters_b: Vec<usize> = b.solves.iter().map(|s| s.iterations).collect();
+        assert_eq!(iters_a, iters_b);
+    }
+}

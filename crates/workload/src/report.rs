@@ -1,0 +1,273 @@
+//! The machine-readable workload record appended to `BENCH_scale.json`.
+
+use crate::generator::{Phase, Trace};
+use crate::replay::ReplayOutcome;
+use crate::spec::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Latency stats for one traffic phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase name (`steady` or `flash`).
+    pub phase: String,
+    /// Re-solves triggered in this phase.
+    pub resolves: usize,
+    /// Median re-solve latency, ms.
+    pub resolve_p50_ms: f64,
+    /// 99th-percentile re-solve latency, ms.
+    pub resolve_p99_ms: f64,
+    /// Clean reads in this phase.
+    pub reads: usize,
+    /// Median clean-read latency, ms.
+    pub read_p50_ms: f64,
+    /// 99th-percentile clean-read latency, ms.
+    pub read_p99_ms: f64,
+}
+
+/// One JSONL record of a workload run.
+///
+/// Latency fields are wall-clock and vary run to run; every other field
+/// is deterministic for a given spec — [`WorkloadRecord::deterministic_key`]
+/// collects the subset that must match across runs and across
+/// `--shards`/thread settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadRecord {
+    /// Record discriminator, always `"workload"`.
+    pub bench: String,
+    /// Initial population size.
+    pub clients: usize,
+    /// Traffic steps replayed.
+    pub steps: usize,
+    /// Store shards.
+    pub shards: usize,
+    /// Solver threads (`0` = auto).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Timezone cohorts.
+    pub cohorts: usize,
+    /// Diurnal period, steps.
+    pub period: usize,
+    /// Clients registered at the end of the trace.
+    pub final_clients: usize,
+    /// Commands in the trace (setup + steps).
+    pub commands: usize,
+    /// Base budget the heavy-tail factors multiplied.
+    pub base_budget: f64,
+    /// FNV-1a fingerprint of the canonical trace encoding (hex).
+    pub trace_fingerprint: String,
+    /// FNV-1a checksum of the final `(id, price, q_eff)` bits (hex).
+    pub price_checksum: String,
+    /// Re-solves that started from a warm hint.
+    pub warm_solves: usize,
+    /// Re-solves that started cold.
+    pub cold_solves: usize,
+    /// Mean bisection iterations over warm solves.
+    pub mean_warm_iterations: f64,
+    /// Mean bisection iterations over cold solves.
+    pub mean_cold_iterations: f64,
+    /// Mean fraction of shards rebuilt per solve.
+    pub mean_dirty_shard_fraction: f64,
+    /// Worst-case fraction of shards rebuilt in one solve.
+    pub max_dirty_shard_fraction: f64,
+    /// Mean fraction of client columns recomputed per solve.
+    pub mean_rebuilt_column_fraction: f64,
+    /// Steps certified bit-identical to a from-scratch solve.
+    pub verified_steps: usize,
+    /// Total replay wall-clock, seconds.
+    pub total_wall_seconds: f64,
+    /// Per-phase latency buckets (`steady`, then `flash` when surges ran).
+    pub phases: Vec<PhaseStats>,
+}
+
+impl WorkloadRecord {
+    /// Assemble the record from a finished replay.
+    pub fn new(spec: &WorkloadSpec, trace: &Trace, outcome: &ReplayOutcome) -> Self {
+        let warm: Vec<usize> = outcome
+            .solves
+            .iter()
+            .filter(|s| s.warm)
+            .map(|s| s.iterations)
+            .collect();
+        let cold: Vec<usize> = outcome
+            .solves
+            .iter()
+            .filter(|s| !s.warm)
+            .map(|s| s.iterations)
+            .collect();
+        let dirty_fractions: Vec<f64> = outcome
+            .solves
+            .iter()
+            .map(|s| s.dirty_shards as f64 / s.shard_count.max(1) as f64)
+            .collect();
+        let rebuilt_fractions: Vec<f64> = outcome
+            .solves
+            .iter()
+            .map(|s| s.rebuilt_columns as f64 / s.clients.max(1) as f64)
+            .collect();
+
+        let mut phases = Vec::new();
+        for phase in [Phase::Steady, Phase::Flash] {
+            let resolve_ms: Vec<f64> = outcome
+                .solves
+                .iter()
+                .filter(|s| s.phase == phase)
+                .map(|s| s.millis)
+                .collect();
+            let read_ms: Vec<f64> = outcome
+                .reads
+                .iter()
+                .filter(|r| r.phase == phase)
+                .map(|r| r.millis)
+                .collect();
+            if resolve_ms.is_empty() && read_ms.is_empty() {
+                continue;
+            }
+            phases.push(PhaseStats {
+                phase: phase.name().to_string(),
+                resolves: resolve_ms.len(),
+                resolve_p50_ms: percentile(&resolve_ms, 0.50),
+                resolve_p99_ms: percentile(&resolve_ms, 0.99),
+                reads: read_ms.len(),
+                read_p50_ms: percentile(&read_ms, 0.50),
+                read_p99_ms: percentile(&read_ms, 0.99),
+            });
+        }
+
+        WorkloadRecord {
+            bench: "workload".to_string(),
+            clients: spec.clients,
+            steps: spec.steps,
+            shards: spec.shards,
+            threads: spec.threads,
+            seed: spec.seed,
+            cohorts: spec.cohorts,
+            period: spec.diurnal.period,
+            final_clients: outcome.final_clients,
+            commands: trace.commands(),
+            base_budget: outcome.base_budget,
+            trace_fingerprint: format!("{:016x}", trace.fingerprint),
+            price_checksum: format!("{:016x}", outcome.price_checksum),
+            warm_solves: warm.len(),
+            cold_solves: cold.len(),
+            mean_warm_iterations: mean_usize(&warm),
+            mean_cold_iterations: mean_usize(&cold),
+            mean_dirty_shard_fraction: mean(&dirty_fractions),
+            max_dirty_shard_fraction: dirty_fractions.iter().copied().fold(0.0, f64::max),
+            mean_rebuilt_column_fraction: mean(&rebuilt_fractions),
+            verified_steps: outcome.verified_steps,
+            total_wall_seconds: outcome.total_wall_seconds,
+            phases,
+        }
+    }
+
+    /// The fields that must be identical across runs of the same spec and
+    /// across `--shards`/thread settings: the trace identity, the served
+    /// equilibrium bits, and the solver's iteration trajectory. Latency
+    /// and shard-layout fields (dirty fractions) are excluded — the
+    /// former are wall-clock, the latter legitimately depend on `shards`.
+    pub fn deterministic_key(&self) -> String {
+        format!(
+            "trace={} prices={} clients={} final={} commands={} budget={:016x} \
+             warm={} cold={} warm_iters={:016x} cold_iters={:016x} verified={}",
+            self.trace_fingerprint,
+            self.price_checksum,
+            self.clients,
+            self.final_clients,
+            self.commands,
+            self.base_budget.to_bits(),
+            self.warm_solves,
+            self.cold_solves,
+            self.mean_warm_iterations.to_bits(),
+            self.mean_cold_iterations.to_bits(),
+            self.verified_steps,
+        )
+    }
+
+    /// Mean re-solve latency across all phases, ms (the CI tripwire
+    /// metric).
+    pub fn mean_resolve_ms(&self, outcome: &ReplayOutcome) -> f64 {
+        mean(&outcome.solves.iter().map(|s| s.millis).collect::<Vec<_>>())
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample (`0.0` for empty input).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn mean_usize(xs: &[usize]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<usize>() as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.50), 3.0);
+        assert_eq!(percentile(&xs, 0.99), 5.0);
+        assert_eq!(percentile(&xs, 0.01), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let record = WorkloadRecord {
+            bench: "workload".into(),
+            clients: 100,
+            steps: 4,
+            shards: 2,
+            threads: 1,
+            seed: 7,
+            cohorts: 2,
+            period: 4,
+            final_clients: 90,
+            commands: 42,
+            base_budget: 1234.5,
+            trace_fingerprint: "00ff".into(),
+            price_checksum: "ff00".into(),
+            warm_solves: 3,
+            cold_solves: 1,
+            mean_warm_iterations: 12.5,
+            mean_cold_iterations: 40.0,
+            mean_dirty_shard_fraction: 0.5,
+            max_dirty_shard_fraction: 1.0,
+            mean_rebuilt_column_fraction: 0.25,
+            verified_steps: 2,
+            total_wall_seconds: 0.5,
+            phases: vec![PhaseStats {
+                phase: "steady".into(),
+                resolves: 4,
+                resolve_p50_ms: 1.0,
+                resolve_p99_ms: 2.0,
+                reads: 8,
+                read_p50_ms: 0.1,
+                read_p99_ms: 0.2,
+            }],
+        };
+        let json = serde_json::to_string(&record).expect("serialize");
+        let back: WorkloadRecord = serde_json::from_str(&json).expect("parse");
+        assert_eq!(record, back);
+    }
+}

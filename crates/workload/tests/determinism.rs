@@ -1,0 +1,93 @@
+//! The workload harness's determinism contracts, property-tested:
+//!
+//! 1. **Trace stability** — the same spec (same seed) generates a
+//!    byte-identical command trace on every run: equal canonical
+//!    encodings, equal FNV fingerprints.
+//! 2. **Execution invariance** — replaying one trace through services
+//!    configured with different `shards` and thread counts produces the
+//!    same BENCH payload on every deterministic field: trace fingerprint,
+//!    served-price checksum, population counts, base budget bits, and
+//!    the warm/cold bisection iteration trajectory. Only wall-clock
+//!    latencies and shard-layout fields may differ.
+//! 3. **Bit-identity under churn** — with `verify_every = 1` every step's
+//!    served prices match a from-scratch solve bit for bit.
+
+use fedfl_workload::report::WorkloadRecord;
+use fedfl_workload::{generate, replay, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A small randomized spec that still exercises every traffic feature:
+/// diurnal rotation, steady churn, a flash crowd, budget churn, reads.
+fn small_spec(seed: u64, clients: usize, steps: usize, cohorts: usize) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::reference_10k();
+    spec.seed = seed;
+    spec.clients = clients;
+    spec.steps = steps;
+    spec.cohorts = cohorts;
+    spec.diurnal.period = 6;
+    spec.arrivals_per_step = 5;
+    spec.departures_per_step = 5;
+    spec.surge_every = 3;
+    spec.surge_size = 12;
+    spec.surge_hold = 2;
+    spec.budget_every = 2;
+    spec.reads_per_step = 2;
+    spec.read_batch = 8;
+    spec.snapshot_every = 4;
+    spec.verify_every = 0;
+    spec.min_population = clients / 2;
+    spec.shards = 4;
+    spec.threads = 1;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn same_seed_generates_byte_identical_traces(
+        seed in 0u64..1_000_000,
+        clients in 20usize..60,
+        steps in 4usize..8,
+        cohorts in 1usize..5,
+    ) {
+        let spec = small_spec(seed, clients, steps, cohorts);
+        let a = generate(&spec).expect("generate");
+        let b = generate(&spec).expect("generate");
+        prop_assert_eq!(a.fingerprint, b.fingerprint);
+        prop_assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn bench_payload_is_identical_across_shard_and_thread_settings(
+        seed in 0u64..1_000_000,
+        clients in 24usize..56,
+        steps in 4usize..7,
+    ) {
+        let base = small_spec(seed, clients, steps, 3);
+        let trace = generate(&base).expect("generate");
+        let mut keys = Vec::new();
+        for (shards, threads) in [(1usize, 1usize), (4, 1), (7, 2)] {
+            let mut spec = base.clone();
+            spec.shards = shards;
+            spec.threads = threads;
+            let outcome = replay(&spec, &trace).expect("replay");
+            keys.push(WorkloadRecord::new(&spec, &trace, &outcome).deterministic_key());
+        }
+        prop_assert_eq!(&keys[0], &keys[1]);
+        prop_assert_eq!(&keys[1], &keys[2]);
+    }
+
+    #[test]
+    fn every_step_is_bit_identical_under_full_verification(
+        seed in 0u64..1_000_000,
+        clients in 20usize..48,
+        steps in 3usize..6,
+    ) {
+        let mut spec = small_spec(seed, clients, steps, 2);
+        spec.verify_every = 1;
+        let trace = generate(&spec).expect("generate");
+        let outcome = replay(&spec, &trace).expect("verified replay");
+        prop_assert_eq!(outcome.verified_steps, steps);
+    }
+}

@@ -10,3 +10,4 @@ pub use fedfl_model as model;
 pub use fedfl_num as num;
 pub use fedfl_service as service;
 pub use fedfl_sim as sim;
+pub use fedfl_workload as workload;

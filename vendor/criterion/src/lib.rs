@@ -1,0 +1,246 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace ships the minimal criterion surface its benches use:
+//! [`Criterion`], benchmark groups with [`BenchmarkGroup::bench_with_input`]
+//! and [`BenchmarkGroup::bench_function`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (both the plain and the
+//! `name =`/`config =`/`targets =` forms).
+//!
+//! Instead of criterion's statistical machinery each benchmark runs one
+//! untimed warm-up call followed by `sample_size` timed calls and prints a
+//! single mean/min wall-clock line. That is enough to eyeball regressions
+//! locally and to keep `cargo check --all-targets` honest; swap the real
+//! crate back in for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point mirroring `criterion::Criterion`: holds the default sample
+/// count and hands out benchmark groups.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Far below real criterion's 100: these stand-in benches exist to
+        // spot gross regressions, not to produce publication statistics.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark (builder form, as used
+    /// in `criterion_group!` `config =` expressions).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark identified by `id` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Mark the group as complete (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group: a function name, a
+/// parameter rendering, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name plus parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identify a benchmark by its parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`: one untimed warm-up call, then `sample_size` timed
+    /// calls whose durations feed the mean/min report.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label}: mean {mean:?}, min {min:?} ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!` (both invocation forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate a `main` that runs the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_counts(c: &mut Criterion) {
+        let mut group = c.benchmark_group("counts");
+        group.sample_size(3);
+        let n = 4_usize;
+        group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    criterion_group!(small, bench_counts);
+
+    #[test]
+    fn groups_run_and_record_samples() {
+        small();
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut calls = 0_u32;
+        run_benchmark("test/label", 5, |b| {
+            b.iter(|| calls += 1);
+        });
+        // One warm-up call plus five timed samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn benchmark_ids_render_both_forms() {
+        assert_eq!(BenchmarkId::new("threads2", 100).label, "threads2/100");
+        assert_eq!(BenchmarkId::from_parameter("iid").label, "iid");
+    }
+
+    #[test]
+    fn config_builder_clamps_sample_size() {
+        let c = Criterion::default().sample_size(0);
+        assert_eq!(c.sample_size, 1);
+    }
+}

@@ -366,3 +366,18 @@ impl Value {
         T::from_value(self)
     }
 }
+
+// Identity impls so callers can (de)serialize into the raw value tree —
+// the equivalent of deserializing into `serde_json::Value` to inspect
+// JSON of unknown shape.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
