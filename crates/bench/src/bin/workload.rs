@@ -15,9 +15,19 @@
 //!          [--budget-every K] [--budget-frac F] [--budget-tail-alpha A]
 //!          [--reads N] [--read-batch N] [--snapshot-every K]
 //!          [--verify-every V] [--min-population N]
+//!          [--transport inproc|tcp] [--record-wire PATH]
+//!          [--assert-price-checksum HEX]
 //!          [--assert-mean-resolve-ms X] [--assert-p99-read-ms X]
 //!          [--out PATH] [--no-out] [--json] [--json-out PATH]
 //! ```
+//!
+//! With `--transport tcp` the trace is replayed through a loopback
+//! `fedfl-net` server instead of direct calls; the served price bits and
+//! `price_checksum` must be bit-identical to the in-process transport.
+//! `--assert-price-checksum` pins the checksum to a committed reference
+//! (CI uses this to hold the TCP path to the in-process record), and
+//! `--record-wire` dumps every (command, reply) exchange to a JSONL wire
+//! trace.
 //!
 //! Defaults are the committed 10k reference trace
 //! ([`WorkloadSpec::reference_10k`]). A human-readable report is appended
@@ -28,12 +38,31 @@
 //! ceiling.
 
 use fedfl_bench::schema::check_line;
+use fedfl_bench::tcp::replay_over_tcp;
 use fedfl_workload::report::percentile;
 use fedfl_workload::{generate, replay, WorkloadRecord, WorkloadSpec};
 use std::io::Write as _;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    Inproc,
+    Tcp,
+}
+
+impl Transport {
+    fn name(self) -> &'static str {
+        match self {
+            Transport::Inproc => "inproc",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
 struct Args {
     spec: WorkloadSpec,
+    transport: Transport,
+    record_wire: Option<String>,
+    assert_price_checksum: Option<String>,
     assert_mean_resolve_ms: Option<f64>,
     assert_p99_read_ms: Option<f64>,
     out: Option<String>,
@@ -44,6 +73,9 @@ impl Args {
     fn parse() -> Result<Self, String> {
         let mut args = Args {
             spec: WorkloadSpec::reference_10k(),
+            transport: Transport::Inproc,
+            record_wire: None,
+            assert_price_checksum: None,
             assert_mean_resolve_ms: None,
             assert_p99_read_ms: None,
             out: Some("results/workload.txt".into()),
@@ -78,6 +110,17 @@ impl Args {
                 "--snapshot-every" => spec.snapshot_every = parse(value("--snapshot-every")?)?,
                 "--verify-every" => spec.verify_every = parse(value("--verify-every")?)?,
                 "--min-population" => spec.min_population = parse(value("--min-population")?)?,
+                "--transport" => {
+                    args.transport = match value("--transport")?.as_str() {
+                        "inproc" => Transport::Inproc,
+                        "tcp" => Transport::Tcp,
+                        other => return Err(format!("unknown transport `{other}`")),
+                    }
+                }
+                "--record-wire" => args.record_wire = Some(value("--record-wire")?),
+                "--assert-price-checksum" => {
+                    args.assert_price_checksum = Some(value("--assert-price-checksum")?)
+                }
                 "--assert-mean-resolve-ms" => {
                     args.assert_mean_resolve_ms = Some(parse(value("--assert-mean-resolve-ms")?)?)
                 }
@@ -136,24 +179,35 @@ fn main() {
         }
     };
     println!(
-        "trace {:016x}: {} commands; replaying through {} shards ({} threads) ...",
+        "trace {:016x}: {} commands; replaying over {} through {} shards ({} threads) ...",
         trace.fingerprint,
         trace.commands(),
+        args.transport.name(),
         spec.shards,
         spec.threads
     );
-    let outcome = match replay(spec, &trace) {
+    if args.record_wire.is_some() && args.transport != Transport::Tcp {
+        eprintln!("workload: --record-wire needs --transport tcp");
+        std::process::exit(2);
+    }
+    let outcome = match args.transport {
+        Transport::Inproc => replay(spec, &trace),
+        Transport::Tcp => replay_over_tcp(spec, &trace, args.record_wire.as_deref()),
+    };
+    let outcome = match outcome {
         Ok(o) => o,
         Err(err) => {
             eprintln!("workload: {err}");
             std::process::exit(1);
         }
     };
-    let record = WorkloadRecord::new(spec, &trace, &outcome);
+    let mut record = WorkloadRecord::new(spec, &trace, &outcome);
+    record.transport = args.transport.name().to_string();
 
     let mut report = String::new();
     report.push_str(&format!(
-        "workload: clients {} (final {}), steps {}, shards {}, threads {}, seed {}\n",
+        "workload[{}]: clients {} (final {}), steps {}, shards {}, threads {}, seed {}\n",
+        record.transport,
         record.clients,
         record.final_clients,
         record.steps,
@@ -218,6 +272,17 @@ fn main() {
     }
 
     let mut failed = false;
+    if let Some(expected) = &args.assert_price_checksum {
+        if &record.price_checksum != expected {
+            eprintln!(
+                "workload: price checksum {} diverges from the pinned reference {expected}",
+                record.price_checksum
+            );
+            failed = true;
+        } else {
+            println!("price checksum {} matches the pinned reference", expected);
+        }
+    }
     if let Some(ceiling) = args.assert_mean_resolve_ms {
         let mean_ms = record.mean_resolve_ms(&outcome);
         if mean_ms > ceiling {

@@ -13,6 +13,9 @@
 //!   and `fig*` binaries.
 //! * [`schema`] — the JSONL schema checker for `results/BENCH_scale.json`
 //!   (run in CI via `check_bench_records`).
+//! * [`tcp`] — the loopback-TCP workload driver behind
+//!   `workload --transport tcp`: boots a `fedfl-net` server, replays the
+//!   trace through it, and must reproduce the in-process price bits.
 //!
 //! Each paper artefact has a binary: `fig4`, `table2`, `table3`, `table4`,
 //! `table5`, `fig5`, `fig6`, `fig7`, plus the ablations
@@ -26,3 +29,4 @@ pub mod experiment;
 pub mod report;
 pub mod schema;
 pub mod setups;
+pub mod tcp;

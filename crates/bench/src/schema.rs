@@ -149,6 +149,7 @@ const PRICING_SERVICE_REQUIRED: &[(&str, FieldType)] = &[
 ];
 
 const WORKLOAD_REQUIRED: &[(&str, FieldType)] = &[
+    ("transport", FieldType::Str),
     ("clients", FieldType::Count),
     ("steps", FieldType::Count),
     ("shards", FieldType::Count),
@@ -272,6 +273,10 @@ fn check_type(name: &str, value: &Value, ty: FieldType) -> Result<(), String> {
 
 /// Workload-specific cross-field sanity beyond per-field types.
 fn check_workload(entries: &[(String, Value)]) -> Result<(), String> {
+    match field(entries, "transport") {
+        Some(Value::Str(name)) if name == "inproc" || name == "tcp" => {}
+        _ => return Err("`transport` must be `inproc` or `tcp`".to_string()),
+    }
     let phases = field(entries, "phases")
         .and_then(Value::as_seq)
         .expect("checked as Seq above");
@@ -308,7 +313,8 @@ mod tests {
     use super::*;
 
     const WORKLOAD_LINE: &str = concat!(
-        r#"{"bench":"workload","clients":100,"steps":4,"shards":2,"threads":1,"#,
+        r#"{"bench":"workload","transport":"inproc","#,
+        r#""clients":100,"steps":4,"shards":2,"threads":1,"#,
         r#""seed":7,"cohorts":2,"period":4,"final_clients":90,"commands":42,"#,
         r#""base_budget":1234.5,"trace_fingerprint":"00ff00ff00ff00ff","#,
         r#""price_checksum":"ff00ff00ff00ff00","warm_solves":3,"cold_solves":1,"#,
@@ -347,6 +353,16 @@ mod tests {
         );
         let err = check_line(&bad).unwrap_err();
         assert!(err.contains("max_dirty_shard_fraction"), "{err}");
+    }
+
+    #[test]
+    fn unknown_transport_is_rejected() {
+        let bad =
+            WORKLOAD_LINE.replace(r#""transport":"inproc""#, r#""transport":"carrier_pigeon""#);
+        let err = check_line(&bad).unwrap_err();
+        assert!(err.contains("transport"), "{err}");
+        let tcp = WORKLOAD_LINE.replace(r#""transport":"inproc""#, r#""transport":"tcp""#);
+        assert_eq!(check_line(&tcp), Ok(RecordKind::Workload));
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! The reply frame: one tagged union per request frame.
+
+use crate::error::WireError;
+use fedfl_service::Response;
+use serde::{Deserialize, Serialize};
+
+/// The server's answer to one request frame — exactly one reply frame
+/// per request, success or error, so a client can always correlate by
+/// order within its connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireReply {
+    /// The command executed; the service's reply.
+    Ok(Response),
+    /// The command was rejected — by the codec before execution, or by
+    /// the service during it. The service state is unchanged either way.
+    Err(WireError),
+}
+
+impl WireReply {
+    /// Encode this reply as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("replies serialize infallibly")
+            .into_bytes()
+    }
+
+    /// Decode a reply frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoder's message if the payload is not a reply.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("invalid utf-8: {e}"))?;
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}

@@ -1,0 +1,365 @@
+//! End-to-end wire tests: error-frame round-trips for every service
+//! error, malformed-input handling, connection lifecycle, concurrent
+//! reads against the single writer, and the bit-identity smoke check.
+
+use fedfl_core::bound::BoundParams;
+use fedfl_core::GameError;
+use fedfl_net::{
+    load_records, serve, verify_records, ClientError, CodecViolation, PricingClient, ServerHandle,
+    ServerOptions, WireError, WireRecorder, WireReply,
+};
+use fedfl_service::{
+    ClientId, ClientParams, Command, PricingService, Response, ServiceConfig, ServiceError,
+};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+fn bound() -> BoundParams {
+    BoundParams::new(4_000.0, 100.0, 1_000).unwrap()
+}
+
+fn client(k: usize) -> ClientParams {
+    ClientParams::always_on(
+        1.0 + k as f64,
+        4.0 + k as f64,
+        30.0 + 10.0 * k as f64,
+        2.0 * k as f64,
+        1.0,
+    )
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig::new(bound(), 10.0)
+}
+
+fn seeded_service(n: usize) -> (PricingService, Vec<ClientId>) {
+    PricingService::with_clients(config(), (0..n).map(client).collect()).unwrap()
+}
+
+fn start_server(
+    service: PricingService,
+    options: ServerOptions,
+    recorder: Option<WireRecorder>,
+) -> ServerHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    serve(service, listener, options, recorder).unwrap()
+}
+
+#[test]
+fn every_service_error_variant_round_trips_through_error_frames() {
+    let variants: Vec<ServiceError> = vec![
+        ServiceError::InvalidConfig {
+            field: "budget",
+            reason: "must be finite and positive, got NaN".into(),
+        },
+        ServiceError::InvalidClient {
+            index: 3,
+            reason: "q_max must be positive".into(),
+        },
+        ServiceError::UnknownClient(ClientId(42)),
+        ServiceError::DuplicateRemoval(ClientId(7)),
+        ServiceError::AvailabilityMismatch {
+            clients: 10,
+            patterns: 9,
+        },
+        ServiceError::NoPriceableClients { registered: 5 },
+        ServiceError::InvariantViolated {
+            residual: 1.5e-3,
+            tolerance: 1e-6,
+        },
+        ServiceError::Game(GameError::LengthMismatch {
+            expected: 4,
+            found: 2,
+        }),
+    ];
+    for service_error in &variants {
+        let wire: WireError = service_error.into();
+        // The wire mirror renders the same message as the in-process
+        // error, so logs agree across transports.
+        assert_eq!(wire.to_string(), service_error.to_string());
+        let frame = WireReply::Err(wire.clone()).encode();
+        let decoded = WireReply::decode(&frame).unwrap();
+        assert_eq!(
+            decoded,
+            WireReply::Err(wire),
+            "error frame round-trip for {service_error:?}"
+        );
+    }
+}
+
+#[test]
+fn commands_round_trip_over_loopback_bit_identically() {
+    let (service, _) = seeded_service(4);
+    let (mut mirror, ids) = seeded_service(4);
+    let mut handle = start_server(service, ServerOptions::default(), None);
+    let mut conn = PricingClient::connect(handle.addr()).unwrap();
+
+    // The same command sequence, over the wire and in process.
+    let sequence = vec![
+        Command::Snapshot,
+        Command::UpdateBudget(14.0),
+        Command::GetPrices(ids.clone()),
+        Command::AddClients(vec![client(9)]),
+        Command::Reprice,
+        Command::RemoveClients(vec![ids[1]]),
+        Command::GetPrices(vec![ids[0], ids[3]]),
+        Command::Snapshot,
+    ];
+    for command in sequence {
+        let served = conn.call(&command).unwrap();
+        let local = mirror.execute(command).unwrap();
+        assert_eq!(served, local, "wire and in-process replies must agree");
+    }
+
+    // Served prices are the certified equilibrium, bit for bit.
+    let Response::Snapshot(served) = conn.call(&Command::Snapshot).unwrap() else {
+        panic!("snapshot reply");
+    };
+    let local = mirror.snapshot().unwrap();
+    let served_bits: Vec<u64> = served.prices.iter().map(|p| p.to_bits()).collect();
+    let local_bits: Vec<u64> = local.prices.iter().map(|p| p.to_bits()).collect();
+    assert_eq!(served_bits, local_bits);
+    assert!(
+        served.report.theorem2_residual.unwrap_or(0.0) <= 1e-6,
+        "served equilibrium must be certified"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_input_yields_typed_error_frames_and_the_connection_survives() {
+    let (service, ids) = seeded_service(3);
+    let mut handle = start_server(service, ServerOptions::default(), None);
+    let mut conn = PricingClient::connect(handle.addr()).unwrap();
+
+    // Garbage JSON → typed Malformed error frame.
+    let reply = conn.call_raw(b"{\"not json").unwrap();
+    assert!(matches!(
+        reply,
+        WireReply::Err(WireError::Codec {
+            violation: CodecViolation::Malformed,
+            ..
+        })
+    ));
+    // Unknown command tag → typed Decode error frame naming the tag.
+    let reply = conn.call_raw(b"{\"EraseAllClients\":[]}").unwrap();
+    match reply {
+        WireReply::Err(WireError::Codec {
+            violation: CodecViolation::Decode,
+            detail,
+        }) => assert!(detail.contains("EraseAllClients"), "{detail}"),
+        other => panic!("{other:?}"),
+    }
+    // A NaN budget serializes as null — rejected by the codec gate, so
+    // it never reaches the service.
+    let nan_payload = serde_json::to_string(&Command::UpdateBudget(f64::NAN)).unwrap();
+    let reply = conn.call_raw(nan_payload.as_bytes()).unwrap();
+    assert!(matches!(
+        reply,
+        WireReply::Err(WireError::Codec {
+            violation: CodecViolation::NullValue,
+            ..
+        })
+    ));
+    // An out-of-range float literal parses to infinity — also rejected.
+    let reply = conn.call_raw(b"{\"UpdateBudget\":1e999}").unwrap();
+    assert!(matches!(
+        reply,
+        WireReply::Err(WireError::Codec {
+            violation: CodecViolation::NonFinite,
+            ..
+        })
+    ));
+    // A service-level rejection comes back as the mirrored error.
+    let err = conn
+        .call(&Command::GetPrices(vec![ClientId(999)]))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server(WireError::UnknownClient(999))
+    ));
+
+    // After all of that, the same connection still serves reads.
+    let Response::Prices(quotes) = conn.call(&Command::GetPrices(ids)).unwrap() else {
+        panic!("prices reply");
+    };
+    assert_eq!(quotes.len(), 3);
+    assert!(quotes.iter().all(|q| q.price.is_finite()));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_reported_then_the_connection_closes() {
+    let (service, ids) = seeded_service(3);
+    let mut handle = start_server(service, ServerOptions { max_frame: 256 }, None);
+    // The client's cap is larger, so it can send what the server rejects.
+    let mut conn = PricingClient::connect_with(handle.addr(), 1 << 20).unwrap();
+    let big = format!("{{\"padding\":\"{}\"}}", "x".repeat(512));
+    let reply = conn.call_raw(big.as_bytes()).unwrap();
+    assert!(matches!(
+        reply,
+        WireReply::Err(WireError::Codec {
+            violation: CodecViolation::Frame,
+            ..
+        })
+    ));
+    // The stream cannot be resynchronised past the unread payload: the
+    // server closes, and the next call fails instead of hanging.
+    assert!(conn.call(&Command::GetPrices(vec![ids[0]])).is_err());
+    // A fresh connection is unaffected (a one-quote reply fits the cap).
+    let mut fresh = PricingClient::connect(handle.addr()).unwrap();
+    assert!(fresh.call(&Command::GetPrices(vec![ids[0]])).is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_frames_close_cleanly_without_poisoning_the_server() {
+    let (service, _) = seeded_service(3);
+    let mut handle = start_server(service, ServerOptions::default(), None);
+    // Declare 100 payload bytes, deliver 10, then vanish.
+    {
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        raw.write_all(&100u32.to_be_bytes()).unwrap();
+        raw.write_all(b"0123456789").unwrap();
+    }
+    // And a half-written length prefix.
+    {
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        raw.write_all(&[0u8, 1u8]).unwrap();
+    }
+    // The server shrugs both off and keeps serving.
+    let mut fresh = PricingClient::connect(handle.addr()).unwrap();
+    assert!(fresh.call(&Command::Snapshot).is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_readers_ride_the_single_writer_without_uncertified_prices() {
+    let (service, ids) = seeded_service(16);
+    let tolerance = service.config().residual_tolerance;
+    let mut handle = start_server(service, ServerOptions::default(), None);
+    let addr = handle.addr();
+
+    let mut workers = Vec::new();
+    // One writer churning the population and the budget.
+    {
+        let writer_ids = ids.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut conn = PricingClient::connect(addr).unwrap();
+            for round in 0..20 {
+                conn.call(&Command::AddClients(vec![client(round)]))
+                    .unwrap();
+                conn.call(&Command::UpdateBudget(10.0 + round as f64))
+                    .unwrap();
+                conn.call(&Command::GetPrices(vec![writer_ids[0]])).unwrap();
+            }
+        }));
+    }
+    // Several readers hammering prices and snapshots.
+    for _ in 0..4 {
+        let reader_ids = ids.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut conn = PricingClient::connect(addr).unwrap();
+            for _ in 0..50 {
+                match conn.call(&Command::GetPrices(reader_ids.clone())) {
+                    Ok(Response::Prices(quotes)) => {
+                        assert!(quotes.iter().all(|q| q.price.is_finite()));
+                    }
+                    Ok(other) => panic!("{other:?}"),
+                    Err(e) => panic!("reader failed: {e}"),
+                }
+                match conn.call(&Command::Snapshot) {
+                    Ok(Response::Snapshot(snapshot)) => {
+                        // Every served snapshot is certified.
+                        assert!(snapshot.report.theorem2_residual.unwrap_or(0.0) <= tolerance);
+                    }
+                    Ok(other) => panic!("{other:?}"),
+                    Err(e) => panic!("snapshot reader failed: {e}"),
+                }
+            }
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("no worker may panic");
+    }
+    handle.shutdown();
+}
+
+/// A `Write` sink tests can read back out of the recorder.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn wire_traces_record_and_verify_against_the_in_process_service() {
+    // Start *empty* so the whole population arrives over the wire — the
+    // trace is then self-contained and `verify_records` can replay it
+    // against a fresh deployment of the same config.
+    let service = PricingService::new(config()).unwrap();
+    let sink = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let recorder = WireRecorder::to_writer(Box::new(sink.clone()));
+    let mut handle = start_server(service, ServerOptions::default(), Some(recorder));
+    let mut conn = PricingClient::connect(handle.addr()).unwrap();
+
+    let Response::Added(ids) = conn
+        .call(&Command::AddClients((0..4).map(client).collect()))
+        .unwrap()
+    else {
+        panic!("added reply");
+    };
+    conn.call(&Command::Snapshot).unwrap();
+    conn.call(&Command::UpdateBudget(12.5)).unwrap();
+    conn.call(&Command::GetPrices(ids)).unwrap();
+    // One codec-rejected frame lands in the trace with no command…
+    let _ = conn.call_raw(b"{\"garbage\":").unwrap();
+    // …and one service-rejected command lands with its error reply.
+    let _ = conn.call(&Command::GetPrices(vec![ClientId(404)]));
+    drop(conn);
+    handle.shutdown();
+
+    let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let records = load_records(&text).unwrap();
+    assert_eq!(records.len(), 6);
+    assert!(
+        records.iter().any(|r| r.command.is_none()),
+        "codec reject recorded"
+    );
+    // JSONL round-trip is lossless.
+    let reencoded: String = records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect();
+    assert_eq!(load_records(&reencoded).unwrap(), records);
+    // The recorded replies replay bit-for-bit against a fresh in-process
+    // service: 5 command-bearing exchanges, the codec reject skipped.
+    let verified = verify_records(config(), &records).unwrap();
+    assert_eq!(verified, 5);
+}
+
+#[test]
+fn recorder_verification_catches_traces_with_out_of_band_state() {
+    // This server was seeded *before* recording started, so the trace is
+    // not self-contained — verification must flag the divergence rather
+    // than pass vacuously.
+    let (service, _) = seeded_service(2);
+    let sink = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let recorder = WireRecorder::to_writer(Box::new(sink.clone()));
+    let mut handle = start_server(service, ServerOptions::default(), Some(recorder));
+    let mut conn = PricingClient::connect(handle.addr()).unwrap();
+    conn.call(&Command::Snapshot).unwrap();
+    drop(conn);
+    handle.shutdown();
+    let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let records = load_records(&text).unwrap();
+    assert!(verify_records(config(), &records).is_err());
+}

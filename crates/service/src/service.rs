@@ -55,13 +55,23 @@ impl ServiceConfig {
         }
     }
 
-    fn validate(&self) -> Result<(), ServiceError> {
-        if !self.budget.is_finite() {
+    /// Validate a budget value: the mechanism prices against a finite,
+    /// strictly positive `B` (a zero budget admits no equilibrium and a
+    /// NaN would poison the λ-bisection). Shared by construction-time
+    /// validation and the `UpdateBudget` command path so a wire peer
+    /// cannot smuggle in a value `validate` would have rejected.
+    fn validate_budget(budget: f64) -> Result<(), ServiceError> {
+        if !(budget.is_finite() && budget > 0.0) {
             return Err(ServiceError::InvalidConfig {
                 field: "budget",
-                reason: format!("must be finite, got {}", self.budget),
+                reason: format!("must be finite and positive, got {budget}"),
             });
         }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), ServiceError> {
+        Self::validate_budget(self.budget)?;
         if self.shards == 0 {
             return Err(ServiceError::InvalidConfig {
                 field: "shards",
@@ -249,8 +259,8 @@ impl PricingService {
     ///
     /// # Errors
     ///
-    /// Returns [`ServiceError::InvalidConfig`] for a non-finite budget or
-    /// tolerance.
+    /// Returns [`ServiceError::InvalidConfig`] for a non-finite or
+    /// non-positive budget, or an invalid tolerance.
     pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
         Ok(Self {
@@ -371,15 +381,12 @@ impl PricingService {
     ///
     /// # Errors
     ///
-    /// Returns [`ServiceError::InvalidConfig`] for a non-finite budget
-    /// (mutating nothing).
+    /// Returns [`ServiceError::InvalidConfig`] for a non-finite or
+    /// non-positive budget (mutating nothing) — the same check
+    /// construction-time [`ServiceConfig`] validation applies, so the
+    /// `UpdateBudget` command cannot bypass it.
     pub fn update_budget(&mut self, budget: f64) -> Result<(), ServiceError> {
-        if !budget.is_finite() {
-            return Err(ServiceError::InvalidConfig {
-                field: "budget",
-                reason: format!("must be finite, got {budget}"),
-            });
-        }
+        ServiceConfig::validate_budget(budget)?;
         if budget != self.config.budget {
             self.config.budget = budget;
             self.dirty = true;
@@ -528,26 +535,37 @@ impl PricingService {
 
     /// Batched price read (re-solving first if the state is stale).
     ///
+    /// The batch is atomic: every id — including duplicates — is resolved
+    /// before any quote is assembled, so the first unknown id (in request
+    /// order) rejects the whole batch and no partial quote vector is ever
+    /// observable.
+    ///
     /// # Errors
     ///
-    /// Returns [`ServiceError::UnknownClient`] for an unregistered id,
-    /// plus any [`PricingService::reprice`] error.
+    /// Returns [`ServiceError::UnknownClient`] naming the first unknown
+    /// id in the batch, plus any [`PricingService::reprice`] error.
     pub fn get_prices(&mut self, ids: &[ClientId]) -> Result<Vec<PriceQuote>, ServiceError> {
         self.ensure_priced()?;
         let state = self.state.as_ref().expect("priced above");
-        ids.iter()
+        // Resolve every position first; quotes are only built once the
+        // whole batch is known to be servable.
+        let positions: Vec<usize> = ids
+            .iter()
             .map(|&id| {
-                let pos = self
-                    .store
+                self.store
                     .position(id)
-                    .ok_or(ServiceError::UnknownClient(id))?;
-                Ok(PriceQuote {
-                    id,
-                    price: state.prices[pos],
-                    q_eff: state.q_eff[pos],
-                })
+                    .ok_or(ServiceError::UnknownClient(id))
             })
-            .collect()
+            .collect::<Result<_, _>>()?;
+        Ok(ids
+            .iter()
+            .zip(positions)
+            .map(|(&id, pos)| PriceQuote {
+                id,
+                price: state.prices[pos],
+                q_eff: state.q_eff[pos],
+            })
+            .collect())
     }
 
     /// Full equilibrium view (re-solving first if the state is stale).
@@ -765,8 +783,94 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut config = ServiceConfig::new(bound(), f64::NAN);
         assert!(PricingService::new(config).is_err());
+        config.budget = 0.0;
+        assert!(PricingService::new(config).is_err(), "zero budget");
+        config.budget = -3.0;
+        assert!(PricingService::new(config).is_err(), "negative budget");
         config.budget = 10.0;
         config.residual_tolerance = 0.0;
         assert!(PricingService::new(config).is_err());
+    }
+
+    #[test]
+    fn update_budget_command_revalidates_like_the_constructor() {
+        // `execute(UpdateBudget(..))` must apply the same budget check as
+        // `ServiceConfig::validate` — a wire peer sends commands, not
+        // configs, so the command path is the one that matters.
+        let (mut service, _) = PricingService::with_clients(
+            ServiceConfig::new(bound(), 10.0),
+            (0..3).map(client).collect(),
+        )
+        .unwrap();
+        service.snapshot().unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let err = service.execute(Command::UpdateBudget(bad)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ServiceError::InvalidConfig {
+                        field: "budget",
+                        ..
+                    }
+                ),
+                "budget {bad}: {err:?}"
+            );
+            assert_eq!(service.config().budget, 10.0, "rejected update mutated B");
+            assert!(!service.is_dirty(), "rejected update dirtied the service");
+        }
+        service.execute(Command::UpdateBudget(12.0)).unwrap();
+        assert_eq!(service.config().budget, 12.0);
+        assert!(service.is_dirty());
+    }
+
+    #[test]
+    fn update_bound_command_revalidates_like_the_constructor() {
+        let (mut service, _) = PricingService::with_clients(
+            ServiceConfig::new(bound(), 10.0),
+            (0..3).map(client).collect(),
+        )
+        .unwrap();
+        service.snapshot().unwrap();
+        // A hand-deserialized BoundParams can carry values `new` would
+        // reject; `execute(UpdateBound(..))` must re-run that validation.
+        let bad: BoundParams =
+            serde_json::from_str("{\"alpha\":-1.0,\"beta\":100.0,\"rounds\":1000}").unwrap();
+        let err = service.execute(Command::UpdateBound(bad)).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::InvalidConfig { field: "bound", .. }),
+            "{err:?}"
+        );
+        assert_eq!(service.config().bound, bound());
+        assert!(!service.is_dirty());
+    }
+
+    #[test]
+    fn get_prices_is_atomic_over_duplicates_and_unknown_ids() {
+        // Pin the atomicity contract alongside the `RemoveClients` one: a
+        // batch mixing known ids (twice) with unknown ids must fail as a
+        // whole, naming the first unknown id in request order, and leak
+        // no partial quote vector.
+        let (mut service, ids) = PricingService::with_clients(
+            ServiceConfig::new(bound(), 10.0),
+            (0..3).map(client).collect(),
+        )
+        .unwrap();
+        // Duplicates of known ids are fine: reads are idempotent.
+        let quotes = service.get_prices(&[ids[1], ids[1], ids[0]]).unwrap();
+        assert_eq!(quotes.len(), 3);
+        assert_eq!(quotes[0].id, ids[1]);
+        assert_eq!(quotes[0].price.to_bits(), quotes[1].price.to_bits());
+        // First unknown id in request order wins, even with a later one.
+        let err = service
+            .get_prices(&[ids[2], ClientId(77), ids[0], ClientId(88)])
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownClient(ClientId(77)));
+        // Repeated unknown ids behave the same as a single one.
+        let err = service
+            .get_prices(&[ClientId(99), ClientId(99)])
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownClient(ClientId(99)));
+        // The failed batches left the service fully servable.
+        assert_eq!(service.get_prices(&ids).unwrap().len(), 3);
     }
 }

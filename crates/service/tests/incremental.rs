@@ -158,7 +158,10 @@ fn run_churn(seed: u64, n0: usize, steps: usize, availability_mode: u8, threads:
     // those must stay bit-identical too).
     let budget_pop =
         Population::from_raw(initial.iter().map(ClientParams::raw_profile).collect()).unwrap();
-    config.budget = path_budget(&budget_pop, &bound(), &config.solver, 0.45);
+    // A fully-floored tiny population can realise a zero path spend; the
+    // service now rejects non-positive budgets, so keep the floored regime
+    // with an epsilon budget instead (bit-identical: both floor everyone).
+    config.budget = path_budget(&budget_pop, &bound(), &config.solver, 0.45).max(1e-12);
 
     let (mut service, ids) =
         PricingService::with_clients(config, initial.clone()).expect("service");

@@ -74,7 +74,10 @@ fn build_history(seed: u64, n0: usize, steps: usize, availability_mode: u8) -> H
         .collect();
     let budget_pop =
         Population::from_raw(initial.iter().map(ClientParams::raw_profile).collect()).unwrap();
-    let budget = path_budget(&budget_pop, &bound(), &SolverOptions::default(), 0.45);
+    // Tiny adversarial populations can realise a non-positive path spend
+    // (floored clients, value-heavy negative prices); the service rejects
+    // non-positive budgets, so clamp to an epsilon floored-regime budget.
+    let budget = path_budget(&budget_pop, &bound(), &SolverOptions::default(), 0.45).max(1e-12);
     let mut population = n0;
     let steps = (0..steps)
         .map(|_| {

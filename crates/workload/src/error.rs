@@ -25,6 +25,19 @@ pub enum WorkloadError {
         /// What diverged (client id, served vs. reference bits).
         detail: String,
     },
+    /// A timed read absorbed a re-solve, but the driver could not produce
+    /// the solve's report — a hand-built or wire-received trace that leads
+    /// with a read against a driver with no solve history.
+    MissingSolveReport {
+        /// The trace step whose read had no report behind it.
+        step: usize,
+    },
+    /// The transport carrying the command stream failed (connection lost,
+    /// malformed frame, codec rejection).
+    Transport {
+        /// What the transport reported.
+        detail: String,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -39,6 +52,15 @@ impl fmt::Display for WorkloadError {
                     f,
                     "bit-identity verification failed at step {step}: {detail}"
                 )
+            }
+            WorkloadError::MissingSolveReport { step } => {
+                write!(
+                    f,
+                    "step {step}: a read absorbed a re-solve but no solve report is available"
+                )
+            }
+            WorkloadError::Transport { detail } => {
+                write!(f, "transport error: {detail}")
             }
         }
     }

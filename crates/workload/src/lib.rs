@@ -35,6 +35,8 @@ pub mod spec;
 
 pub use error::WorkloadError;
 pub use generator::{generate, Phase, Trace, TraceOp, TraceStep};
-pub use replay::{replay, ReplayOutcome};
+pub use replay::{
+    replay, replay_config, replay_with, CommandDriver, InProcessDriver, ReplayOutcome,
+};
 pub use report::WorkloadRecord;
 pub use spec::WorkloadSpec;

@@ -1,6 +1,16 @@
-//! Replay a generated trace through a live [`PricingService`], timing
-//! every read and re-solve and (optionally) certifying served prices
-//! bit-identical to from-scratch solves.
+//! Replay a generated trace through a live [`PricingService`] — in
+//! process or across a transport — timing every read and re-solve and
+//! (optionally) certifying served prices bit-identical to from-scratch
+//! solves.
+//!
+//! The replay loop is written against the [`CommandDriver`] trait, so
+//! the same trace drives the in-process service and a remote front-end
+//! speaking the identical command stream. Whether a timed read absorbs a
+//! re-solve is predicted client-side from the mirrored population — the
+//! prediction replicates the service's own dirty-tracking rules exactly,
+//! so the solve/read classification (and with it the warm/cold counts of
+//! [`crate::report::WorkloadRecord::deterministic_key`]) is
+//! transport-independent by construction.
 
 use crate::error::WorkloadError;
 use crate::generator::{fnv1a, Phase, Trace, TraceOp};
@@ -8,10 +18,74 @@ use crate::spec::WorkloadSpec;
 use fedfl_core::population::{ClientProfile, Population};
 use fedfl_core::server::{path_budget, solve_kkt_columns_hinted, SolverOptions};
 use fedfl_service::{
-    AvailabilityModel, ClientId, ClientParams, Command, PricingService, Response, ServiceConfig,
-    ServiceSnapshot,
+    AvailabilityModel, ClientId, ClientParams, Command, PricingService, RepriceReport, Response,
+    ServiceConfig, ServiceSnapshot,
 };
 use std::time::Instant;
+
+/// A transport adapter the replay drives: the in-process service, or a
+/// remote front-end speaking the same `Command`/`Response` stream.
+pub trait CommandDriver {
+    /// Execute one command, returning the service's reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Service`] for a service rejection and
+    /// [`WorkloadError::Transport`] for a transport failure.
+    fn execute(&mut self, command: Command) -> Result<Response, WorkloadError>;
+
+    /// The service's exact staleness flag, when the driver can observe it
+    /// (the in-process service); `None` for remote transports. Used only
+    /// to cross-check the replay's transport-independent prediction.
+    fn observed_dirty(&self) -> Option<bool>;
+
+    /// The report of the most recent successful re-solve, if any. Remote
+    /// drivers may issue an (untimed) `Snapshot` to obtain it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if fetching the report itself fails.
+    fn solve_report(&mut self) -> Result<Option<RepriceReport>, WorkloadError>;
+}
+
+/// The in-process driver: owns the [`PricingService`] and observes its
+/// dirty flag and last report directly.
+#[derive(Debug)]
+pub struct InProcessDriver {
+    service: PricingService,
+}
+
+impl InProcessDriver {
+    /// Create a driver around a fresh service deployed with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Service`] for an invalid config.
+    pub fn new(config: ServiceConfig) -> Result<Self, WorkloadError> {
+        Ok(Self {
+            service: PricingService::new(config)?,
+        })
+    }
+
+    /// The service this driver wraps.
+    pub fn service(&self) -> &PricingService {
+        &self.service
+    }
+}
+
+impl CommandDriver for InProcessDriver {
+    fn execute(&mut self, command: Command) -> Result<Response, WorkloadError> {
+        Ok(self.service.execute(command)?)
+    }
+
+    fn observed_dirty(&self) -> Option<bool> {
+        Some(self.service.is_dirty())
+    }
+
+    fn solve_report(&mut self) -> Result<Option<RepriceReport>, WorkloadError> {
+        Ok(self.service.last_report().copied())
+    }
+}
 
 /// Timing and warm-start diagnostics of one triggered re-solve.
 #[derive(Debug, Clone, Copy)]
@@ -65,30 +139,22 @@ pub struct ReplayOutcome {
     pub total_wall_seconds: f64,
 }
 
-/// Replay `trace` (generated from `spec`) through a fresh service.
+/// Derive the service configuration a trace replays against: shards and
+/// threads from the spec, availability-aware pricing, and the budget at
+/// `budget_frac` of the seeding batch's always-on saturation path.
+///
+/// Every transport must deploy *exactly* this config — the bit-identity
+/// contract between the in-process and networked replays starts here.
 ///
 /// # Errors
 ///
-/// Returns [`WorkloadError::Service`] if the service rejects a command
-/// and [`WorkloadError::VerificationFailed`] if a `verify_every`
-/// checkpoint finds served prices diverging from a from-scratch solve.
-pub fn replay(spec: &WorkloadSpec, trace: &Trace) -> Result<ReplayOutcome, WorkloadError> {
+/// Returns [`WorkloadError::InvalidSpec`] for an invalid spec or a trace
+/// without a seeding `AddClients` batch.
+pub fn replay_config(spec: &WorkloadSpec, trace: &Trace) -> Result<ServiceConfig, WorkloadError> {
     spec.validate()?;
-    let started = Instant::now();
-
     // The base budget comes from the initial batch's always-on saturation
     // path, mirroring the service bench so records are comparable.
-    let initial: Vec<ClientParams> = trace
-        .setup
-        .iter()
-        .find_map(|op| match op {
-            TraceOp::AddClients(batch) => Some(batch.clone()),
-            _ => None,
-        })
-        .ok_or_else(|| WorkloadError::InvalidSpec {
-            field: "trace",
-            reason: "setup has no AddClients seeding batch".to_string(),
-        })?;
+    let initial = seeding_batch(trace)?;
     let mut config = ServiceConfig::new(bound(), 0.0);
     config.solver = SolverOptions::with_threads(spec.threads);
     config.availability_aware = true;
@@ -100,118 +166,291 @@ pub fn replay(spec: &WorkloadSpec, trace: &Trace) -> Result<ReplayOutcome, Workl
         field: "clients",
         reason: e.to_string(),
     })?;
-    let base_budget = path_budget(
+    // A value-heavy or floored seeding batch can realise a non-positive
+    // path spend; the service rejects non-positive budgets, so clamp to
+    // an epsilon floored-regime budget (a no-op for realistic batches,
+    // bit-preserving whenever the spend is positive).
+    config.budget = path_budget(
         &initial_population,
         &bound(),
         &config.solver,
         spec.budget_frac,
-    );
-    config.budget = base_budget;
+    )
+    .max(1e-12);
+    Ok(config)
+}
 
-    let mut service = PricingService::new(config)?;
-    let mut mirror: Vec<(ClientId, ClientParams)> = Vec::new();
-    let mut next_id = 0u64;
-    let mut solves = Vec::new();
-    let mut reads = Vec::new();
+/// The seeding `AddClients` batch of a trace's setup phase.
+fn seeding_batch(trace: &Trace) -> Result<Vec<ClientParams>, WorkloadError> {
+    trace
+        .setup
+        .iter()
+        .find_map(|op| match op {
+            TraceOp::AddClients(batch) => Some(batch.clone()),
+            _ => None,
+        })
+        .ok_or_else(|| WorkloadError::InvalidSpec {
+            field: "trace",
+            reason: "setup has no AddClients seeding batch".to_string(),
+        })
+}
+
+/// Replay `trace` (generated from `spec`) through a fresh in-process
+/// service.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Service`] if the service rejects a command
+/// and [`WorkloadError::VerificationFailed`] if a `verify_every`
+/// checkpoint finds served prices diverging from a from-scratch solve.
+pub fn replay(spec: &WorkloadSpec, trace: &Trace) -> Result<ReplayOutcome, WorkloadError> {
+    let config = replay_config(spec, trace)?;
+    let mut driver = InProcessDriver::new(config)?;
+    replay_with(spec, trace, &mut driver)
+}
+
+/// Replay `trace` through an already-connected [`CommandDriver`].
+///
+/// The driver's service must be a fresh deployment of
+/// [`replay_config`]`(spec, trace)`; the replay re-derives that config to
+/// obtain the base budget and the reference-solve parameters for
+/// `verify_every` checkpoints.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Service`]/[`WorkloadError::Transport`] for
+/// rejected commands, [`WorkloadError::VerificationFailed`] for a
+/// bit-identity divergence, and [`WorkloadError::MissingSolveReport`] if
+/// a read absorbed a re-solve the driver has no report for.
+pub fn replay_with<D: CommandDriver>(
+    spec: &WorkloadSpec,
+    trace: &Trace,
+    driver: &mut D,
+) -> Result<ReplayOutcome, WorkloadError> {
+    let config = replay_config(spec, trace)?;
+    let base_budget = config.budget;
+    let started = Instant::now();
+
+    let mut run = ReplayRun {
+        driver,
+        base_budget,
+        current_budget: base_budget,
+        dirty: true,
+        mirror: Vec::new(),
+        next_id: 0,
+        solves: Vec::new(),
+        reads: Vec::new(),
+    };
     let mut verified_steps = 0usize;
 
-    let mut run_op = |service: &mut PricingService,
-                      mirror: &mut Vec<(ClientId, ClientParams)>,
-                      op: &TraceOp,
-                      phase: Phase|
-     -> Result<(), WorkloadError> {
-        match op {
-            TraceOp::AddClients(batch) => {
-                let response = service.execute(Command::AddClients(batch.clone()))?;
-                let Response::Added(ids) = response else {
-                    unreachable!("AddClients replies Added");
-                };
-                for (id, params) in ids.iter().zip(batch) {
-                    debug_assert_eq!(id.0, next_id, "generator id mirror out of sync");
-                    next_id = id.0 + 1;
-                    mirror.push((*id, *params));
-                }
-            }
-            TraceOp::RemoveClients(ids) => {
-                service.execute(Command::RemoveClients(ids.clone()))?;
-                let gone: std::collections::HashSet<ClientId> = ids.iter().copied().collect();
-                mirror.retain(|(id, _)| !gone.contains(id));
-            }
-            TraceOp::UpdateAvailability(patterns) => {
-                let model = AvailabilityModel::new(patterns.clone()).map_err(|e| {
-                    WorkloadError::InvalidSpec {
-                        field: "availability",
-                        reason: e.to_string(),
-                    }
-                })?;
-                service.execute(Command::UpdateAvailability(model))?;
-                debug_assert_eq!(patterns.len(), mirror.len());
-                for ((_, params), pattern) in mirror.iter_mut().zip(patterns) {
-                    params.availability = *pattern;
-                }
-            }
-            TraceOp::UpdateBudgetFactor(factor) => {
-                service.execute(Command::UpdateBudget(base_budget * factor))?;
-            }
-            TraceOp::GetPrices(ids) => {
-                let dirty = service.is_dirty();
-                let start = Instant::now();
-                service.execute(Command::GetPrices(ids.clone()))?;
-                let millis = start.elapsed().as_secs_f64() * 1e3;
-                if dirty {
-                    solves.push(solve_sample(service, phase, millis));
-                } else {
-                    reads.push(ReadSample { phase, millis });
-                }
-            }
-            TraceOp::Snapshot => {
-                let dirty = service.is_dirty();
-                let start = Instant::now();
-                service.execute(Command::Snapshot)?;
-                let millis = start.elapsed().as_secs_f64() * 1e3;
-                if dirty {
-                    solves.push(solve_sample(service, phase, millis));
-                } else {
-                    reads.push(ReadSample { phase, millis });
-                }
-            }
-        }
-        Ok(())
-    };
-
     for op in &trace.setup {
-        run_op(&mut service, &mut mirror, op, Phase::Steady)?;
+        run.run_op(op, Phase::Steady, 0)?;
     }
     for step in &trace.steps {
         for op in &step.ops {
-            run_op(&mut service, &mut mirror, op, step.phase)?;
+            run.run_op(op, step.phase, step.step)?;
         }
         if spec.verify_every > 0 && step.step.is_multiple_of(spec.verify_every) {
-            verify_step(&mut service, &mirror, step.step)?;
+            run.verify_step(&config, step.step)?;
             verified_steps += 1;
         }
     }
 
     // Final untimed snapshot: the deterministic equilibrium checksum.
-    let snapshot = match service.execute(Command::Snapshot)? {
+    let snapshot = match run.driver.execute(Command::Snapshot)? {
         Response::Snapshot(snapshot) => snapshot,
-        _ => unreachable!("Snapshot replies Snapshot"),
+        other => return Err(unexpected_reply("Snapshot", &other)),
     };
     let price_checksum = checksum(&snapshot);
 
     Ok(ReplayOutcome {
         base_budget,
-        final_clients: service.len(),
-        solves,
-        reads,
+        final_clients: run.mirror.len(),
+        solves: run.solves,
+        reads: run.reads,
         verified_steps,
         price_checksum,
         total_wall_seconds: started.elapsed().as_secs_f64(),
     })
 }
 
-fn solve_sample(service: &PricingService, phase: Phase, millis: f64) -> SolveSample {
-    let report = service.last_report().expect("read implies a solve");
+/// Mutable state of one replay pass over a trace.
+struct ReplayRun<'a, D: CommandDriver> {
+    driver: &'a mut D,
+    base_budget: f64,
+    /// Mirror of the service's `config.budget` — bitwise, so the
+    /// `UpdateBudget` no-op rule (`new == old` leaves the service clean)
+    /// is predicted exactly.
+    current_budget: f64,
+    /// Client-side prediction of the service's dirty flag. Replicates the
+    /// service's own rules: churn and effective availability/budget
+    /// changes dirty it, successful reads clean it.
+    dirty: bool,
+    mirror: Vec<(ClientId, ClientParams)>,
+    next_id: u64,
+    solves: Vec<SolveSample>,
+    reads: Vec<ReadSample>,
+}
+
+impl<D: CommandDriver> ReplayRun<'_, D> {
+    fn run_op(&mut self, op: &TraceOp, phase: Phase, step: usize) -> Result<(), WorkloadError> {
+        match op {
+            TraceOp::AddClients(batch) => {
+                let response = self.driver.execute(Command::AddClients(batch.clone()))?;
+                let Response::Added(ids) = response else {
+                    return Err(unexpected_reply("AddClients", &response));
+                };
+                if !ids.is_empty() {
+                    self.dirty = true;
+                }
+                for (id, params) in ids.iter().zip(batch) {
+                    debug_assert_eq!(id.0, self.next_id, "generator id mirror out of sync");
+                    self.next_id = id.0 + 1;
+                    self.mirror.push((*id, *params));
+                }
+            }
+            TraceOp::RemoveClients(ids) => {
+                let response = self.driver.execute(Command::RemoveClients(ids.clone()))?;
+                let Response::Removed(removed) = response else {
+                    return Err(unexpected_reply("RemoveClients", &response));
+                };
+                if removed > 0 {
+                    self.dirty = true;
+                }
+                let gone: std::collections::HashSet<ClientId> = ids.iter().copied().collect();
+                self.mirror.retain(|(id, _)| !gone.contains(id));
+            }
+            TraceOp::UpdateAvailability(patterns) => {
+                // The service dirties itself only if some client's pattern
+                // actually changed; predict that from the mirror before
+                // updating it.
+                let changed = self
+                    .mirror
+                    .iter()
+                    .zip(patterns)
+                    .any(|((_, params), pattern)| params.availability != *pattern);
+                let model = AvailabilityModel::new(patterns.clone()).map_err(|e| {
+                    WorkloadError::InvalidSpec {
+                        field: "availability",
+                        reason: e.to_string(),
+                    }
+                })?;
+                self.driver.execute(Command::UpdateAvailability(model))?;
+                if changed {
+                    self.dirty = true;
+                }
+                debug_assert_eq!(patterns.len(), self.mirror.len());
+                for ((_, params), pattern) in self.mirror.iter_mut().zip(patterns) {
+                    params.availability = *pattern;
+                }
+            }
+            TraceOp::UpdateBudgetFactor(factor) => {
+                let next = self.base_budget * factor;
+                self.driver.execute(Command::UpdateBudget(next))?;
+                if next != self.current_budget {
+                    self.dirty = true;
+                }
+                self.current_budget = next;
+            }
+            TraceOp::GetPrices(ids) => {
+                self.timed_read(Command::GetPrices(ids.clone()), phase, step)?;
+            }
+            TraceOp::Snapshot => {
+                self.timed_read(Command::Snapshot, phase, step)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a read under the clock, classifying it as a clean read or
+    /// an absorbed re-solve by the client-side dirty prediction.
+    fn timed_read(
+        &mut self,
+        command: Command,
+        phase: Phase,
+        step: usize,
+    ) -> Result<(), WorkloadError> {
+        let dirty = self.dirty;
+        if let Some(observed) = self.driver.observed_dirty() {
+            debug_assert_eq!(
+                observed, dirty,
+                "step {step}: dirty prediction diverged from the service"
+            );
+        }
+        let start = Instant::now();
+        self.driver.execute(command)?;
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        self.dirty = false;
+        if dirty {
+            let report = self
+                .driver
+                .solve_report()?
+                .ok_or(WorkloadError::MissingSolveReport { step })?;
+            self.solves.push(solve_sample(&report, phase, millis));
+        } else {
+            self.reads.push(ReadSample { phase, millis });
+        }
+        Ok(())
+    }
+
+    /// Certify the served equilibrium bit-identical to a from-scratch
+    /// solve over the mirrored population.
+    fn verify_step(&mut self, config: &ServiceConfig, step: usize) -> Result<(), WorkloadError> {
+        let snapshot = match self.driver.execute(Command::Snapshot)? {
+            Response::Snapshot(snapshot) => snapshot,
+            other => return Err(unexpected_reply("Snapshot", &other)),
+        };
+        // The (untimed) snapshot cleaned any pending deltas.
+        self.dirty = false;
+        if snapshot.ids.len() != self.mirror.len() {
+            return Err(WorkloadError::VerificationFailed {
+                step,
+                detail: format!(
+                    "population mismatch: service holds {}, mirror holds {}",
+                    snapshot.ids.len(),
+                    self.mirror.len()
+                ),
+            });
+        }
+        // The trace's `UpdateBudgetFactor` ops move the service off its
+        // deployment budget; the from-scratch reference must solve under
+        // the budget the service is actually serving right now.
+        let mut live = *config;
+        live.budget = self.current_budget;
+        let (ref_prices, ref_q) = reference(&self.mirror, &live)?;
+        for (i, (id, _)) in self.mirror.iter().enumerate() {
+            if snapshot.ids[i] != *id {
+                return Err(WorkloadError::VerificationFailed {
+                    step,
+                    detail: format!(
+                        "insertion order diverged at index {i}: service {}, mirror {}",
+                        snapshot.ids[i], id
+                    ),
+                });
+            }
+            if snapshot.prices[i].to_bits() != ref_prices[i].to_bits()
+                || snapshot.q_eff[i].to_bits() != ref_q[i].to_bits()
+            {
+                return Err(WorkloadError::VerificationFailed {
+                    step,
+                    detail: format!(
+                        "client {id}: served (price {:?}, q {:?}) vs reference ({:?}, {:?})",
+                        snapshot.prices[i], snapshot.q_eff[i], ref_prices[i], ref_q[i]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn unexpected_reply(command: &str, response: &Response) -> WorkloadError {
+    WorkloadError::Transport {
+        detail: format!("unexpected reply to {command}: {response:?}"),
+    }
+}
+
+fn solve_sample(report: &RepriceReport, phase: Phase, millis: f64) -> SolveSample {
     SolveSample {
         phase,
         millis,
@@ -238,53 +477,6 @@ fn checksum(snapshot: &ServiceSnapshot) -> u64 {
         bytes.extend_from_slice(&q.to_bits().to_le_bytes());
     }
     fnv1a(&bytes)
-}
-
-/// Certify the served equilibrium bit-identical to a from-scratch solve
-/// over the mirrored population.
-fn verify_step(
-    service: &mut PricingService,
-    mirror: &[(ClientId, ClientParams)],
-    step: usize,
-) -> Result<(), WorkloadError> {
-    let snapshot = match service.execute(Command::Snapshot)? {
-        Response::Snapshot(snapshot) => snapshot,
-        _ => unreachable!("Snapshot replies Snapshot"),
-    };
-    if snapshot.ids.len() != mirror.len() {
-        return Err(WorkloadError::VerificationFailed {
-            step,
-            detail: format!(
-                "population mismatch: service holds {}, mirror holds {}",
-                snapshot.ids.len(),
-                mirror.len()
-            ),
-        });
-    }
-    let (ref_prices, ref_q) = reference(mirror, service.config())?;
-    for (i, (id, _)) in mirror.iter().enumerate() {
-        if snapshot.ids[i] != *id {
-            return Err(WorkloadError::VerificationFailed {
-                step,
-                detail: format!(
-                    "insertion order diverged at index {i}: service {}, mirror {}",
-                    snapshot.ids[i], id
-                ),
-            });
-        }
-        if snapshot.prices[i].to_bits() != ref_prices[i].to_bits()
-            || snapshot.q_eff[i].to_bits() != ref_q[i].to_bits()
-        {
-            return Err(WorkloadError::VerificationFailed {
-                step,
-                detail: format!(
-                    "client {id}: served (price {:?}, q {:?}) vs reference ({:?}, {:?})",
-                    snapshot.prices[i], snapshot.q_eff[i], ref_prices[i], ref_q[i]
-                ),
-            });
-        }
-    }
-    Ok(())
 }
 
 /// From-scratch cold solve over the mirror population, scattered back to
@@ -408,5 +600,70 @@ mod tests {
         let iters_a: Vec<usize> = a.solves.iter().map(|s| s.iterations).collect();
         let iters_b: Vec<usize> = b.solves.iter().map(|s| s.iterations).collect();
         assert_eq!(iters_a, iters_b);
+    }
+
+    /// A driver with no observable dirty flag and no solve history —
+    /// the shape of a remote front-end that cannot report its last solve.
+    struct ReportlessDriver {
+        service: PricingService,
+    }
+
+    impl CommandDriver for ReportlessDriver {
+        fn execute(&mut self, command: Command) -> Result<Response, WorkloadError> {
+            Ok(self.service.execute(command)?)
+        }
+
+        fn observed_dirty(&self) -> Option<bool> {
+            None
+        }
+
+        fn solve_report(&mut self) -> Result<Option<RepriceReport>, WorkloadError> {
+            Ok(None)
+        }
+    }
+
+    #[test]
+    fn read_without_a_solve_report_is_a_typed_error_not_a_panic() {
+        // A hand-built trace that leads with a read: the first timed read
+        // absorbs the initial solve, and a driver without solve history
+        // must surface MissingSolveReport instead of panicking.
+        let spec = tiny_spec();
+        let generated = generate(&spec).expect("generate");
+        let seed_batch = seeding_batch(&generated).expect("seed batch");
+        let first_id = ClientId(0);
+        let trace = Trace {
+            setup: vec![
+                TraceOp::AddClients(seed_batch),
+                TraceOp::GetPrices(vec![first_id]),
+            ],
+            steps: Vec::new(),
+            fingerprint: 0,
+        };
+        let config = replay_config(&spec, &trace).expect("config");
+        let service = PricingService::new(config).expect("service");
+        let mut driver = ReportlessDriver { service };
+        let err = replay_with(&spec, &trace, &mut driver).unwrap_err();
+        assert_eq!(err, WorkloadError::MissingSolveReport { step: 0 });
+    }
+
+    #[test]
+    fn driver_generalisation_preserves_the_in_process_outcome() {
+        // replay() is replay_with() over InProcessDriver; pin that the
+        // classification prediction matches the service's real dirty flag
+        // (the debug_assert in timed_read fires otherwise) and that both
+        // entry points agree bit-for-bit.
+        let spec = tiny_spec();
+        let trace = generate(&spec).expect("generate");
+        let via_replay = replay(&spec, &trace).expect("replay");
+        let config = replay_config(&spec, &trace).expect("config");
+        let mut driver = InProcessDriver::new(config).expect("driver");
+        let via_driver = replay_with(&spec, &trace, &mut driver).expect("replay_with");
+        assert_eq!(via_replay.price_checksum, via_driver.price_checksum);
+        assert_eq!(via_replay.final_clients, via_driver.final_clients);
+        assert_eq!(via_replay.solves.len(), via_driver.solves.len());
+        assert_eq!(via_replay.reads.len(), via_driver.reads.len());
+        let warm_a: Vec<bool> = via_replay.solves.iter().map(|s| s.warm).collect();
+        let warm_b: Vec<bool> = via_driver.solves.iter().map(|s| s.warm).collect();
+        assert_eq!(warm_a, warm_b);
     }
 }

@@ -34,6 +34,11 @@ pub struct PhaseStats {
 pub struct WorkloadRecord {
     /// Record discriminator, always `"workload"`.
     pub bench: String,
+    /// Transport the commands travelled over: `"inproc"` (direct calls)
+    /// or `"tcp"` (framed JSON over loopback). Excluded from
+    /// [`WorkloadRecord::deterministic_key`] — the key is the contract
+    /// that the served bits do not depend on the transport.
+    pub transport: String,
     /// Initial population size.
     pub clients: usize,
     /// Traffic steps replayed.
@@ -136,6 +141,7 @@ impl WorkloadRecord {
 
         WorkloadRecord {
             bench: "workload".to_string(),
+            transport: "inproc".to_string(),
             clients: spec.clients,
             steps: spec.steps,
             shards: spec.shards,
@@ -235,6 +241,7 @@ mod tests {
     fn record_roundtrips_through_json() {
         let record = WorkloadRecord {
             bench: "workload".into(),
+            transport: "tcp".into(),
             clients: 100,
             steps: 4,
             shards: 2,
