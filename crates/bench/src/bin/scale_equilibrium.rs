@@ -7,8 +7,14 @@
 //! ```text
 //! scale_equilibrium [--clients N] [--threads T] [--shards S] [--seed S]
 //!                   [--budget-frac F] [--out PATH] [--skip-sequential]
-//!                   [--json] [--json-out PATH]
+//!                   [--fast-path] [--json] [--json-out PATH]
 //! ```
+//!
+//! With `--fast-path`, the run additionally builds the threshold index
+//! (timed), runs the certified fast solve cold and warm (index + hint
+//! reuse), and records the probe-work comparison against the exact
+//! solve — the sub-linear λ-probe demonstration. The exact solve remains
+//! the one whose equilibrium is verified and reported.
 //!
 //! Defaults: 1,000,000 clients, auto threads, 1 shard, seed 2023, budget
 //! at half the saturation path, report appended to
@@ -22,14 +28,16 @@
 //! is appended as one JSON object per line to `results/BENCH_scale.json`
 //! (or the given path) alongside the text report.
 
+use fedfl_core::active_set::ActiveSetIndex;
 use fedfl_core::bound::BoundParams;
 use fedfl_core::equilibrium::StackelbergEquilibrium;
 use fedfl_core::population::{Population, PopulationSpec};
 use fedfl_core::server::{
-    path_budget, path_budget_sharded, solve_kkt, solve_kkt_sharded, SolverOptions,
+    path_budget, path_budget_sharded, solve_kkt, solve_kkt_columns_hinted, solve_kkt_sharded,
+    solve_kkt_sharded_fast_with_index, solve_kkt_sharded_hinted, SolverOptions,
 };
 use fedfl_core::shard::ShardedPopulation;
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -51,6 +59,27 @@ struct JsonRecord {
     negative_payments: usize,
     parallel_matches_sequential: Option<bool>,
     sharded_synthesis_matches_flat: Option<bool>,
+    // --fast-path fields; `None` entries are stripped before writing so
+    // plain runs keep the historical record shape (the ledger schema
+    // rejects nulls).
+    solver_mode: Option<String>,
+    index_build_seconds: Option<f64>,
+    fast_solve_seconds: Option<f64>,
+    fast_warm_solve_seconds: Option<f64>,
+    probe_evaluations: Option<u64>,
+    probe_evaluations_exact: Option<u64>,
+    fast_rel_spend_error: Option<f64>,
+}
+
+/// Everything a `--fast-path` run measured beyond the exact solve.
+struct FastStats {
+    solver_mode: String,
+    index_build_seconds: f64,
+    fast_solve_seconds: f64,
+    fast_warm_solve_seconds: f64,
+    probe_evaluations: u64,
+    probe_evaluations_exact: u64,
+    fast_rel_spend_error: f64,
 }
 
 struct Args {
@@ -62,6 +91,7 @@ struct Args {
     out: Option<String>,
     json: Option<String>,
     skip_sequential: bool,
+    fast_path: bool,
 }
 
 impl Args {
@@ -75,6 +105,7 @@ impl Args {
             out: Some("results/scale_equilibrium.txt".into()),
             json: None,
             skip_sequential: false,
+            fast_path: false,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -113,11 +144,12 @@ impl Args {
                 }
                 "--json-out" => args.json = Some(value("--json-out")?),
                 "--skip-sequential" => args.skip_sequential = true,
+                "--fast-path" => args.fast_path = true,
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` (expected --clients N, --threads T, --shards S, \
                          --seed S, --budget-frac F, --out PATH, --no-out, --json, \
-                         --json-out PATH, --skip-sequential)"
+                         --json-out PATH, --skip-sequential, --fast-path)"
                     ))
                 }
             }
@@ -184,9 +216,29 @@ fn main() {
         args.threads, args.shards
     );
     let t0 = Instant::now();
-    let solution = match &sharded {
-        Some(sharded) => solve_kkt_sharded(sharded, &bound, budget, &options).expect("solve"),
-        None => solve_kkt(&population, &bound, budget, &options).expect("solve"),
+    // With --fast-path the exact solve goes through the diagnostics-
+    // returning entry points (bit-identical to the plain ones) so the
+    // probe-work comparison has an exact baseline.
+    let (solution, exact_diag) = match &sharded {
+        Some(sharded) if args.fast_path => {
+            let (solution, diag) =
+                solve_kkt_sharded_hinted(sharded, &bound, budget, &options, None).expect("solve");
+            (solution, Some(diag))
+        }
+        Some(sharded) => (
+            solve_kkt_sharded(sharded, &bound, budget, &options).expect("solve"),
+            None,
+        ),
+        None if args.fast_path => {
+            let (solution, diag) =
+                solve_kkt_columns_hinted(&population.columns(), &bound, budget, &options, None)
+                    .expect("solve");
+            (solution, Some(diag))
+        }
+        None => (
+            solve_kkt(&population, &bound, budget, &options).expect("solve"),
+            None,
+        ),
     };
     let solve_time = t0.elapsed();
     println!("  {:.3}s", solve_time.as_secs_f64());
@@ -211,6 +263,72 @@ fn main() {
     let sharded_synth_matches = sharded
         .as_ref()
         .map(|sharded| sharded.concat() == population.columns());
+
+    // --fast-path: build the threshold index (timed) and run the
+    // certified fast solve cold and warm against the exact baseline.
+    let fast = if args.fast_path {
+        let flat_sharded;
+        let fast_population = match &sharded {
+            Some(sharded) => sharded,
+            None => {
+                flat_sharded = ShardedPopulation::from_columns(&population.columns(), 1)
+                    .expect("single-shard wrap");
+                &flat_sharded
+            }
+        };
+        println!("building the threshold index ...");
+        let t0 = Instant::now();
+        let index = ActiveSetIndex::build_sharded_threaded(
+            fast_population.shards(),
+            bound.alpha_over_r(),
+            options.q_min,
+            options.config.n_threads,
+        );
+        let index_build_seconds = t0.elapsed().as_secs_f64();
+        println!("  {index_build_seconds:.3}s");
+        println!("fast solve (cold, then warm with index + hint reuse) ...");
+        let t0 = Instant::now();
+        let (fast_cold, cold_diag) = solve_kkt_sharded_fast_with_index(
+            fast_population,
+            &bound,
+            budget,
+            &options,
+            &index,
+            None,
+        )
+        .expect("fast solve");
+        let fast_solve_seconds = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let (_, warm_diag) = solve_kkt_sharded_fast_with_index(
+            fast_population,
+            &bound,
+            budget,
+            &options,
+            &index,
+            Some(cold_diag.t_star),
+        )
+        .expect("fast warm solve");
+        let fast_warm_solve_seconds = t0.elapsed().as_secs_f64();
+        println!(
+            "  cold {fast_solve_seconds:.3}s / warm {fast_warm_solve_seconds:.3}s [{}]",
+            cold_diag.solver_mode
+        );
+        debug_assert_eq!(warm_diag.solver_mode, cold_diag.solver_mode);
+        let exact_diag = exact_diag.expect("exact diagnostics captured under --fast-path");
+        let fast_rel_spend_error =
+            (fast_cold.spent - solution.spent).abs() / solution.spent.abs().max(1.0);
+        Some(FastStats {
+            solver_mode: cold_diag.solver_mode.as_str().to_string(),
+            index_build_seconds,
+            fast_solve_seconds,
+            fast_warm_solve_seconds,
+            probe_evaluations: cold_diag.probe_evaluations,
+            probe_evaluations_exact: exact_diag.probe_evaluations,
+            fast_rel_spend_error,
+        })
+    } else {
+        None
+    };
 
     // Wrap the solution already computed — no third solve.
     let se = StackelbergEquilibrium::from_stage_one(solution, &population, &bound, budget);
@@ -250,6 +368,22 @@ fn main() {
             args.shards
         ));
     }
+    if let Some(fast) = &fast {
+        report.push_str(&format!(
+            "  fast path [{}]: index {:.3}s, cold {:.3}s, warm {:.3}s\n",
+            fast.solver_mode,
+            fast.index_build_seconds,
+            fast.fast_solve_seconds,
+            fast.fast_warm_solve_seconds
+        ));
+        report.push_str(&format!(
+            "  probe work: fast {} vs exact {} spend-evaluations ({:.1}x fewer), rel spend error {:.3e}\n",
+            fast.probe_evaluations,
+            fast.probe_evaluations_exact,
+            fast.probe_evaluations_exact as f64 / (fast.probe_evaluations.max(1)) as f64,
+            fast.fast_rel_spend_error
+        ));
+    }
     print!("{report}");
 
     if let Some(path) = &args.out {
@@ -282,8 +416,22 @@ fn main() {
             negative_payments: negative,
             parallel_matches_sequential: seq_matches,
             sharded_synthesis_matches_flat: sharded_synth_matches,
+            solver_mode: fast.as_ref().map(|f| f.solver_mode.clone()),
+            index_build_seconds: fast.as_ref().map(|f| f.index_build_seconds),
+            fast_solve_seconds: fast.as_ref().map(|f| f.fast_solve_seconds),
+            fast_warm_solve_seconds: fast.as_ref().map(|f| f.fast_warm_solve_seconds),
+            probe_evaluations: fast.as_ref().map(|f| f.probe_evaluations),
+            probe_evaluations_exact: fast.as_ref().map(|f| f.probe_evaluations_exact),
+            fast_rel_spend_error: fast.as_ref().map(|f| f.fast_rel_spend_error),
         };
-        let line = serde_json::to_string(&record).expect("serialize json record");
+        // `None` fields serialize as `null`, which the ledger schema
+        // rejects — strip them so plain runs keep the historical shape
+        // and fast runs only add the fields they measured.
+        let mut value = record.to_value();
+        if let Value::Map(entries) = &mut value {
+            entries.retain(|(_, v)| !matches!(v, Value::Null));
+        }
+        let line = serde_json::to_string(&value).expect("serialize json record");
         if let Some(dir) = std::path::Path::new(path).parent() {
             std::fs::create_dir_all(dir).expect("create results dir");
         }

@@ -14,12 +14,21 @@
 //!          [--surge-every K] [--surge-size N] [--surge-hold K]
 //!          [--budget-every K] [--budget-frac F] [--budget-tail-alpha A]
 //!          [--reads N] [--read-batch N] [--snapshot-every K]
-//!          [--verify-every V] [--min-population N]
+//!          [--verify-every V] [--min-population N] [--fast-path]
 //!          [--transport inproc|tcp] [--record-wire PATH]
-//!          [--assert-price-checksum HEX]
+//!          [--assert-price-checksum HEX] [--assert-solver-mode MODE]
 //!          [--assert-mean-resolve-ms X] [--assert-p99-read-ms X]
 //!          [--out PATH] [--no-out] [--json] [--json-out PATH]
 //! ```
+//!
+//! `--fast-path` replays through the threshold-indexed fast solver;
+//! `verify_every` checkpoints then certify served prices against the
+//! fast-path tolerance instead of bit-identity, and the price checksum is
+//! no longer comparable to exact-solver references.
+//! `--assert-solver-mode exact|threshold_index|threshold_index_fallback`
+//! pins the record's run-level solver mode (CI uses
+//! `--assert-solver-mode threshold_index` to prove certification never
+//! tripped the fallback on the reference trace).
 //!
 //! With `--transport tcp` the trace is replayed through a loopback
 //! `fedfl-net` server instead of direct calls; the served price bits and
@@ -63,6 +72,7 @@ struct Args {
     transport: Transport,
     record_wire: Option<String>,
     assert_price_checksum: Option<String>,
+    assert_solver_mode: Option<String>,
     assert_mean_resolve_ms: Option<f64>,
     assert_p99_read_ms: Option<f64>,
     out: Option<String>,
@@ -76,6 +86,7 @@ impl Args {
             transport: Transport::Inproc,
             record_wire: None,
             assert_price_checksum: None,
+            assert_solver_mode: None,
             assert_mean_resolve_ms: None,
             assert_p99_read_ms: None,
             out: Some("results/workload.txt".into()),
@@ -110,6 +121,7 @@ impl Args {
                 "--snapshot-every" => spec.snapshot_every = parse(value("--snapshot-every")?)?,
                 "--verify-every" => spec.verify_every = parse(value("--verify-every")?)?,
                 "--min-population" => spec.min_population = parse(value("--min-population")?)?,
+                "--fast-path" => spec.fast_path = true,
                 "--transport" => {
                     args.transport = match value("--transport")?.as_str() {
                         "inproc" => Transport::Inproc,
@@ -120,6 +132,9 @@ impl Args {
                 "--record-wire" => args.record_wire = Some(value("--record-wire")?),
                 "--assert-price-checksum" => {
                     args.assert_price_checksum = Some(value("--assert-price-checksum")?)
+                }
+                "--assert-solver-mode" => {
+                    args.assert_solver_mode = Some(value("--assert-solver-mode")?)
                 }
                 "--assert-mean-resolve-ms" => {
                     args.assert_mean_resolve_ms = Some(parse(value("--assert-mean-resolve-ms")?)?)
@@ -242,8 +257,16 @@ fn main() {
         ));
     }
     report.push_str(&format!(
-        "  verified {} / {} steps bit-identical · wall {:.2} s\n",
-        record.verified_steps, record.steps, record.total_wall_seconds
+        "  verified {} / {} steps {} · solver {} · wall {:.2} s\n",
+        record.verified_steps,
+        record.steps,
+        if spec.fast_path {
+            "within fast-path tolerance"
+        } else {
+            "bit-identical"
+        },
+        record.solver_mode,
+        record.total_wall_seconds
     ));
     print!("{report}");
 
@@ -281,6 +304,17 @@ fn main() {
             failed = true;
         } else {
             println!("price checksum {} matches the pinned reference", expected);
+        }
+    }
+    if let Some(expected) = &args.assert_solver_mode {
+        if &record.solver_mode != expected {
+            eprintln!(
+                "workload: solver mode `{}` diverges from the expected `{expected}`",
+                record.solver_mode
+            );
+            failed = true;
+        } else {
+            println!("solver mode `{expected}` as expected");
         }
     }
     if let Some(ceiling) = args.assert_mean_resolve_ms {

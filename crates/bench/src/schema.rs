@@ -79,6 +79,10 @@ pub fn check_line(line: &str) -> Result<RecordKind, String> {
     match field(entries, "bench") {
         None => {
             check_fields(entries, SCALE_REQUIRED)?;
+            check_optional_fields(entries, SCALE_OPTIONAL)?;
+            if let Some(value) = field(entries, "solver_mode") {
+                check_solver_mode("solver_mode", value)?;
+            }
             Ok(RecordKind::Scale)
         }
         Some(Value::Str(name)) if name == "pricing_service" => {
@@ -128,6 +132,18 @@ const SCALE_REQUIRED: &[(&str, FieldType)] = &[
     ("parallel_matches_sequential", FieldType::Bool),
 ];
 
+/// Scale fields only written by `--fast-path` runs: absent on older
+/// records, typed when present.
+const SCALE_OPTIONAL: &[(&str, FieldType)] = &[
+    ("solver_mode", FieldType::Str),
+    ("fast_solve_seconds", FieldType::Number),
+    ("fast_warm_solve_seconds", FieldType::Number),
+    ("index_build_seconds", FieldType::Number),
+    ("probe_evaluations", FieldType::Count),
+    ("probe_evaluations_exact", FieldType::Count),
+    ("fast_rel_spend_error", FieldType::Number),
+];
+
 const PRICING_SERVICE_REQUIRED: &[(&str, FieldType)] = &[
     ("clients", FieldType::Count),
     ("batches", FieldType::Count),
@@ -170,6 +186,7 @@ const WORKLOAD_REQUIRED: &[(&str, FieldType)] = &[
     ("max_dirty_shard_fraction", FieldType::Fraction),
     ("mean_rebuilt_column_fraction", FieldType::Fraction),
     ("verified_steps", FieldType::Count),
+    ("solver_mode", FieldType::Str),
     ("total_wall_seconds", FieldType::Number),
     ("phases", FieldType::Seq),
 ];
@@ -227,6 +244,35 @@ fn check_fields(entries: &[(String, Value)], required: &[(&str, FieldType)]) -> 
         check_type(name, value, ty)?;
     }
     Ok(())
+}
+
+/// Fields that may be absent but must be well-typed when present.
+fn check_optional_fields(
+    entries: &[(String, Value)],
+    optional: &[(&str, FieldType)],
+) -> Result<(), String> {
+    for &(name, ty) in optional {
+        if let Some(value) = field(entries, name) {
+            check_type(name, value, ty)?;
+        }
+    }
+    Ok(())
+}
+
+/// A `solver_mode` value must name one of the three solver paths.
+fn check_solver_mode(name: &str, value: &Value) -> Result<(), String> {
+    match value {
+        Value::Str(mode)
+            if mode == "exact"
+                || mode == "threshold_index"
+                || mode == "threshold_index_fallback" =>
+        {
+            Ok(())
+        }
+        _ => Err(format!(
+            "`{name}` must be `exact`, `threshold_index`, or `threshold_index_fallback`"
+        )),
+    }
 }
 
 fn check_type(name: &str, value: &Value, ty: FieldType) -> Result<(), String> {
@@ -293,6 +339,10 @@ fn check_workload(entries: &[(String, Value)]) -> Result<(), String> {
             _ => return Err(format!("`phases[{i}].phase` must be `steady` or `flash`")),
         }
     }
+    check_solver_mode(
+        "solver_mode",
+        field(entries, "solver_mode").expect("checked as Str above"),
+    )?;
     let count = |name: &str| -> u64 {
         match field(entries, name) {
             Some(Value::U64(x)) => *x,
@@ -321,6 +371,7 @@ mod tests {
         r#""mean_warm_iterations":12.5,"mean_cold_iterations":40.0,"#,
         r#""mean_dirty_shard_fraction":0.5,"max_dirty_shard_fraction":1.0,"#,
         r#""mean_rebuilt_column_fraction":0.25,"verified_steps":2,"#,
+        r#""solver_mode":"exact","#,
         r#""total_wall_seconds":0.5,"phases":[{"phase":"steady","resolves":4,"#,
         r#""resolve_p50_ms":1.0,"resolve_p99_ms":2.0,"reads":8,"#,
         r#""read_p50_ms":0.1,"read_p99_ms":0.2}]}"#
@@ -363,6 +414,45 @@ mod tests {
         assert!(err.contains("transport"), "{err}");
         let tcp = WORKLOAD_LINE.replace(r#""transport":"inproc""#, r#""transport":"tcp""#);
         assert_eq!(check_line(&tcp), Ok(RecordKind::Workload));
+    }
+
+    #[test]
+    fn solver_mode_must_name_a_solver_path() {
+        let fast = WORKLOAD_LINE.replace(
+            r#""solver_mode":"exact""#,
+            r#""solver_mode":"threshold_index""#,
+        );
+        assert_eq!(check_line(&fast), Ok(RecordKind::Workload));
+        let bad = WORKLOAD_LINE.replace(r#""solver_mode":"exact""#, r#""solver_mode":"psychic""#);
+        let err = check_line(&bad).unwrap_err();
+        assert!(err.contains("solver_mode"), "{err}");
+        let missing = WORKLOAD_LINE.replace(r#""solver_mode":"exact","#, "");
+        let err = check_line(&missing).unwrap_err();
+        assert!(err.contains("solver_mode"), "{err}");
+    }
+
+    #[test]
+    fn scale_fast_fields_are_typed_when_present() {
+        const SCALE_LINE: &str = concat!(
+            r#"{"clients":1000,"threads":0,"seed":7,"budget":10.0,"#,
+            r#""synthesize_seconds":0.1,"solve_seconds":0.2,"spent":10.0,"#,
+            r#""budget_tight":true,"saturated":false,"negative_payments":0,"#,
+            r#""parallel_matches_sequential":true"#
+        );
+        let plain = format!("{SCALE_LINE}}}");
+        assert_eq!(check_line(&plain), Ok(RecordKind::Scale));
+        let fast =
+            format!(r#"{SCALE_LINE},"solver_mode":"threshold_index","fast_solve_seconds":0.01,"#)
+                + r#""fast_warm_solve_seconds":0.005,"index_build_seconds":0.03,"#
+                + r#""probe_evaluations":4200,"probe_evaluations_exact":55000,"#
+                + r#""fast_rel_spend_error":1e-9}"#;
+        assert_eq!(check_line(&fast), Ok(RecordKind::Scale));
+        let bad_mode = fast.replace("threshold_index", "warp_drive");
+        assert!(check_line(&bad_mode).unwrap_err().contains("solver_mode"));
+        let bad_count = fast.replace(r#""probe_evaluations":4200"#, r#""probe_evaluations":-1"#);
+        assert!(check_line(&bad_count)
+            .unwrap_err()
+            .contains("probe_evaluations"));
     }
 
     #[test]

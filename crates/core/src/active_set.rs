@@ -1,0 +1,553 @@
+//! Threshold-indexed active sets: sub-linear λ-probes for the Stage-I
+//! solver.
+//!
+//! Every probe of the budget bisection in [`crate::server`] evaluates the
+//! path spend `Σ_n P(q_n(t))·q_n(t)` — an O(N) sweep. But the KKT path is
+//! piecewise in `t = 1/λ`: client `n` sits at the floor `q_min` until the
+//! closed-form **entry threshold**
+//!
+//! ```text
+//! t_entry,n = v_n + c_n·q_min³ / ((α/4R)·a_n²G_n²)
+//! ```
+//!
+//! and at its cap `q_max,n` from the **saturation threshold**
+//!
+//! ```text
+//! t_sat,n = v_n + c_n·q_max,n³ / ((α/4R)·a_n²G_n²)
+//! ```
+//!
+//! (the same expression [`crate::server`]'s `saturation_t` maximises).
+//! Sorting clients by each threshold once — O(N log N) per (re)build —
+//! and holding prefix sums of the per-client spend constants and interior
+//! moments in threshold order turns each probe into **two binary searches
+//! plus an O(1) closed-form evaluation**:
+//!
+//! * floored clients (`t <= t_entry`) contribute the constant
+//!   `2c·q_min² − v·(α/R)·a²G²/q_min` — a suffix sum in entry order;
+//! * saturated clients (`t_sat < t`) contribute the constant
+//!   `2c·q_max² − v·(α/R)·a²G²/q_max` — a prefix sum in saturation order;
+//! * interior clients contribute `A_n(t−v_n)^{2/3} − D_n(t−v_n)^{−1/3}`
+//!   with `A_n = 2c_n^{1/3}((α/4R)a_n²G_n²)^{2/3}` and
+//!   `D_n = v_n(α/R)a_n²G_n²·(c_n/((α/4R)a_n²G_n²))^{1/3}`. That term is
+//!   not separable in `(n, t)` for heterogeneous values, so the index
+//!   evaluates a third-order binomial expansion in `v_n/t` — **exact**
+//!   for zero-value clients and relatively off by `O((v/t)⁴)` otherwise —
+//!   from eight moment prefix sums (`A`, `Av`, `Av²`, `Av³`, `D`, `Dv`,
+//!   `Dv²`, `Dv³`) held in *both* threshold orders, so the interior sum
+//!   at `t` is an entry-order prefix minus a saturation-order prefix.
+//!
+//! The evaluation is a **model**, not the exact chunked reduction: its
+//! summation order differs from the flat solver's fixed chunk tree and
+//! its interior term truncates the value series, so it can never be
+//! bit-pinned to the goldens. [`crate::server::solve_kkt_columns_fast`]
+//! therefore treats the index as a probe accelerator only: the root it
+//! finds is certified against *exact* spend probes and the Theorem-2
+//! residual, and violations fall back to the exact solver.
+//!
+//! # Shard-mergeability
+//!
+//! A [`ThresholdSegment`] is one shard's sorted runs. Because shards are
+//! contiguous segments of the global client order, merging per-segment
+//! stable sorts with [`fedfl_num::prefix::merge_sorted_runs`]'s
+//! leftmost-run-first tie-break reproduces the flat stable sort exactly,
+//! so [`ActiveSetIndex::from_segments`] is **bit-identical** to a flat
+//! [`ActiveSetIndex::from_columns`] build for any shard count — the same
+//! contract [`fedfl_num::parallel`] gives the chunked reductions.
+
+use crate::population::PopulationColumns;
+use fedfl_num::parallel::resolve_threads;
+use fedfl_num::prefix::{
+    count_below, exclusive_prefix_sums, gather, merge_sorted_runs, sort_permutation,
+};
+
+/// Interior moment columns: `A`, `Av`, `Av²`, `Av³`, `D`, `Dv`, `Dv²`,
+/// `Dv³`.
+const MOMENTS: usize = 8;
+
+/// One shard's contribution to a threshold index: both threshold-sorted
+/// runs with their spend constants and interior moments gathered into
+/// sorted order, ready to merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdSegment {
+    len: usize,
+    entry_keys: Vec<f64>,
+    /// Floor-spend constants in entry order.
+    entry_floor: Vec<f64>,
+    /// Interior moments in entry order.
+    entry_moments: [Vec<f64>; MOMENTS],
+    sat_keys: Vec<f64>,
+    /// Saturated-spend constants in saturation order.
+    sat_spend: Vec<f64>,
+    /// Interior moments in saturation order.
+    sat_moments: [Vec<f64>; MOMENTS],
+    finite: bool,
+}
+
+impl ThresholdSegment {
+    /// Build one segment from a shard's columns at the given
+    /// `aor = α/R` and participation floor.
+    ///
+    /// Columns are assumed already validated by the solver entry points
+    /// (positive `a2g2`/`cost`, `q_max > q_min`); degenerate floating
+    /// values (overflowed thresholds or moments) don't panic — they mark
+    /// the segment non-finite, which makes the fast solver fall back to
+    /// the exact path.
+    pub fn build(cols: &PopulationColumns, aor: f64, q_min: f64) -> Self {
+        let n = cols.len();
+        let coef = aor / 4.0;
+        let mut entry_raw = Vec::with_capacity(n);
+        let mut sat_raw = Vec::with_capacity(n);
+        let mut floor_raw = Vec::with_capacity(n);
+        let mut sat_spend_raw = Vec::with_capacity(n);
+        let mut moments_raw: [Vec<f64>; MOMENTS] = std::array::from_fn(|_| Vec::with_capacity(n));
+        let mut finite = true;
+        for i in 0..n {
+            let a2g2 = cols.a2g2[i];
+            let cost = cols.cost[i];
+            let value = cols.value[i];
+            let q_max = cols.q_max[i];
+            let ka = coef * a2g2;
+            let t_entry = value + cost * q_min.powi(3) / ka;
+            // q_max > q_min makes t_sat > t_entry analytically, but a
+            // value-dominated sum can round them equal; the clamp keeps
+            // the invariant `t_entry <= t_sat` the lookup relies on.
+            let t_sat = (value + cost * q_max.powi(3) / ka).max(t_entry);
+            let floor_spend = 2.0 * cost * q_min * q_min - value * aor * a2g2 / q_min;
+            let sat_spend = 2.0 * cost * q_max * q_max - value * aor * a2g2 / q_max;
+            let a = 2.0 * cost.cbrt() * (ka * ka).cbrt();
+            let d = value * aor * a2g2 * (cost / ka).cbrt();
+            let moments = [
+                a,
+                a * value,
+                a * value * value,
+                a * value * value * value,
+                d,
+                d * value,
+                d * value * value,
+                d * value * value * value,
+            ];
+            finite = finite
+                && t_entry.is_finite()
+                && t_sat.is_finite()
+                && floor_spend.is_finite()
+                && sat_spend.is_finite()
+                && moments.iter().all(|m| m.is_finite());
+            entry_raw.push(t_entry);
+            sat_raw.push(t_sat);
+            floor_raw.push(floor_spend);
+            sat_spend_raw.push(sat_spend);
+            for (k, m) in moments.into_iter().enumerate() {
+                moments_raw[k].push(m);
+            }
+        }
+        let entry_perm = sort_permutation(&entry_raw);
+        let sat_perm = sort_permutation(&sat_raw);
+        Self {
+            len: n,
+            entry_keys: gather(&entry_raw, &entry_perm),
+            entry_floor: gather(&floor_raw, &entry_perm),
+            entry_moments: std::array::from_fn(|k| gather(&moments_raw[k], &entry_perm)),
+            sat_keys: gather(&sat_raw, &sat_perm),
+            sat_spend: gather(&sat_spend_raw, &sat_perm),
+            sat_moments: std::array::from_fn(|k| gather(&moments_raw[k], &sat_perm)),
+            finite,
+        }
+    }
+
+    /// Number of clients in the segment.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the segment holds no clients.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The merged, prefix-summed threshold index over a whole population —
+/// the structure every fast λ-probe binary-searches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveSetIndex {
+    len: usize,
+    aor: f64,
+    q_min: f64,
+    entry_keys: Vec<f64>,
+    sat_keys: Vec<f64>,
+    /// Exclusive prefix sums (length `len + 1`) of the spend constants
+    /// and moments, in their respective threshold orders.
+    entry_floor_prefix: Vec<f64>,
+    entry_moment_prefix: [Vec<f64>; MOMENTS],
+    sat_spend_prefix: Vec<f64>,
+    sat_moment_prefix: [Vec<f64>; MOMENTS],
+    finite: bool,
+}
+
+impl ActiveSetIndex {
+    /// Build a flat (single-segment) index.
+    pub fn from_columns(cols: &PopulationColumns, aor: f64, q_min: f64) -> Self {
+        Self::from_segments(&[ThresholdSegment::build(cols, aor, q_min)], aor, q_min)
+    }
+
+    /// Merge per-shard segments into one index.
+    ///
+    /// If the segments are the contiguous shards of a population in shard
+    /// order, the result is bit-identical to [`Self::from_columns`] over
+    /// the concatenated columns — stable per-segment sorts merged
+    /// leftmost-run-first *are* the flat stable sort.
+    pub fn from_segments(segments: &[ThresholdSegment], aor: f64, q_min: f64) -> Self {
+        let len = segments.iter().map(ThresholdSegment::len).sum();
+        let finite = segments.iter().all(|s| s.finite);
+
+        let merge = |keys_of: &dyn Fn(&ThresholdSegment) -> &[f64],
+                     values_of: &dyn Fn(&ThresholdSegment, usize) -> [f64; MOMENTS + 1]|
+         -> (Vec<f64>, Vec<f64>, [Vec<f64>; MOMENTS]) {
+            let runs: Vec<&[f64]> = segments.iter().map(keys_of).collect();
+            let order = merge_sorted_runs(&runs);
+            let mut keys = Vec::with_capacity(len);
+            let mut constants = Vec::with_capacity(len);
+            let mut moments: [Vec<f64>; MOMENTS] = std::array::from_fn(|_| Vec::with_capacity(len));
+            for pos in &order {
+                let segment = &segments[pos.run as usize];
+                let i = pos.index as usize;
+                keys.push(keys_of(segment)[i]);
+                let values = values_of(segment, i);
+                constants.push(values[0]);
+                for (k, slot) in moments.iter_mut().enumerate() {
+                    slot.push(values[k + 1]);
+                }
+            }
+            let constants_prefix = exclusive_prefix_sums(&constants);
+            let moment_prefix = std::array::from_fn(|k| exclusive_prefix_sums(&moments[k]));
+            (keys, constants_prefix, moment_prefix)
+        };
+
+        let (entry_keys, entry_floor_prefix, entry_moment_prefix) =
+            merge(&|s| &s.entry_keys, &|s, i| {
+                let mut values = [s.entry_floor[i]; MOMENTS + 1];
+                for k in 0..MOMENTS {
+                    values[k + 1] = s.entry_moments[k][i];
+                }
+                values
+            });
+        let (sat_keys, sat_spend_prefix, sat_moment_prefix) = merge(&|s| &s.sat_keys, &|s, i| {
+            let mut values = [s.sat_spend[i]; MOMENTS + 1];
+            for k in 0..MOMENTS {
+                values[k + 1] = s.sat_moments[k][i];
+            }
+            values
+        });
+        Self {
+            len,
+            aor,
+            q_min,
+            entry_keys,
+            sat_keys,
+            entry_floor_prefix,
+            entry_moment_prefix,
+            sat_spend_prefix,
+            sat_moment_prefix,
+            finite,
+        }
+    }
+
+    /// Build from shard column-sets, constructing the per-shard segments
+    /// on a scoped worker crew (`n_threads` as in the solvers: 0 = one
+    /// per core). The segment *builds* parallelise; the merge is the
+    /// deterministic leftmost-first merge, so the result is bit-identical
+    /// to the flat build for any shard and thread count.
+    pub fn build_sharded(shards: &[PopulationColumns], aor: f64, q_min: f64) -> Self {
+        Self::build_sharded_threaded(shards, aor, q_min, 0)
+    }
+
+    /// [`Self::build_sharded`] with an explicit thread knob.
+    pub fn build_sharded_threaded(
+        shards: &[PopulationColumns],
+        aor: f64,
+        q_min: f64,
+        n_threads: usize,
+    ) -> Self {
+        let workers = resolve_threads(n_threads).min(shards.len()).max(1);
+        let segments: Vec<ThresholdSegment> = if workers <= 1 || shards.len() <= 1 {
+            shards
+                .iter()
+                .map(|cols| ThresholdSegment::build(cols, aor, q_min))
+                .collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut slots: Vec<Option<ThresholdSegment>> = vec![None; shards.len()];
+            let built: Vec<Vec<(usize, ThresholdSegment)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if s >= shards.len() {
+                                    break;
+                                }
+                                local.push((s, ThresholdSegment::build(&shards[s], aor, q_min)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("segment builder panicked"))
+                    .collect()
+            });
+            for (s, segment) in built.into_iter().flatten() {
+                slots[s] = Some(segment);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every shard built"))
+                .collect()
+        };
+        Self::from_segments(&segments, aor, q_min)
+    }
+
+    /// Number of indexed clients.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index covers no clients.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `α/R` the index was built at (fast solves must match it).
+    pub fn aor(&self) -> f64 {
+        self.aor
+    }
+
+    /// The participation floor the index was built at.
+    pub fn q_min(&self) -> f64 {
+        self.q_min
+    }
+
+    /// Whether some threshold or moment overflowed f64 during the build.
+    /// A degenerate index cannot model spends; the fast solver falls back
+    /// to the exact path immediately.
+    pub fn is_degenerate(&self) -> bool {
+        !self.finite
+    }
+
+    /// A path parameter strictly above every saturation threshold — the
+    /// upper bisection bracket, mirroring the exact solver's
+    /// `saturation_t` epsilon inflation.
+    pub fn bracket_hi(&self) -> f64 {
+        self.sat_keys.last().copied().unwrap_or(0.0).max(0.0) * (1.0 + 1e-12) + 1e-12
+    }
+
+    /// Total spend with every client at its cap — exact (a single
+    /// prefix-sum read), used for the O(1) saturation check.
+    pub fn saturated_spend(&self) -> f64 {
+        self.sat_spend_prefix[self.len]
+    }
+
+    /// Total spend with every client at the floor (the `t <= 0` limit).
+    pub fn floor_spend(&self) -> f64 {
+        self.entry_floor_prefix[self.len]
+    }
+
+    /// The modelled path spend at `t` — the O(log N) λ-probe.
+    ///
+    /// Two binary searches classify the population: clients with
+    /// `t_entry >= t` are floored, clients with `t_sat < t` saturated,
+    /// and the rest interior (evaluated through the truncated value
+    /// series — see the module docs for the certification contract this
+    /// lives under).
+    pub fn spend(&self, t: f64) -> f64 {
+        let past_entry = count_below(&self.entry_keys, t);
+        let saturated = count_below(&self.sat_keys, t);
+        let floored = self.entry_floor_prefix[self.len] - self.entry_floor_prefix[past_entry];
+        let saturated_spend = self.sat_spend_prefix[saturated];
+        let interior = if past_entry > saturated {
+            // Interior clients exist only for t above some positive
+            // entry threshold, so t > 0 and the series in v/t is sound.
+            let mut m = [0.0f64; MOMENTS];
+            for (k, slot) in m.iter_mut().enumerate() {
+                *slot =
+                    self.entry_moment_prefix[k][past_entry] - self.sat_moment_prefix[k][saturated];
+            }
+            let u = t.cbrt();
+            let inv = 1.0 / t;
+            // (1 − v/t)^{2/3}  ≈ 1 − (2/3)x − (1/9)x² − (4/81)x³
+            // (1 − v/t)^{−1/3} ≈ 1 + (1/3)x + (2/9)x² + (14/81)x³
+            let a_series = m[0]
+                - inv
+                    * (m[1] * (2.0 / 3.0) + inv * (m[2] * (1.0 / 9.0) + inv * m[3] * (4.0 / 81.0)));
+            let d_series = m[4]
+                + inv
+                    * (m[5] * (1.0 / 3.0)
+                        + inv * (m[6] * (2.0 / 9.0) + inv * m[7] * (14.0 / 81.0)));
+            (u * u) * a_series - d_series / u
+        } else {
+            0.0
+        };
+        floored + saturated_spend + interior
+    }
+
+    /// Modelled [`crate::server::path_budget`]: the spend at
+    /// `frac · bracket_hi()`. O(log N), same certification caveat as
+    /// [`Self::spend`].
+    pub fn path_budget(&self, frac: f64) -> f64 {
+        self.spend(frac.clamp(0.0, 1.0) * self.bracket_hi())
+    }
+
+    /// Cost of one modelled probe in per-client spend-evaluation units:
+    /// two binary searches (`2·⌈log₂(N+1)⌉`) plus the O(1) closed form.
+    /// The `probe_evaluations` diagnostics count fast probes at this
+    /// cost, making them directly comparable with the exact solver's
+    /// N-per-probe sweeps.
+    pub fn probe_cost(&self) -> u64 {
+        2 * u64::from(u64::BITS - (self.len as u64).leading_zeros()) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::BoundParams;
+    use crate::population::{ParamDist, Population, PopulationSpec, Q_MIN};
+    use crate::shard::ShardedPopulation;
+
+    fn aor() -> f64 {
+        BoundParams::new(4_000.0, 100.0, 1_000)
+            .unwrap()
+            .alpha_over_r()
+    }
+
+    /// The exact per-client path spend the index models.
+    fn naive_spend(cols: &PopulationColumns, aor: f64, q_min: f64, t: f64) -> f64 {
+        let coef = aor / 4.0;
+        (0..cols.len())
+            .map(|i| {
+                let slack = (t - cols.value[i]).max(0.0);
+                let q = (coef * cols.a2g2[i] * slack / cols.cost[i])
+                    .cbrt()
+                    .clamp(q_min, cols.q_max[i]);
+                2.0 * cols.cost[i] * q * q - cols.value[i] * aor * cols.a2g2[i] / q
+            })
+            .sum()
+    }
+
+    #[test]
+    fn model_is_near_exact_for_zero_value_populations() {
+        // With v = 0 the interior series truncates nothing: the model
+        // differs from the exact sweep only by summation order.
+        let spec = PopulationSpec {
+            value: ParamDist::Constant(0.0),
+            ..PopulationSpec::table1_like()
+        };
+        let p = Population::synthesize(700, &spec, 3).unwrap();
+        let cols = p.columns();
+        let index = ActiveSetIndex::from_columns(&cols, aor(), Q_MIN);
+        assert!(!index.is_degenerate());
+        let hi = index.bracket_hi();
+        for frac in [0.0, 1e-6, 0.01, 0.3, 0.7, 0.999, 1.0, 1.5] {
+            let t = frac * hi;
+            let exact = naive_spend(&cols, aor(), Q_MIN, t);
+            let model = index.spend(t);
+            let scale = exact.abs().max(1.0);
+            assert!(
+                (model - exact).abs() <= 1e-9 * scale,
+                "frac {frac}: model {model} vs exact {exact}"
+            );
+        }
+        assert!(
+            (index.floor_spend() - naive_spend(&cols, aor(), Q_MIN, 0.0)).abs()
+                <= 1e-9 * index.floor_spend().abs().max(1.0)
+        );
+        assert!(
+            (index.saturated_spend() - naive_spend(&cols, aor(), Q_MIN, hi)).abs()
+                <= 1e-9 * index.saturated_spend().abs().max(1.0)
+        );
+    }
+
+    #[test]
+    fn model_tracks_exact_spend_for_valued_populations() {
+        // Heterogeneous values exercise the truncated series; at the
+        // equilibrium scales of table1-like populations (t far above v)
+        // the relative error is far below the certification band.
+        let p = Population::synthesize(500, &PopulationSpec::table1_like(), 11).unwrap();
+        let cols = p.columns();
+        let index = ActiveSetIndex::from_columns(&cols, aor(), Q_MIN);
+        let hi = index.bracket_hi();
+        for frac in [0.05, 0.2, 0.5, 0.9] {
+            let t = frac * hi;
+            let exact = naive_spend(&cols, aor(), Q_MIN, t);
+            let model = index.spend(t);
+            assert!(
+                (model - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+                "frac {frac}: model {model} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_to_flat() {
+        let n = fedfl_num::parallel::DEFAULT_CHUNK + 997;
+        let p = Population::synthesize(n, &PopulationSpec::table1_like(), 7).unwrap();
+        let cols = p.columns();
+        let flat = ActiveSetIndex::from_columns(&cols, aor(), Q_MIN);
+        for shard_count in [1usize, 2, 7, 32] {
+            let sharded = ShardedPopulation::from_columns(&cols, shard_count).unwrap();
+            for threads in [1usize, 3] {
+                let index =
+                    ActiveSetIndex::build_sharded_threaded(sharded.shards(), aor(), Q_MIN, threads);
+                assert_eq!(
+                    index, flat,
+                    "index diverged at shard_count {shard_count} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spend_is_monotone_on_a_probe_grid() {
+        let p = Population::synthesize(300, &PopulationSpec::table1_like(), 5).unwrap();
+        let index = ActiveSetIndex::from_columns(&p.columns(), aor(), Q_MIN);
+        let hi = index.bracket_hi();
+        let mut last = f64::NEG_INFINITY;
+        for k in 0..=200 {
+            let s = index.spend(hi * k as f64 / 200.0);
+            assert!(
+                s >= last - 1e-9 * s.abs().max(1.0),
+                "model spend decreased at grid point {k}"
+            );
+            last = s;
+        }
+    }
+
+    #[test]
+    fn degenerate_columns_are_flagged_not_modelled() {
+        // A denormal a2g2 against a huge cost overflows the threshold.
+        let cols = PopulationColumns {
+            a2g2: vec![1e-300, 1.0],
+            cost: vec![1e300, 30.0],
+            value: vec![0.0, 2.0],
+            q_max: vec![1.0, 1.0],
+        };
+        let index = ActiveSetIndex::from_columns(&cols, aor(), Q_MIN);
+        assert!(index.is_degenerate());
+    }
+
+    #[test]
+    fn probe_cost_is_logarithmic() {
+        let cols = PopulationColumns {
+            a2g2: vec![1.0; 1024],
+            cost: vec![30.0; 1024],
+            value: vec![0.0; 1024],
+            q_max: vec![1.0; 1024],
+        };
+        let index = ActiveSetIndex::from_columns(&cols, aor(), Q_MIN);
+        assert_eq!(index.len(), 1024);
+        assert!(index.probe_cost() <= 2 * 11 + 1);
+        assert!(index.probe_cost() >= 2 * 10);
+    }
+}

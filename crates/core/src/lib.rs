@@ -21,6 +21,8 @@
 //!   property checks of Section V-C (budget tightness, Theorem 2 invariant,
 //!   Theorem 3 payment-direction threshold, client utilities).
 //! * [`game`] — the [`game::CplGame`] façade tying the stages together.
+//! * [`active_set`] — the threshold-indexed active-set structure behind
+//!   the opt-in sub-linear λ-probe fast path of the Stage-I solver.
 //!
 //! Extensions beyond the paper's main text (each named as future work in
 //! its Section VII):
@@ -55,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod active_set;
 pub mod bayesian;
 pub mod bound;
 pub mod cost;

@@ -38,6 +38,7 @@
 //! [`SolverConfig::n_threads`] is 1 or 16. Populations up to millions of
 //! clients are in reach; see the `scale_equilibrium` binary.
 
+use crate::active_set::ActiveSetIndex;
 use crate::bound::BoundParams;
 use crate::error::GameError;
 use crate::population::{Population, PopulationColumns, Q_MIN};
@@ -48,6 +49,8 @@ use fedfl_num::solve::{
     ConstraintKind, PgdConfig,
 };
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::time::Instant;
 
 /// Execution configuration shared by the Stage-I solvers: how hard to
 /// iterate and how many workers run the per-client passes.
@@ -536,6 +539,42 @@ pub fn solve_kkt(
     Ok(solve_kkt_view_unchecked(&ShardView::single(&cols), bound, budget, options, None)?.0)
 }
 
+/// Which Stage-I solver path produced a solution.
+///
+/// The exact chunked solver is the default and the certifier; the
+/// threshold-indexed fast path is opt-in and demotes itself to
+/// [`SolverMode::ThresholdIndexFallback`] whenever its certification
+/// fails, in which case the returned solution is the exact solver's,
+/// bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverMode {
+    /// The exact chunked λ-bisection (O(N) per probe, bit-pinned).
+    Exact,
+    /// The threshold-indexed active-set fast path (O(log N) per probe),
+    /// certified against exact probes and the Theorem-2 residual.
+    ThresholdIndex,
+    /// The fast path was requested but certification failed (or the
+    /// index was unusable); the exact solver produced the result.
+    ThresholdIndexFallback,
+}
+
+impl SolverMode {
+    /// Stable snake_case name used in BENCH records and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolverMode::Exact => "exact",
+            SolverMode::ThresholdIndex => "threshold_index",
+            SolverMode::ThresholdIndexFallback => "threshold_index_fallback",
+        }
+    }
+}
+
+impl std::fmt::Display for SolverMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Diagnostics of one KKT solve: where on the path it landed and how the
 /// budget bisection ran. The incremental pricing service's warm-start
 /// contract — bit-identical prices, fewer iterations — is expressed and
@@ -549,11 +588,24 @@ pub struct KktDiagnostics {
     /// Midpoint iterations of the budget bisection (0 for saturated or
     /// endpoint-clamped solves).
     pub bisect_iterations: usize,
-    /// Distinct spend evaluations, including the saturation probe, the
-    /// bisection endpoints and any warm-start verification probes.
+    /// Spend-curve probes, counted at the evaluation site: the saturation
+    /// screen, the bisection endpoints and midpoints, any warm-start
+    /// verification probes, and — on the fast path — the exact
+    /// certification probes.
     pub bisect_evaluations: usize,
     /// Dyadic depth of the bracket the bisection started from (0 = cold).
     pub warm_start_depth: usize,
+    /// Which solver path produced the solution.
+    pub solver_mode: SolverMode,
+    /// Probe-phase work in per-client spend-evaluation units: the exact
+    /// solver pays `N` per probe; the fast path pays
+    /// [`ActiveSetIndex::probe_cost`] (≈ `2·log₂ N`) per modelled probe
+    /// plus `N` for each exact certification probe. Fallback solves
+    /// include the wasted fast-phase work.
+    pub probe_evaluations: u64,
+    /// Nanoseconds spent (re)building the threshold index for this solve
+    /// (0 for the exact path and for solves reusing a caller-held index).
+    pub index_rebuild_ns: u64,
 }
 
 /// [`solve_kkt`] on pre-extracted [`PopulationColumns`] — the sweep/service
@@ -657,7 +709,15 @@ fn solve_kkt_view_unchecked(
 
     // The λ-evaluation: per-shard partial spends merged in shard order,
     // O(N / threads) per probe, materialising no per-client buffers.
-    let spend_at = |t: f64| path_spend(view, aor, options.q_min, t, threads);
+    // Probes are counted here, at the evaluation site, so the saturation
+    // screen and every bisection probe land in one counter (the
+    // bisection's own memo never calls back on a cache hit, so each count
+    // is a real O(N) sweep).
+    let probes = Cell::new(0u64);
+    let spend_at = |t: f64| {
+        probes.set(probes.get() + 1);
+        path_spend(view, aor, options.q_min, t, threads)
+    };
 
     let (t_used, lambda, saturated, stats) = if spend_at(t_hi) <= budget {
         // Whole population affordable at the caps: budget slack.
@@ -703,10 +763,267 @@ fn solve_kkt_view_unchecked(
         KktDiagnostics {
             t_star: t_used,
             bisect_iterations: stats.iterations,
-            bisect_evaluations: stats.evaluations + 1, // + the saturation probe
+            bisect_evaluations: probes.get() as usize,
             warm_start_depth: stats.start_depth,
+            solver_mode: SolverMode::Exact,
+            probe_evaluations: probes.get() * n as u64,
+            index_rebuild_ns: 0,
         },
     ))
+}
+
+/// Clients sampled by the fast path's exact Theorem-2 residual gate.
+const FAST_RESIDUAL_SAMPLE: usize = 1_024;
+/// Seed of the residual gate's deterministic sample stream.
+const FAST_RESIDUAL_SEED: u64 = 0xFA57;
+/// Relative half-widths of the exact bracket-certificate bands, widened
+/// ×100 per retry before the fast path gives up and falls back.
+const CERT_BANDS: [f64; 3] = [1e-9, 1e-7, 1e-5];
+
+/// [`solve_kkt_columns`] through the threshold-indexed active-set fast
+/// path (`SolverMode::ThresholdIndex`).
+///
+/// The budget bisection probes the O(log N) spend *model* of an
+/// [`ActiveSetIndex`] built for this call instead of the O(N) exact
+/// sweep. The root it finds is then **certified** against the exact
+/// solver's ground truth:
+///
+/// 1. an exact monotone bracket certificate — two exact probes per band
+///    of [`CERT_BANDS`] must pin the budget between
+///    `spend(t̂ − ε)` and `spend(t̂ + ε)`;
+/// 2. the exact sampled Theorem-2 residual of the materialised profile
+///    must stay within the solver tolerance.
+///
+/// Any violation (or an unusable/degenerate index) demotes the solve to
+/// the exact path — the returned solution is then bit-identical to
+/// [`solve_kkt_columns_hinted`]'s, flagged `ThresholdIndexFallback`.
+/// Certified fast solutions are *not* bit-pinned to the exact solver:
+/// the index's reordered summation and truncated value series land the
+/// bisection on a root within the certificate band of the exact root,
+/// not on the same bits. The exact solver remains the default and the
+/// goldens' reference.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_kkt_columns`].
+pub fn solve_kkt_columns_fast(
+    cols: &PopulationColumns,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
+    let view = ShardView::single(cols);
+    validate_view(&view, budget, options)?;
+    let build_started = Instant::now();
+    let index = ActiveSetIndex::from_columns(cols, bound.alpha_over_r(), options.q_min);
+    let index_rebuild_ns = build_started.elapsed().as_nanos() as u64;
+    solve_kkt_view_fast(
+        &view,
+        bound,
+        budget,
+        options,
+        &index,
+        index_rebuild_ns,
+        None,
+    )
+}
+
+/// [`solve_kkt_columns_fast`] over shard column-sets: per-shard threshold
+/// segments are built in parallel and merged (a build bit-identical to
+/// the flat index for any shard or thread count), then the solve runs the
+/// same certify-or-fallback contract.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_kkt_columns`].
+pub fn solve_kkt_sharded_fast(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
+    let view = ShardView::of(population);
+    validate_view(&view, budget, options)?;
+    let build_started = Instant::now();
+    let index = ActiveSetIndex::build_sharded_threaded(
+        population.shards(),
+        bound.alpha_over_r(),
+        options.q_min,
+        options.config.n_threads,
+    );
+    let index_rebuild_ns = build_started.elapsed().as_nanos() as u64;
+    solve_kkt_view_fast(
+        &view,
+        bound,
+        budget,
+        options,
+        &index,
+        index_rebuild_ns,
+        None,
+    )
+}
+
+/// [`solve_kkt_sharded_fast`] against a caller-maintained index — the
+/// pricing service's warm re-solve entry point, where the index is reused
+/// across budget-only updates and only rebuilt on churn.
+///
+/// The index must have been built over exactly this population at this
+/// `α/R` and `q_min`; a stale or mismatched index is detected (length,
+/// parameter bits, degeneracy) and demoted to the exact fallback rather
+/// than trusted. `hint` warm-starts the model bisection just like the
+/// exact solver's hinted entry points.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_kkt_columns`].
+pub fn solve_kkt_sharded_fast_with_index(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+    index: &ActiveSetIndex,
+    hint: Option<f64>,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
+    let view = ShardView::of(population);
+    validate_view(&view, budget, options)?;
+    solve_kkt_view_fast(&view, bound, budget, options, index, 0, hint)
+}
+
+/// The certify-or-fallback core of the fast path. `index_rebuild_ns`
+/// is reported through the diagnostics untouched (0 = reused index).
+fn solve_kkt_view_fast(
+    view: &ShardView<'_>,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+    index: &ActiveSetIndex,
+    index_rebuild_ns: u64,
+    hint: Option<f64>,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
+    let n = view.len();
+    let aor = bound.alpha_over_r();
+    let threads = options.config.n_threads;
+    // A usable index describes exactly this population at exactly these
+    // solver knobs; anything else would certify against the wrong curve.
+    let index_usable = index.len() == n
+        && index.aor().to_bits() == aor.to_bits()
+        && index.q_min().to_bits() == options.q_min.to_bits()
+        && !index.is_degenerate()
+        && index.bracket_hi().is_finite();
+    let model_probes = Cell::new(0u64);
+    let exact_probes = Cell::new(0u64);
+
+    let fast: Option<(StageOneSolution, BisectStats, f64)> = 'fast: {
+        if !index_usable {
+            break 'fast None;
+        }
+        let exact_spend = |t: f64| {
+            exact_probes.set(exact_probes.get() + 1);
+            path_spend(view, aor, options.q_min, t, threads)
+        };
+        let t_hi = index.bracket_hi();
+
+        // O(1) saturation screen, certified by a single exact probe.
+        let (t_used, lambda, saturated, stats) =
+            if index.saturated_spend() <= budget && exact_spend(t_hi) <= budget {
+                (t_hi, None, true, BisectStats::default())
+            } else {
+                let model_spend = |t: f64| {
+                    model_probes.set(model_probes.get() + 1);
+                    index.spend(t)
+                };
+                let Ok((t_hat, stats)) = bisect_monotone_instrumented(
+                    model_spend,
+                    budget,
+                    0.0,
+                    t_hi,
+                    options.config.tolerance,
+                    options.config.max_iters,
+                    hint,
+                ) else {
+                    break 'fast None;
+                };
+                if t_hat <= 0.0 {
+                    // Floored root: legitimate only if the exact floor
+                    // spend already exhausts the budget.
+                    if exact_spend(0.0) >= budget {
+                        (t_hat, None, false, stats)
+                    } else {
+                        break 'fast None;
+                    }
+                } else {
+                    // Exact bracket certificate: monotonicity of the exact
+                    // spend pins the exact root inside [t̂ − ε, t̂ + ε]
+                    // whenever the budget sits between the band's probes.
+                    let certified = CERT_BANDS.iter().any(|&band| {
+                        let eps = (band * t_hat).max(options.config.tolerance);
+                        exact_spend(t_hat - eps) <= budget && exact_spend(t_hat + eps) >= budget
+                    });
+                    if !certified {
+                        break 'fast None;
+                    }
+                    (t_hat, Some(1.0 / t_hat), false, stats)
+                }
+            };
+
+        // Materialise exactly, as the exact solver does.
+        let mut q = vec![0.0f64; n];
+        fill_path_profile(view, aor, options.q_min, t_used, &mut q, threads);
+        let mut prices = vec![0.0f64; n];
+        fill_prices(view, aor, &q, &mut prices, threads);
+        if prices.iter().any(|p| !p.is_finite()) {
+            // Let the exact path produce its own (identical) diagnosis.
+            break 'fast None;
+        }
+        let spent = profile_spend(view, aor, &q, threads);
+        let solution = StageOneSolution {
+            q,
+            prices,
+            spent,
+            lambda,
+            saturated,
+        };
+        // Exact Theorem-2 residual gate on the materialised profile.
+        let residual_ok = match theorem2_max_residual_view(
+            view,
+            bound,
+            &solution,
+            FAST_RESIDUAL_SAMPLE,
+            FAST_RESIDUAL_SEED,
+        ) {
+            Some(residual) => residual <= options.config.tolerance.max(1e-9),
+            None => true,
+        };
+        if !residual_ok {
+            break 'fast None;
+        }
+        Some((solution, stats, t_used))
+    };
+
+    let fast_phase_evaluations =
+        model_probes.get() * index.probe_cost() + exact_probes.get() * n as u64;
+    match fast {
+        Some((solution, stats, t_used)) => Ok((
+            solution,
+            KktDiagnostics {
+                t_star: t_used,
+                bisect_iterations: stats.iterations,
+                bisect_evaluations: (model_probes.get() + exact_probes.get()) as usize,
+                warm_start_depth: stats.start_depth,
+                solver_mode: SolverMode::ThresholdIndex,
+                probe_evaluations: fast_phase_evaluations,
+                index_rebuild_ns,
+            },
+        )),
+        None => {
+            let (solution, mut diagnostics) =
+                solve_kkt_view_unchecked(view, bound, budget, options, hint)?;
+            diagnostics.solver_mode = SolverMode::ThresholdIndexFallback;
+            diagnostics.index_rebuild_ns = index_rebuild_ns;
+            diagnostics.probe_evaluations += fast_phase_evaluations;
+            Ok((solution, diagnostics))
+        }
+    }
 }
 
 /// A cheap closed-form estimate of the KKT path parameter `t* = 1/λ*` at

@@ -1,0 +1,294 @@
+//! Certification contract of the threshold-indexed fast path.
+//!
+//! The fast solver is allowed to land on a *different-bits* root than the
+//! exact solver — its probes run over a reordered, series-truncated spend
+//! model — but every certified solve must agree with the exact solver to
+//! within the certification bands:
+//!
+//! * relative price error ≤ 1e-6 against the exact solution;
+//! * exact sampled Theorem-2 residual of the fast profile ≤ 1e-6;
+//! * saturation/floored classification identical.
+//!
+//! And every *fallback* solve must be **bit-identical** to the exact
+//! solver — the fallback is the exact solver.
+//!
+//! Pinned across shard counts {1, 2, 7, 32} × threads {1, 3}, the
+//! proptest population variants of `scale_properties`, and the
+//! heavy-tail Pareto spreads of `heavy_tail`.
+
+use fedfl_core::active_set::ActiveSetIndex;
+use fedfl_core::bound::BoundParams;
+use fedfl_core::population::{ParamDist, Population, PopulationSpec};
+use fedfl_core::server::{
+    path_budget, solve_kkt_columns_fast, solve_kkt_columns_hinted, solve_kkt_sharded_fast,
+    solve_kkt_sharded_fast_with_index, theorem2_max_residual_columns, SolverMode, SolverOptions,
+};
+use fedfl_core::shard::ShardedPopulation;
+use proptest::prelude::*;
+
+fn bound() -> BoundParams {
+    BoundParams::new(4_000.0, 100.0, 1_000).unwrap()
+}
+
+fn spec_for(variant: u8) -> PopulationSpec {
+    let mut spec = PopulationSpec::table1_like();
+    match variant % 3 {
+        0 => {}
+        1 => {
+            spec.weight = ParamDist::Constant(1.0);
+            spec.value = ParamDist::BoundedPareto {
+                lo: 1.0,
+                hi: 50_000.0,
+                alpha: 1.1,
+            };
+        }
+        _ => {
+            spec.weight = ParamDist::LogNormal {
+                median: 10.0,
+                sigma: 1.0,
+            };
+            spec.value = ParamDist::Constant(0.0);
+            spec.cost = ParamDist::Uniform {
+                lo: 10.0,
+                hi: 200.0,
+            };
+        }
+    }
+    spec
+}
+
+/// Fast solve must either certify (and then agree with the exact solver
+/// within the bands) or fall back (and then equal the exact solver bit
+/// for bit). Returns the mode for callers that pin one or the other.
+fn assert_fast_agrees(p: &Population, budget: f64, options: &SolverOptions) -> SolverMode {
+    let b = bound();
+    let cols = p.columns();
+    let (exact, exact_diag) = solve_kkt_columns_hinted(&cols, &b, budget, options, None).unwrap();
+    let (fast, diag) = solve_kkt_columns_fast(&cols, &b, budget, options).unwrap();
+    match diag.solver_mode {
+        SolverMode::ThresholdIndex => {
+            assert_eq!(fast.saturated, exact.saturated, "saturation flag diverged");
+            assert_eq!(
+                fast.lambda.is_some(),
+                exact.lambda.is_some(),
+                "interior/corner classification diverged"
+            );
+            let worst_price = fast
+                .prices
+                .iter()
+                .zip(&exact.prices)
+                .map(|(f, e)| (f - e).abs() / e.abs().max(1.0))
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst_price <= 1e-6,
+                "certified fast prices off by {worst_price:e}"
+            );
+            assert!(
+                (fast.spent - exact.spent).abs() <= 1e-6 * exact.spent.abs().max(1.0),
+                "spent diverged: fast {} vs exact {}",
+                fast.spent,
+                exact.spent
+            );
+            if let Some(residual) = theorem2_max_residual_columns(&cols, &b, &fast, 2_048, 7) {
+                assert!(residual <= 1e-6, "fast Theorem-2 residual {residual:e}");
+            }
+        }
+        SolverMode::ThresholdIndexFallback => {
+            assert_eq!(
+                fast, exact,
+                "fallback must be the exact solver, bit for bit"
+            );
+            assert_eq!(diag.t_star.to_bits(), exact_diag.t_star.to_bits());
+        }
+        SolverMode::Exact => panic!("fast entry point reported Exact mode"),
+    }
+    diag.solver_mode
+}
+
+#[test]
+fn certified_fast_solves_agree_across_shards_and_threads() {
+    let n = fedfl_num::parallel::DEFAULT_CHUNK + 997;
+    let p = Population::synthesize(n, &PopulationSpec::table1_like(), 5).unwrap();
+    let b = bound();
+    let options = SolverOptions::with_threads(1);
+    let budget = path_budget(&p, &b, &options, 0.4);
+    let cols = p.columns();
+    let (exact, _) = solve_kkt_columns_hinted(&cols, &b, budget, &options, None).unwrap();
+    let (flat_fast, flat_diag) = solve_kkt_columns_fast(&cols, &b, budget, &options).unwrap();
+    assert_eq!(
+        flat_diag.solver_mode,
+        SolverMode::ThresholdIndex,
+        "table1-like population should certify"
+    );
+    for shard_count in [1usize, 2, 7, 32] {
+        let sharded = ShardedPopulation::from_columns(&cols, shard_count).unwrap();
+        for threads in [1usize, 3] {
+            let opts = SolverOptions::with_threads(threads);
+            let (fast, diag) = solve_kkt_sharded_fast(&sharded, &b, budget, &opts).unwrap();
+            assert_eq!(diag.solver_mode, SolverMode::ThresholdIndex);
+            // The sharded index build is bit-identical to the flat one and
+            // probes/materialisation share the exact solver's shard-merge
+            // contract, so the fast solve itself is shard- and
+            // thread-invariant bit for bit.
+            assert_eq!(
+                fast, flat_fast,
+                "shards {shard_count} × threads {threads} changed fast bits"
+            );
+            let worst = fast
+                .prices
+                .iter()
+                .zip(&exact.prices)
+                .map(|(f, e)| (f - e).abs() / e.abs().max(1.0))
+                .fold(0.0f64, f64::max);
+            assert!(worst <= 1e-6, "price error {worst:e}");
+        }
+    }
+}
+
+#[test]
+fn reused_index_solves_match_and_hint_cuts_iterations() {
+    let p = Population::synthesize(4_000, &PopulationSpec::table1_like(), 9).unwrap();
+    let b = bound();
+    let options = SolverOptions::default();
+    let budget = path_budget(&p, &b, &options, 0.5);
+    let cols = p.columns();
+    let sharded = ShardedPopulation::from_columns(&cols, 4).unwrap();
+    let index = ActiveSetIndex::build_sharded(sharded.shards(), b.alpha_over_r(), options.q_min);
+    let (cold, cold_diag) =
+        solve_kkt_sharded_fast_with_index(&sharded, &b, budget, &options, &index, None).unwrap();
+    assert_eq!(cold_diag.solver_mode, SolverMode::ThresholdIndex);
+    assert_eq!(
+        cold_diag.index_rebuild_ns, 0,
+        "reused index reports no rebuild"
+    );
+    let (warm, warm_diag) = solve_kkt_sharded_fast_with_index(
+        &sharded,
+        &b,
+        budget,
+        &options,
+        &index,
+        Some(cold_diag.t_star),
+    )
+    .unwrap();
+    assert_eq!(warm_diag.solver_mode, SolverMode::ThresholdIndex);
+    assert_eq!(warm, cold, "hinted fast solve changed bits");
+    assert!(
+        warm_diag.bisect_iterations <= cold_diag.bisect_iterations,
+        "hint increased iterations: {} > {}",
+        warm_diag.bisect_iterations,
+        cold_diag.bisect_iterations
+    );
+    // A stale index (wrong population) is detected, not trusted.
+    let other = Population::synthesize(4_001, &PopulationSpec::table1_like(), 10).unwrap();
+    let other_sharded = ShardedPopulation::from_columns(&other.columns(), 4).unwrap();
+    let (fb, fb_diag) =
+        solve_kkt_sharded_fast_with_index(&other_sharded, &b, budget, &options, &index, None)
+            .unwrap();
+    assert_eq!(fb_diag.solver_mode, SolverMode::ThresholdIndexFallback);
+    let (exact_other, _) =
+        solve_kkt_columns_hinted(&other.columns(), &b, budget, &options, None).unwrap();
+    assert_eq!(fb, exact_other);
+}
+
+#[test]
+fn fast_probes_are_sublinear_on_moderate_instances() {
+    let n = 20_000;
+    let p = Population::synthesize(n, &PopulationSpec::table1_like(), 2023).unwrap();
+    let b = bound();
+    let options = SolverOptions::default();
+    let budget = path_budget(&p, &b, &options, 0.5);
+    let cols = p.columns();
+    let (_, exact_diag) = solve_kkt_columns_hinted(&cols, &b, budget, &options, None).unwrap();
+    let (_, fast_diag) = solve_kkt_columns_fast(&cols, &b, budget, &options).unwrap();
+    assert_eq!(fast_diag.solver_mode, SolverMode::ThresholdIndex);
+    assert!(
+        fast_diag.probe_evaluations * 10 <= exact_diag.probe_evaluations,
+        "fast {} vs exact {} spend evaluations — expected ≥10× fewer",
+        fast_diag.probe_evaluations,
+        exact_diag.probe_evaluations
+    );
+}
+
+#[test]
+fn extreme_spread_population_stays_correct() {
+    // One cheap heavy client plus feather-weights spanning 21 decades of
+    // cost: whether or not the model certifies here, the result must obey
+    // the contract (certified-close or fallback-bit-identical).
+    let p = Population::builder()
+        .weights(vec![1.0 - 1e-19, 5e-20, 5e-20])
+        .g_squared(vec![4.0, 4.0, 4.0])
+        .costs(vec![1e-6, 1e15, 1e15])
+        .values(vec![0.0, 0.0, 0.0])
+        .build()
+        .unwrap();
+    let options = SolverOptions::default();
+    for frac in [1e-60, 1e-9, 0.5] {
+        let budget = path_budget(&p, &bound(), &options, frac);
+        assert_fast_agrees(&p, budget, &options);
+    }
+}
+
+#[test]
+fn pareto_spread_fast_solves_respect_the_contract() {
+    let spec = PopulationSpec {
+        weight: ParamDist::BoundedPareto {
+            lo: 1.0,
+            hi: 1e6,
+            alpha: 0.8,
+        },
+        g_squared: ParamDist::Uniform { lo: 4.0, hi: 36.0 },
+        cost: ParamDist::BoundedPareto {
+            lo: 1e-4,
+            hi: 1e8,
+            alpha: 0.5,
+        },
+        value: ParamDist::Exponential { mean: 4_000.0 },
+        q_max: 1.0,
+    };
+    let p = Population::synthesize(2_000, &spec, 11).unwrap();
+    let options = SolverOptions::default();
+    for frac in [1e-9, 1e-3, 0.3, 0.9] {
+        let budget = path_budget(&p, &bound(), &options, frac);
+        assert_fast_agrees(&p, budget, &options);
+    }
+}
+
+#[test]
+fn corner_budgets_classify_identically() {
+    let p = Population::synthesize(600, &PopulationSpec::table1_like(), 4).unwrap();
+    let b = bound();
+    let options = SolverOptions::default();
+    let cols = p.columns();
+    // Saturated: budget above the all-caps spend.
+    let generous = path_budget(&p, &b, &options, 1.0) * 2.0;
+    let (fast, diag) = solve_kkt_columns_fast(&cols, &b, generous, &options).unwrap();
+    let (exact, _) = solve_kkt_columns_hinted(&cols, &b, generous, &options, None).unwrap();
+    assert!(fast.saturated);
+    assert_eq!(fast.q, exact.q, "saturated profile must match exactly");
+    assert_eq!(diag.bisect_iterations, 0);
+    // Floored: budget below the floor spend (negative here — values make
+    // the floor spend negative-capable, so go far below).
+    let stingy = -1e12;
+    let (fast, _) = solve_kkt_columns_fast(&cols, &b, stingy, &options).unwrap();
+    let (exact, _) = solve_kkt_columns_hinted(&cols, &b, stingy, &options, None).unwrap();
+    assert_eq!(fast.q, exact.q, "floored profile must match exactly");
+    assert!(!fast.saturated);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fast_solves_agree_on_random_populations(
+        n in 2usize..300,
+        seed in 0u64..1_000,
+        variant in 0u8..3,
+        frac in 1e-6f64..1.0,
+        threads in 1usize..4,
+    ) {
+        let p = Population::synthesize(n, &spec_for(variant), seed).unwrap();
+        let options = SolverOptions::with_threads(threads);
+        let budget = path_budget(&p, &bound(), &options, frac);
+        assert_fast_agrees(&p, budget, &options);
+    }
+}

@@ -19,7 +19,10 @@
 use fedfl_core::bound::BoundParams;
 use fedfl_core::game::CplGame;
 use fedfl_core::population::{ParamDist, Population, PopulationSpec, Q_MIN};
-use fedfl_core::server::{path_budget, solve_kkt, solve_m_search, SolverOptions};
+use fedfl_core::server::{
+    path_budget, solve_kkt, solve_kkt_columns_fast, solve_kkt_columns_hinted, solve_m_search,
+    SolverMode, SolverOptions,
+};
 use proptest::prelude::*;
 use std::time::Instant;
 
@@ -278,5 +281,63 @@ fn million_client_equilibrium_smoke() {
     assert!(
         solve_time.as_secs_f64() < 120.0,
         "1M-client solve took {solve_time:?} (budget 120s)"
+    );
+}
+
+/// Release-mode scale gate: the million-client fast-path cross-check of
+/// the sub-linear λ-probe acceptance criteria. The certified fast solve
+/// must spend ≥10× fewer per-client spend evaluations than the exact
+/// probe phase, land within the certification bands, and keep the exact
+/// Theorem-2 residual within the solver tolerance.
+#[test]
+#[ignore = "release-mode scale gate; run with --ignored"]
+fn million_client_fast_path_cross_check() {
+    let spec = PopulationSpec::table1_like();
+    let p = Population::synthesize(1_000_000, &spec, 2023).expect("synthesize 1M");
+    let b = bound();
+    let options = SolverOptions::with_threads(4);
+    let budget = path_budget(&p, &b, &options, 0.5);
+    let cols = p.columns();
+
+    let (exact, exact_diag) =
+        solve_kkt_columns_hinted(&cols, &b, budget, &options, None).expect("exact solve");
+
+    let started = Instant::now();
+    let (fast, fast_diag) = solve_kkt_columns_fast(&cols, &b, budget, &options).expect("fast");
+    let fast_time = started.elapsed();
+
+    assert_eq!(
+        fast_diag.solver_mode,
+        SolverMode::ThresholdIndex,
+        "table1-like 1M population must certify, not fall back"
+    );
+    assert!(
+        fast_diag.probe_evaluations * 10 <= exact_diag.probe_evaluations,
+        "fast {} vs exact {} spend evaluations — expected ≥10× fewer",
+        fast_diag.probe_evaluations,
+        exact_diag.probe_evaluations
+    );
+    let worst_price = fast
+        .prices
+        .iter()
+        .zip(&exact.prices)
+        .map(|(f, e)| (f - e).abs() / e.abs().max(1.0))
+        .fold(0.0f64, f64::max);
+    assert!(worst_price <= 1e-6, "certified price error {worst_price:e}");
+    assert!(
+        (fast.spent - exact.spent).abs() <= 1e-6 * exact.spent.abs().max(1.0),
+        "spent diverged: fast {} vs exact {}",
+        fast.spent,
+        exact.spent
+    );
+    let residual = fedfl_core::server::theorem2_max_residual_columns(&cols, &b, &fast, 10_000, 99)
+        .expect("interior clients in a 1M draw");
+    assert!(residual < 1e-6, "fast Theorem-2 residual {residual}");
+    // Index build + certified solve together must beat the 1.3s exact
+    // probe phase by a wide margin; 20s leaves room for a slow CI core
+    // while still catching an accidental O(N) probe loop.
+    assert!(
+        fast_time.as_secs_f64() < 20.0,
+        "1M fast solve took {fast_time:?} (budget 20s)"
     );
 }

@@ -20,6 +20,10 @@
 //!   the per-client passes of the Stage-I solvers run on a worker pool with
 //!   a fixed summation tree, so results are bit-identical regardless of
 //!   thread count.
+//! * [`prefix`] — stable argsort, exclusive prefix sums and a stable
+//!   k-way merge of sorted runs: the ordering analogue of [`parallel`]'s
+//!   shard-mergeable partial sums, backing the threshold-indexed
+//!   active-set fast path.
 //! * [`linalg`] — dense vector/matrix operations backing the multinomial
 //!   logistic-regression substrate.
 //! * [`stats`] — descriptive statistics (mean, variance, quantiles, Pearson
@@ -44,6 +48,7 @@ pub mod dist;
 pub mod error;
 pub mod linalg;
 pub mod parallel;
+pub mod prefix;
 pub mod rng;
 pub mod roots;
 pub mod search;

@@ -3,12 +3,14 @@
 use crate::error::ServiceError;
 use crate::store::ShardedClientStore;
 use crate::{AvailabilityModel, ClientId, ClientParams};
+use fedfl_core::active_set::ActiveSetIndex;
 use fedfl_core::bound::BoundParams;
 use fedfl_core::server::{
-    estimate_path_parameter_sharded, solve_kkt_sharded_hinted, theorem2_max_residual_sharded,
-    SolverOptions,
+    estimate_path_parameter_sharded, solve_kkt_sharded_fast_with_index, solve_kkt_sharded_hinted,
+    theorem2_max_residual_sharded, SolverMode, SolverOptions,
 };
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Static configuration of a [`PricingService`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +38,16 @@ pub struct ServiceConfig {
     pub residual_sample: usize,
     /// Seed of the deterministic residual sampler.
     pub residual_seed: u64,
+    /// Route re-solves through the threshold-indexed active-set fast path
+    /// (`SolverMode::ThresholdIndex`): λ-probes drop from O(N) to
+    /// O(log N) against an index the service maintains across solves —
+    /// reused verbatim for budget/bound-only updates, rebuilt on churn.
+    /// Opt-in because certified fast prices are *near* the exact solver's
+    /// (within the certification bands), not bit-identical to them; every
+    /// fast solve is certified by exact probes and the Theorem-2 residual
+    /// and falls back to the exact solver on violation. `false` (the
+    /// default) preserves the exact solver's bit-for-bit contract.
+    pub fast_path: bool,
 }
 
 impl ServiceConfig {
@@ -52,6 +64,7 @@ impl ServiceConfig {
             residual_tolerance: 1e-6,
             residual_sample: 1024,
             residual_seed: 0x5EED,
+            fast_path: false,
         }
     }
 
@@ -196,6 +209,18 @@ pub struct RepriceReport {
     /// Clients whose cached columns were recomputed — the dirty-shard
     /// contract's cost, `O(N/S · dirty)` instead of `O(N)`.
     pub rebuilt_columns: usize,
+    /// Which solver path produced the prices: `Exact` when
+    /// [`ServiceConfig::fast_path`] is off, `ThresholdIndex` for a
+    /// certified fast solve, `ThresholdIndexFallback` when certification
+    /// demoted the solve to the exact path.
+    pub solver_mode: SolverMode,
+    /// Probe-phase work in per-client spend-evaluation units (see
+    /// [`fedfl_core::server::KktDiagnostics::probe_evaluations`]).
+    pub probe_evaluations: u64,
+    /// Nanoseconds spent rebuilding the threshold index for this solve
+    /// (0 when the cached index was reused — the budget/bound-only churn
+    /// case — or when the fast path is off).
+    pub index_rebuild_ns: u64,
 }
 
 /// Full view of the current equilibrium.
@@ -238,6 +263,22 @@ struct WarmHint {
     aor: f64,
 }
 
+/// The fast path's cached threshold index plus the stamp it was built
+/// at. The index is a pure function of the assembled population and the
+/// solver parameters `(α/R, q_min)`; the assembled population is a pure
+/// function of the store contents (its mutation `version`) and the
+/// availability flag. A matching stamp therefore proves the cached index
+/// still describes the current population — budget and bound-`β` updates
+/// reuse it with zero rebuild work.
+#[derive(Debug, Clone)]
+struct FastIndexState {
+    index: ActiveSetIndex,
+    store_version: u64,
+    aor_bits: u64,
+    q_min_bits: u64,
+    availability_aware: bool,
+}
+
 /// A long-running pricing service owning a churning, sharded client
 /// population.
 ///
@@ -252,6 +293,7 @@ pub struct PricingService {
     state: Option<PricedState>,
     dirty: bool,
     warm_hint: Option<WarmHint>,
+    fast_index: Option<FastIndexState>,
 }
 
 impl PricingService {
@@ -269,6 +311,7 @@ impl PricingService {
             state: None,
             dirty: true,
             warm_hint: None,
+            fast_index: None,
         })
     }
 
@@ -459,13 +502,57 @@ impl PricingService {
             )
             .unwrap_or(t_scaled)
         });
-        let (solution, diag) = solve_kkt_sharded_hinted(
-            &assembled.population,
-            &self.config.bound,
-            self.config.budget,
-            &self.config.solver,
-            hint,
-        )?;
+        let (solution, diag) = if self.config.fast_path {
+            // Reuse the cached threshold index when the stamp proves the
+            // assembled population and the index parameters are unchanged
+            // (budget/bound-β-only churn); otherwise rebuild it once —
+            // O(N log N) — and cache it under the new stamp.
+            let store_version = self.store.version();
+            let q_min_bits = self.config.solver.q_min.to_bits();
+            let stamp_matches = self.fast_index.as_ref().is_some_and(|cached| {
+                cached.store_version == store_version
+                    && cached.aor_bits == aor.to_bits()
+                    && cached.q_min_bits == q_min_bits
+                    && cached.availability_aware == self.config.availability_aware
+            });
+            let mut index_rebuild_ns = 0u64;
+            if !stamp_matches {
+                let started = Instant::now();
+                let index = ActiveSetIndex::build_sharded_threaded(
+                    assembled.population.shards(),
+                    aor,
+                    self.config.solver.q_min,
+                    self.config.solver.config.n_threads,
+                );
+                index_rebuild_ns = started.elapsed().as_nanos() as u64;
+                self.fast_index = Some(FastIndexState {
+                    index,
+                    store_version,
+                    aor_bits: aor.to_bits(),
+                    q_min_bits,
+                    availability_aware: self.config.availability_aware,
+                });
+            }
+            let index = &self.fast_index.as_ref().expect("cached above").index;
+            let (solution, mut diag) = solve_kkt_sharded_fast_with_index(
+                &assembled.population,
+                &self.config.bound,
+                self.config.budget,
+                &self.config.solver,
+                index,
+                hint,
+            )?;
+            diag.index_rebuild_ns = index_rebuild_ns;
+            (solution, diag)
+        } else {
+            solve_kkt_sharded_hinted(
+                &assembled.population,
+                &self.config.bound,
+                self.config.budget,
+                &self.config.solver,
+                hint,
+            )?
+        };
 
         // Certify the equilibrium before serving it (Theorem 2).
         let residual = theorem2_max_residual_sharded(
@@ -498,6 +585,9 @@ impl PricingService {
             shard_count: self.store.shard_count(),
             dirty_shards: stats.dirty_shards,
             rebuilt_columns: stats.rebuilt_columns,
+            solver_mode: diag.solver_mode,
+            probe_evaluations: diag.probe_evaluations,
+            index_rebuild_ns: diag.index_rebuild_ns,
         };
 
         // Scatter the solved profile back over the full client list.

@@ -114,6 +114,11 @@ pub(crate) struct ShardedClientStore {
     order: Vec<ClientId>,
     index: HashMap<u64, Slot>,
     next_id: u64,
+    /// Monotonically increasing mutation stamp: bumped by every delta that
+    /// can change the assembled solver view (adds, removes, effective
+    /// availability changes). Caches derived from an assembled view — the
+    /// fast path's threshold index — key on this stamp to detect reuse.
+    version: u64,
 }
 
 impl ShardedClientStore {
@@ -124,7 +129,13 @@ impl ShardedClientStore {
             order: Vec::new(),
             index: HashMap::new(),
             next_id: 0,
+            version: 0,
         }
+    }
+
+    /// The current mutation stamp (see the `version` field).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of registered clients.
@@ -164,6 +175,9 @@ impl ShardedClientStore {
             params
                 .validate()
                 .map_err(|reason| ServiceError::InvalidClient { index, reason })?;
+        }
+        if !batch.is_empty() {
+            self.version += 1;
         }
         let mut ids = Vec::with_capacity(batch.len());
         for params in batch {
@@ -207,6 +221,7 @@ impl ShardedClientStore {
         if ids.is_empty() {
             return Ok(0);
         }
+        self.version += 1;
         // Compact each touched shard, preserving per-shard order.
         let mut touched = vec![false; self.shards.len()];
         for &id in ids {
@@ -272,6 +287,11 @@ impl ShardedClientStore {
                     self.shards[slot.shard].cache = None;
                 }
             }
+        }
+        // An availability-blind service's assembled view never reads the
+        // patterns, so only tracked changes advance the stamp.
+        if changed && track_dirty {
+            self.version += 1;
         }
         Ok(changed)
     }

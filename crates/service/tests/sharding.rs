@@ -338,6 +338,105 @@ fn update_bound_matches_a_fresh_deployment_bitwise() {
 }
 
 #[test]
+fn fast_path_service_stays_certified_under_churn_and_reuses_the_index() {
+    use fedfl_core::server::SolverMode;
+
+    // A certified fast solve is near-exact; a fallback is the exact
+    // solver. Either way the fast service must track an exact twin
+    // driven through the identical mutation history.
+    let assert_agrees = |fast: &[f64], exact: &[f64], mode: SolverMode| {
+        assert_ne!(mode, SolverMode::Exact, "fast service ran the plain path");
+        for (i, (f, e)) in fast.iter().zip(exact).enumerate() {
+            if mode == SolverMode::ThresholdIndex {
+                let err = (f - e).abs() / e.abs().max(1.0);
+                assert!(err <= 1e-6, "price[{i}] off by {err:e}");
+            } else {
+                assert_eq!(f.to_bits(), e.to_bits(), "fallback price[{i}] not exact");
+            }
+        }
+    };
+
+    let mut rng = substream(19, 0xFA57);
+    let clients: Vec<ClientParams> = (0..512).map(|_| draw_client(&mut rng, 0)).collect();
+    let budget_pop =
+        Population::from_raw(clients.iter().map(ClientParams::raw_profile).collect()).unwrap();
+    let budget = path_budget(&budget_pop, &bound(), &SolverOptions::default(), 0.4);
+    let mut config = ServiceConfig::new(bound(), budget);
+    config.shards = 8;
+    config.fast_path = true;
+    let mut exact_config = config;
+    exact_config.fast_path = false;
+    let (mut service, ids) = PricingService::with_clients(config, clients.clone()).unwrap();
+    let (mut exact, _) = PricingService::with_clients(exact_config, clients).unwrap();
+
+    let cold = service.reprice().unwrap();
+    assert!(cold.index_rebuild_ns > 0, "cold solve builds the index");
+    assert_agrees(
+        &service.snapshot().unwrap().prices,
+        &exact.snapshot().unwrap().prices,
+        cold.solver_mode,
+    );
+
+    // Budget-only churn leaves the population untouched: the cached
+    // index is reused verbatim and the report says so.
+    service.update_budget(budget * 1.07).unwrap();
+    exact.update_budget(budget * 1.07).unwrap();
+    let budget_only = service.reprice().unwrap();
+    assert_eq!(
+        budget_only.index_rebuild_ns, 0,
+        "budget update must reuse the cached threshold index"
+    );
+    assert_eq!(budget_only.dirty_shards, 0);
+    assert_agrees(
+        &service.snapshot().unwrap().prices,
+        &exact.snapshot().unwrap().prices,
+        budget_only.solver_mode,
+    );
+
+    // Client churn changes the assembled population: rebuild.
+    let adds = vec![
+        ClientParams::always_on(1.0, 4.0, 30.0, 2.0, 1.0),
+        ClientParams::always_on(2.0, 9.0, 40.0, 0.0, 1.0),
+    ];
+    service.add_clients(adds.clone()).unwrap();
+    exact.add_clients(adds).unwrap();
+    service.remove_clients(&[ids[17]]).unwrap();
+    exact.remove_clients(&[ids[17]]).unwrap();
+    let churned = service.reprice().unwrap();
+    assert!(
+        churned.index_rebuild_ns > 0,
+        "churn must invalidate the cached index"
+    );
+    assert_agrees(
+        &service.snapshot().unwrap().prices,
+        &exact.snapshot().unwrap().prices,
+        churned.solver_mode,
+    );
+
+    // A bound update that moves α/R moves every threshold, so the stamp
+    // must invalidate the index even though no shard is dirty. (The
+    // original bound has α/R = 4; this one has α/R = 6 — a same-ratio
+    // update like (6000, 80, 1500) would legitimately keep the index.)
+    let new_bound = BoundParams::new(6_000.0, 80.0, 1_000).unwrap();
+    service.update_bound(new_bound).unwrap();
+    exact.update_bound(new_bound).unwrap();
+    let rebound = service.reprice().unwrap();
+    assert_eq!(rebound.dirty_shards, 0, "bound update dirties no shard");
+    assert!(
+        rebound.index_rebuild_ns > 0,
+        "α/R change must rebuild the threshold index"
+    );
+    assert_agrees(
+        &service.snapshot().unwrap().prices,
+        &exact.snapshot().unwrap().prices,
+        rebound.solver_mode,
+    );
+    if let Some(residual) = rebound.theorem2_residual {
+        assert!(residual < 1e-6, "served equilibrium stays certified");
+    }
+}
+
+#[test]
 fn update_commands_round_trip_through_serde() {
     let commands = vec![
         Command::UpdateBudget(42.5),

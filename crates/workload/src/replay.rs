@@ -16,7 +16,7 @@ use crate::error::WorkloadError;
 use crate::generator::{fnv1a, Phase, Trace, TraceOp};
 use crate::spec::WorkloadSpec;
 use fedfl_core::population::{ClientProfile, Population};
-use fedfl_core::server::{path_budget, solve_kkt_columns_hinted, SolverOptions};
+use fedfl_core::server::{path_budget, solve_kkt_columns_hinted, SolverMode, SolverOptions};
 use fedfl_service::{
     AvailabilityModel, ClientId, ClientParams, Command, PricingService, RepriceReport, Response,
     ServiceConfig, ServiceSnapshot,
@@ -87,6 +87,12 @@ impl CommandDriver for InProcessDriver {
     }
 }
 
+/// Relative tolerance `verify_every` checkpoints allow served prices
+/// under the fast path: one decade of headroom over the per-solve
+/// certification band (relative price error ≤ 1e-6 against the exact
+/// root of the same population).
+const FAST_VERIFY_TOLERANCE: f64 = 1e-5;
+
 /// Timing and warm-start diagnostics of one triggered re-solve.
 #[derive(Debug, Clone, Copy)]
 pub struct SolveSample {
@@ -106,6 +112,13 @@ pub struct SolveSample {
     pub rebuilt_columns: usize,
     /// Clients registered at solve time.
     pub clients: usize,
+    /// Which solver path produced the prices (exact, certified fast, or
+    /// certification fallback).
+    pub mode: SolverMode,
+    /// Probe-phase work in per-client spend-evaluation units.
+    pub probe_evaluations: u64,
+    /// Nanoseconds rebuilding the threshold index (0 on reuse or exact).
+    pub index_rebuild_ns: u64,
 }
 
 /// Timing of one clean (already-priced) read.
@@ -159,6 +172,7 @@ pub fn replay_config(spec: &WorkloadSpec, trace: &Trace) -> Result<ServiceConfig
     config.solver = SolverOptions::with_threads(spec.threads);
     config.availability_aware = true;
     config.shards = spec.shards;
+    config.fast_path = spec.fast_path;
     let initial_population = Population::from_raw(
         initial.iter().map(ClientParams::raw_profile).collect(),
     )
@@ -428,9 +442,21 @@ impl<D: CommandDriver> ReplayRun<'_, D> {
                     ),
                 });
             }
-            if snapshot.prices[i].to_bits() != ref_prices[i].to_bits()
-                || snapshot.q_eff[i].to_bits() != ref_q[i].to_bits()
-            {
+            // The exact solver is bit-reproducible, so bit-identity is the
+            // contract when it served the prices. A certified fast solve is
+            // only near-exact (its probes run over the series-truncated
+            // spend model), so under `fast_path` the checkpoint instead
+            // holds the served bits to the certification tolerance.
+            let matches = if config.fast_path {
+                let close = |served: f64, reference: f64| {
+                    (served - reference).abs() <= FAST_VERIFY_TOLERANCE * reference.abs().max(1.0)
+                };
+                close(snapshot.prices[i], ref_prices[i]) && close(snapshot.q_eff[i], ref_q[i])
+            } else {
+                snapshot.prices[i].to_bits() == ref_prices[i].to_bits()
+                    && snapshot.q_eff[i].to_bits() == ref_q[i].to_bits()
+            };
+            if !matches {
                 return Err(WorkloadError::VerificationFailed {
                     step,
                     detail: format!(
@@ -460,6 +486,9 @@ fn solve_sample(report: &RepriceReport, phase: Phase, millis: f64) -> SolveSampl
         shard_count: report.shard_count,
         rebuilt_columns: report.rebuilt_columns,
         clients: report.clients,
+        mode: report.solver_mode,
+        probe_evaluations: report.probe_evaluations,
+        index_rebuild_ns: report.index_rebuild_ns,
     }
 }
 
@@ -600,6 +629,25 @@ mod tests {
         let iters_a: Vec<usize> = a.solves.iter().map(|s| s.iterations).collect();
         let iters_b: Vec<usize> = b.solves.iter().map(|s| s.iterations).collect();
         assert_eq!(iters_a, iters_b);
+    }
+
+    #[test]
+    fn fast_path_replay_verifies_within_tolerance_and_reuses_the_index() {
+        let mut spec = tiny_spec();
+        spec.fast_path = true;
+        let trace = generate(&spec).expect("generate");
+        let outcome = replay(&spec, &trace).expect("fast-path replay");
+        assert_eq!(outcome.verified_steps, 3);
+        // Every solve went through the fast entry point (certified or
+        // fallback — never silently the plain exact path).
+        assert!(outcome.solves.iter().all(|s| s.mode != SolverMode::Exact));
+        // Every step of this trace churns availability, so each solve
+        // rebuilds the index (reuse under budget-only churn is pinned at
+        // the service level in `fedfl-service`'s sharding tests).
+        assert!(outcome.solves.iter().all(|s| s.index_rebuild_ns > 0));
+        // The trace itself is fast-path independent.
+        let exact_trace = generate(&tiny_spec()).expect("generate");
+        assert_eq!(trace.fingerprint, exact_trace.fingerprint);
     }
 
     /// A driver with no observable dirty flag and no solve history —

@@ -77,8 +77,15 @@ pub struct WorkloadRecord {
     pub max_dirty_shard_fraction: f64,
     /// Mean fraction of client columns recomputed per solve.
     pub mean_rebuilt_column_fraction: f64,
-    /// Steps certified bit-identical to a from-scratch solve.
+    /// Steps certified against a from-scratch solve (bit-identical under
+    /// the exact solver, within the certification tolerance under the
+    /// fast path).
     pub verified_steps: usize,
+    /// The solver path that served the run: `"exact"` when every solve
+    /// ran the exact solver, `"threshold_index"` when every fast solve
+    /// certified, `"threshold_index_fallback"` if any fast solve was
+    /// demoted to the exact path.
+    pub solver_mode: String,
     /// Total replay wall-clock, seconds.
     pub total_wall_seconds: f64,
     /// Per-phase latency buckets (`steady`, then `flash` when surges ran).
@@ -162,6 +169,7 @@ impl WorkloadRecord {
             max_dirty_shard_fraction: dirty_fractions.iter().copied().fold(0.0, f64::max),
             mean_rebuilt_column_fraction: mean(&rebuilt_fractions),
             verified_steps: outcome.verified_steps,
+            solver_mode: run_solver_mode(outcome),
             total_wall_seconds: outcome.total_wall_seconds,
             phases,
         }
@@ -195,6 +203,24 @@ impl WorkloadRecord {
     pub fn mean_resolve_ms(&self, outcome: &ReplayOutcome) -> f64 {
         mean(&outcome.solves.iter().map(|s| s.millis).collect::<Vec<_>>())
     }
+}
+
+/// The run-level solver mode: the worst mode any solve reported, so a
+/// single certification fallback is visible in the record.
+fn run_solver_mode(outcome: &ReplayOutcome) -> String {
+    use fedfl_core::server::SolverMode;
+    let mut mode = SolverMode::Exact;
+    for solve in &outcome.solves {
+        match solve.mode {
+            SolverMode::ThresholdIndexFallback => {
+                mode = SolverMode::ThresholdIndexFallback;
+                break;
+            }
+            SolverMode::ThresholdIndex => mode = SolverMode::ThresholdIndex,
+            SolverMode::Exact => {}
+        }
+    }
+    mode.as_str().to_string()
 }
 
 /// Nearest-rank percentile of an unsorted sample (`0.0` for empty input).
@@ -262,6 +288,7 @@ mod tests {
             max_dirty_shard_fraction: 1.0,
             mean_rebuilt_column_fraction: 0.25,
             verified_steps: 2,
+            solver_mode: "exact".into(),
             total_wall_seconds: 0.5,
             phases: vec![PhaseStats {
                 phase: "steady".into(),

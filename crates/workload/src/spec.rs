@@ -65,6 +65,12 @@ pub struct WorkloadSpec {
     /// Hard floor on the live population; departures are clamped so the
     /// store is never drained to fewer clients than this.
     pub min_population: usize,
+    /// Solve through the threshold-indexed fast path
+    /// ([`fedfl_service::ServiceConfig::fast_path`]). Like
+    /// `shards`/`threads` this only affects how the service executes the
+    /// trace, never the trace itself; `verify_every` checkpoints switch
+    /// from bit-identity to the certification tolerance.
+    pub fast_path: bool,
 }
 
 impl WorkloadSpec {
@@ -99,6 +105,7 @@ impl WorkloadSpec {
             snapshot_every: 6,
             verify_every: 12,
             min_population: 1_000,
+            fast_path: false,
         }
     }
 
