@@ -31,8 +31,12 @@ fn main() {
                 }
                 Ok(summary) => {
                     println!(
-                        "{path}: {} records ok ({} scale, {} pricing_service, {} workload)",
-                        summary.records, summary.scale, summary.pricing_service, summary.workload
+                        "{path}: {} records ok ({} scale, {} pricing_service, {} workload, {} metrics)",
+                        summary.records,
+                        summary.scale,
+                        summary.pricing_service,
+                        summary.workload,
+                        summary.metrics
                     );
                 }
             },

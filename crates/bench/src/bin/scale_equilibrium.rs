@@ -8,7 +8,14 @@
 //! scale_equilibrium [--clients N] [--threads T] [--shards S] [--seed S]
 //!                   [--budget-frac F] [--out PATH] [--skip-sequential]
 //!                   [--fast-path] [--json] [--json-out PATH]
+//!                   [--metrics-out PATH]
 //! ```
+//!
+//! `--metrics-out` appends a `"bench":"metrics"` JSONL export of the
+//! run's solver counters and spans (probe evaluations, bisection
+//! iterations, solve/index-build histograms). Collection forces the
+//! diagnostics-returning solver entry points — bit-identical to the
+//! plain ones.
 //!
 //! With `--fast-path`, the run additionally builds the threshold index
 //! (timed), runs the certified fast solve cold and warm (index + hint
@@ -28,15 +35,19 @@
 //! is appended as one JSON object per line to `results/BENCH_scale.json`
 //! (or the given path) alongside the text report.
 
+use fedfl_bench::metrics_record::MetricsRecord;
+use fedfl_bench::schema::check_line;
 use fedfl_core::active_set::ActiveSetIndex;
 use fedfl_core::bound::BoundParams;
 use fedfl_core::equilibrium::StackelbergEquilibrium;
 use fedfl_core::population::{Population, PopulationSpec};
 use fedfl_core::server::{
     path_budget, path_budget_sharded, solve_kkt, solve_kkt_columns_hinted, solve_kkt_sharded,
-    solve_kkt_sharded_fast_with_index, solve_kkt_sharded_hinted, SolverOptions,
+    solve_kkt_sharded_fast_with_index, solve_kkt_sharded_fast_with_index_observed,
+    solve_kkt_sharded_hinted, SolverOptions,
 };
 use fedfl_core::shard::ShardedPopulation;
+use fedfl_obs::{Metric, Recorder as _, Registry};
 use serde::{Serialize, Value};
 use std::io::Write as _;
 use std::time::Instant;
@@ -90,6 +101,7 @@ struct Args {
     budget_frac: f64,
     out: Option<String>,
     json: Option<String>,
+    metrics_out: Option<String>,
     skip_sequential: bool,
     fast_path: bool,
 }
@@ -104,6 +116,7 @@ impl Args {
             budget_frac: 0.5,
             out: Some("results/scale_equilibrium.txt".into()),
             json: None,
+            metrics_out: None,
             skip_sequential: false,
             fast_path: false,
         };
@@ -143,13 +156,14 @@ impl Args {
                         .get_or_insert_with(|| "results/BENCH_scale.json".into());
                 }
                 "--json-out" => args.json = Some(value("--json-out")?),
+                "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
                 "--skip-sequential" => args.skip_sequential = true,
                 "--fast-path" => args.fast_path = true,
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` (expected --clients N, --threads T, --shards S, \
                          --seed S, --budget-frac F, --out PATH, --no-out, --json, \
-                         --json-out PATH, --skip-sequential, --fast-path)"
+                         --json-out PATH, --metrics-out PATH, --skip-sequential, --fast-path)"
                     ))
                 }
             }
@@ -215,12 +229,14 @@ fn main() {
         "solving the Stackelberg equilibrium (budget {budget:.4e}, threads {}, shards {}) ...",
         args.threads, args.shards
     );
+    let registry = args.metrics_out.as_ref().map(|_| Registry::new());
     let t0 = Instant::now();
-    // With --fast-path the exact solve goes through the diagnostics-
-    // returning entry points (bit-identical to the plain ones) so the
-    // probe-work comparison has an exact baseline.
+    // With --fast-path (or a --metrics-out registry to feed) the exact
+    // solve goes through the diagnostics-returning entry points
+    // (bit-identical to the plain ones) so probe work is measurable.
+    let want_diag = args.fast_path || registry.is_some();
     let (solution, exact_diag) = match &sharded {
-        Some(sharded) if args.fast_path => {
+        Some(sharded) if want_diag => {
             let (solution, diag) =
                 solve_kkt_sharded_hinted(sharded, &bound, budget, &options, None).expect("solve");
             (solution, Some(diag))
@@ -229,7 +245,7 @@ fn main() {
             solve_kkt_sharded(sharded, &bound, budget, &options).expect("solve"),
             None,
         ),
-        None if args.fast_path => {
+        None if want_diag => {
             let (solution, diag) =
                 solve_kkt_columns_hinted(&population.columns(), &bound, budget, &options, None)
                     .expect("solve");
@@ -242,6 +258,10 @@ fn main() {
     };
     let solve_time = t0.elapsed();
     println!("  {:.3}s", solve_time.as_secs_f64());
+    if let (Some(registry), Some(diag)) = (&registry, &exact_diag) {
+        let nanos = u64::try_from(solve_time.as_nanos()).unwrap_or(u64::MAX);
+        diag.record_solve(registry, nanos);
+    }
 
     // Determinism contracts: n_threads = 1 (and, with --shards, the flat
     // unsharded solve) must reproduce the same bits.
@@ -284,30 +304,41 @@ fn main() {
             options.q_min,
             options.config.n_threads,
         );
-        let index_build_seconds = t0.elapsed().as_secs_f64();
+        let index_build_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let index_build_seconds = index_build_ns as f64 / 1e9;
         println!("  {index_build_seconds:.3}s");
+        if let Some(registry) = &registry {
+            registry.add(Metric::SolverIndexBuilds, 1);
+            registry.observe(Metric::SolverIndexBuildNs, index_build_ns);
+        }
         println!("fast solve (cold, then warm with index + hint reuse) ...");
+        // With a registry, the observed entry point records the solve
+        // span, mode counters, and certification-band outcomes itself;
+        // both variants produce bit-identical solutions.
+        let fast_solve = |hint: Option<f64>| match &registry {
+            Some(registry) => solve_kkt_sharded_fast_with_index_observed(
+                fast_population,
+                &bound,
+                budget,
+                &options,
+                &index,
+                hint,
+                registry,
+            ),
+            None => solve_kkt_sharded_fast_with_index(
+                fast_population,
+                &bound,
+                budget,
+                &options,
+                &index,
+                hint,
+            ),
+        };
         let t0 = Instant::now();
-        let (fast_cold, cold_diag) = solve_kkt_sharded_fast_with_index(
-            fast_population,
-            &bound,
-            budget,
-            &options,
-            &index,
-            None,
-        )
-        .expect("fast solve");
+        let (fast_cold, cold_diag) = fast_solve(None).expect("fast solve");
         let fast_solve_seconds = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let (_, warm_diag) = solve_kkt_sharded_fast_with_index(
-            fast_population,
-            &bound,
-            budget,
-            &options,
-            &index,
-            Some(cold_diag.t_star),
-        )
-        .expect("fast warm solve");
+        let (_, warm_diag) = fast_solve(Some(cold_diag.t_star)).expect("fast warm solve");
         let fast_warm_solve_seconds = t0.elapsed().as_secs_f64();
         println!(
             "  cold {fast_solve_seconds:.3}s / warm {fast_warm_solve_seconds:.3}s [{}]",
@@ -442,6 +473,25 @@ fn main() {
             .expect("open json record file");
         writeln!(file, "{line}").expect("write json record");
         println!("appended JSON record to {path}");
+    }
+
+    if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
+        let record = MetricsRecord::new("scale_equilibrium", "none", &registry.snapshot());
+        let line = serde_json::to_string(&record).expect("serialize metrics record");
+        if let Err(err) = check_line(&line) {
+            eprintln!("scale_equilibrium: produced a malformed metrics record: {err}");
+            std::process::exit(1);
+        }
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open metrics record file");
+        writeln!(file, "{line}").expect("write metrics record");
+        println!("appended metrics record to {path}");
     }
 
     let ok = tight

@@ -18,6 +18,8 @@
 //!          [--transport inproc|tcp] [--record-wire PATH]
 //!          [--assert-price-checksum HEX] [--assert-solver-mode MODE]
 //!          [--assert-mean-resolve-ms X] [--assert-p99-read-ms X]
+//!          [--metrics-out PATH] [--assert-counter NAME=V]
+//!          [--assert-counter-min NAME=V]
 //!          [--out PATH] [--no-out] [--json] [--json-out PATH]
 //! ```
 //!
@@ -38,6 +40,13 @@
 //! `--record-wire` dumps every (command, reply) exchange to a JSONL wire
 //! trace.
 //!
+//! `--metrics-out` appends a `"bench":"metrics"` JSONL export of the
+//! run's obs registry (scraped over the wire with `--transport tcp`, so
+//! the exposition path itself is exercised); `--assert-counter NAME=V`
+//! and `--assert-counter-min NAME=V` gate on exported counters, with
+//! NAME accepted with or without the `fedfl_` prefix and `_total`
+//! suffix. Either flag implies metrics collection.
+//!
 //! Defaults are the committed 10k reference trace
 //! ([`WorkloadSpec::reference_10k`]). A human-readable report is appended
 //! to `results/workload.txt`; with `--json`, the machine-readable record
@@ -46,11 +55,14 @@
 //! bit-identity mismatch, a malformed record, or a busted latency
 //! ceiling.
 
+use fedfl_bench::metrics_record::MetricsRecord;
 use fedfl_bench::schema::check_line;
 use fedfl_bench::tcp::replay_over_tcp;
+use fedfl_obs::Registry;
 use fedfl_workload::report::percentile;
-use fedfl_workload::{generate, replay, WorkloadRecord, WorkloadSpec};
+use fedfl_workload::{generate, replay, replay_observed, WorkloadRecord, WorkloadSpec};
 use std::io::Write as _;
+use std::sync::Arc;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Transport {
@@ -77,6 +89,9 @@ struct Args {
     assert_p99_read_ms: Option<f64>,
     out: Option<String>,
     json: Option<String>,
+    metrics_out: Option<String>,
+    assert_counter: Vec<(String, u64)>,
+    assert_counter_min: Vec<(String, u64)>,
 }
 
 impl Args {
@@ -91,6 +106,9 @@ impl Args {
             assert_p99_read_ms: None,
             out: Some("results/workload.txt".into()),
             json: None,
+            metrics_out: None,
+            assert_counter: Vec::new(),
+            assert_counter_min: Vec::new(),
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -142,6 +160,13 @@ impl Args {
                 "--assert-p99-read-ms" => {
                     args.assert_p99_read_ms = Some(parse(value("--assert-p99-read-ms")?)?)
                 }
+                "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+                "--assert-counter" => args
+                    .assert_counter
+                    .push(parse_counter_assert(&value("--assert-counter")?)?),
+                "--assert-counter-min" => args
+                    .assert_counter_min
+                    .push(parse_counter_assert(&value("--assert-counter-min")?)?),
                 "--out" => args.out = Some(value("--out")?),
                 "--no-out" => args.out = None,
                 "--json" => {
@@ -166,6 +191,14 @@ where
     T::Err: std::fmt::Display,
 {
     s.parse().map_err(|e| format!("bad value `{s}`: {e}"))
+}
+
+/// Parse a `NAME=VALUE` counter assertion.
+fn parse_counter_assert(s: &str) -> Result<(String, u64), String> {
+    let (name, value) = s
+        .split_once('=')
+        .ok_or_else(|| format!("bad counter assertion `{s}`: expected NAME=VALUE"))?;
+    Ok((name.to_string(), parse(value.to_string())?))
 }
 
 fn main() {
@@ -205,9 +238,25 @@ fn main() {
         eprintln!("workload: --record-wire needs --transport tcp");
         std::process::exit(2);
     }
-    let outcome = match args.transport {
-        Transport::Inproc => replay(spec, &trace),
-        Transport::Tcp => replay_over_tcp(spec, &trace, args.record_wire.as_deref()),
+    // Metrics are collected whenever they are exported or asserted on;
+    // otherwise the replay runs with the no-op recorder (zero overhead).
+    let want_metrics = args.metrics_out.is_some()
+        || !args.assert_counter.is_empty()
+        || !args.assert_counter_min.is_empty();
+    let (outcome, metrics) = match (args.transport, want_metrics) {
+        (Transport::Inproc, false) => (replay(spec, &trace), None),
+        (Transport::Inproc, true) => {
+            let registry = Arc::new(Registry::new());
+            let outcome = replay_observed(spec, &trace, Arc::clone(&registry));
+            (outcome, Some(registry.snapshot()))
+        }
+        (Transport::Tcp, want) => {
+            let registry = want.then(|| Arc::new(Registry::new()));
+            match replay_over_tcp(spec, &trace, args.record_wire.as_deref(), registry) {
+                Ok((outcome, report)) => (Ok(outcome), report.map(|r| r.snapshot)),
+                Err(err) => (Err(err), None),
+            }
+        }
     };
     let outcome = match outcome {
         Ok(o) => o,
@@ -295,6 +344,54 @@ fn main() {
     }
 
     let mut failed = false;
+    let metrics_record = metrics
+        .as_ref()
+        .map(|snapshot| MetricsRecord::new("workload", args.transport.name(), snapshot));
+    if let Some(record) = &metrics_record {
+        // The export passes the same schema gate as every other record.
+        let line = serde_json::to_string(record).expect("metrics record serializes");
+        if let Err(err) = check_line(&line) {
+            eprintln!("workload: produced a malformed metrics record: {err}");
+            std::process::exit(1);
+        }
+        if let Some(path) = &args.metrics_out {
+            if let Err(err) = append(path, &format!("{line}\n")) {
+                eprintln!("workload: cannot write {path}: {err}");
+                std::process::exit(1);
+            }
+            println!("metrics record appended to {path}");
+        }
+        for (name, expected) in &args.assert_counter {
+            match record.counter(name) {
+                Some(value) if value == *expected => {
+                    println!("counter {name} = {value} as expected");
+                }
+                Some(value) => {
+                    eprintln!("workload: counter {name} = {value}, expected {expected}");
+                    failed = true;
+                }
+                None => {
+                    eprintln!("workload: counter {name} not found in the metrics export");
+                    failed = true;
+                }
+            }
+        }
+        for (name, floor) in &args.assert_counter_min {
+            match record.counter(name) {
+                Some(value) if value >= *floor => {
+                    println!("counter {name} = {value} ≥ {floor} as expected");
+                }
+                Some(value) => {
+                    eprintln!("workload: counter {name} = {value}, expected at least {floor}");
+                    failed = true;
+                }
+                None => {
+                    eprintln!("workload: counter {name} not found in the metrics export");
+                    failed = true;
+                }
+            }
+        }
+    }
     if let Some(expected) = &args.assert_price_checksum {
         if &record.price_checksum != expected {
             eprintln!(

@@ -26,6 +26,7 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod metrics_record;
 pub mod report;
 pub mod schema;
 pub mod setups;

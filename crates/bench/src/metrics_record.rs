@@ -1,0 +1,147 @@
+//! The `"bench":"metrics"` JSONL record: a flattened, schema-checked
+//! export of an obs [`MetricsSnapshot`] that the harness binaries write
+//! next to their bench records (`--metrics-out`).
+//!
+//! Counters and gauges export verbatim; histograms are summarised to
+//! `count`/`sum`/`p50`/`p99`/`max` in nanoseconds, all integers, so the
+//! record can never smuggle a NaN or infinity past the wire codec or the
+//! schema gate.
+
+use fedfl_obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// One named integer sample (a counter's total or a gauge's level).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsEntry {
+    /// Full metric name (`fedfl_<subsystem>_<metric>`).
+    pub name: String,
+    /// The counter total or gauge level at export time.
+    pub value: u64,
+}
+
+/// One histogram, summarised to its nearest-rank quantiles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsHistogramStat {
+    /// Full metric name (`fedfl_<subsystem>_<metric>_ns`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, ns (wrapping, like the live histogram).
+    pub sum: u64,
+    /// Median, ns (upper bound of the median's log2-32 bucket).
+    pub p50_ns: u64,
+    /// 99th percentile, ns (same bucket convention).
+    pub p99_ns: u64,
+    /// Upper bound of the highest occupied bucket, ns.
+    pub max_ns: u64,
+}
+
+/// The `"bench":"metrics"` JSONL record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsRecord {
+    /// Record discriminator, always `"metrics"`.
+    pub bench: String,
+    /// Which harness exported it: `"workload"` or `"scale_equilibrium"`.
+    pub source: String,
+    /// Transport the run drove: `"inproc"`, `"tcp"`, or `"none"` for
+    /// harnesses that call the solver directly.
+    pub transport: String,
+    /// Every counter, zeros included, in registry order.
+    pub counters: Vec<MetricsEntry>,
+    /// Every gauge, zeros included, in registry order.
+    pub gauges: Vec<MetricsEntry>,
+    /// Every histogram, empty ones included, in registry order.
+    pub histograms: Vec<MetricsHistogramStat>,
+}
+
+impl MetricsRecord {
+    /// Flatten a snapshot into the exportable record.
+    pub fn new(source: &str, transport: &str, snapshot: &MetricsSnapshot) -> Self {
+        MetricsRecord {
+            bench: "metrics".to_string(),
+            source: source.to_string(),
+            transport: transport.to_string(),
+            counters: snapshot
+                .counters
+                .iter()
+                .map(|c| MetricsEntry {
+                    name: c.name.clone(),
+                    value: c.value,
+                })
+                .collect(),
+            gauges: snapshot
+                .gauges
+                .iter()
+                .map(|g| MetricsEntry {
+                    name: g.name.clone(),
+                    value: g.value,
+                })
+                .collect(),
+            histograms: snapshot
+                .histograms
+                .iter()
+                .map(|h| MetricsHistogramStat {
+                    name: h.name.clone(),
+                    count: h.histogram.count,
+                    sum: h.histogram.sum,
+                    p50_ns: h.histogram.quantile(0.50),
+                    p99_ns: h.histogram.quantile(0.99),
+                    max_ns: h.histogram.max_value(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Look up a counter by name. Accepts the full name, the name
+    /// without the `fedfl_` prefix, and/or without the `_total` suffix,
+    /// so CI assertions can say `--assert-counter net_error_frames=0`.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let matches = |full: &str| {
+            let stripped = full.strip_prefix("fedfl_").unwrap_or(full);
+            let bare = stripped.strip_suffix("_total").unwrap_or(stripped);
+            full == name || stripped == name || bare == name
+        };
+        self.counters
+            .iter()
+            .find(|c| matches(&c.name))
+            .map(|c| c.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedfl_obs::{Metric, Recorder, Registry};
+
+    #[test]
+    fn record_flattens_a_snapshot_and_resolves_counter_aliases() {
+        let registry = Registry::new();
+        registry.add(Metric::NetFramesDecoded, 7);
+        registry.observe(Metric::NetRequestNs, 100);
+        registry.observe(Metric::NetRequestNs, 10_000);
+        let record = MetricsRecord::new("workload", "tcp", &registry.snapshot());
+
+        assert_eq!(record.bench, "metrics");
+        assert_eq!(record.counter("fedfl_net_frames_decoded_total"), Some(7));
+        assert_eq!(record.counter("net_frames_decoded_total"), Some(7));
+        assert_eq!(record.counter("net_frames_decoded"), Some(7));
+        assert_eq!(record.counter("fedfl_net_error_frames_total"), Some(0));
+        assert_eq!(record.counter("no_such_counter"), None);
+
+        let hist = record
+            .histograms
+            .iter()
+            .find(|h| h.name == "fedfl_net_request_ns")
+            .expect("request histogram exported");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 10_100);
+        // Quantiles report the sample's bucket upper bound: 100 ns lands
+        // in the [100, 101] bucket.
+        assert_eq!(hist.p50_ns, 101);
+        assert!(hist.p99_ns >= 10_000 && hist.max_ns >= hist.p99_ns);
+
+        let json = serde_json::to_string(&record).expect("serialize");
+        let back: MetricsRecord = serde_json::from_str(&json).expect("parse");
+        assert_eq!(record, back);
+    }
+}

@@ -23,6 +23,8 @@ pub struct SchemaSummary {
     pub pricing_service: usize,
     /// `"bench":"workload"` records.
     pub workload: usize,
+    /// `"bench":"metrics"` records.
+    pub metrics: usize,
 }
 
 /// Check a whole JSONL ledger.
@@ -37,6 +39,7 @@ pub fn check_records(text: &str) -> Result<SchemaSummary, String> {
         scale: 0,
         pricing_service: 0,
         workload: 0,
+        metrics: 0,
     };
     for (index, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -48,6 +51,7 @@ pub fn check_records(text: &str) -> Result<SchemaSummary, String> {
             RecordKind::Scale => summary.scale += 1,
             RecordKind::PricingService => summary.pricing_service += 1,
             RecordKind::Workload => summary.workload += 1,
+            RecordKind::Metrics => summary.metrics += 1,
         }
     }
     if summary.records == 0 {
@@ -65,6 +69,8 @@ pub enum RecordKind {
     PricingService,
     /// Closed-loop workload record.
     Workload,
+    /// Flattened obs metrics export.
+    Metrics,
 }
 
 /// Check one JSONL line; returns which record shape it is.
@@ -93,6 +99,11 @@ pub fn check_line(line: &str) -> Result<RecordKind, String> {
             check_fields(entries, WORKLOAD_REQUIRED)?;
             check_workload(entries)?;
             Ok(RecordKind::Workload)
+        }
+        Some(Value::Str(name)) if name == "metrics" => {
+            check_fields(entries, METRICS_REQUIRED)?;
+            check_metrics(entries)?;
+            Ok(RecordKind::Metrics)
         }
         Some(Value::Str(name)) => Err(format!("unknown bench kind `{name}`")),
         Some(other) => Err(format!("`bench` must be a string, found {}", other.kind())),
@@ -189,6 +200,28 @@ const WORKLOAD_REQUIRED: &[(&str, FieldType)] = &[
     ("solver_mode", FieldType::Str),
     ("total_wall_seconds", FieldType::Number),
     ("phases", FieldType::Seq),
+];
+
+const METRICS_REQUIRED: &[(&str, FieldType)] = &[
+    ("source", FieldType::Str),
+    ("transport", FieldType::Str),
+    ("counters", FieldType::Seq),
+    ("gauges", FieldType::Seq),
+    ("histograms", FieldType::Seq),
+];
+
+/// One counter/gauge entry of a metrics record.
+const METRICS_ENTRY_REQUIRED: &[(&str, FieldType)] =
+    &[("name", FieldType::Str), ("value", FieldType::Count)];
+
+/// One histogram summary of a metrics record.
+const METRICS_HISTOGRAM_REQUIRED: &[(&str, FieldType)] = &[
+    ("name", FieldType::Str),
+    ("count", FieldType::Count),
+    ("sum", FieldType::Count),
+    ("p50_ns", FieldType::Count),
+    ("p99_ns", FieldType::Count),
+    ("max_ns", FieldType::Count),
 ];
 
 const PHASE_REQUIRED: &[(&str, FieldType)] = &[
@@ -358,6 +391,62 @@ fn check_workload(entries: &[(String, Value)]) -> Result<(), String> {
     Ok(())
 }
 
+/// Metrics-record sanity beyond per-field types: known source/transport,
+/// well-formed `fedfl_`-prefixed names, and ordered histogram quantiles.
+fn check_metrics(entries: &[(String, Value)]) -> Result<(), String> {
+    match field(entries, "source") {
+        Some(Value::Str(name)) if name == "workload" || name == "scale_equilibrium" => {}
+        _ => return Err("`source` must be `workload` or `scale_equilibrium`".to_string()),
+    }
+    match field(entries, "transport") {
+        Some(Value::Str(name)) if name == "inproc" || name == "tcp" || name == "none" => {}
+        _ => return Err("`transport` must be `inproc`, `tcp`, or `none`".to_string()),
+    }
+    let check_name = |path: &str, entry: &[(String, Value)]| -> Result<(), String> {
+        match field(entry, "name") {
+            Some(Value::Str(name)) if name.starts_with("fedfl_") => Ok(()),
+            _ => Err(format!("`{path}.name` must start with `fedfl_`")),
+        }
+    };
+    for list in ["counters", "gauges"] {
+        let items = field(entries, list)
+            .and_then(Value::as_seq)
+            .expect("checked as Seq above");
+        for (i, item) in items.iter().enumerate() {
+            let path = format!("{list}[{i}]");
+            let entry = item
+                .as_map()
+                .ok_or_else(|| format!("`{path}` must be an object"))?;
+            check_fields(entry, METRICS_ENTRY_REQUIRED)?;
+            check_name(&path, entry)?;
+        }
+    }
+    let histograms = field(entries, "histograms")
+        .and_then(Value::as_seq)
+        .expect("checked as Seq above");
+    for (i, item) in histograms.iter().enumerate() {
+        let path = format!("histograms[{i}]");
+        let entry = item
+            .as_map()
+            .ok_or_else(|| format!("`{path}` must be an object"))?;
+        check_fields(entry, METRICS_HISTOGRAM_REQUIRED)?;
+        check_name(&path, entry)?;
+        let count = |name: &str| match field(entry, name) {
+            Some(Value::U64(x)) => *x,
+            Some(Value::I64(x)) => *x as u64,
+            _ => 0,
+        };
+        if count("count") > 0
+            && !(count("p50_ns") <= count("p99_ns") && count("p99_ns") <= count("max_ns"))
+        {
+            return Err(format!(
+                "`{path}` quantiles are not ordered (p50 ≤ p99 ≤ max)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +542,48 @@ mod tests {
         assert!(check_line(&bad_count)
             .unwrap_err()
             .contains("probe_evaluations"));
+    }
+
+    const METRICS_LINE: &str = concat!(
+        r#"{"bench":"metrics","source":"workload","transport":"tcp","#,
+        r#""counters":[{"name":"fedfl_net_frames_decoded_total","value":42}],"#,
+        r#""gauges":[{"name":"fedfl_service_clients","value":10}],"#,
+        r#""histograms":[{"name":"fedfl_net_request_ns","count":42,"#,
+        r#""sum":123456,"p50_ns":2000,"p99_ns":9000,"max_ns":9000}]}"#
+    );
+
+    #[test]
+    fn metrics_record_passes() {
+        assert_eq!(check_line(METRICS_LINE), Ok(RecordKind::Metrics));
+        let scale = METRICS_LINE
+            .replace(r#""source":"workload""#, r#""source":"scale_equilibrium""#)
+            .replace(r#""transport":"tcp""#, r#""transport":"none""#);
+        assert_eq!(check_line(&scale), Ok(RecordKind::Metrics));
+    }
+
+    #[test]
+    fn metrics_record_rejects_bad_source_name_and_null() {
+        let bad_source = METRICS_LINE.replace(r#""source":"workload""#, r#""source":"elsewhere""#);
+        assert!(check_line(&bad_source).unwrap_err().contains("source"));
+        let bad_name = METRICS_LINE.replace("fedfl_service_clients", "service_clients");
+        assert!(check_line(&bad_name).unwrap_err().contains("fedfl_"));
+        let null_value = METRICS_LINE.replace(r#""value":42"#, r#""value":null"#);
+        assert!(check_line(&null_value).unwrap_err().contains("null"));
+        let negative = METRICS_LINE.replace(r#""value":42"#, r#""value":-3"#);
+        assert!(check_line(&negative).unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn metrics_record_rejects_unordered_quantiles() {
+        let bad = METRICS_LINE.replace(r#""p99_ns":9000"#, r#""p99_ns":1000"#);
+        let err = check_line(&bad).unwrap_err();
+        assert!(err.contains("quantiles"), "{err}");
+        // An empty histogram may be all zeros.
+        let empty = METRICS_LINE.replace(
+            r#""count":42,"sum":123456,"p50_ns":2000,"p99_ns":9000,"max_ns":9000"#,
+            r#""count":0,"sum":0,"p50_ns":0,"p99_ns":0,"max_ns":0"#,
+        );
+        assert_eq!(check_line(&empty), Ok(RecordKind::Metrics));
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //! carrying two loopback hops) may differ.
 
 use fedfl_net::{serve, PricingClient, ServerOptions, WireRecorder};
+use fedfl_obs::{MetricsReport, NoopRecorder, Registry};
 use fedfl_service::{Command, PricingService, RepriceReport, Response};
 use fedfl_workload::{
-    replay_config, replay_with, CommandDriver, ReplayOutcome, Trace, WorkloadError, WorkloadSpec,
+    replay_config, replay_with_recorder, CommandDriver, ReplayOutcome, Trace, WorkloadError,
+    WorkloadSpec,
 };
 use std::net::TcpListener;
+use std::sync::Arc;
 
 /// A [`CommandDriver`] that sends every command through a TCP connection.
 pub struct TcpDriver {
@@ -61,6 +64,13 @@ impl CommandDriver for TcpDriver {
 /// `record_wire`, every (command, reply) exchange is appended to a JSONL
 /// wire trace at that path.
 ///
+/// With `registry`, the whole stack records into it — the server adopts
+/// it for solver/service/net metrics (the loopback server shares the
+/// process) and the replay loop records its command counts and latency
+/// spans — and the returned report is a genuine wire scrape: one
+/// `Metrics` command issued over the connection after the replay, so the
+/// export also proves the exposition path works end to end.
+///
 /// # Errors
 ///
 /// Returns [`WorkloadError::Transport`] for server-boot, connection, or
@@ -69,10 +79,14 @@ pub fn replay_over_tcp(
     spec: &WorkloadSpec,
     trace: &Trace,
     record_wire: Option<&str>,
-) -> Result<ReplayOutcome, WorkloadError> {
+    registry: Option<Arc<Registry>>,
+) -> Result<(ReplayOutcome, Option<MetricsReport>), WorkloadError> {
     let transport = |detail: String| WorkloadError::Transport { detail };
     let config = replay_config(spec, trace)?;
-    let service = PricingService::new(config)?;
+    let service = match &registry {
+        Some(registry) => PricingService::with_recorder(config, Arc::clone(registry))?,
+        None => PricingService::new(config)?,
+    };
     let recorder = match record_wire {
         Some(path) => Some(
             WireRecorder::to_file(path)
@@ -87,9 +101,21 @@ pub fn replay_over_tcp(
     let client = PricingClient::connect(handle.addr())
         .map_err(|e| transport(format!("cannot connect to {}: {e}", handle.addr())))?;
     let mut driver = TcpDriver::new(client);
-    let outcome = replay_with(spec, trace, &mut driver);
+    let outcome = match &registry {
+        Some(registry) => replay_with_recorder(spec, trace, &mut driver, &**registry),
+        None => replay_with_recorder(spec, trace, &mut driver, &NoopRecorder),
+    };
+    let report = match (&outcome, registry) {
+        (Ok(_), Some(_)) => Some(
+            driver
+                .client
+                .metrics()
+                .map_err(|e| transport(format!("metrics scrape failed after replay: {e}")))?,
+        ),
+        _ => None,
+    };
     handle.shutdown();
-    outcome
+    Ok((outcome?, report))
 }
 
 #[cfg(test)]
@@ -120,7 +146,8 @@ mod tests {
     fn tcp_replay_is_bit_identical_to_in_process() {
         let spec = tiny_spec();
         let trace = generate(&spec).expect("trace");
-        let wire = replay_over_tcp(&spec, &trace, None).expect("tcp replay");
+        let (wire, report) = replay_over_tcp(&spec, &trace, None, None).expect("tcp replay");
+        assert!(report.is_none());
         let local = replay(&spec, &trace).expect("in-process replay");
         assert_eq!(wire.price_checksum, local.price_checksum);
         assert_eq!(wire.final_clients, local.final_clients);
@@ -138,6 +165,37 @@ mod tests {
     }
 
     #[test]
+    fn tcp_replay_scrapes_a_report_covering_the_whole_stack() {
+        let spec = tiny_spec();
+        let trace = generate(&spec).expect("trace");
+        let registry = Arc::new(Registry::new());
+        let (wire, report) =
+            replay_over_tcp(&spec, &trace, None, Some(Arc::clone(&registry))).expect("tcp replay");
+        let report = report.expect("scrape returned");
+        let snap = &report.snapshot;
+        // One shared registry: the scrape sees the solver, service, net
+        // and workload layers of the same run.
+        assert_eq!(
+            snap.counter("fedfl_solver_solves_total"),
+            Some(wire.solves.len() as u64)
+        );
+        assert_eq!(
+            snap.counter("fedfl_service_reprices_total"),
+            Some(wire.solves.len() as u64)
+        );
+        assert!(snap.counter("fedfl_net_frames_decoded_total").unwrap() > 0);
+        assert_eq!(snap.counter("fedfl_net_error_frames_total"), Some(0));
+        assert!(snap.counter("fedfl_workload_commands_total").unwrap() > 0);
+        assert_eq!(
+            snap.counter("fedfl_workload_verified_steps_total"),
+            Some(wire.verified_steps as u64)
+        );
+        // Observed TCP replay serves the same bits as the plain one.
+        let local = replay(&spec, &trace).expect("in-process replay");
+        assert_eq!(wire.price_checksum, local.price_checksum);
+    }
+
+    #[test]
     fn tcp_replay_wire_trace_replays_bit_for_bit() {
         let spec = tiny_spec();
         let trace = generate(&spec).expect("trace");
@@ -145,7 +203,7 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("wire.jsonl");
         let path_str = path.to_str().expect("utf-8 temp path");
-        replay_over_tcp(&spec, &trace, Some(path_str)).expect("tcp replay");
+        replay_over_tcp(&spec, &trace, Some(path_str), None).expect("tcp replay");
         let text = std::fs::read_to_string(&path).expect("trace written");
         let records = fedfl_net::load_records(&text).expect("trace parses");
         assert!(!records.is_empty());

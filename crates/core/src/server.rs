@@ -48,9 +48,9 @@ use fedfl_num::solve::{
     bisect_monotone_instrumented, penalty_minimize, BisectStats, BoxConstraints, ConstraintFn,
     ConstraintKind, PgdConfig,
 };
+use fedfl_obs::{Metric, NoopRecorder, Recorder, Stopwatch};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
-use std::time::Instant;
 
 /// Execution configuration shared by the Stage-I solvers: how hard to
 /// iterate and how many workers run the per-client passes.
@@ -608,6 +608,35 @@ pub struct KktDiagnostics {
     pub index_rebuild_ns: u64,
 }
 
+impl KktDiagnostics {
+    /// Record this solve into `recorder`: the per-mode solve counters,
+    /// the probe/iteration totals, the solve wall time, and — when this
+    /// solve built its own index — the index-build span.
+    ///
+    /// The `_observed` solver entry points call this once per solve;
+    /// callers holding their own diagnostics (e.g. bench bins) can call
+    /// it directly so every surface feeds the same counters.
+    pub fn record_solve<R: Recorder + ?Sized>(&self, recorder: &R, solve_ns: u64) {
+        recorder.add(Metric::SolverSolves, 1);
+        let mode_metric = match self.solver_mode {
+            SolverMode::Exact => Metric::SolverExactSolves,
+            SolverMode::ThresholdIndex => Metric::SolverFastSolves,
+            SolverMode::ThresholdIndexFallback => Metric::SolverFallbackSolves,
+        };
+        recorder.add(mode_metric, 1);
+        recorder.add(Metric::SolverProbeEvaluations, self.probe_evaluations);
+        recorder.add(
+            Metric::SolverBisectIterations,
+            self.bisect_iterations as u64,
+        );
+        recorder.observe(Metric::SolverSolveNs, solve_ns);
+        if self.index_rebuild_ns > 0 {
+            recorder.add(Metric::SolverIndexBuilds, 1);
+            recorder.observe(Metric::SolverIndexBuildNs, self.index_rebuild_ns);
+        }
+    }
+}
+
 /// [`solve_kkt`] on pre-extracted [`PopulationColumns`] — the sweep/service
 /// entry point that keeps the columns alive across many solves.
 ///
@@ -665,6 +694,31 @@ pub fn solve_kkt_sharded_hinted(
     let view = ShardView::of(population);
     validate_view(&view, budget, options)?;
     solve_kkt_view_unchecked(&view, bound, budget, options, hint)
+}
+
+/// [`solve_kkt_sharded_hinted`] recording solve metrics into `recorder`.
+///
+/// The solve itself is byte-for-byte the unobserved one — the recorder is
+/// only fed afterwards from the diagnostics plus a [`Stopwatch`] span, so
+/// the bit-identity contract holds for any recorder.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_kkt_columns`].
+pub fn solve_kkt_sharded_hinted_observed<R: Recorder + ?Sized>(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+    hint: Option<f64>,
+    recorder: &R,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
+    let view = ShardView::of(population);
+    validate_view(&view, budget, options)?;
+    let watch = Stopwatch::start();
+    let (solution, diagnostics) = solve_kkt_view_unchecked(&view, bound, budget, options, hint)?;
+    diagnostics.record_solve(recorder, watch.elapsed_ns());
+    Ok((solution, diagnostics))
 }
 
 /// [`solve_kkt_columns`] with an optional warm-start hint, returning solve
@@ -814,9 +868,9 @@ pub fn solve_kkt_columns_fast(
 ) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
     let view = ShardView::single(cols);
     validate_view(&view, budget, options)?;
-    let build_started = Instant::now();
+    let build_watch = Stopwatch::start();
     let index = ActiveSetIndex::from_columns(cols, bound.alpha_over_r(), options.q_min);
-    let index_rebuild_ns = build_started.elapsed().as_nanos() as u64;
+    let index_rebuild_ns = build_watch.elapsed_ns();
     solve_kkt_view_fast(
         &view,
         bound,
@@ -825,6 +879,7 @@ pub fn solve_kkt_columns_fast(
         &index,
         index_rebuild_ns,
         None,
+        &NoopRecorder,
     )
 }
 
@@ -844,14 +899,14 @@ pub fn solve_kkt_sharded_fast(
 ) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
     let view = ShardView::of(population);
     validate_view(&view, budget, options)?;
-    let build_started = Instant::now();
+    let build_watch = Stopwatch::start();
     let index = ActiveSetIndex::build_sharded_threaded(
         population.shards(),
         bound.alpha_over_r(),
         options.q_min,
         options.config.n_threads,
     );
-    let index_rebuild_ns = build_started.elapsed().as_nanos() as u64;
+    let index_rebuild_ns = build_watch.elapsed_ns();
     solve_kkt_view_fast(
         &view,
         bound,
@@ -860,6 +915,7 @@ pub fn solve_kkt_sharded_fast(
         &index,
         index_rebuild_ns,
         None,
+        &NoopRecorder,
     )
 }
 
@@ -886,12 +942,41 @@ pub fn solve_kkt_sharded_fast_with_index(
 ) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
     let view = ShardView::of(population);
     validate_view(&view, budget, options)?;
-    solve_kkt_view_fast(&view, bound, budget, options, index, 0, hint)
+    solve_kkt_view_fast(&view, bound, budget, options, index, 0, hint, &NoopRecorder)
+}
+
+/// [`solve_kkt_sharded_fast_with_index`] recording solve metrics — the
+/// per-mode counters, probe totals, certification-band outcomes and the
+/// solve span — into `recorder`. The solve is byte-for-byte the
+/// unobserved one for any recorder.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_kkt_columns`].
+pub fn solve_kkt_sharded_fast_with_index_observed<R: Recorder + ?Sized>(
+    population: &ShardedPopulation,
+    bound: &BoundParams,
+    budget: f64,
+    options: &SolverOptions,
+    index: &ActiveSetIndex,
+    hint: Option<f64>,
+    recorder: &R,
+) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
+    let view = ShardView::of(population);
+    validate_view(&view, budget, options)?;
+    let watch = Stopwatch::start();
+    let (solution, diagnostics) =
+        solve_kkt_view_fast(&view, bound, budget, options, index, 0, hint, recorder)?;
+    diagnostics.record_solve(recorder, watch.elapsed_ns());
+    Ok((solution, diagnostics))
 }
 
 /// The certify-or-fallback core of the fast path. `index_rebuild_ns`
 /// is reported through the diagnostics untouched (0 = reused index).
-fn solve_kkt_view_fast(
+/// `recorder` only receives certification outcomes (band hits, failures,
+/// residual rejects) — it never influences the solve.
+#[allow(clippy::too_many_arguments)]
+fn solve_kkt_view_fast<R: Recorder + ?Sized>(
     view: &ShardView<'_>,
     bound: &BoundParams,
     budget: f64,
@@ -899,6 +984,7 @@ fn solve_kkt_view_fast(
     index: &ActiveSetIndex,
     index_rebuild_ns: u64,
     hint: Option<f64>,
+    recorder: &R,
 ) -> Result<(StageOneSolution, KktDiagnostics), GameError> {
     let n = view.len();
     let aor = bound.alpha_over_r();
@@ -924,47 +1010,54 @@ fn solve_kkt_view_fast(
         let t_hi = index.bracket_hi();
 
         // O(1) saturation screen, certified by a single exact probe.
-        let (t_used, lambda, saturated, stats) =
-            if index.saturated_spend() <= budget && exact_spend(t_hi) <= budget {
-                (t_hi, None, true, BisectStats::default())
-            } else {
-                let model_spend = |t: f64| {
-                    model_probes.set(model_probes.get() + 1);
-                    index.spend(t)
-                };
-                let Ok((t_hat, stats)) = bisect_monotone_instrumented(
-                    model_spend,
-                    budget,
-                    0.0,
-                    t_hi,
-                    options.config.tolerance,
-                    options.config.max_iters,
-                    hint,
-                ) else {
-                    break 'fast None;
-                };
-                if t_hat <= 0.0 {
-                    // Floored root: legitimate only if the exact floor
-                    // spend already exhausts the budget.
-                    if exact_spend(0.0) >= budget {
-                        (t_hat, None, false, stats)
-                    } else {
-                        break 'fast None;
-                    }
-                } else {
-                    // Exact bracket certificate: monotonicity of the exact
-                    // spend pins the exact root inside [t̂ − ε, t̂ + ε]
-                    // whenever the budget sits between the band's probes.
-                    let certified = CERT_BANDS.iter().any(|&band| {
-                        let eps = (band * t_hat).max(options.config.tolerance);
-                        exact_spend(t_hat - eps) <= budget && exact_spend(t_hat + eps) >= budget
-                    });
-                    if !certified {
-                        break 'fast None;
-                    }
-                    (t_hat, Some(1.0 / t_hat), false, stats)
-                }
+        let (t_used, lambda, saturated, stats) = if index.saturated_spend() <= budget
+            && exact_spend(t_hi) <= budget
+        {
+            (t_hi, None, true, BisectStats::default())
+        } else {
+            let model_spend = |t: f64| {
+                model_probes.set(model_probes.get() + 1);
+                index.spend(t)
             };
+            let Ok((t_hat, stats)) = bisect_monotone_instrumented(
+                model_spend,
+                budget,
+                0.0,
+                t_hi,
+                options.config.tolerance,
+                options.config.max_iters,
+                hint,
+            ) else {
+                break 'fast None;
+            };
+            if t_hat <= 0.0 {
+                // Floored root: legitimate only if the exact floor
+                // spend already exhausts the budget.
+                if exact_spend(0.0) >= budget {
+                    (t_hat, None, false, stats)
+                } else {
+                    break 'fast None;
+                }
+            } else {
+                // Exact bracket certificate: monotonicity of the exact
+                // spend pins the exact root inside [t̂ − ε, t̂ + ε]
+                // whenever the budget sits between the band's probes.
+                let mut certified = false;
+                for (band_no, &band) in CERT_BANDS.iter().enumerate() {
+                    let eps = (band * t_hat).max(options.config.tolerance);
+                    if exact_spend(t_hat - eps) <= budget && exact_spend(t_hat + eps) >= budget {
+                        recorder.add(Metric::cert_band_hit(band_no), 1);
+                        certified = true;
+                        break;
+                    }
+                }
+                if !certified {
+                    recorder.add(Metric::SolverCertFailures, 1);
+                    break 'fast None;
+                }
+                (t_hat, Some(1.0 / t_hat), false, stats)
+            }
+        };
 
         // Materialise exactly, as the exact solver does.
         let mut q = vec![0.0f64; n];
@@ -995,6 +1088,7 @@ fn solve_kkt_view_fast(
             None => true,
         };
         if !residual_ok {
+            recorder.add(Metric::SolverResidualRejects, 1);
             break 'fast None;
         }
         Some((solution, stats, t_used))

@@ -3,6 +3,7 @@
 use crate::codec::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 use crate::error::ClientError;
 use crate::protocol::WireReply;
+use fedfl_obs::MetricsReport;
 use fedfl_service::{Command, Response};
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -56,6 +57,25 @@ impl PricingClient {
         match self.call_raw(payload.as_bytes())? {
             WireReply::Ok(response) => Ok(response),
             WireReply::Err(err) => Err(ClientError::Server(err)),
+        }
+    }
+
+    /// Scrape the server's metrics: a typed snapshot covering the
+    /// solver, service and net subsystems, plus the Prometheus-style
+    /// text exposition. Served lock-free — a scrape never queues behind
+    /// the single writer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PricingClient::call`], plus
+    /// [`ClientError::Protocol`] if the server answers a `Metrics`
+    /// command with anything but a metrics report.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.call(&Command::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Err(ClientError::Protocol {
+                detail: format!("Metrics answered with {other:?}"),
+            }),
         }
     }
 

@@ -56,7 +56,14 @@ impl WireRecorder {
 
     /// Append one exchange. Sink failures are swallowed — recording is
     /// diagnostic and must never take the serving path down.
+    ///
+    /// `Metrics` scrapes are not recorded: their replies depend on live
+    /// counter state (including the scrapes themselves), so they can
+    /// never replay bit-for-bit and would poison [`verify_records`].
     pub fn record(&self, conn: u64, command: Option<&Command>, reply: &WireReply) {
+        if matches!(command, Some(Command::Metrics)) {
+            return;
+        }
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let record = WireRecord {
             seq: inner.seq,
@@ -93,7 +100,9 @@ pub fn load_records(text: &str) -> Result<Vec<WireRecord>, String> {
 /// reply bit-for-bit. Returns the number of verified exchanges.
 ///
 /// Codec-rejected records (no command) are skipped: they never reached
-/// the service, so they cannot affect its state.
+/// the service, so they cannot affect its state. So are `Metrics`
+/// scrapes from hand-built traces: their replies are live counter reads,
+/// inherently unreplayable (the recorder itself never writes them).
 ///
 /// # Errors
 ///
@@ -106,6 +115,9 @@ pub fn verify_records(config: ServiceConfig, records: &[WireRecord]) -> Result<u
         let Some(command) = &record.command else {
             continue;
         };
+        if matches!(command, Command::Metrics) {
+            continue;
+        }
         let expected = match service.execute(command.clone()) {
             Ok(response) => WireReply::Ok(normalise(response)),
             Err(e) => WireReply::Err(WireError::from(&e)),

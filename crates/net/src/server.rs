@@ -14,6 +14,7 @@ use crate::codec::{decode_command, read_frame, write_frame, FrameError, DEFAULT_
 use crate::error::WireError;
 use crate::protocol::WireReply;
 use crate::recorder::WireRecorder;
+use fedfl_obs::{Metric, Recorder as _, Registry, Stopwatch};
 use fedfl_service::{ClientId, Command, PriceQuote, PricingService, Response, ServiceSnapshot};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -93,6 +94,10 @@ struct Shared {
     /// after a certified snapshot is published.
     fresh: AtomicBool,
     recorder: Option<WireRecorder>,
+    /// The observability registry, shared with the owned service so one
+    /// scrape covers solver, service and net counters. `Metrics` scrapes
+    /// are served straight from here, without the service lock.
+    metrics: Arc<Registry>,
     options: ServerOptions,
     stop: AtomicBool,
 }
@@ -156,6 +161,11 @@ impl Shared {
                 Ok(view) => WireReply::Ok(Response::Snapshot(view.snapshot.clone())),
                 Err(e) => WireReply::Err(e),
             },
+            // Lock-free: scrapes must not queue behind the writer.
+            Command::Metrics => {
+                self.metrics.add(Metric::NetMetricsScrapes, 1);
+                WireReply::Ok(Response::Metrics(self.metrics.report()))
+            }
             mutation => {
                 let mut service = lock(&self.service);
                 match service.execute(mutation) {
@@ -192,6 +202,11 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The server's observability registry (shared with its service).
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
     /// Stop accepting, close every live connection, and join all server
     /// threads. Idempotent.
     pub fn shutdown(&mut self) {
@@ -221,17 +236,29 @@ impl Drop for ServerHandle {
 ///
 /// Returns the listener's error if its local address cannot be read.
 pub fn serve(
-    service: PricingService,
+    mut service: PricingService,
     listener: TcpListener,
     options: ServerOptions,
     recorder: Option<WireRecorder>,
 ) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
+    // One registry covers the whole stack: adopt the service's if it has
+    // one, otherwise install a fresh one so the solver/service counters
+    // land in the same scrape as the connection counters.
+    let metrics = match service.recorder() {
+        Some(registry) => Arc::clone(registry),
+        None => {
+            let registry = Arc::new(Registry::new());
+            service.set_recorder(Arc::clone(&registry));
+            registry
+        }
+    };
     let shared = Arc::new(Shared {
         service: Mutex::new(service),
         published: RwLock::new(None),
         fresh: AtomicBool::new(false),
         recorder,
+        metrics,
         options,
         stop: AtomicBool::new(false),
     });
@@ -273,6 +300,9 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn_id: u64) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let metrics = &*shared.metrics;
+    metrics.add(Metric::NetConnectionsOpened, 1);
+    metrics.gauge_add(Metric::NetActiveConnections, 1);
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     loop {
@@ -290,31 +320,59 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn_id: u64) {
                     violation: crate::error::CodecViolation::Frame,
                     detail: err.to_string(),
                 });
-                let _ = write_frame(&mut writer, &reply.encode(), shared.options.max_frame);
+                metrics.add(Metric::NetErrorFrames, 1);
+                if reply_to(shared, &mut writer, &reply).is_ok() {
+                    metrics.add(Metric::NetRepliesSent, 1);
+                }
                 record(shared, conn_id, None, &reply);
                 break;
             }
             // Truncation or transport failure: the peer is gone.
             Err(_) => break,
         };
+        metrics.add(Metric::NetFramesRead, 1);
+        metrics.add(Metric::NetBytesRead, payload.len() as u64 + 4);
         let (command, reply) = match decode_command(&payload) {
             Ok(command) => {
+                metrics.add(Metric::NetFramesDecoded, 1);
+                let watch = Stopwatch::start();
                 let reply = shared.handle(command.clone());
+                watch.record(metrics, Metric::NetRequestNs);
                 (Some(command), reply)
             }
             // The framing was intact, so the connection stays usable.
             Err(codec) => (None, WireReply::Err(WireError::from(codec))),
         };
+        if matches!(reply, WireReply::Err(_)) {
+            metrics.add(Metric::NetErrorFrames, 1);
+        }
         record(shared, conn_id, command.as_ref(), &reply);
-        if write_frame(&mut writer, &reply.encode(), shared.options.max_frame).is_err() {
+        if reply_to(shared, &mut writer, &reply).is_err() {
             break;
         }
+        metrics.add(Metric::NetRepliesSent, 1);
     }
     // Dropping the handles is not enough to close the socket: the accept
     // registry's tracked clone still holds the descriptor, so the peer
     // would never see EOF. Shut the stream down explicitly.
     let _ = writer.flush();
     let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+    metrics.add(Metric::NetConnectionsClosed, 1);
+    metrics.gauge_sub(Metric::NetActiveConnections, 1);
+}
+
+/// Encode and write one reply frame, counting the bytes that went out.
+fn reply_to(
+    shared: &Shared,
+    writer: &mut BufWriter<TcpStream>,
+    reply: &WireReply,
+) -> Result<(), FrameError> {
+    let encoded = reply.encode();
+    write_frame(writer, &encoded, shared.options.max_frame)?;
+    shared
+        .metrics
+        .add(Metric::NetBytesWritten, encoded.len() as u64 + 4);
+    Ok(())
 }
 
 fn record(shared: &Shared, conn_id: u64, command: Option<&Command>, reply: &WireReply) {

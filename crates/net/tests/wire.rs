@@ -47,6 +47,86 @@ fn start_server(
 }
 
 #[test]
+fn live_server_answers_metrics_covering_every_subsystem() {
+    let (service, ids) = seeded_service(4);
+    let mut handle = start_server(service, ServerOptions::default(), None);
+    let mut conn = PricingClient::connect(handle.addr()).unwrap();
+
+    conn.call(&Command::Reprice).unwrap();
+    conn.call(&Command::GetPrices(ids.clone())).unwrap();
+    // A known service error: must count as an error frame, not kill the
+    // connection.
+    assert!(conn.call(&Command::GetPrices(vec![ClientId(999)])).is_err());
+
+    let report = conn.metrics().unwrap();
+    let snap = &report.snapshot;
+    // Solver, service and net subsystems are all covered by one scrape.
+    assert_eq!(snap.counter("fedfl_solver_solves_total"), Some(1));
+    assert_eq!(snap.counter("fedfl_service_reprices_total"), Some(1));
+    assert_eq!(snap.gauge("fedfl_service_clients"), Some(4));
+    // 3 commands before the scrape, plus the scrape's own frame.
+    assert_eq!(snap.counter("fedfl_net_frames_read_total"), Some(4));
+    assert_eq!(snap.counter("fedfl_net_frames_decoded_total"), Some(4));
+    assert_eq!(snap.counter("fedfl_net_error_frames_total"), Some(1));
+    assert_eq!(snap.counter("fedfl_net_metrics_scrapes_total"), Some(1));
+    assert_eq!(snap.gauge("fedfl_net_active_connections"), Some(1));
+    assert!(snap.counter("fedfl_net_bytes_written_total").unwrap() > 0);
+    // The scrape's own span closes after the snapshot, so only the three
+    // prior requests have latency samples here.
+    assert_eq!(snap.histogram("fedfl_net_request_ns").unwrap().count, 3);
+    assert!(report
+        .exposition
+        .contains("# TYPE fedfl_net_request_ns summary"));
+    // The server handle exposes the same registry.
+    assert_eq!(
+        handle
+            .metrics()
+            .snapshot()
+            .counter("fedfl_net_metrics_scrapes_total"),
+        Some(1)
+    );
+    // Scrapes are not service commands, and reads are served from the
+    // published view without touching the service: only Reprice counted.
+    assert_eq!(snap.counter("fedfl_service_commands_total"), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_scrapes_stay_out_of_wire_traces() {
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+    let recorder = WireRecorder::to_writer(Box::new(SharedBuf(Arc::clone(&buffer))));
+    // Start empty so the trace is self-contained for replay.
+    let service = PricingService::new(config()).unwrap();
+    let mut handle = start_server(service, ServerOptions::default(), Some(recorder));
+    let mut conn = PricingClient::connect(handle.addr()).unwrap();
+    let Response::Added(ids) = conn
+        .call(&Command::AddClients((0..3).map(client).collect()))
+        .unwrap()
+    else {
+        panic!("AddClients reply");
+    };
+    conn.call(&Command::Reprice).unwrap();
+    conn.metrics().unwrap();
+    conn.call(&Command::GetPrices(ids)).unwrap();
+    conn.metrics().unwrap();
+    handle.shutdown();
+
+    let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+    let records = load_records(&text).unwrap();
+    assert_eq!(
+        records.len(),
+        3,
+        "scrapes must not be recorded: {records:?}"
+    );
+    assert!(records
+        .iter()
+        .all(|r| !matches!(r.command, Some(Command::Metrics))));
+    // The scrape-free trace replays bit-for-bit.
+    let verified = verify_records(config(), &records).unwrap();
+    assert_eq!(verified, 3);
+}
+
+#[test]
 fn every_service_error_variant_round_trips_through_error_frames() {
     let variants: Vec<ServiceError> = vec![
         ServiceError::InvalidConfig {

@@ -1,0 +1,47 @@
+//! # fedfl-obs — workspace-wide metrics and tracing
+//!
+//! Std-only observability substrate for the pricing stack:
+//!
+//! * [`metric`] — the closed, compile-time set of workspace metrics and
+//!   the `fedfl_<subsystem>_<metric>` naming scheme;
+//! * [`histogram`] — fixed-boundary log2 latency histograms with exact
+//!   nearest-rank quantile queries (up to bucket resolution, ≤ 1/32
+//!   relative width) and a deterministic merge;
+//! * [`recorder`] — the [`Recorder`] sink trait, the [`NoopRecorder`]
+//!   whose methods compile to nothing (instrumentation off ⇒ zero hot-path
+//!   cost, solver bit-identity untouched), and the [`Stopwatch`] span
+//!   timer;
+//! * [`registry`] — the lock-free [`Registry`] slot store, its
+//!   wire-safe [`MetricsSnapshot`] (integers and strings only), and the
+//!   Prometheus-style text [`MetricsSnapshot::exposition`].
+//!
+//! # Example
+//!
+//! ```
+//! use fedfl_obs::{Metric, Recorder, Registry, Stopwatch};
+//!
+//! let registry = Registry::new();
+//! registry.add(Metric::SolverSolves, 1);
+//! let watch = Stopwatch::start();
+//! // ... work ...
+//! watch.record(&registry, Metric::SolverSolveNs);
+//!
+//! let report = registry.report();
+//! assert_eq!(report.snapshot.counter("fedfl_solver_solves_total"), Some(1));
+//! assert!(report.exposition.contains("fedfl_solver_solve_ns_count 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metric;
+pub mod recorder;
+pub mod registry;
+
+pub use histogram::{bucket_bounds, bucket_index, BucketCount, Histogram, HistogramSnapshot};
+pub use metric::{Metric, MetricKind};
+pub use recorder::{NoopRecorder, Recorder, Stopwatch};
+pub use registry::{
+    CounterValue, GaugeValue, HistogramValue, MetricsReport, MetricsSnapshot, Registry,
+};

@@ -1,0 +1,122 @@
+//! The [`Recorder`] sink trait, its no-op implementation, and span timers.
+
+use crate::metric::Metric;
+use std::time::Instant;
+
+/// A sink for metric events.
+///
+/// Instrumented code is generic over `R: Recorder` and calls these methods
+/// unconditionally; when `R` is [`NoopRecorder`] every call is an empty
+/// inlined body, so the solver's hot path and bit-identity contract are
+/// untouched with observability off.
+pub trait Recorder {
+    /// Increment a counter by `delta`.
+    fn add(&self, metric: Metric, delta: u64);
+    /// Set a gauge to `value`.
+    fn gauge_set(&self, metric: Metric, value: u64);
+    /// Raise a gauge by `delta`.
+    fn gauge_add(&self, metric: Metric, delta: u64);
+    /// Lower a gauge by `delta`, saturating at zero.
+    fn gauge_sub(&self, metric: Metric, delta: u64);
+    /// Record one histogram sample.
+    fn observe(&self, metric: Metric, value: u64);
+}
+
+/// The recorder that records nothing; every method compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn add(&self, _metric: Metric, _delta: u64) {}
+    #[inline(always)]
+    fn gauge_set(&self, _metric: Metric, _value: u64) {}
+    #[inline(always)]
+    fn gauge_add(&self, _metric: Metric, _delta: u64) {}
+    #[inline(always)]
+    fn gauge_sub(&self, _metric: Metric, _delta: u64) {}
+    #[inline(always)]
+    fn observe(&self, _metric: Metric, _value: u64) {}
+}
+
+/// Blanket impl so `&R` works wherever `R: Recorder` is expected.
+impl<R: Recorder + ?Sized> Recorder for &R {
+    #[inline]
+    fn add(&self, metric: Metric, delta: u64) {
+        (**self).add(metric, delta);
+    }
+    #[inline]
+    fn gauge_set(&self, metric: Metric, value: u64) {
+        (**self).gauge_set(metric, value);
+    }
+    #[inline]
+    fn gauge_add(&self, metric: Metric, delta: u64) {
+        (**self).gauge_add(metric, delta);
+    }
+    #[inline]
+    fn gauge_sub(&self, metric: Metric, delta: u64) {
+        (**self).gauge_sub(metric, delta);
+    }
+    #[inline]
+    fn observe(&self, metric: Metric, value: u64) {
+        (**self).observe(metric, value);
+    }
+}
+
+/// A lightweight span timer: one `Instant` read at start, one at stop.
+///
+/// `Stopwatch` is the single measurement site for wall-time fields that
+/// also feed diagnostics structs — [`Stopwatch::record`] returns the
+/// elapsed nanoseconds it just recorded, so both surfaces see the same
+/// number by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Record the elapsed nanoseconds into `metric` and return them.
+    pub fn record<R: Recorder + ?Sized>(&self, recorder: &R, metric: Metric) -> u64 {
+        let elapsed = self.elapsed_ns();
+        recorder.observe(metric, elapsed);
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_reports_what_it_records() {
+        let registry = crate::registry::Registry::new();
+        let watch = Stopwatch::start();
+        let reported = watch.record(&registry, Metric::SolverSolveNs);
+        let snapshot = registry.histogram(Metric::SolverSolveNs);
+        assert_eq!(snapshot.count, 1);
+        assert_eq!(snapshot.sum, reported);
+    }
+
+    #[test]
+    fn noop_recorder_is_inert() {
+        let noop = NoopRecorder;
+        noop.add(Metric::SolverSolves, 1);
+        noop.observe(Metric::SolverSolveNs, 17);
+        let watch = Stopwatch::start();
+        assert!(watch.record(&noop, Metric::SolverSolveNs) < u64::MAX);
+    }
+}

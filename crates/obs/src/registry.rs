@@ -1,0 +1,413 @@
+//! The live metric store and its serialisable snapshot/report types.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metric::{Metric, MetricKind};
+use crate::recorder::Recorder;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+enum Slot {
+    Value(AtomicU64),
+    Hist(Histogram),
+}
+
+/// The live store: one lock-free slot per [`Metric`] variant.
+///
+/// A `Registry` is shared as `Arc<Registry>` between the service, the TCP
+/// front-end and the workload harness; recording is a relaxed atomic op,
+/// reading goes through [`Registry::snapshot`].
+pub struct Registry {
+    slots: Vec<Slot>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// A registry with every metric at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            slots: Metric::ALL
+                .iter()
+                .map(|metric| match metric.kind() {
+                    MetricKind::Counter | MetricKind::Gauge => Slot::Value(AtomicU64::new(0)),
+                    MetricKind::Histogram => Slot::Hist(Histogram::new()),
+                })
+                .collect(),
+        }
+    }
+
+    fn value_slot(&self, metric: Metric) -> &AtomicU64 {
+        match &self.slots[metric.index()] {
+            Slot::Value(value) => value,
+            Slot::Hist(_) => unreachable!("{} is a histogram, not a value", metric.name()),
+        }
+    }
+
+    fn hist_slot(&self, metric: Metric) -> &Histogram {
+        match &self.slots[metric.index()] {
+            Slot::Hist(histogram) => histogram,
+            Slot::Value(_) => unreachable!("{} is a value, not a histogram", metric.name()),
+        }
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter(&self, metric: Metric) -> u64 {
+        debug_assert_eq!(metric.kind(), MetricKind::Counter);
+        self.value_slot(metric).load(Ordering::Relaxed)
+    }
+
+    /// Current value of a gauge.
+    #[must_use]
+    pub fn gauge(&self, metric: Metric) -> u64 {
+        debug_assert_eq!(metric.kind(), MetricKind::Gauge);
+        self.value_slot(metric).load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of a histogram metric.
+    #[must_use]
+    pub fn histogram(&self, metric: Metric) -> HistogramSnapshot {
+        debug_assert_eq!(metric.kind(), MetricKind::Histogram);
+        self.hist_slot(metric).snapshot()
+    }
+
+    /// Snapshot every metric, in [`Metric::ALL`] order.
+    ///
+    /// Zero-valued metrics are included so a scrape always covers the
+    /// full solver/service/net/workload surface deterministically.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::default();
+        for &metric in Metric::ALL {
+            let name = metric.name().to_string();
+            match metric.kind() {
+                MetricKind::Counter => snapshot.counters.push(CounterValue {
+                    name,
+                    value: self.counter(metric),
+                }),
+                MetricKind::Gauge => snapshot.gauges.push(GaugeValue {
+                    name,
+                    value: self.gauge(metric),
+                }),
+                MetricKind::Histogram => snapshot.histograms.push(HistogramValue {
+                    name,
+                    histogram: self.histogram(metric),
+                }),
+            }
+        }
+        snapshot
+    }
+
+    /// Snapshot plus its rendered text exposition.
+    #[must_use]
+    pub fn report(&self) -> MetricsReport {
+        let snapshot = self.snapshot();
+        let exposition = snapshot.exposition();
+        MetricsReport {
+            snapshot,
+            exposition,
+        }
+    }
+}
+
+impl Recorder for Registry {
+    #[inline]
+    fn add(&self, metric: Metric, delta: u64) {
+        debug_assert_eq!(metric.kind(), MetricKind::Counter);
+        self.value_slot(metric).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn gauge_set(&self, metric: Metric, value: u64) {
+        debug_assert_eq!(metric.kind(), MetricKind::Gauge);
+        self.value_slot(metric).store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn gauge_add(&self, metric: Metric, delta: u64) {
+        debug_assert_eq!(metric.kind(), MetricKind::Gauge);
+        self.value_slot(metric).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn gauge_sub(&self, metric: Metric, delta: u64) {
+        debug_assert_eq!(metric.kind(), MetricKind::Gauge);
+        let slot = self.value_slot(metric);
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(delta);
+            match slot.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    #[inline]
+    fn observe(&self, metric: Metric, value: u64) {
+        debug_assert_eq!(metric.kind(), MetricKind::Histogram);
+        self.hist_slot(metric).record(value);
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Exposition name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Exposition name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramValue {
+    /// Exposition name.
+    pub name: String,
+    /// Bucket counts and quantile queries.
+    pub histogram: HistogramSnapshot,
+}
+
+/// A point-in-time copy of every metric, safe to ship over the wire.
+///
+/// All payloads are unsigned integers and strings — no floats, so the
+/// frame codec's non-finite/null rejection can never fire on a scrape.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, in [`Metric::ALL`] order when produced by a [`Registry`].
+    pub counters: Vec<CounterValue>,
+    /// Gauges.
+    pub gauges: Vec<GaugeValue>,
+    /// Histograms.
+    pub histograms: Vec<HistogramValue>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|entry| entry.name == name)
+            .map(|entry| entry.value)
+    }
+
+    /// Value of the named gauge, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|entry| entry.name == name)
+            .map(|entry| entry.value)
+    }
+
+    /// The named histogram, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|entry| entry.name == name)
+            .map(|entry| &entry.histogram)
+    }
+
+    /// Fold `other` into `self`: counters add, gauges take `other`'s
+    /// value (it is the newer observation), histograms merge per bucket.
+    /// Names unseen in `self` are appended.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for counter in &other.counters {
+            match self.counters.iter_mut().find(|c| c.name == counter.name) {
+                Some(existing) => existing.value += counter.value,
+                None => self.counters.push(counter.clone()),
+            }
+        }
+        for gauge in &other.gauges {
+            match self.gauges.iter_mut().find(|g| g.name == gauge.name) {
+                Some(existing) => existing.value = gauge.value,
+                None => self.gauges.push(gauge.clone()),
+            }
+        }
+        for histogram in &other.histograms {
+            match self
+                .histograms
+                .iter_mut()
+                .find(|h| h.name == histogram.name)
+            {
+                Some(existing) => existing.histogram.merge(&histogram.histogram),
+                None => self.histograms.push(histogram.clone()),
+            }
+        }
+    }
+
+    /// Render the Prometheus-style text exposition.
+    ///
+    /// Counters and gauges emit `# HELP` / `# TYPE` / value lines;
+    /// histograms emit summary-style `{quantile="0.5"}` / `{quantile="0.99"}`
+    /// lines plus `_sum` and `_count`. Values are nanoseconds for `_ns`
+    /// metrics.
+    #[must_use]
+    pub fn exposition(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for counter in &self.counters {
+            write_meta(&mut out, &counter.name, "counter");
+            let _ = writeln!(out, "{} {}", counter.name, counter.value);
+        }
+        for gauge in &self.gauges {
+            write_meta(&mut out, &gauge.name, "gauge");
+            let _ = writeln!(out, "{} {}", gauge.name, gauge.value);
+        }
+        for entry in &self.histograms {
+            write_meta(&mut out, &entry.name, "summary");
+            let hist = &entry.histogram;
+            let _ = writeln!(
+                out,
+                "{}{{quantile=\"0.5\"}} {}",
+                entry.name,
+                hist.quantile(0.5)
+            );
+            let _ = writeln!(
+                out,
+                "{}{{quantile=\"0.99\"}} {}",
+                entry.name,
+                hist.quantile(0.99)
+            );
+            let _ = writeln!(out, "{}_sum {}", entry.name, hist.sum);
+            let _ = writeln!(out, "{}_count {}", entry.name, hist.count);
+        }
+        out
+    }
+}
+
+fn write_meta(out: &mut String, name: &str, kind: &str) {
+    use std::fmt::Write as _;
+    if let Some(help) = Metric::ALL
+        .iter()
+        .find(|metric| metric.name() == name)
+        .map(|metric| metric.help())
+    {
+        let _ = writeln!(out, "# HELP {name} {help}");
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// A [`MetricsSnapshot`] plus its rendered exposition — the payload of
+/// the wire `Metrics` command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// The typed snapshot.
+    pub snapshot: MetricsSnapshot,
+    /// Prometheus-style text exposition of the same snapshot.
+    pub exposition: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_every_metric() {
+        let registry = Registry::new();
+        let snapshot = registry.snapshot();
+        let listed = snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len();
+        assert_eq!(listed, Metric::ALL.len());
+        for &metric in Metric::ALL {
+            let name = metric.name();
+            let found = match metric.kind() {
+                MetricKind::Counter => snapshot.counter(name).is_some(),
+                MetricKind::Gauge => snapshot.gauge(name).is_some(),
+                MetricKind::Histogram => snapshot.histogram(name).is_some(),
+            };
+            assert!(found, "{name} missing from snapshot");
+        }
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_record() {
+        let registry = Registry::new();
+        registry.add(Metric::SolverSolves, 3);
+        registry.gauge_set(Metric::ServiceClients, 10);
+        registry.gauge_add(Metric::ServiceClients, 5);
+        registry.gauge_sub(Metric::ServiceClients, 2);
+        registry.gauge_sub(Metric::NetActiveConnections, 99);
+        registry.observe(Metric::SolverSolveNs, 1234);
+        assert_eq!(registry.counter(Metric::SolverSolves), 3);
+        assert_eq!(registry.gauge(Metric::ServiceClients), 13);
+        assert_eq!(registry.gauge(Metric::NetActiveConnections), 0);
+        assert_eq!(registry.histogram(Metric::SolverSolveNs).count, 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add(Metric::NetFramesRead, 2);
+        b.add(Metric::NetFramesRead, 5);
+        a.observe(Metric::NetRequestNs, 100);
+        b.observe(Metric::NetRequestNs, 100);
+        b.gauge_set(Metric::NetActiveConnections, 7);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("fedfl_net_frames_read_total"), Some(7));
+        assert_eq!(merged.gauge("fedfl_net_active_connections"), Some(7));
+        let hist = merged.histogram("fedfl_net_request_ns").unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 200);
+    }
+
+    #[test]
+    fn exposition_names_every_metric() {
+        let registry = Registry::new();
+        registry.add(Metric::SolverSolves, 1);
+        registry.observe(Metric::SolverSolveNs, 42);
+        let report = registry.report();
+        assert_eq!(report.exposition, report.snapshot.exposition());
+        for &metric in Metric::ALL {
+            assert!(
+                report
+                    .exposition
+                    .contains(&format!("# TYPE {} ", metric.name())),
+                "{} missing from exposition",
+                metric.name()
+            );
+        }
+        assert!(report.exposition.contains("fedfl_solver_solves_total 1"));
+        assert!(report
+            .exposition
+            .contains("fedfl_solver_solve_ns{quantile=\"0.5\"} 42"));
+        assert!(report
+            .exposition
+            .contains("# HELP fedfl_solver_solves_total"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_serde_value() {
+        use serde::{Deserialize as _, Serialize as _};
+        let registry = Registry::new();
+        registry.add(Metric::ServiceCommands, 9);
+        registry.observe(Metric::ServiceRepriceNs, 1_000_000);
+        let report = registry.report();
+        let value = report.to_value();
+        let back = MetricsReport::from_value(&value).expect("roundtrip");
+        assert_eq!(back, report);
+    }
+}

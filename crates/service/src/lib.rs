@@ -77,6 +77,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 pub use error::ServiceError;
+pub use fedfl_obs::{Metric, MetricsReport, MetricsSnapshot, Registry};
 pub use fedfl_sim::availability::{AvailabilityModel, AvailabilityPattern};
 pub use service::{
     Command, PriceQuote, PricingService, RepriceReport, Response, ServiceConfig, ServiceSnapshot,

@@ -6,11 +6,12 @@ use crate::{AvailabilityModel, ClientId, ClientParams};
 use fedfl_core::active_set::ActiveSetIndex;
 use fedfl_core::bound::BoundParams;
 use fedfl_core::server::{
-    estimate_path_parameter_sharded, solve_kkt_sharded_fast_with_index, solve_kkt_sharded_hinted,
-    theorem2_max_residual_sharded, SolverMode, SolverOptions,
+    estimate_path_parameter_sharded, solve_kkt_sharded_fast_with_index_observed,
+    solve_kkt_sharded_hinted_observed, theorem2_max_residual_sharded, SolverMode, SolverOptions,
 };
+use fedfl_obs::{Metric, MetricsReport, NoopRecorder, Recorder, Registry, Stopwatch};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Static configuration of a [`PricingService`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -138,6 +139,11 @@ pub enum Command {
     GetPrices(Vec<ClientId>),
     /// Full view of the current equilibrium.
     Snapshot,
+    /// Scrape the observability registry: a typed metrics snapshot plus
+    /// its Prometheus-style text exposition. Read-only — dirties nothing,
+    /// solves nothing, and (unlike every other command) is excluded from
+    /// the command counters so scraping does not perturb what it measures.
+    Metrics,
 }
 
 /// The service's reply to one [`Command`].
@@ -159,6 +165,9 @@ pub enum Response {
     Prices(Vec<PriceQuote>),
     /// Result of a `Snapshot`.
     Snapshot(ServiceSnapshot),
+    /// Result of a `Metrics` scrape (zeroed snapshot when no recorder is
+    /// installed).
+    Metrics(MetricsReport),
 }
 
 /// One client's current quote.
@@ -294,6 +303,9 @@ pub struct PricingService {
     dirty: bool,
     warm_hint: Option<WarmHint>,
     fast_index: Option<FastIndexState>,
+    /// Shared observability registry. `None` (the default) routes every
+    /// instrument call through [`NoopRecorder`] — zero hot-path cost.
+    recorder: Option<Arc<Registry>>,
 }
 
 impl PricingService {
@@ -312,7 +324,41 @@ impl PricingService {
             dirty: true,
             warm_hint: None,
             fast_index: None,
+            recorder: None,
         })
+    }
+
+    /// Create an empty service recording into `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PricingService::new`].
+    pub fn with_recorder(
+        config: ServiceConfig,
+        recorder: Arc<Registry>,
+    ) -> Result<Self, ServiceError> {
+        let mut service = Self::new(config)?;
+        service.set_recorder(recorder);
+        Ok(service)
+    }
+
+    /// Install (or replace) the observability registry. Metrics recorded
+    /// so far stay in the old registry; counting continues in the new one.
+    pub fn set_recorder(&mut self, recorder: Arc<Registry>) {
+        recorder.gauge_set(Metric::ServiceClients, self.store.len() as u64);
+        self.recorder = Some(recorder);
+    }
+
+    /// The installed observability registry, if any.
+    pub fn recorder(&self) -> Option<&Arc<Registry>> {
+        self.recorder.as_ref()
+    }
+
+    /// The current metrics report (zeroed when no recorder is installed).
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.recorder
+            .as_ref()
+            .map_or_else(|| Registry::new().report(), |registry| registry.report())
     }
 
     /// Create a service pre-populated with `clients`.
@@ -356,7 +402,14 @@ impl PricingService {
     /// Propagates the underlying typed method's error; failed commands
     /// leave the service state unchanged.
     pub fn execute(&mut self, command: Command) -> Result<Response, ServiceError> {
-        match command {
+        if matches!(command, Command::Metrics) {
+            return Ok(Response::Metrics(self.metrics_report()));
+        }
+        let recorder = self.recorder.clone();
+        if let Some(registry) = &recorder {
+            registry.add(Metric::ServiceCommands, 1);
+        }
+        let result = match command {
             Command::AddClients(batch) => self.add_clients(batch).map(Response::Added),
             Command::RemoveClients(ids) => self.remove_clients(&ids).map(Response::Removed),
             Command::UpdateAvailability(model) => self
@@ -371,7 +424,14 @@ impl PricingService {
             Command::Reprice => self.reprice().map(Response::Repriced),
             Command::GetPrices(ids) => self.get_prices(&ids).map(Response::Prices),
             Command::Snapshot => self.snapshot().map(Response::Snapshot),
+            Command::Metrics => unreachable!("handled above"),
+        };
+        if result.is_err() {
+            if let Some(registry) = &recorder {
+                registry.add(Metric::ServiceCommandErrors, 1);
+            }
         }
+        result
     }
 
     /// Register new clients, assigning fresh ids.
@@ -384,6 +444,9 @@ impl PricingService {
         let ids = self.store.add(batch)?;
         if !ids.is_empty() {
             self.dirty = true;
+        }
+        if let Some(registry) = &self.recorder {
+            registry.gauge_set(Metric::ServiceClients, self.store.len() as u64);
         }
         Ok(ids)
     }
@@ -398,6 +461,9 @@ impl PricingService {
         let removed = self.store.remove(ids)?;
         if removed > 0 {
             self.dirty = true;
+        }
+        if let Some(registry) = &self.recorder {
+            registry.gauge_set(Metric::ServiceClients, self.store.len() as u64);
         }
         Ok(removed)
     }
@@ -470,6 +536,22 @@ impl PricingService {
     /// [`ServiceError::Game`] for solver failures. On error the previous
     /// priced state is kept (and remains stale).
     pub fn reprice(&mut self) -> Result<RepriceReport, ServiceError> {
+        match self.recorder.clone() {
+            Some(registry) => self.reprice_observed(&*registry),
+            None => self.reprice_observed(&NoopRecorder),
+        }
+    }
+
+    /// [`PricingService::reprice`] with an explicit metric sink. The solve
+    /// and the resulting prices are byte-for-byte independent of the
+    /// recorder; instrumentation only reads what the solve already
+    /// computed (plus [`Stopwatch`] spans, which are the single
+    /// measurement site for the report's timing fields).
+    fn reprice_observed<R: Recorder + ?Sized>(
+        &mut self,
+        recorder: &R,
+    ) -> Result<RepriceReport, ServiceError> {
+        let reprice_watch = Stopwatch::start();
         let n = self.store.len();
         // Rebuild only the dirty shards' cached columns (availability
         // rates, inclusion masks, the effective cost/cap transform) —
@@ -516,15 +598,21 @@ impl PricingService {
                     && cached.availability_aware == self.config.availability_aware
             });
             let mut index_rebuild_ns = 0u64;
-            if !stamp_matches {
-                let started = Instant::now();
+            if stamp_matches {
+                recorder.add(Metric::ServiceIndexReuses, 1);
+            } else {
+                recorder.add(Metric::ServiceIndexRebuilds, 1);
+                let build_watch = Stopwatch::start();
                 let index = ActiveSetIndex::build_sharded_threaded(
                     assembled.population.shards(),
                     aor,
                     self.config.solver.q_min,
                     self.config.solver.config.n_threads,
                 );
-                index_rebuild_ns = started.elapsed().as_nanos() as u64;
+                // One measurement feeds both the histogram and the
+                // report's `index_rebuild_ns` field below.
+                index_rebuild_ns = build_watch.record(recorder, Metric::SolverIndexBuildNs);
+                recorder.add(Metric::SolverIndexBuilds, 1);
                 self.fast_index = Some(FastIndexState {
                     index,
                     store_version,
@@ -534,23 +622,25 @@ impl PricingService {
                 });
             }
             let index = &self.fast_index.as_ref().expect("cached above").index;
-            let (solution, mut diag) = solve_kkt_sharded_fast_with_index(
+            let (solution, mut diag) = solve_kkt_sharded_fast_with_index_observed(
                 &assembled.population,
                 &self.config.bound,
                 self.config.budget,
                 &self.config.solver,
                 index,
                 hint,
+                recorder,
             )?;
             diag.index_rebuild_ns = index_rebuild_ns;
             (solution, diag)
         } else {
-            solve_kkt_sharded_hinted(
+            solve_kkt_sharded_hinted_observed(
                 &assembled.population,
                 &self.config.bound,
                 self.config.budget,
                 &self.config.solver,
                 hint,
+                recorder,
             )?
         };
 
@@ -612,6 +702,20 @@ impl PricingService {
             aor,
         });
         self.dirty = false;
+        recorder.add(Metric::ServiceReprices, 1);
+        recorder.add(
+            if report.warm_started {
+                Metric::ServiceWarmSolves
+            } else {
+                Metric::ServiceColdSolves
+            },
+            1,
+        );
+        recorder.add(Metric::ServiceDirtyShards, report.dirty_shards as u64);
+        recorder.add(Metric::ServiceRebuiltColumns, report.rebuilt_columns as u64);
+        recorder.gauge_set(Metric::ServiceClients, report.clients as u64);
+        recorder.gauge_set(Metric::ServiceExcludedClients, report.excluded as u64);
+        reprice_watch.record(recorder, Metric::ServiceRepriceNs);
         Ok(report)
     }
 
@@ -745,6 +849,134 @@ mod tests {
         assert_eq!(snapshot.ids.len(), 3);
         assert!(snapshot.report.warm_started);
         assert!(service.last_report().is_some());
+    }
+
+    #[test]
+    fn metrics_command_reports_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let mut service =
+            PricingService::with_recorder(ServiceConfig::new(bound(), 10.0), Arc::clone(&registry))
+                .unwrap();
+        service
+            .execute(Command::AddClients((0..4).map(client).collect()))
+            .unwrap();
+        service.execute(Command::Reprice).unwrap();
+        let report = match service.execute(Command::Metrics).unwrap() {
+            Response::Metrics(report) => report,
+            other => panic!("{other:?}"),
+        };
+        let snap = &report.snapshot;
+        assert_eq!(snap.counter("fedfl_service_commands_total"), Some(2));
+        assert_eq!(snap.counter("fedfl_service_reprices_total"), Some(1));
+        assert_eq!(snap.counter("fedfl_solver_solves_total"), Some(1));
+        assert_eq!(snap.counter("fedfl_solver_exact_solves_total"), Some(1));
+        assert_eq!(snap.gauge("fedfl_service_clients"), Some(4));
+        assert_eq!(snap.histogram("fedfl_service_reprice_ns").unwrap().count, 1);
+        assert!(report.exposition.contains("fedfl_service_reprices_total 1"));
+        // A scrape perturbs nothing: the command counter stays at 2 and
+        // the service without a recorder answers a zeroed snapshot.
+        let again = service.metrics_report();
+        assert_eq!(
+            again.snapshot.counter("fedfl_service_commands_total"),
+            Some(2)
+        );
+        let mut bare = PricingService::new(ServiceConfig::new(bound(), 10.0)).unwrap();
+        match bare.execute(Command::Metrics).unwrap() {
+            Response::Metrics(report) => {
+                assert_eq!(
+                    report.snapshot.counter("fedfl_service_commands_total"),
+                    Some(0)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_fields_and_metrics_are_the_same_measurement() {
+        // Satellite contract: the report's timing/probe fields and the
+        // obs counters come from the same measurement sites, so their
+        // totals agree exactly across a churning fast-path run.
+        let registry = Arc::new(Registry::new());
+        let mut config = ServiceConfig::new(bound(), 10.0);
+        config.fast_path = true;
+        let mut service = PricingService::with_recorder(config, Arc::clone(&registry)).unwrap();
+        service.add_clients((0..32).map(client).collect()).unwrap();
+
+        let mut probe_total = 0u64;
+        let mut iteration_total = 0u64;
+        let mut rebuild_ns_total = 0u64;
+        let mut rebuilds = 0u64;
+        let mut dirty_total = 0u64;
+        let mut rebuilt_columns_total = 0u64;
+        for round in 0..4 {
+            if round == 2 {
+                // Dirty the population so the index must rebuild.
+                service.add_clients(vec![client(40 + round)]).unwrap();
+            } else if round > 0 {
+                // Budget-only churn: the cached index must be reused.
+                service.update_budget(10.0 + round as f64).unwrap();
+            }
+            let report = service.reprice().unwrap();
+            probe_total += report.probe_evaluations;
+            iteration_total += report.bisect_iterations as u64;
+            rebuild_ns_total += report.index_rebuild_ns;
+            rebuilds += u64::from(report.index_rebuild_ns > 0);
+            dirty_total += report.dirty_shards as u64;
+            rebuilt_columns_total += report.rebuilt_columns as u64;
+        }
+
+        assert_eq!(
+            registry.counter(Metric::SolverProbeEvaluations),
+            probe_total,
+            "probe counter and report field disagree"
+        );
+        assert_eq!(
+            registry.counter(Metric::SolverBisectIterations),
+            iteration_total
+        );
+        let build_hist = registry.histogram(Metric::SolverIndexBuildNs);
+        assert_eq!(
+            build_hist.sum, rebuild_ns_total,
+            "index-build span and report ns disagree"
+        );
+        assert_eq!(build_hist.count, rebuilds);
+        assert_eq!(registry.counter(Metric::SolverIndexBuilds), rebuilds);
+        assert_eq!(registry.counter(Metric::ServiceIndexRebuilds), rebuilds);
+        assert_eq!(registry.counter(Metric::ServiceIndexReuses), 4 - rebuilds);
+        assert_eq!(registry.counter(Metric::ServiceDirtyShards), dirty_total);
+        assert_eq!(
+            registry.counter(Metric::ServiceRebuiltColumns),
+            rebuilt_columns_total
+        );
+        assert_eq!(registry.counter(Metric::ServiceReprices), 4);
+        assert_eq!(registry.counter(Metric::ServiceColdSolves), 1);
+        assert_eq!(registry.counter(Metric::ServiceWarmSolves), 3);
+        assert_eq!(registry.histogram(Metric::ServiceRepriceNs).count, 4);
+        // Fast-path solves all certified or fell back; either way every
+        // solve is accounted for exactly once.
+        assert_eq!(registry.counter(Metric::SolverSolves), 4);
+        assert_eq!(
+            registry.counter(Metric::SolverFastSolves)
+                + registry.counter(Metric::SolverFallbackSolves),
+            4
+        );
+    }
+
+    #[test]
+    fn recorder_does_not_change_prices() {
+        let clients: Vec<ClientParams> = (0..16).map(client).collect();
+        let mut config = ServiceConfig::new(bound(), 10.0);
+        config.fast_path = true;
+        let (mut bare, _) = PricingService::with_clients(config, clients.clone()).unwrap();
+        let mut observed =
+            PricingService::with_recorder(config, Arc::new(Registry::new())).unwrap();
+        observed.add_clients(clients).unwrap();
+        let bare_snap = bare.snapshot().unwrap();
+        let observed_snap = observed.snapshot().unwrap();
+        let bits = |prices: &[f64]| prices.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&bare_snap.prices), bits(&observed_snap.prices));
+        assert_eq!(bare_snap.q_eff, observed_snap.q_eff);
     }
 
     #[test]

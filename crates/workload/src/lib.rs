@@ -36,7 +36,8 @@ pub mod spec;
 pub use error::WorkloadError;
 pub use generator::{generate, Phase, Trace, TraceOp, TraceStep};
 pub use replay::{
-    replay, replay_config, replay_with, CommandDriver, InProcessDriver, ReplayOutcome,
+    replay, replay_config, replay_observed, replay_with, replay_with_recorder, CommandDriver,
+    InProcessDriver, LatencyHistograms, ReplayOutcome,
 };
 pub use report::WorkloadRecord;
 pub use spec::WorkloadSpec;

@@ -17,10 +17,14 @@ use crate::generator::{fnv1a, Phase, Trace, TraceOp};
 use crate::spec::WorkloadSpec;
 use fedfl_core::population::{ClientProfile, Population};
 use fedfl_core::server::{path_budget, solve_kkt_columns_hinted, SolverMode, SolverOptions};
+use fedfl_obs::{
+    Histogram, HistogramSnapshot, Metric, NoopRecorder, Recorder, Registry, Stopwatch,
+};
 use fedfl_service::{
     AvailabilityModel, ClientId, ClientParams, Command, PricingService, RepriceReport, Response,
     ServiceConfig, ServiceSnapshot,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A transport adapter the replay drives: the in-process service, or a
@@ -64,6 +68,21 @@ impl InProcessDriver {
     pub fn new(config: ServiceConfig) -> Result<Self, WorkloadError> {
         Ok(Self {
             service: PricingService::new(config)?,
+        })
+    }
+
+    /// Create a driver whose service records solver and store metrics
+    /// into `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Service`] for an invalid config.
+    pub fn with_recorder(
+        config: ServiceConfig,
+        registry: Arc<Registry>,
+    ) -> Result<Self, WorkloadError> {
+        Ok(Self {
+            service: PricingService::with_recorder(config, registry)?,
         })
     }
 
@@ -130,6 +149,41 @@ pub struct ReadSample {
     pub millis: f64,
 }
 
+/// Nanosecond latency histograms of one replay, one per
+/// (operation, traffic phase) pair. These are the authoritative source
+/// of the p50/p99 figures in [`crate::report::PhaseStats`]; the sample
+/// vectors on [`ReplayOutcome`] remain for means and confidence
+/// intervals.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistograms {
+    /// Re-solves absorbed by reads issued in the steady phase.
+    pub resolve_steady: HistogramSnapshot,
+    /// Re-solves absorbed by reads issued during flash crowds.
+    pub resolve_flash: HistogramSnapshot,
+    /// Clean reads in the steady phase.
+    pub read_steady: HistogramSnapshot,
+    /// Clean reads during flash crowds.
+    pub read_flash: HistogramSnapshot,
+}
+
+impl LatencyHistograms {
+    /// The re-solve histogram of `phase`.
+    pub fn resolve(&self, phase: Phase) -> &HistogramSnapshot {
+        match phase {
+            Phase::Steady => &self.resolve_steady,
+            Phase::Flash => &self.resolve_flash,
+        }
+    }
+
+    /// The clean-read histogram of `phase`.
+    pub fn read(&self, phase: Phase) -> &HistogramSnapshot {
+        match phase {
+            Phase::Steady => &self.read_steady,
+            Phase::Flash => &self.read_flash,
+        }
+    }
+}
+
 /// Everything a replay run observed.
 #[derive(Debug, Clone)]
 pub struct ReplayOutcome {
@@ -142,6 +196,9 @@ pub struct ReplayOutcome {
     pub solves: Vec<SolveSample>,
     /// One sample per clean read, in trace order.
     pub reads: Vec<ReadSample>,
+    /// Per-phase latency histograms (nanoseconds) fed by the same clock
+    /// reads as `solves`/`reads` — the report's p50/p99 source.
+    pub latency: LatencyHistograms,
     /// Steps whose served prices were certified bit-identical to a
     /// from-scratch solve.
     pub verified_steps: usize,
@@ -223,6 +280,27 @@ pub fn replay(spec: &WorkloadSpec, trace: &Trace) -> Result<ReplayOutcome, Workl
     replay_with(spec, trace, &mut driver)
 }
 
+/// [`replay`], with every layer recording into `registry`: the service
+/// and solver record through the driver's recorder, and the replay loop
+/// itself records command counts, verified steps and per-phase latency
+/// spans.
+///
+/// Prices are bit-identical to an unobserved [`replay`] of the same
+/// trace — recording never touches solver arithmetic.
+///
+/// # Errors
+///
+/// Same conditions as [`replay`].
+pub fn replay_observed(
+    spec: &WorkloadSpec,
+    trace: &Trace,
+    registry: Arc<Registry>,
+) -> Result<ReplayOutcome, WorkloadError> {
+    let config = replay_config(spec, trace)?;
+    let mut driver = InProcessDriver::with_recorder(config, Arc::clone(&registry))?;
+    replay_with_recorder(spec, trace, &mut driver, &*registry)
+}
+
 /// Replay `trace` through an already-connected [`CommandDriver`].
 ///
 /// The driver's service must be a fresh deployment of
@@ -241,12 +319,28 @@ pub fn replay_with<D: CommandDriver>(
     trace: &Trace,
     driver: &mut D,
 ) -> Result<ReplayOutcome, WorkloadError> {
+    replay_with_recorder(spec, trace, driver, &NoopRecorder)
+}
+
+/// [`replay_with`], recording replay-loop metrics (command counts,
+/// verified steps, per-phase latency spans) into `recorder`.
+///
+/// # Errors
+///
+/// Same conditions as [`replay_with`].
+pub fn replay_with_recorder<D: CommandDriver, R: Recorder + ?Sized>(
+    spec: &WorkloadSpec,
+    trace: &Trace,
+    driver: &mut D,
+    recorder: &R,
+) -> Result<ReplayOutcome, WorkloadError> {
     let config = replay_config(spec, trace)?;
     let base_budget = config.budget;
     let started = Instant::now();
 
     let mut run = ReplayRun {
         driver,
+        recorder,
         base_budget,
         current_budget: base_budget,
         dirty: true,
@@ -254,6 +348,7 @@ pub fn replay_with<D: CommandDriver>(
         next_id: 0,
         solves: Vec::new(),
         reads: Vec::new(),
+        latency: PhasedHistograms::default(),
     };
     let mut verified_steps = 0usize;
 
@@ -266,11 +361,13 @@ pub fn replay_with<D: CommandDriver>(
         }
         if spec.verify_every > 0 && step.step.is_multiple_of(spec.verify_every) {
             run.verify_step(&config, step.step)?;
+            recorder.add(Metric::WorkloadVerifiedSteps, 1);
             verified_steps += 1;
         }
     }
 
     // Final untimed snapshot: the deterministic equilibrium checksum.
+    recorder.add(Metric::WorkloadCommands, 1);
     let snapshot = match run.driver.execute(Command::Snapshot)? {
         Response::Snapshot(snapshot) => snapshot,
         other => return Err(unexpected_reply("Snapshot", &other)),
@@ -282,15 +379,37 @@ pub fn replay_with<D: CommandDriver>(
         final_clients: run.mirror.len(),
         solves: run.solves,
         reads: run.reads,
+        latency: run.latency.snapshot(),
         verified_steps,
         price_checksum,
         total_wall_seconds: started.elapsed().as_secs_f64(),
     })
 }
 
+/// The live (unsnapshotted) counterpart of [`LatencyHistograms`].
+#[derive(Default)]
+struct PhasedHistograms {
+    resolve_steady: Histogram,
+    resolve_flash: Histogram,
+    read_steady: Histogram,
+    read_flash: Histogram,
+}
+
+impl PhasedHistograms {
+    fn snapshot(&self) -> LatencyHistograms {
+        LatencyHistograms {
+            resolve_steady: self.resolve_steady.snapshot(),
+            resolve_flash: self.resolve_flash.snapshot(),
+            read_steady: self.read_steady.snapshot(),
+            read_flash: self.read_flash.snapshot(),
+        }
+    }
+}
+
 /// Mutable state of one replay pass over a trace.
-struct ReplayRun<'a, D: CommandDriver> {
+struct ReplayRun<'a, D: CommandDriver, R: Recorder + ?Sized> {
     driver: &'a mut D,
+    recorder: &'a R,
     base_budget: f64,
     /// Mirror of the service's `config.budget` — bitwise, so the
     /// `UpdateBudget` no-op rule (`new == old` leaves the service clean)
@@ -304,10 +423,14 @@ struct ReplayRun<'a, D: CommandDriver> {
     next_id: u64,
     solves: Vec<SolveSample>,
     reads: Vec<ReadSample>,
+    latency: PhasedHistograms,
 }
 
-impl<D: CommandDriver> ReplayRun<'_, D> {
+impl<D: CommandDriver, R: Recorder + ?Sized> ReplayRun<'_, D, R> {
     fn run_op(&mut self, op: &TraceOp, phase: Phase, step: usize) -> Result<(), WorkloadError> {
+        // Every trace op drives exactly one command; verify checkpoints
+        // and the final snapshot are tallied at their own call sites.
+        self.recorder.add(Metric::WorkloadCommands, 1);
         match op {
             TraceOp::AddClients(batch) => {
                 let response = self.driver.execute(Command::AddClients(batch.clone()))?;
@@ -391,17 +514,36 @@ impl<D: CommandDriver> ReplayRun<'_, D> {
                 "step {step}: dirty prediction diverged from the service"
             );
         }
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         self.driver.execute(command)?;
-        let millis = start.elapsed().as_secs_f64() * 1e3;
+        let nanos = watch.elapsed_ns();
+        let millis = nanos as f64 / 1e6;
         self.dirty = false;
         if dirty {
+            let metric = match phase {
+                Phase::Steady => Metric::WorkloadResolveSteadyNs,
+                Phase::Flash => Metric::WorkloadResolveFlashNs,
+            };
+            self.recorder.observe(metric, nanos);
+            match phase {
+                Phase::Steady => self.latency.resolve_steady.record(nanos),
+                Phase::Flash => self.latency.resolve_flash.record(nanos),
+            }
             let report = self
                 .driver
                 .solve_report()?
                 .ok_or(WorkloadError::MissingSolveReport { step })?;
             self.solves.push(solve_sample(&report, phase, millis));
         } else {
+            let metric = match phase {
+                Phase::Steady => Metric::WorkloadReadSteadyNs,
+                Phase::Flash => Metric::WorkloadReadFlashNs,
+            };
+            self.recorder.observe(metric, nanos);
+            match phase {
+                Phase::Steady => self.latency.read_steady.record(nanos),
+                Phase::Flash => self.latency.read_flash.record(nanos),
+            }
             self.reads.push(ReadSample { phase, millis });
         }
         Ok(())
@@ -410,6 +552,7 @@ impl<D: CommandDriver> ReplayRun<'_, D> {
     /// Certify the served equilibrium bit-identical to a from-scratch
     /// solve over the mirrored population.
     fn verify_step(&mut self, config: &ServiceConfig, step: usize) -> Result<(), WorkloadError> {
+        self.recorder.add(Metric::WorkloadCommands, 1);
         let snapshot = match self.driver.execute(Command::Snapshot)? {
             Response::Snapshot(snapshot) => snapshot,
             other => return Err(unexpected_reply("Snapshot", &other)),

@@ -1,0 +1,139 @@
+//! Instrumentation guard: full observability must not change a single
+//! served price bit, and must stay within a small latency overhead.
+//!
+//! The cheap test runs everywhere. The `#[ignore]`d test replays the
+//! full 10k-client reference workload twice (uninstrumented, then fully
+//! instrumented) and is run in release mode by CI:
+//!
+//! ```sh
+//! cargo test --release -p fedfl-workload --test obs_guard -- --ignored
+//! ```
+
+use fedfl_obs::{Metric, Registry};
+use fedfl_workload::{generate, replay, replay_observed, ReplayOutcome, WorkloadSpec};
+use std::sync::Arc;
+
+/// The pinned checksum of the 10k reference workload's final
+/// equilibrium — the same constant the CI workload job asserts.
+const REFERENCE_10K_CHECKSUM: u64 = 0xe3ac_8f3c_4683_fe7c;
+
+fn tiny_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::reference_10k();
+    spec.clients = 48;
+    spec.steps = 6;
+    spec.cohorts = 3;
+    spec.arrivals_per_step = 4;
+    spec.departures_per_step = 4;
+    spec.surge_every = 3;
+    spec.surge_size = 12;
+    spec.surge_hold = 2;
+    spec.budget_every = 2;
+    spec.reads_per_step = 2;
+    spec.read_batch = 6;
+    spec.snapshot_every = 3;
+    spec.verify_every = 2;
+    spec.min_population = 8;
+    spec.shards = 4;
+    spec.threads = 1;
+    spec
+}
+
+fn mean_resolve_ms(outcome: &ReplayOutcome) -> f64 {
+    if outcome.solves.is_empty() {
+        return 0.0;
+    }
+    outcome.solves.iter().map(|s| s.millis).sum::<f64>() / outcome.solves.len() as f64
+}
+
+#[test]
+fn instrumented_replay_is_bit_identical_and_fully_counted() {
+    let spec = tiny_spec();
+    let trace = generate(&spec).expect("generate");
+    let plain = replay(&spec, &trace).expect("replay");
+    let registry = Arc::new(Registry::new());
+    let observed = replay_observed(&spec, &trace, Arc::clone(&registry)).expect("observed");
+
+    // Bit-identity: recording never touches solver arithmetic.
+    assert_eq!(plain.price_checksum, observed.price_checksum);
+    assert_eq!(plain.final_clients, observed.final_clients);
+    assert_eq!(plain.solves.len(), observed.solves.len());
+    assert_eq!(plain.reads.len(), observed.reads.len());
+
+    // The registry saw every layer of the replay.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("fedfl_solver_solves_total"),
+        Some(observed.solves.len() as u64)
+    );
+    assert_eq!(
+        snap.counter("fedfl_service_reprices_total"),
+        Some(observed.solves.len() as u64)
+    );
+    assert_eq!(
+        snap.counter("fedfl_workload_verified_steps_total"),
+        Some(observed.verified_steps as u64)
+    );
+    // Trace ops + verify snapshots + the final checksum snapshot.
+    assert_eq!(
+        snap.counter("fedfl_workload_commands_total"),
+        Some((trace.commands() + observed.verified_steps + 1) as u64)
+    );
+    // The workload latency histograms mirror the sample vectors.
+    let resolves = snap
+        .histogram("fedfl_workload_resolve_steady_ns")
+        .map_or(0, |h| h.count)
+        + snap
+            .histogram("fedfl_workload_resolve_flash_ns")
+            .map_or(0, |h| h.count);
+    assert_eq!(resolves, observed.solves.len() as u64);
+    let reads = snap
+        .histogram("fedfl_workload_read_steady_ns")
+        .map_or(0, |h| h.count)
+        + snap
+            .histogram("fedfl_workload_read_flash_ns")
+            .map_or(0, |h| h.count);
+    assert_eq!(reads, observed.reads.len() as u64);
+    // No fallbacks on the exact path, and every solve is accounted for.
+    assert_eq!(
+        snap.counter(Metric::SolverExactSolves.name()),
+        Some(observed.solves.len() as u64)
+    );
+}
+
+#[test]
+#[ignore = "release-mode overhead guard; CI runs it with --ignored"]
+fn reference_10k_instrumented_replay_keeps_the_checksum_and_latency() {
+    let spec = WorkloadSpec::reference_10k();
+    let trace = generate(&spec).expect("generate");
+
+    let plain = replay(&spec, &trace).expect("uninstrumented replay");
+    assert_eq!(
+        plain.price_checksum, REFERENCE_10K_CHECKSUM,
+        "uninstrumented checksum drifted"
+    );
+
+    let registry = Arc::new(Registry::new());
+    let observed =
+        replay_observed(&spec, &trace, Arc::clone(&registry)).expect("instrumented replay");
+    assert_eq!(
+        observed.price_checksum, REFERENCE_10K_CHECKSUM,
+        "instrumentation changed served price bits"
+    );
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("fedfl_solver_solves_total"),
+        Some(observed.solves.len() as u64)
+    );
+    assert!(snap.counter("fedfl_workload_commands_total").unwrap() > 0);
+
+    // Overhead: instrumented mean re-solve latency within 5% of the
+    // uninstrumented baseline, plus a small absolute epsilon so the
+    // guard is not noise-bound at sub-millisecond solve times.
+    let base = mean_resolve_ms(&plain);
+    let instrumented = mean_resolve_ms(&observed);
+    assert!(
+        instrumented <= base * 1.05 + 0.5,
+        "instrumented mean re-solve {instrumented:.3} ms vs baseline {base:.3} ms exceeds 5%"
+    );
+}

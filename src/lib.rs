@@ -8,6 +8,7 @@ pub use fedfl_core as core;
 pub use fedfl_data as data;
 pub use fedfl_model as model;
 pub use fedfl_num as num;
+pub use fedfl_obs as obs;
 pub use fedfl_service as service;
 pub use fedfl_sim as sim;
 pub use fedfl_workload as workload;

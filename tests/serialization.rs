@@ -125,10 +125,16 @@ fn service_commands_roundtrip() {
         Command::Reprice,
         Command::GetPrices(vec![ClientId(0)]),
         Command::Snapshot,
+        Command::Metrics,
     ];
     for command in commands {
         assert_eq!(roundtrip(&command), command);
     }
+    // The unit variant travels as a bare JSON string.
+    assert_eq!(
+        serde_json::to_string(&Command::Metrics).unwrap(),
+        "\"Metrics\""
+    );
     for response in [
         Response::Added(vec![ClientId(0)]),
         Response::Removed(2),
@@ -138,6 +144,21 @@ fn service_commands_roundtrip() {
     ] {
         assert_eq!(roundtrip(&response), response);
     }
+}
+
+#[test]
+fn metrics_reports_roundtrip() {
+    use fedfl::obs::{Metric, Recorder as _, Registry};
+    use fedfl::service::Response;
+    let registry = Registry::new();
+    registry.add(Metric::SolverSolves, 3);
+    registry.gauge_set(Metric::ServiceClients, 11);
+    registry.observe(Metric::ServiceRepriceNs, 125_000);
+    let report = registry.report();
+    assert_eq!(roundtrip(&report), report);
+    // And wrapped the way the wire carries it.
+    let response = Response::Metrics(report);
+    assert_eq!(roundtrip(&response), response);
 }
 
 #[test]
