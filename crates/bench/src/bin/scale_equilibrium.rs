@@ -37,7 +37,7 @@
 
 use fedfl_bench::metrics_record::MetricsRecord;
 use fedfl_bench::schema::check_line;
-use fedfl_core::active_set::ActiveSetIndex;
+use fedfl_core::active_set::{ActiveSetIndex, IndexColumns};
 use fedfl_core::bound::BoundParams;
 use fedfl_core::equilibrium::StackelbergEquilibrium;
 use fedfl_core::population::{Population, PopulationSpec};
@@ -80,6 +80,11 @@ struct JsonRecord {
     probe_evaluations: Option<u64>,
     probe_evaluations_exact: Option<u64>,
     fast_rel_spend_error: Option<f64>,
+    index_segments: Option<usize>,
+    index_keyed_build_seconds: Option<f64>,
+    index_patch_seconds: Option<f64>,
+    index_patch_segments_rebuilt: Option<usize>,
+    index_patch_segments_reused: Option<usize>,
 }
 
 /// Everything a `--fast-path` run measured beyond the exact solve.
@@ -91,7 +96,26 @@ struct FastStats {
     probe_evaluations: u64,
     probe_evaluations_exact: u64,
     fast_rel_spend_error: f64,
+    /// Segments of the grid index the fast solve probed.
+    index_segments: usize,
+    /// Cold keyed (service-layout) index build time — the incremental
+    /// patch's baseline.
+    index_keyed_build_seconds: f64,
+    /// Time to patch the keyed index with [`PATCH_DIRTY_SEGMENTS`]
+    /// segments marked dirty.
+    index_patch_seconds: f64,
+    /// Segments the patch re-sorted (== the dirty count).
+    index_patch_segments_rebuilt: usize,
+    /// Segments the patch reused verbatim.
+    index_patch_segments_reused: usize,
 }
+
+/// Keyed-index layout of the patch micro-bench: the service's segment
+/// count and routing-block width (`store::INDEX_SEGMENTS`, `ROUTE_BLOCK`).
+const PATCH_SEGMENTS: usize = 256;
+const PATCH_ROUTE_BLOCK: usize = 32;
+/// How many segments the micro-bench marks dirty — a small churn batch.
+const PATCH_DIRTY_SEGMENTS: usize = 4;
 
 struct Args {
     clients: usize,
@@ -348,6 +372,65 @@ fn main() {
         let exact_diag = exact_diag.expect("exact diagnostics captured under --fast-path");
         let fast_rel_spend_error =
             (fast_cold.spent - solution.spent).abs() / solution.spent.abs().max(1.0);
+
+        // Incremental-patch micro-bench on the service's keyed layout:
+        // cold keyed build vs a patch with a small dirty batch. The rows
+        // themselves are unchanged, so the patch's cost is pure re-sort
+        // work on the dirty segments plus O(n) validation of the rest —
+        // the O(S + dirty·(N/S)·log(N/S)) bound made measurable.
+        println!(
+            "keyed-index patch micro-bench ({PATCH_SEGMENTS} segments, \
+             {PATCH_DIRTY_SEGMENTS} dirty) ..."
+        );
+        let cols = population.columns();
+        let index_cols = IndexColumns::from_population(&cols);
+        let seg_keys: Vec<u32> = (0..cols.len())
+            .map(|i| ((i / PATCH_ROUTE_BLOCK) % PATCH_SEGMENTS) as u32)
+            .collect();
+        let t0 = Instant::now();
+        let keyed = ActiveSetIndex::build_keyed(
+            &index_cols,
+            &seg_keys,
+            PATCH_SEGMENTS,
+            bound.alpha_over_r(),
+            options.q_min,
+            1.0,
+            options.config.n_threads,
+        );
+        let index_keyed_build_seconds = t0.elapsed().as_secs_f64();
+        let mut dirty = vec![false; PATCH_SEGMENTS];
+        for flag in dirty.iter_mut().take(PATCH_DIRTY_SEGMENTS) {
+            *flag = true;
+        }
+        let t0 = Instant::now();
+        let (patched, patch_stats) = keyed.patch(
+            &index_cols,
+            &seg_keys,
+            &dirty,
+            1.0,
+            options.config.n_threads,
+        );
+        let patch_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let index_patch_seconds = patch_ns as f64 / 1e9;
+        assert_eq!(patched, keyed, "patched keyed index diverged from cold");
+        println!(
+            "  cold keyed {index_keyed_build_seconds:.3}s vs patch {index_patch_seconds:.3}s \
+             (rebuilt {}, repaired {}, reused {})",
+            patch_stats.rebuilt, patch_stats.repaired, patch_stats.reused
+        );
+        if let Some(registry) = &registry {
+            registry.observe(Metric::SolverIndexPatchNs, patch_ns);
+            registry.add(
+                Metric::SolverIndexSegmentsRebuilt,
+                patch_stats.rebuilt as u64,
+            );
+            registry.add(
+                Metric::SolverIndexSegmentsRepaired,
+                patch_stats.repaired as u64,
+            );
+            registry.add(Metric::SolverIndexSegmentsReused, patch_stats.reused as u64);
+        }
+
         Some(FastStats {
             solver_mode: cold_diag.solver_mode.as_str().to_string(),
             index_build_seconds,
@@ -356,6 +439,11 @@ fn main() {
             probe_evaluations: cold_diag.probe_evaluations,
             probe_evaluations_exact: exact_diag.probe_evaluations,
             fast_rel_spend_error,
+            index_segments: index.segment_count(),
+            index_keyed_build_seconds,
+            index_patch_seconds,
+            index_patch_segments_rebuilt: patch_stats.rebuilt,
+            index_patch_segments_reused: patch_stats.reused,
         })
     } else {
         None
@@ -414,6 +502,15 @@ fn main() {
             fast.probe_evaluations_exact as f64 / (fast.probe_evaluations.max(1)) as f64,
             fast.fast_rel_spend_error
         ));
+        report.push_str(&format!(
+            "  segmented index: {} grid segments; keyed patch {:.3}s vs cold keyed build {:.3}s \
+             (rebuilt {}, reused {})\n",
+            fast.index_segments,
+            fast.index_patch_seconds,
+            fast.index_keyed_build_seconds,
+            fast.index_patch_segments_rebuilt,
+            fast.index_patch_segments_reused
+        ));
     }
     print!("{report}");
 
@@ -454,6 +551,11 @@ fn main() {
             probe_evaluations: fast.as_ref().map(|f| f.probe_evaluations),
             probe_evaluations_exact: fast.as_ref().map(|f| f.probe_evaluations_exact),
             fast_rel_spend_error: fast.as_ref().map(|f| f.fast_rel_spend_error),
+            index_segments: fast.as_ref().map(|f| f.index_segments),
+            index_keyed_build_seconds: fast.as_ref().map(|f| f.index_keyed_build_seconds),
+            index_patch_seconds: fast.as_ref().map(|f| f.index_patch_seconds),
+            index_patch_segments_rebuilt: fast.as_ref().map(|f| f.index_patch_segments_rebuilt),
+            index_patch_segments_reused: fast.as_ref().map(|f| f.index_patch_segments_reused),
         };
         // `None` fields serialize as `null`, which the ledger schema
         // rejects — strip them so plain runs keep the historical shape

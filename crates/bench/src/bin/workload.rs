@@ -19,7 +19,7 @@
 //!          [--assert-price-checksum HEX] [--assert-solver-mode MODE]
 //!          [--assert-mean-resolve-ms X] [--assert-p99-read-ms X]
 //!          [--metrics-out PATH] [--assert-counter NAME=V]
-//!          [--assert-counter-min NAME=V]
+//!          [--assert-counter-min NAME=V] [--assert-counter-le A=B]
 //!          [--out PATH] [--no-out] [--json] [--json-out PATH]
 //! ```
 //!
@@ -43,9 +43,12 @@
 //! `--metrics-out` appends a `"bench":"metrics"` JSONL export of the
 //! run's obs registry (scraped over the wire with `--transport tcp`, so
 //! the exposition path itself is exercised); `--assert-counter NAME=V`
-//! and `--assert-counter-min NAME=V` gate on exported counters, with
-//! NAME accepted with or without the `fedfl_` prefix and `_total`
-//! suffix. Either flag implies metrics collection.
+//! and `--assert-counter-min NAME=V` gate on exported counters, and
+//! `--assert-counter-le A=B` gates counter A at or below counter B
+//! (CI uses `solver_index_segments_rebuilt=service_dirty_shards` to
+//! prove churn batches patch only the affected shard segments). Names
+//! are accepted with or without the `fedfl_` prefix and `_total`
+//! suffix. Any of these flags implies metrics collection.
 //!
 //! Defaults are the committed 10k reference trace
 //! ([`WorkloadSpec::reference_10k`]). A human-readable report is appended
@@ -92,6 +95,7 @@ struct Args {
     metrics_out: Option<String>,
     assert_counter: Vec<(String, u64)>,
     assert_counter_min: Vec<(String, u64)>,
+    assert_counter_le: Vec<(String, String)>,
 }
 
 impl Args {
@@ -109,6 +113,7 @@ impl Args {
             metrics_out: None,
             assert_counter: Vec::new(),
             assert_counter_min: Vec::new(),
+            assert_counter_le: Vec::new(),
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -167,6 +172,9 @@ impl Args {
                 "--assert-counter-min" => args
                     .assert_counter_min
                     .push(parse_counter_assert(&value("--assert-counter-min")?)?),
+                "--assert-counter-le" => args
+                    .assert_counter_le
+                    .push(parse_counter_pair(&value("--assert-counter-le")?)?),
                 "--out" => args.out = Some(value("--out")?),
                 "--no-out" => args.out = None,
                 "--json" => {
@@ -199,6 +207,17 @@ fn parse_counter_assert(s: &str) -> Result<(String, u64), String> {
         .split_once('=')
         .ok_or_else(|| format!("bad counter assertion `{s}`: expected NAME=VALUE"))?;
     Ok((name.to_string(), parse(value.to_string())?))
+}
+
+/// Parse an `A=B` counter-vs-counter assertion (A must be ≤ B).
+fn parse_counter_pair(s: &str) -> Result<(String, String), String> {
+    let (a, b) = s
+        .split_once('=')
+        .ok_or_else(|| format!("bad counter comparison `{s}`: expected NAME=NAME"))?;
+    if a.is_empty() || b.is_empty() {
+        return Err(format!("bad counter comparison `{s}`: expected NAME=NAME"));
+    }
+    Ok((a.to_string(), b.to_string()))
 }
 
 fn main() {
@@ -242,7 +261,8 @@ fn main() {
     // otherwise the replay runs with the no-op recorder (zero overhead).
     let want_metrics = args.metrics_out.is_some()
         || !args.assert_counter.is_empty()
-        || !args.assert_counter_min.is_empty();
+        || !args.assert_counter_min.is_empty()
+        || !args.assert_counter_le.is_empty();
     let (outcome, metrics) = match (args.transport, want_metrics) {
         (Transport::Inproc, false) => (replay(spec, &trace), None),
         (Transport::Inproc, true) => {
@@ -293,6 +313,19 @@ fn main() {
         record.max_dirty_shard_fraction,
         record.mean_rebuilt_column_fraction
     ));
+    if spec.fast_path {
+        report.push_str(&format!(
+            "  index: {} cold builds (mean {:.3} ms) / {} patches (mean {:.3} ms); \
+             segments rebuilt {} repaired {} reused {}\n",
+            record.index_cold_builds,
+            record.mean_index_build_ms,
+            record.index_patches,
+            record.mean_index_patch_ms,
+            record.index_segments_rebuilt,
+            record.index_segments_repaired,
+            record.index_segments_reused
+        ));
+    }
     for phase in &record.phases {
         report.push_str(&format!(
             "  {:>6}: {} re-solves p50 {:.3} ms p99 {:.3} ms · {} reads p50 {:.3} ms p99 {:.3} ms\n",
@@ -387,6 +420,26 @@ fn main() {
                 }
                 None => {
                     eprintln!("workload: counter {name} not found in the metrics export");
+                    failed = true;
+                }
+            }
+        }
+        for (a, b) in &args.assert_counter_le {
+            match (record.counter(a), record.counter(b)) {
+                (Some(lhs), Some(rhs)) if lhs <= rhs => {
+                    println!("counter {a} = {lhs} ≤ {b} = {rhs} as expected");
+                }
+                (Some(lhs), Some(rhs)) => {
+                    eprintln!("workload: counter {a} = {lhs} exceeds {b} = {rhs}");
+                    failed = true;
+                }
+                (lhs, rhs) => {
+                    if lhs.is_none() {
+                        eprintln!("workload: counter {a} not found in the metrics export");
+                    }
+                    if rhs.is_none() {
+                        eprintln!("workload: counter {b} not found in the metrics export");
+                    }
                     failed = true;
                 }
             }

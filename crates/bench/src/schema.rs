@@ -97,6 +97,7 @@ pub fn check_line(line: &str) -> Result<RecordKind, String> {
         }
         Some(Value::Str(name)) if name == "workload" => {
             check_fields(entries, WORKLOAD_REQUIRED)?;
+            check_optional_fields(entries, WORKLOAD_OPTIONAL)?;
             check_workload(entries)?;
             Ok(RecordKind::Workload)
         }
@@ -153,6 +154,11 @@ const SCALE_OPTIONAL: &[(&str, FieldType)] = &[
     ("probe_evaluations", FieldType::Count),
     ("probe_evaluations_exact", FieldType::Count),
     ("fast_rel_spend_error", FieldType::Number),
+    ("index_segments", FieldType::Count),
+    ("index_keyed_build_seconds", FieldType::Number),
+    ("index_patch_seconds", FieldType::Number),
+    ("index_patch_segments_rebuilt", FieldType::Count),
+    ("index_patch_segments_reused", FieldType::Count),
 ];
 
 const PRICING_SERVICE_REQUIRED: &[(&str, FieldType)] = &[
@@ -200,6 +206,18 @@ const WORKLOAD_REQUIRED: &[(&str, FieldType)] = &[
     ("solver_mode", FieldType::Str),
     ("total_wall_seconds", FieldType::Number),
     ("phases", FieldType::Seq),
+];
+
+/// Workload fields introduced with the segmented threshold index: absent
+/// on older committed records, typed when present.
+const WORKLOAD_OPTIONAL: &[(&str, FieldType)] = &[
+    ("index_cold_builds", FieldType::Count),
+    ("index_patches", FieldType::Count),
+    ("index_segments_rebuilt", FieldType::Count),
+    ("index_segments_repaired", FieldType::Count),
+    ("index_segments_reused", FieldType::Count),
+    ("mean_index_build_ms", FieldType::Number),
+    ("mean_index_patch_ms", FieldType::Number),
 ];
 
 const METRICS_REQUIRED: &[(&str, FieldType)] = &[
@@ -521,6 +539,34 @@ mod tests {
     }
 
     #[test]
+    fn workload_segment_fields_are_typed_when_present() {
+        // Older committed records lack the segment fields entirely.
+        assert_eq!(check_line(WORKLOAD_LINE), Ok(RecordKind::Workload));
+        let with_segments = WORKLOAD_LINE.replace(
+            r#""total_wall_seconds":0.5"#,
+            concat!(
+                r#""index_cold_builds":1,"index_patches":3,"#,
+                r#""index_segments_rebuilt":280,"index_segments_repaired":0,"#,
+                r#""index_segments_reused":744,"mean_index_build_ms":0.8,"#,
+                r#""mean_index_patch_ms":0.05,"total_wall_seconds":0.5"#
+            ),
+        );
+        assert_eq!(check_line(&with_segments), Ok(RecordKind::Workload));
+        let bad = with_segments.replace(
+            r#""index_segments_rebuilt":280"#,
+            r#""index_segments_rebuilt":"many""#,
+        );
+        assert!(check_line(&bad)
+            .unwrap_err()
+            .contains("index_segments_rebuilt"));
+        let null_ms = with_segments.replace(
+            r#""mean_index_patch_ms":0.05"#,
+            r#""mean_index_patch_ms":null"#,
+        );
+        assert!(check_line(&null_ms).unwrap_err().contains("null"));
+    }
+
+    #[test]
     fn scale_fast_fields_are_typed_when_present() {
         const SCALE_LINE: &str = concat!(
             r#"{"clients":1000,"threads":0,"seed":7,"budget":10.0,"#,
@@ -534,8 +580,14 @@ mod tests {
             format!(r#"{SCALE_LINE},"solver_mode":"threshold_index","fast_solve_seconds":0.01,"#)
                 + r#""fast_warm_solve_seconds":0.005,"index_build_seconds":0.03,"#
                 + r#""probe_evaluations":4200,"probe_evaluations_exact":55000,"#
-                + r#""fast_rel_spend_error":1e-9}"#;
+                + r#""fast_rel_spend_error":1e-9,"index_segments":256,"#
+                + r#""index_keyed_build_seconds":0.05,"index_patch_seconds":0.002,"#
+                + r#""index_patch_segments_rebuilt":4,"index_patch_segments_reused":252}"#;
         assert_eq!(check_line(&fast), Ok(RecordKind::Scale));
+        let bad_segments = fast.replace(r#""index_segments":256"#, r#""index_segments":-2"#);
+        assert!(check_line(&bad_segments)
+            .unwrap_err()
+            .contains("index_segments"));
         let bad_mode = fast.replace("threshold_index", "warp_drive");
         assert!(check_line(&bad_mode).unwrap_err().contains("solver_mode"));
         let bad_count = fast.replace(r#""probe_evaluations":4200"#, r#""probe_evaluations":-1"#);

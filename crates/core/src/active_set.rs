@@ -1,5 +1,5 @@
 //! Threshold-indexed active sets: sub-linear λ-probes for the Stage-I
-//! solver.
+//! solver, with incremental segment rebuilds under churn.
 //!
 //! Every probe of the budget bisection in [`crate::server`] evaluates the
 //! path spend `Σ_n P(q_n(t))·q_n(t)` — an O(N) sweep. But the KKT path is
@@ -17,10 +17,10 @@
 //! ```
 //!
 //! (the same expression [`crate::server`]'s `saturation_t` maximises).
-//! Sorting clients by each threshold once — O(N log N) per (re)build —
-//! and holding prefix sums of the per-client spend constants and interior
-//! moments in threshold order turns each probe into **two binary searches
-//! plus an O(1) closed-form evaluation**:
+//! Sorting clients by each threshold — O(N log N) per cold build — and
+//! holding prefix sums of the per-client spend constants and interior
+//! moments in threshold order turns each probe into binary searches plus
+//! an O(1) closed-form evaluation:
 //!
 //! * floored clients (`t <= t_entry`) contribute the constant
 //!   `2c·q_min² − v·(α/R)·a²G²/q_min` — a suffix sum in entry order;
@@ -33,8 +33,63 @@
 //!   evaluates a third-order binomial expansion in `v_n/t` — **exact**
 //!   for zero-value clients and relatively off by `O((v/t)⁴)` otherwise —
 //!   from eight moment prefix sums (`A`, `Av`, `Av²`, `Av³`, `D`, `Dv`,
-//!   `Dv²`, `Dv³`) held in *both* threshold orders, so the interior sum
-//!   at `t` is an entry-order prefix minus a saturation-order prefix.
+//!   `Dv²`, `Dv³`) held in *both* threshold orders.
+//!
+//! # Two-level segmented layout
+//!
+//! The index is a list of [`IndexSegment`]s — each one sorted threshold
+//! run (entry and saturation order) with its own prefix-summed spend
+//! constants and interior moments — walked in a fixed segment order by
+//! every probe: per segment a boundary check (the "directory scan":
+//! first/last threshold short-circuit all-floored / all-saturated
+//! segments), an in-segment binary search otherwise, and one closed-form
+//! interior evaluation over the accumulated moments at the end. Two
+//! segmentation disciplines share the structure:
+//!
+//! * **Grid** ([`ActiveSetIndex::from_columns`] /
+//!   [`ActiveSetIndex::build_sharded`]): fixed [`GRID_SEGMENT`]-length
+//!   positional segments over the concatenated columns. Because solver
+//!   shards are chunk-aligned contiguous partitions (chunk =
+//!   `GRID_SEGMENT`), the segment list is a pure function of the
+//!   concatenated columns — the sharded build is **bit-identical** to
+//!   the flat build for any shard × thread count, the contract
+//!   `fedfl_num::parallel` gives the chunked reductions.
+//! * **Keyed** ([`ActiveSetIndex::build_keyed`] /
+//!   [`ActiveSetIndex::patch`]): clients are bucketed by a caller-chosen
+//!   stable key (the service keys on id blocks, aligned with its store
+//!   shards), preserving global insertion order within each bucket. A
+//!   churn batch that only touches some buckets re-sorts **only those
+//!   segments**: [`ActiveSetIndex::patch`] rebuilds dirty segments in
+//!   O(dirty·(N/S)·log(N/S)) sort work and revalidates clean ones in
+//!   O(N/S) each, producing an index **bit-identical** to a cold
+//!   [`ActiveSetIndex::build_keyed`] over the same rows.
+//!
+//! # Scale factorisation (why patching survives weight renormalisation)
+//!
+//! The normalised `a²G² = (w/W)²·G²` column depends on the global raw
+//! weight total `W`, so *any* churn moves *every* threshold — fatal for
+//! segment reuse if thresholds were stored. Segments therefore store
+//! only **scale-free unit values** derived from the caller's `w²G²`
+//! column (raw `w_raw²·G²` in the service, the normalised column with
+//! `scale = 1` standalone), and the index evaluates thresholds on the
+//! fly at its current `scale = σ` (the service passes `σ = W²`):
+//!
+//! ```text
+//! t_entry = v + σ·e      e = c·q_min³/((α/4R)·w²G²)
+//! t_sat   = max(v + σ·f, t_entry)
+//! floor   = F0 − F1/σ    F0 = 2c·q_min²,  F1 = v·(α/R)·w²G²/q_min
+//! sat     = S0 − S1/σ    (q_max analogues)
+//! A, D    = A0·σ^{−2/3}, D0·σ^{−2/3}
+//! ```
+//!
+//! so every prefix array is σ-independent and the σ corrections apply
+//! once per probe. A weight drift can still *reorder* thresholds inside
+//! a clean segment (keys are `v + σ·e`, and lines cross); the patch
+//! validates each clean segment's stored permutation is still *the*
+//! stable argsort at the new σ (an O(len) adjacent scan — sorted keys
+//! with ties in ascending insertion order characterise the stable
+//! argsort uniquely) and re-sorts the rare violators ("repaired"), so
+//! reuse never costs bit-identity.
 //!
 //! The evaluation is a **model**, not the exact chunked reduction: its
 //! summation order differs from the flat solver's fixed chunk tree and
@@ -43,115 +98,302 @@
 //! therefore treats the index as a probe accelerator only: the root it
 //! finds is certified against *exact* spend probes and the Theorem-2
 //! residual, and violations fall back to the exact solver.
-//!
-//! # Shard-mergeability
-//!
-//! A [`ThresholdSegment`] is one shard's sorted runs. Because shards are
-//! contiguous segments of the global client order, merging per-segment
-//! stable sorts with [`fedfl_num::prefix::merge_sorted_runs`]'s
-//! leftmost-run-first tie-break reproduces the flat stable sort exactly,
-//! so [`ActiveSetIndex::from_segments`] is **bit-identical** to a flat
-//! [`ActiveSetIndex::from_columns`] build for any shard count — the same
-//! contract [`fedfl_num::parallel`] gives the chunked reductions.
 
 use crate::population::PopulationColumns;
-use fedfl_num::parallel::resolve_threads;
-use fedfl_num::prefix::{
-    count_below, exclusive_prefix_sums, gather, merge_sorted_runs, sort_permutation,
-};
+use fedfl_num::parallel::{resolve_threads, DEFAULT_CHUNK};
+use fedfl_num::prefix::{exclusive_prefix_sums, gather, sort_permutation};
+use std::cmp::Ordering;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// Interior moment columns: `A`, `Av`, `Av²`, `Av³`, `D`, `Dv`, `Dv²`,
 /// `Dv³`.
 const MOMENTS: usize = 8;
 
-/// One shard's contribution to a threshold index: both threshold-sorted
-/// runs with their spend constants and interior moments gathered into
-/// sorted order, ready to merge.
+/// Positional segment length of grid-mode indexes. Equal to the chunked
+/// reductions' [`DEFAULT_CHUNK`], so chunk-aligned solver shards split
+/// into the same global segment grid for any shard count.
+pub const GRID_SEGMENT: usize = DEFAULT_CHUNK;
+
+/// Borrowed scale-free index inputs: the `w²G²` column (raw
+/// `w_raw²·G²` when probing at `scale = W²`, the normalised `a²G²`
+/// column at `scale = 1`), effective costs, values, and caps.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexColumns<'a> {
+    /// Squared-weight gradient column (see above for the scale contract).
+    pub w2g2: &'a [f64],
+    /// Effective per-client costs.
+    pub cost: &'a [f64],
+    /// Per-client values.
+    pub value: &'a [f64],
+    /// Effective participation caps.
+    pub q_max: &'a [f64],
+}
+
+impl<'a> IndexColumns<'a> {
+    /// View normalised population columns as unit inputs (`scale = 1`).
+    pub fn from_population(cols: &'a PopulationColumns) -> Self {
+        IndexColumns {
+            w2g2: &cols.a2g2,
+            cost: &cols.cost,
+            value: &cols.value,
+            q_max: &cols.q_max,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.w2g2.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.w2g2.is_empty()
+    }
+}
+
+/// Accounting of one [`ActiveSetIndex::patch`]: how each segment was
+/// produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Segments re-sorted because their rows were dirty.
+    pub rebuilt: usize,
+    /// Clean segments re-sorted because the scale drift reordered their
+    /// thresholds (the order-validation scan failed).
+    pub repaired: usize,
+    /// Clean segments reused verbatim (validation passed — zero sort
+    /// work).
+    pub reused: usize,
+}
+
+/// One sorted view of a segment: the stable argsort permutation of an
+/// on-the-fly-evaluated threshold key, with exclusive prefix sums of the
+/// spend constants and interior moments gathered in that order.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ThresholdSegment {
-    len: usize,
-    entry_keys: Vec<f64>,
-    /// Floor-spend constants in entry order.
-    entry_floor: Vec<f64>,
-    /// Interior moments in entry order.
-    entry_moments: [Vec<f64>; MOMENTS],
-    sat_keys: Vec<f64>,
-    /// Saturated-spend constants in saturation order.
-    sat_spend: Vec<f64>,
-    /// Interior moments in saturation order.
-    sat_moments: [Vec<f64>; MOMENTS],
+struct SortedView {
+    /// Sorted slot → row index within the segment (insertion order).
+    perm: Vec<u32>,
+    /// Prefix sums of the σ-free spend constant (`F0` / `S0`).
+    c0_prefix: Vec<f64>,
+    /// Prefix sums of the `/σ` spend constant (`F1` / `S1`).
+    c1_prefix: Vec<f64>,
+    /// Prefix sums of the unit interior moments.
+    moment_prefix: [Vec<f64>; MOMENTS],
+}
+
+impl SortedView {
+    fn build(keys: &[f64], c0: &[f64], c1: &[f64], moments: &[Vec<f64>; MOMENTS]) -> Self {
+        let perm = sort_permutation(keys);
+        SortedView {
+            c0_prefix: exclusive_prefix_sums(&gather(c0, &perm)),
+            c1_prefix: exclusive_prefix_sums(&gather(c1, &perm)),
+            moment_prefix: std::array::from_fn(|k| {
+                exclusive_prefix_sums(&gather(&moments[k], &perm))
+            }),
+            perm,
+        }
+    }
+
+    /// Whether `perm` is still *the* stable argsort of the evaluated key
+    /// (non-decreasing under `total_cmp`, ties in ascending row order,
+    /// every key finite). Passing proves a cold rebuild at the current
+    /// scale would reproduce this view bit for bit.
+    fn is_stable_sorted(&self, eval: impl Fn(usize) -> f64) -> bool {
+        let mut prev: Option<(f64, u32)> = None;
+        for &row in &self.perm {
+            let key = eval(row as usize);
+            if !key.is_finite() {
+                return false;
+            }
+            if let Some((prev_key, prev_row)) = prev {
+                match prev_key.total_cmp(&key) {
+                    Ordering::Less => {}
+                    Ordering::Equal if prev_row < row => {}
+                    _ => return false,
+                }
+            }
+            prev = Some((key, row));
+        }
+        true
+    }
+}
+
+/// Scale-free per-row unit values of one segment, in segment insertion
+/// order (a stable subsequence of the global client order).
+#[derive(Debug, Clone, PartialEq, Default)]
+struct UnitColumns {
+    v: Vec<f64>,
+    e: Vec<f64>,
+    f: Vec<f64>,
+    f0: Vec<f64>,
+    f1: Vec<f64>,
+    s0: Vec<f64>,
+    s1: Vec<f64>,
+    moments: [Vec<f64>; MOMENTS],
     finite: bool,
 }
 
-impl ThresholdSegment {
-    /// Build one segment from a shard's columns at the given
-    /// `aor = α/R` and participation floor.
-    ///
-    /// Columns are assumed already validated by the solver entry points
-    /// (positive `a2g2`/`cost`, `q_max > q_min`); degenerate floating
-    /// values (overflowed thresholds or moments) don't panic — they mark
-    /// the segment non-finite, which makes the fast solver fall back to
-    /// the exact path.
-    pub fn build(cols: &PopulationColumns, aor: f64, q_min: f64) -> Self {
-        let n = cols.len();
-        let coef = aor / 4.0;
-        let mut entry_raw = Vec::with_capacity(n);
-        let mut sat_raw = Vec::with_capacity(n);
-        let mut floor_raw = Vec::with_capacity(n);
-        let mut sat_spend_raw = Vec::with_capacity(n);
-        let mut moments_raw: [Vec<f64>; MOMENTS] = std::array::from_fn(|_| Vec::with_capacity(n));
-        let mut finite = true;
-        for i in 0..n {
-            let a2g2 = cols.a2g2[i];
-            let cost = cols.cost[i];
-            let value = cols.value[i];
-            let q_max = cols.q_max[i];
-            let ka = coef * a2g2;
-            let t_entry = value + cost * q_min.powi(3) / ka;
-            // q_max > q_min makes t_sat > t_entry analytically, but a
-            // value-dominated sum can round them equal; the clamp keeps
-            // the invariant `t_entry <= t_sat` the lookup relies on.
-            let t_sat = (value + cost * q_max.powi(3) / ka).max(t_entry);
-            let floor_spend = 2.0 * cost * q_min * q_min - value * aor * a2g2 / q_min;
-            let sat_spend = 2.0 * cost * q_max * q_max - value * aor * a2g2 / q_max;
-            let a = 2.0 * cost.cbrt() * (ka * ka).cbrt();
-            let d = value * aor * a2g2 * (cost / ka).cbrt();
-            let moments = [
-                a,
-                a * value,
-                a * value * value,
-                a * value * value * value,
-                d,
-                d * value,
-                d * value * value,
-                d * value * value * value,
-            ];
-            finite = finite
-                && t_entry.is_finite()
-                && t_sat.is_finite()
-                && floor_spend.is_finite()
-                && sat_spend.is_finite()
-                && moments.iter().all(|m| m.is_finite());
-            entry_raw.push(t_entry);
-            sat_raw.push(t_sat);
-            floor_raw.push(floor_spend);
-            sat_spend_raw.push(sat_spend);
-            for (k, m) in moments.into_iter().enumerate() {
-                moments_raw[k].push(m);
-            }
+impl UnitColumns {
+    fn with_capacity(n: usize) -> Self {
+        UnitColumns {
+            v: Vec::with_capacity(n),
+            e: Vec::with_capacity(n),
+            f: Vec::with_capacity(n),
+            f0: Vec::with_capacity(n),
+            f1: Vec::with_capacity(n),
+            s0: Vec::with_capacity(n),
+            s1: Vec::with_capacity(n),
+            moments: std::array::from_fn(|_| Vec::with_capacity(n)),
+            finite: true,
         }
-        let entry_perm = sort_permutation(&entry_raw);
-        let sat_perm = sort_permutation(&sat_raw);
-        Self {
+    }
+
+    /// Derive one row's unit values. Columns are assumed already
+    /// validated by the solver entry points (positive `w²G²`/`cost`,
+    /// `q_max > q_min`); degenerate floating values don't panic — they
+    /// mark the segment non-finite, which makes the fast solver fall
+    /// back to the exact path.
+    fn push_row(&mut self, cols: &IndexColumns<'_>, i: usize, aor: f64, q_min: f64) {
+        let w2g2 = cols.w2g2[i];
+        let cost = cols.cost[i];
+        let value = cols.value[i];
+        let q_max = cols.q_max[i];
+        let ka = (aor / 4.0) * w2g2;
+        let e = cost * q_min.powi(3) / ka;
+        let f = cost * q_max.powi(3) / ka;
+        let f0 = 2.0 * cost * q_min * q_min;
+        let f1 = value * aor * w2g2 / q_min;
+        let s0 = 2.0 * cost * q_max * q_max;
+        let s1 = value * aor * w2g2 / q_max;
+        let a0 = 2.0 * cost.cbrt() * (ka * ka).cbrt();
+        let d0 = value * aor * w2g2 * (cost / ka).cbrt();
+        let moments = [
+            a0,
+            a0 * value,
+            a0 * value * value,
+            a0 * value * value * value,
+            d0,
+            d0 * value,
+            d0 * value * value,
+            d0 * value * value * value,
+        ];
+        self.finite = self.finite
+            && e.is_finite()
+            && f.is_finite()
+            && f0.is_finite()
+            && f1.is_finite()
+            && s0.is_finite()
+            && s1.is_finite()
+            && moments.iter().all(|m| m.is_finite());
+        self.v.push(value);
+        self.e.push(e);
+        self.f.push(f);
+        self.f0.push(f0);
+        self.f1.push(f1);
+        self.s0.push(s0);
+        self.s1.push(s1);
+        for (k, m) in moments.into_iter().enumerate() {
+            self.moments[k].push(m);
+        }
+    }
+}
+
+/// The entry threshold `v + σ·e`, evaluated on the fly so stored segment
+/// data stays σ-free. `σ = 1` makes the multiply bit-neutral.
+#[inline]
+fn entry_key(v: f64, e: f64, scale: f64) -> f64 {
+    v + scale * e
+}
+
+/// The saturation threshold `max(v + σ·f, t_entry)`. `q_max > q_min`
+/// makes it exceed the entry threshold analytically, but a
+/// value-dominated sum can round them equal; the max keeps the invariant
+/// `t_entry <= t_sat` the lookup relies on.
+#[inline]
+fn sat_key(v: f64, e: f64, f: f64, scale: f64) -> f64 {
+    (v + scale * f).max(entry_key(v, e, scale))
+}
+
+/// One segment of the two-level index: scale-free unit rows plus both
+/// threshold-sorted prefix views. Shared by `Arc` so a patch reuses
+/// clean segments without copying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSegment {
+    len: usize,
+    unit: UnitColumns,
+    entry: SortedView,
+    sat: SortedView,
+    /// Unit values *and* the evaluated keys at the build scale are
+    /// finite. Clean-segment reuse re-proves key finiteness at the new
+    /// scale through the validation scan.
+    finite: bool,
+}
+
+impl IndexSegment {
+    fn from_unit(unit: UnitColumns, scale: f64) -> Self {
+        let n = unit.v.len();
+        let mut entry_keys = Vec::with_capacity(n);
+        let mut sat_keys = Vec::with_capacity(n);
+        let mut finite = unit.finite;
+        for i in 0..n {
+            let ek = entry_key(unit.v[i], unit.e[i], scale);
+            let sk = sat_key(unit.v[i], unit.e[i], unit.f[i], scale);
+            finite = finite && ek.is_finite() && sk.is_finite();
+            entry_keys.push(ek);
+            sat_keys.push(sk);
+        }
+        let entry = SortedView::build(&entry_keys, &unit.f0, &unit.f1, &unit.moments);
+        let sat = SortedView::build(&sat_keys, &unit.s0, &unit.s1, &unit.moments);
+        IndexSegment {
             len: n,
-            entry_keys: gather(&entry_raw, &entry_perm),
-            entry_floor: gather(&floor_raw, &entry_perm),
-            entry_moments: std::array::from_fn(|k| gather(&moments_raw[k], &entry_perm)),
-            sat_keys: gather(&sat_raw, &sat_perm),
-            sat_spend: gather(&sat_spend_raw, &sat_perm),
-            sat_moments: std::array::from_fn(|k| gather(&moments_raw[k], &sat_perm)),
+            unit,
+            entry,
+            sat,
             finite,
         }
+    }
+
+    /// Build from a contiguous row range (grid mode).
+    fn build_range(cols: &IndexColumns<'_>, range: Range<usize>, aor: f64, q_min: f64) -> Self {
+        let mut unit = UnitColumns::with_capacity(range.len());
+        for i in range {
+            unit.push_row(cols, i, aor, q_min);
+        }
+        Self::from_unit(unit, 1.0)
+    }
+
+    /// Build from an explicit member list in ascending row order (keyed
+    /// mode).
+    fn build_members(
+        cols: &IndexColumns<'_>,
+        members: &[u32],
+        aor: f64,
+        q_min: f64,
+        scale: f64,
+    ) -> Self {
+        let mut unit = UnitColumns::with_capacity(members.len());
+        for &i in members {
+            unit.push_row(cols, i as usize, aor, q_min);
+        }
+        Self::from_unit(unit, scale)
+    }
+
+    /// Re-sort the stored unit rows at a new scale (the "repair" path —
+    /// same rows, drifted threshold order).
+    fn resorted(&self, scale: f64) -> Self {
+        Self::from_unit(self.unit.clone(), scale)
+    }
+
+    /// Whether both stored sort orders are still the stable argsorts of
+    /// the on-the-fly keys at `scale` — the clean-segment reuse proof.
+    fn is_sorted_at(&self, scale: f64) -> bool {
+        let unit = &self.unit;
+        self.entry
+            .is_stable_sorted(|i| entry_key(unit.v[i], unit.e[i], scale))
+            && self
+                .sat
+                .is_stable_sorted(|i| sat_key(unit.v[i], unit.e[i], unit.f[i], scale))
     }
 
     /// Number of clients in the segment.
@@ -163,150 +405,252 @@ impl ThresholdSegment {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Count of rows with entry threshold strictly below `t` at `scale`
+    /// (`total_cmp` semantics, matching `fedfl_num::prefix::count_below`).
+    /// First/last boundary checks short-circuit all-floored and
+    /// all-past-entry segments — the directory half of a probe.
+    fn count_entry_below(&self, t: f64, scale: f64) -> usize {
+        let unit = &self.unit;
+        self.count_below(&self.entry, t, |i| entry_key(unit.v[i], unit.e[i], scale))
+    }
+
+    /// Count of rows with saturation threshold strictly below `t`.
+    fn count_sat_below(&self, t: f64, scale: f64) -> usize {
+        let unit = &self.unit;
+        self.count_below(&self.sat, t, |i| {
+            sat_key(unit.v[i], unit.e[i], unit.f[i], scale)
+        })
+    }
+
+    fn count_below(&self, view: &SortedView, t: f64, eval: impl Fn(usize) -> f64) -> usize {
+        let below = |slot: usize| eval(view.perm[slot] as usize).total_cmp(&t) == Ordering::Less;
+        if self.len == 0 || !below(0) {
+            return 0;
+        }
+        if below(self.len - 1) {
+            return self.len;
+        }
+        view.perm
+            .partition_point(|&row| eval(row as usize).total_cmp(&t) == Ordering::Less)
+    }
+
+    /// Largest evaluated saturation threshold (`None` when empty).
+    fn top_sat_key(&self, scale: f64) -> Option<f64> {
+        let slot = self.len.checked_sub(1)?;
+        let i = self.sat.perm[slot] as usize;
+        Some(sat_key(
+            self.unit.v[i],
+            self.unit.e[i],
+            self.unit.f[i],
+            scale,
+        ))
+    }
 }
 
-/// The merged, prefix-summed threshold index over a whole population —
-/// the structure every fast λ-probe binary-searches.
+/// The segmented, prefix-summed threshold index over a whole population
+/// — the structure every fast λ-probe walks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ActiveSetIndex {
     len: usize,
     aor: f64,
     q_min: f64,
-    entry_keys: Vec<f64>,
-    sat_keys: Vec<f64>,
-    /// Exclusive prefix sums (length `len + 1`) of the spend constants
-    /// and moments, in their respective threshold orders.
-    entry_floor_prefix: Vec<f64>,
-    entry_moment_prefix: [Vec<f64>; MOMENTS],
-    sat_spend_prefix: Vec<f64>,
-    sat_moment_prefix: [Vec<f64>; MOMENTS],
+    /// The scale σ thresholds are evaluated at (`W²` in the service,
+    /// `1` standalone).
+    scale: f64,
+    inv_scale: f64,
+    inv_scale23: f64,
+    /// `Some(segment_count)` for keyed indexes (the patchable kind),
+    /// `None` for positional-grid indexes.
+    keyed: Option<usize>,
+    segments: Vec<Arc<IndexSegment>>,
     finite: bool,
 }
 
 impl ActiveSetIndex {
-    /// Build a flat (single-segment) index.
-    pub fn from_columns(cols: &PopulationColumns, aor: f64, q_min: f64) -> Self {
-        Self::from_segments(&[ThresholdSegment::build(cols, aor, q_min)], aor, q_min)
-    }
-
-    /// Merge per-shard segments into one index.
-    ///
-    /// If the segments are the contiguous shards of a population in shard
-    /// order, the result is bit-identical to [`Self::from_columns`] over
-    /// the concatenated columns — stable per-segment sorts merged
-    /// leftmost-run-first *are* the flat stable sort.
-    pub fn from_segments(segments: &[ThresholdSegment], aor: f64, q_min: f64) -> Self {
-        let len = segments.iter().map(ThresholdSegment::len).sum();
-        let finite = segments.iter().all(|s| s.finite);
-
-        let merge = |keys_of: &dyn Fn(&ThresholdSegment) -> &[f64],
-                     values_of: &dyn Fn(&ThresholdSegment, usize) -> [f64; MOMENTS + 1]|
-         -> (Vec<f64>, Vec<f64>, [Vec<f64>; MOMENTS]) {
-            let runs: Vec<&[f64]> = segments.iter().map(keys_of).collect();
-            let order = merge_sorted_runs(&runs);
-            let mut keys = Vec::with_capacity(len);
-            let mut constants = Vec::with_capacity(len);
-            let mut moments: [Vec<f64>; MOMENTS] = std::array::from_fn(|_| Vec::with_capacity(len));
-            for pos in &order {
-                let segment = &segments[pos.run as usize];
-                let i = pos.index as usize;
-                keys.push(keys_of(segment)[i]);
-                let values = values_of(segment, i);
-                constants.push(values[0]);
-                for (k, slot) in moments.iter_mut().enumerate() {
-                    slot.push(values[k + 1]);
-                }
-            }
-            let constants_prefix = exclusive_prefix_sums(&constants);
-            let moment_prefix = std::array::from_fn(|k| exclusive_prefix_sums(&moments[k]));
-            (keys, constants_prefix, moment_prefix)
-        };
-
-        let (entry_keys, entry_floor_prefix, entry_moment_prefix) =
-            merge(&|s| &s.entry_keys, &|s, i| {
-                let mut values = [s.entry_floor[i]; MOMENTS + 1];
-                for k in 0..MOMENTS {
-                    values[k + 1] = s.entry_moments[k][i];
-                }
-                values
-            });
-        let (sat_keys, sat_spend_prefix, sat_moment_prefix) = merge(&|s| &s.sat_keys, &|s, i| {
-            let mut values = [s.sat_spend[i]; MOMENTS + 1];
-            for k in 0..MOMENTS {
-                values[k + 1] = s.sat_moments[k][i];
-            }
-            values
-        });
-        Self {
+    fn assemble(
+        segments: Vec<Arc<IndexSegment>>,
+        aor: f64,
+        q_min: f64,
+        scale: f64,
+        keyed: Option<usize>,
+    ) -> Self {
+        let len = segments.iter().map(|s| s.len).sum();
+        let scale_ok = scale.is_finite() && scale > 0.0;
+        let finite = scale_ok && segments.iter().all(|s| s.finite);
+        let cbrt = scale.cbrt();
+        ActiveSetIndex {
             len,
             aor,
             q_min,
-            entry_keys,
-            sat_keys,
-            entry_floor_prefix,
-            entry_moment_prefix,
-            sat_spend_prefix,
-            sat_moment_prefix,
+            scale,
+            inv_scale: 1.0 / scale,
+            inv_scale23: 1.0 / (cbrt * cbrt),
+            keyed,
+            segments,
             finite,
         }
     }
 
-    /// Build from shard column-sets, constructing the per-shard segments
-    /// on a scoped worker crew (`n_threads` as in the solvers: 0 = one
-    /// per core). The segment *builds* parallelise; the merge is the
-    /// deterministic leftmost-first merge, so the result is bit-identical
-    /// to the flat build for any shard and thread count.
+    /// Build a flat grid index over one column set (`scale = 1`).
+    pub fn from_columns(cols: &PopulationColumns, aor: f64, q_min: f64) -> Self {
+        Self::build_sharded_threaded(std::slice::from_ref(cols), aor, q_min, 1)
+    }
+
+    /// Build a grid index from shard column-sets.
+    ///
+    /// Shards must be chunk-aligned contiguous partitions of the global
+    /// column order (as `ShardedPopulation` produces); every shard then
+    /// splits on the same global [`GRID_SEGMENT`] grid, so the result is
+    /// **bit-identical** to [`Self::from_columns`] over the concatenated
+    /// columns for any shard count.
     pub fn build_sharded(shards: &[PopulationColumns], aor: f64, q_min: f64) -> Self {
         Self::build_sharded_threaded(shards, aor, q_min, 0)
     }
 
-    /// [`Self::build_sharded`] with an explicit thread knob.
+    /// [`Self::build_sharded`] with an explicit thread knob (`0` = one
+    /// worker per core). Segment builds parallelise; the segment order
+    /// is fixed, so the result is thread-count independent.
     pub fn build_sharded_threaded(
         shards: &[PopulationColumns],
         aor: f64,
         q_min: f64,
         n_threads: usize,
     ) -> Self {
-        let workers = resolve_threads(n_threads).min(shards.len()).max(1);
-        let segments: Vec<ThresholdSegment> = if workers <= 1 || shards.len() <= 1 {
-            shards
-                .iter()
-                .map(|cols| ThresholdSegment::build(cols, aor, q_min))
-                .collect()
-        } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let mut slots: Vec<Option<ThresholdSegment>> = vec![None; shards.len()];
-            let built: Vec<Vec<(usize, ThresholdSegment)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let next = &next;
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if s >= shards.len() {
-                                    break;
-                                }
-                                local.push((s, ThresholdSegment::build(&shards[s], aor, q_min)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("segment builder panicked"))
-                    .collect()
-            });
-            for (s, segment) in built.into_iter().flatten() {
-                slots[s] = Some(segment);
+        let mut tasks: Vec<(usize, Range<usize>)> = Vec::new();
+        for (s, cols) in shards.iter().enumerate() {
+            let mut start = 0;
+            while start < cols.len() {
+                let end = (start + GRID_SEGMENT).min(cols.len());
+                tasks.push((s, start..end));
+                start = end;
             }
-            slots
-                .into_iter()
-                .map(|s| s.expect("every shard built"))
-                .collect()
-        };
-        Self::from_segments(&segments, aor, q_min)
+        }
+        let segments = run_tasks(tasks.len(), n_threads, |i| {
+            let (s, range) = &tasks[i];
+            Arc::new(IndexSegment::build_range(
+                &IndexColumns::from_population(&shards[*s]),
+                range.clone(),
+                aor,
+                q_min,
+            ))
+        });
+        Self::assemble(segments, aor, q_min, 1.0, None)
+    }
+
+    /// Build a keyed index: row `i` lands in segment
+    /// `seg_keys[i] % segment_count`, keeping ascending row order within
+    /// each segment. The partition depends only on the keys — never on
+    /// how the caller shards or threads — and [`Self::patch`] can later
+    /// rebuild any key subset incrementally.
+    ///
+    /// `scale` is the σ thresholds are evaluated at (pass the squared
+    /// raw-weight total with a raw `w²G²` column, or `1.0` with
+    /// normalised columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_keys.len()` differs from the column length or
+    /// `segment_count` is zero.
+    pub fn build_keyed(
+        cols: &IndexColumns<'_>,
+        seg_keys: &[u32],
+        segment_count: usize,
+        aor: f64,
+        q_min: f64,
+        scale: f64,
+        n_threads: usize,
+    ) -> Self {
+        assert_eq!(seg_keys.len(), cols.len(), "one segment key per row");
+        assert!(segment_count > 0, "segment_count must be positive");
+        let members = bucket_members(seg_keys, segment_count);
+        let segments = run_tasks(segment_count, n_threads, |k| {
+            Arc::new(IndexSegment::build_members(
+                cols,
+                &members[k],
+                aor,
+                q_min,
+                scale,
+            ))
+        });
+        Self::assemble(segments, aor, q_min, scale, Some(segment_count))
+    }
+
+    /// Incrementally rebuild a keyed index after churn: segments flagged
+    /// in `dirty` are re-sorted from the current rows; clean segments
+    /// are revalidated at the new `scale` and reused (or re-sorted when
+    /// scale drift reordered their thresholds). The result is
+    /// **bit-identical** to [`Self::build_keyed`] over the same inputs.
+    ///
+    /// Contract (the caller's dirty tracking must guarantee it): a clean
+    /// segment's member rows — values, order, and membership — are
+    /// unchanged since this index was built. The service derives this
+    /// from its per-shard store version counters; flagging a segment
+    /// dirty is always safe, missing one is not.
+    ///
+    /// Sort work is O(Σ_dirty len·log len) instead of the cold build's
+    /// O(N log N); clean segments cost one O(len) validation scan. Falls
+    /// back to a cold keyed build (all segments "rebuilt") if this index
+    /// is not keyed or `dirty.len()` disagrees with its segment count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_keys.len()` differs from the column length.
+    pub fn patch(
+        &self,
+        cols: &IndexColumns<'_>,
+        seg_keys: &[u32],
+        dirty: &[bool],
+        scale: f64,
+        n_threads: usize,
+    ) -> (Self, PatchStats) {
+        assert_eq!(seg_keys.len(), cols.len(), "one segment key per row");
+        let compatible = self.keyed == Some(dirty.len()) && !dirty.is_empty();
+        if !compatible {
+            let segment_count = dirty.len().max(1);
+            let rebuilt = Self::build_keyed(
+                cols,
+                seg_keys,
+                segment_count,
+                self.aor,
+                self.q_min,
+                scale,
+                n_threads,
+            );
+            let stats = PatchStats {
+                rebuilt: segment_count,
+                ..PatchStats::default()
+            };
+            return (rebuilt, stats);
+        }
+        let segment_count = dirty.len();
+        let members = bucket_members(seg_keys, segment_count);
+        // 0 = reused, 1 = repaired, 2 = rebuilt — per-segment outcome.
+        let outcomes: Vec<(Arc<IndexSegment>, u8)> = run_tasks(segment_count, n_threads, |k| {
+            if dirty[k] {
+                let segment =
+                    IndexSegment::build_members(cols, &members[k], self.aor, self.q_min, scale);
+                (Arc::new(segment), 2)
+            } else if self.segments[k].is_sorted_at(scale) {
+                (Arc::clone(&self.segments[k]), 0)
+            } else {
+                (Arc::new(self.segments[k].resorted(scale)), 1)
+            }
+        });
+        let mut stats = PatchStats::default();
+        let mut segments = Vec::with_capacity(segment_count);
+        for (segment, outcome) in outcomes {
+            match outcome {
+                0 => stats.reused += 1,
+                1 => stats.repaired += 1,
+                _ => stats.rebuilt += 1,
+            }
+            segments.push(segment);
+        }
+        (
+            Self::assemble(segments, self.aor, self.q_min, scale, Some(segment_count)),
+            stats,
+        )
     }
 
     /// Number of indexed clients.
@@ -319,6 +663,11 @@ impl ActiveSetIndex {
         self.len == 0
     }
 
+    /// Number of segments (empty ones included).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
     /// The `α/R` the index was built at (fast solves must match it).
     pub fn aor(&self) -> f64 {
         self.aor
@@ -329,8 +678,13 @@ impl ActiveSetIndex {
         self.q_min
     }
 
-    /// Whether some threshold or moment overflowed f64 during the build.
-    /// A degenerate index cannot model spends; the fast solver falls back
+    /// The scale σ probes currently evaluate thresholds at.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Whether some unit value or evaluated threshold overflowed f64. A
+    /// degenerate index cannot model spends; the fast solver falls back
     /// to the exact path immediately.
     pub fn is_degenerate(&self) -> bool {
         !self.finite
@@ -340,40 +694,80 @@ impl ActiveSetIndex {
     /// upper bisection bracket, mirroring the exact solver's
     /// `saturation_t` epsilon inflation.
     pub fn bracket_hi(&self) -> f64 {
-        self.sat_keys.last().copied().unwrap_or(0.0).max(0.0) * (1.0 + 1e-12) + 1e-12
+        let top = self
+            .segments
+            .iter()
+            .filter_map(|s| s.top_sat_key(self.scale))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let top = if top.is_finite() { top } else { 0.0 };
+        top.max(0.0) * (1.0 + 1e-12) + 1e-12
     }
 
-    /// Total spend with every client at its cap — exact (a single
-    /// prefix-sum read), used for the O(1) saturation check.
+    /// Total spend with every client at its cap — exact up to the split
+    /// `S0 − S1/σ` summation (one prefix-sum read per segment), used for
+    /// the O(1) saturation check.
     pub fn saturated_spend(&self) -> f64 {
-        self.sat_spend_prefix[self.len]
+        let mut s0 = 0.0f64;
+        let mut s1 = 0.0f64;
+        for seg in &self.segments {
+            s0 += seg.sat.c0_prefix[seg.len];
+            s1 += seg.sat.c1_prefix[seg.len];
+        }
+        s0 - s1 * self.inv_scale
     }
 
     /// Total spend with every client at the floor (the `t <= 0` limit).
     pub fn floor_spend(&self) -> f64 {
-        self.entry_floor_prefix[self.len]
+        let mut f0 = 0.0f64;
+        let mut f1 = 0.0f64;
+        for seg in &self.segments {
+            f0 += seg.entry.c0_prefix[seg.len];
+            f1 += seg.entry.c1_prefix[seg.len];
+        }
+        f0 - f1 * self.inv_scale
     }
 
-    /// The modelled path spend at `t` — the O(log N) λ-probe.
+    /// The modelled path spend at `t` — the sub-linear λ-probe.
     ///
-    /// Two binary searches classify the population: clients with
-    /// `t_entry >= t` are floored, clients with `t_sat < t` saturated,
-    /// and the rest interior (evaluated through the truncated value
-    /// series — see the module docs for the certification contract this
-    /// lives under).
+    /// Walks the segment directory in fixed order; per segment the
+    /// boundary checks classify all-floored/all-saturated segments with
+    /// two key evaluations, otherwise binary searches split the segment
+    /// into floored / interior / saturated ranges. Spend constants and
+    /// interior moments accumulate across segments in directory order
+    /// (deterministic — the segment partition never depends on shard or
+    /// thread counts), and the closed-form interior series plus the σ
+    /// corrections apply once at the end.
     pub fn spend(&self, t: f64) -> f64 {
-        let past_entry = count_below(&self.entry_keys, t);
-        let saturated = count_below(&self.sat_keys, t);
-        let floored = self.entry_floor_prefix[self.len] - self.entry_floor_prefix[past_entry];
-        let saturated_spend = self.sat_spend_prefix[saturated];
-        let interior = if past_entry > saturated {
+        let scale = self.scale;
+        let mut floored0 = 0.0f64;
+        let mut floored1 = 0.0f64;
+        let mut sat0 = 0.0f64;
+        let mut sat1 = 0.0f64;
+        let mut m = [0.0f64; MOMENTS];
+        let mut any_interior = false;
+        for seg in &self.segments {
+            if seg.len == 0 {
+                continue;
+            }
+            let past_entry = seg.count_entry_below(t, scale);
+            let saturated = seg.count_sat_below(t, scale);
+            floored0 += seg.entry.c0_prefix[seg.len] - seg.entry.c0_prefix[past_entry];
+            floored1 += seg.entry.c1_prefix[seg.len] - seg.entry.c1_prefix[past_entry];
+            sat0 += seg.sat.c0_prefix[saturated];
+            sat1 += seg.sat.c1_prefix[saturated];
+            if past_entry > saturated {
+                any_interior = true;
+                for (k, slot) in m.iter_mut().enumerate() {
+                    *slot += seg.entry.moment_prefix[k][past_entry]
+                        - seg.sat.moment_prefix[k][saturated];
+                }
+            }
+        }
+        let floored = floored0 - floored1 * self.inv_scale;
+        let saturated_spend = sat0 - sat1 * self.inv_scale;
+        let interior = if any_interior {
             // Interior clients exist only for t above some positive
             // entry threshold, so t > 0 and the series in v/t is sound.
-            let mut m = [0.0f64; MOMENTS];
-            for (k, slot) in m.iter_mut().enumerate() {
-                *slot =
-                    self.entry_moment_prefix[k][past_entry] - self.sat_moment_prefix[k][saturated];
-            }
             let u = t.cbrt();
             let inv = 1.0 / t;
             // (1 − v/t)^{2/3}  ≈ 1 − (2/3)x − (1/9)x² − (4/81)x³
@@ -385,7 +779,7 @@ impl ActiveSetIndex {
                 + inv
                     * (m[5] * (1.0 / 3.0)
                         + inv * (m[6] * (2.0 / 9.0) + inv * m[7] * (14.0 / 81.0)));
-            (u * u) * a_series - d_series / u
+            ((u * u) * a_series - d_series / u) * self.inv_scale23
         } else {
             0.0
         };
@@ -393,20 +787,80 @@ impl ActiveSetIndex {
     }
 
     /// Modelled [`crate::server::path_budget`]: the spend at
-    /// `frac · bracket_hi()`. O(log N), same certification caveat as
+    /// `frac · bracket_hi()`. Same certification caveat as
     /// [`Self::spend`].
     pub fn path_budget(&self, frac: f64) -> f64 {
         self.spend(frac.clamp(0.0, 1.0) * self.bracket_hi())
     }
 
     /// Cost of one modelled probe in per-client spend-evaluation units:
-    /// two binary searches (`2·⌈log₂(N+1)⌉`) plus the O(1) closed form.
-    /// The `probe_evaluations` diagnostics count fast probes at this
-    /// cost, making them directly comparable with the exact solver's
+    /// two binary searches per non-empty segment
+    /// (`2·⌈log₂(len+1)⌉` each) plus the O(1) closed form. The
+    /// `probe_evaluations` diagnostics count fast probes at this cost,
+    /// making them directly comparable with the exact solver's
     /// N-per-probe sweeps.
     pub fn probe_cost(&self) -> u64 {
-        2 * u64::from(u64::BITS - (self.len as u64).leading_zeros()) + 1
+        self.segments
+            .iter()
+            .filter(|s| s.len > 0)
+            .map(|s| 2 * u64::from(u64::BITS - (s.len as u64).leading_zeros()))
+            .sum::<u64>()
+            + 1
     }
+}
+
+/// Bucket rows by `key % segment_count`, preserving ascending row order
+/// within each bucket (the stable-subsequence contract segments rely
+/// on).
+fn bucket_members(seg_keys: &[u32], segment_count: usize) -> Vec<Vec<u32>> {
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); segment_count];
+    for (i, &key) in seg_keys.iter().enumerate() {
+        members[key as usize % segment_count].push(i as u32);
+    }
+    members
+}
+
+/// Deterministic parallel task fill: `build(i)` for `i in 0..count`,
+/// results in task order, workers pulling from an atomic counter (the
+/// same crew pattern as the sharded solvers — output is independent of
+/// the worker count).
+fn run_tasks<T: Send>(count: usize, n_threads: usize, build: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let workers = resolve_threads(n_threads).min(count).max(1);
+    if workers <= 1 {
+        return (0..count).map(build).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let built: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let build = &build;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, build(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("index task panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (i, value) in built.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -495,6 +949,7 @@ mod tests {
         let p = Population::synthesize(n, &PopulationSpec::table1_like(), 7).unwrap();
         let cols = p.columns();
         let flat = ActiveSetIndex::from_columns(&cols, aor(), Q_MIN);
+        assert_eq!(flat.segment_count(), 2, "grid splits at GRID_SEGMENT");
         for shard_count in [1usize, 2, 7, 32] {
             let sharded = ShardedPopulation::from_columns(&cols, shard_count).unwrap();
             for threads in [1usize, 3] {
@@ -549,5 +1004,129 @@ mod tests {
         assert_eq!(index.len(), 1024);
         assert!(index.probe_cost() <= 2 * 11 + 1);
         assert!(index.probe_cost() >= 2 * 10);
+    }
+
+    #[test]
+    fn single_bucket_keyed_index_probes_like_the_flat_grid() {
+        // One keyed bucket at scale 1 holds the same rows in the same
+        // order as a one-segment grid build, so every probe agrees
+        // bit for bit.
+        let p = Population::synthesize(900, &PopulationSpec::table1_like(), 13).unwrap();
+        let cols = p.columns();
+        let grid = ActiveSetIndex::from_columns(&cols, aor(), Q_MIN);
+        let keys = vec![0u32; cols.len()];
+        let keyed = ActiveSetIndex::build_keyed(
+            &IndexColumns::from_population(&cols),
+            &keys,
+            1,
+            aor(),
+            Q_MIN,
+            1.0,
+            1,
+        );
+        assert_eq!(keyed.segment_count(), 1);
+        assert_eq!(keyed.len(), grid.len());
+        assert_eq!(
+            keyed.bracket_hi().to_bits(),
+            grid.bracket_hi().to_bits(),
+            "bracket"
+        );
+        let hi = grid.bracket_hi();
+        for k in 0..=50 {
+            let t = hi * k as f64 / 50.0;
+            assert_eq!(keyed.spend(t).to_bits(), grid.spend(t).to_bits(), "t {t}");
+        }
+    }
+
+    #[test]
+    fn scaled_keyed_index_models_the_normalised_population() {
+        // Raw w²G² columns probed at σ = W² track the exact spend of
+        // the W-normalised population — the factorisation the service's
+        // incremental patching rests on.
+        let p = Population::synthesize(400, &PopulationSpec::table1_like(), 17).unwrap();
+        let cols = p.columns();
+        // Fabricate raw weights: w_raw = a·W for an arbitrary W.
+        let total_w = 137.5f64;
+        let scale = total_w * total_w;
+        let w2g2: Vec<f64> = cols.a2g2.iter().map(|&a2g2| a2g2 * scale).collect();
+        let keys: Vec<u32> = (0..cols.len() as u32).map(|i| (i / 32) % 7).collect();
+        let index = ActiveSetIndex::build_keyed(
+            &IndexColumns {
+                w2g2: &w2g2,
+                cost: &cols.cost,
+                value: &cols.value,
+                q_max: &cols.q_max,
+            },
+            &keys,
+            7,
+            aor(),
+            Q_MIN,
+            scale,
+            1,
+        );
+        assert!(!index.is_degenerate());
+        let hi = index.bracket_hi();
+        for frac in [0.05, 0.3, 0.7, 0.95] {
+            let t = frac * hi;
+            let exact = naive_spend(&cols, aor(), Q_MIN, t);
+            let model = index.spend(t);
+            assert!(
+                (model - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+                "frac {frac}: model {model} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn patch_rebuilds_dirty_segments_and_reuses_clean_ones() {
+        let p = Population::synthesize(600, &PopulationSpec::table1_like(), 23).unwrap();
+        let cols = p.columns();
+        let keys: Vec<u32> = (0..cols.len() as u32).map(|i| i % 8).collect();
+        let unit = IndexColumns::from_population(&cols);
+        let index = ActiveSetIndex::build_keyed(&unit, &keys, 8, aor(), Q_MIN, 1.0, 1);
+
+        // Same rows, same scale, two dirty segments: those rebuild, the
+        // other six reuse, and the result matches a cold build exactly.
+        let mut dirty = vec![false; 8];
+        dirty[1] = true;
+        dirty[5] = true;
+        let (patched, stats) = index.patch(&unit, &keys, &dirty, 1.0, 1);
+        assert_eq!(
+            stats,
+            PatchStats {
+                rebuilt: 2,
+                repaired: 0,
+                reused: 6
+            }
+        );
+        let cold = ActiveSetIndex::build_keyed(&unit, &keys, 8, aor(), Q_MIN, 1.0, 1);
+        assert_eq!(patched, cold, "patched index diverged from cold build");
+
+        // A scale change alone (no dirty rows) revalidates every
+        // segment; the patched index must equal a cold build at the new
+        // scale whether segments were reused or repaired.
+        let (rescaled, restats) = index.patch(&unit, &keys, &[false; 8], 4.0, 1);
+        assert_eq!(restats.rebuilt, 0);
+        assert_eq!(restats.reused + restats.repaired, 8);
+        let cold_rescaled = ActiveSetIndex::build_keyed(&unit, &keys, 8, aor(), Q_MIN, 4.0, 1);
+        assert_eq!(rescaled, cold_rescaled);
+    }
+
+    #[test]
+    fn patch_on_a_grid_index_falls_back_to_a_cold_keyed_build() {
+        let p = Population::synthesize(100, &PopulationSpec::table1_like(), 29).unwrap();
+        let cols = p.columns();
+        let grid = ActiveSetIndex::from_columns(&cols, aor(), Q_MIN);
+        let keys = vec![0u32; cols.len()];
+        let (patched, stats) = grid.patch(
+            &IndexColumns::from_population(&cols),
+            &keys,
+            &[false, false],
+            1.0,
+            1,
+        );
+        assert_eq!(stats.rebuilt, 2, "incompatible patch rebuilds everything");
+        assert_eq!(patched.segment_count(), 2);
+        assert_eq!(patched.len(), cols.len());
     }
 }

@@ -603,9 +603,22 @@ pub struct KktDiagnostics {
     /// plus `N` for each exact certification probe. Fallback solves
     /// include the wasted fast-phase work.
     pub probe_evaluations: u64,
-    /// Nanoseconds spent (re)building the threshold index for this solve
-    /// (0 for the exact path and for solves reusing a caller-held index).
+    /// Nanoseconds spent (re)building or patching the threshold index
+    /// for this solve (0 for the exact path and for solves reusing a
+    /// caller-held index untouched).
     pub index_rebuild_ns: u64,
+    /// Index segments re-sorted for this solve: the whole segment list
+    /// on a cold build, only the dirty segments on an incremental patch,
+    /// 0 when the index was reused or the exact path ran. Callers
+    /// holding their own index (the pricing service) fill this from
+    /// [`crate::active_set::PatchStats`].
+    pub index_segments_rebuilt: u64,
+    /// Clean segments re-sorted only because scale drift reordered
+    /// their thresholds (patch "repairs" — no membership change).
+    pub index_segments_repaired: u64,
+    /// Segments reused verbatim by an incremental patch (zero sort
+    /// work).
+    pub index_segments_reused: u64,
 }
 
 impl KktDiagnostics {
@@ -822,6 +835,9 @@ fn solve_kkt_view_unchecked(
             solver_mode: SolverMode::Exact,
             probe_evaluations: probes.get() * n as u64,
             index_rebuild_ns: 0,
+            index_segments_rebuilt: 0,
+            index_segments_repaired: 0,
+            index_segments_reused: 0,
         },
     ))
 }
@@ -871,7 +887,7 @@ pub fn solve_kkt_columns_fast(
     let build_watch = Stopwatch::start();
     let index = ActiveSetIndex::from_columns(cols, bound.alpha_over_r(), options.q_min);
     let index_rebuild_ns = build_watch.elapsed_ns();
-    solve_kkt_view_fast(
+    let (solution, mut diagnostics) = solve_kkt_view_fast(
         &view,
         bound,
         budget,
@@ -880,7 +896,9 @@ pub fn solve_kkt_columns_fast(
         index_rebuild_ns,
         None,
         &NoopRecorder,
-    )
+    )?;
+    diagnostics.index_segments_rebuilt = index.segment_count() as u64;
+    Ok((solution, diagnostics))
 }
 
 /// [`solve_kkt_columns_fast`] over shard column-sets: per-shard threshold
@@ -907,7 +925,7 @@ pub fn solve_kkt_sharded_fast(
         options.config.n_threads,
     );
     let index_rebuild_ns = build_watch.elapsed_ns();
-    solve_kkt_view_fast(
+    let (solution, mut diagnostics) = solve_kkt_view_fast(
         &view,
         bound,
         budget,
@@ -916,7 +934,9 @@ pub fn solve_kkt_sharded_fast(
         index_rebuild_ns,
         None,
         &NoopRecorder,
-    )
+    )?;
+    diagnostics.index_segments_rebuilt = index.segment_count() as u64;
+    Ok((solution, diagnostics))
 }
 
 /// [`solve_kkt_sharded_fast`] against a caller-maintained index — the
@@ -1107,6 +1127,9 @@ fn solve_kkt_view_fast<R: Recorder + ?Sized>(
                 solver_mode: SolverMode::ThresholdIndex,
                 probe_evaluations: fast_phase_evaluations,
                 index_rebuild_ns,
+                index_segments_rebuilt: 0,
+                index_segments_repaired: 0,
+                index_segments_reused: 0,
             },
         )),
         None => {

@@ -16,7 +16,7 @@
 //! proptest population variants of `scale_properties`, and the
 //! heavy-tail Pareto spreads of `heavy_tail`.
 
-use fedfl_core::active_set::ActiveSetIndex;
+use fedfl_core::active_set::{ActiveSetIndex, IndexColumns};
 use fedfl_core::bound::BoundParams;
 use fedfl_core::population::{ParamDist, Population, PopulationSpec};
 use fedfl_core::server::{
@@ -275,6 +275,77 @@ fn corner_budgets_classify_identically() {
     assert!(!fast.saturated);
 }
 
+/// One synthetic client row of the keyed-index churn model.
+#[derive(Clone)]
+struct ChurnRow {
+    w_raw: f64,
+    g2: f64,
+    cost: f64,
+    value: f64,
+    q_max: f64,
+    key: u32,
+}
+
+/// splitmix64 step mapped to `[0, 1)` — a tiny deterministic stream so
+/// the churn trace is reproducible from the proptest-chosen seed alone.
+fn next_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn churn_row(rng: &mut u64, key: u32) -> ChurnRow {
+    ChurnRow {
+        w_raw: 0.5 + 4.5 * next_unit(rng),
+        g2: 4.0 + 32.0 * next_unit(rng),
+        cost: 10.0_f64.powf(-2.0 + 6.0 * next_unit(rng)),
+        value: if next_unit(rng) < 0.3 {
+            0.0
+        } else {
+            5_000.0 * next_unit(rng)
+        },
+        q_max: 0.2 + 0.8 * next_unit(rng),
+        key,
+    }
+}
+
+/// Raw-weight keyed-index inputs assembled the way the service does it:
+/// `w2g2 = w_raw² · g2` with `scale = W²` for the current population.
+struct ChurnCols {
+    w2g2: Vec<f64>,
+    cost: Vec<f64>,
+    value: Vec<f64>,
+    q_max: Vec<f64>,
+    keys: Vec<u32>,
+    scale: f64,
+}
+
+impl ChurnCols {
+    fn from_rows(rows: &[ChurnRow]) -> Self {
+        let total_w: f64 = rows.iter().map(|r| r.w_raw).sum();
+        ChurnCols {
+            w2g2: rows.iter().map(|r| r.w_raw * r.w_raw * r.g2).collect(),
+            cost: rows.iter().map(|r| r.cost).collect(),
+            value: rows.iter().map(|r| r.value).collect(),
+            q_max: rows.iter().map(|r| r.q_max).collect(),
+            keys: rows.iter().map(|r| r.key).collect(),
+            scale: total_w * total_w,
+        }
+    }
+
+    fn view(&self) -> IndexColumns<'_> {
+        IndexColumns {
+            w2g2: &self.w2g2,
+            cost: &self.cost,
+            value: &self.value,
+            q_max: &self.q_max,
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -290,5 +361,105 @@ proptest! {
         let options = SolverOptions::with_threads(threads);
         let budget = path_budget(&p, &bound(), &options, frac);
         assert_fast_agrees(&p, budget, &options);
+    }
+
+    /// The incremental-patch contract: after any churn batch, patching the
+    /// previous keyed index with only the dirty segments flagged is
+    /// **bit-identical** to a cold keyed build of the new population —
+    /// same thresholds, same prefix moments (structural `PartialEq`), and
+    /// same probe bits — across segment counts {1, 2, 7, 32} × threads
+    /// {1, 3}. The trace deliberately includes a remove-heavy batch that
+    /// empties one segment and a flash-crowd batch that grows one.
+    #[test]
+    fn patched_index_is_bit_identical_to_cold_keyed_builds_under_churn(
+        seed in 0u64..1_000,
+        seg_choice in 0usize..4,
+        threads in 1usize..4,
+    ) {
+        let segment_count = [1usize, 2, 7, 32][seg_choice];
+        let mut rng = seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x14057B7E);
+        let aor = bound().alpha_over_r();
+        let q_min = SolverOptions::default().q_min;
+        let mut rows: Vec<ChurnRow> = (0..120)
+            .map(|_| {
+                let key = (next_unit(&mut rng) * 64.0) as u32 % 64;
+                churn_row(&mut rng, key)
+            })
+            .collect();
+        let cols = ChurnCols::from_rows(&rows);
+        let mut index = ActiveSetIndex::build_keyed(
+            &cols.view(), &cols.keys, segment_count, aor, q_min, cols.scale, threads,
+        );
+        for step in 0..6u32 {
+            let mut dirty = vec![false; segment_count];
+            let touch = |key: u32, dirty: &mut Vec<bool>| {
+                dirty[key as usize % segment_count] = true;
+            };
+            match step % 3 {
+                0 => {
+                    // Mixed churn: a few random departures, a few arrivals.
+                    for _ in 0..8 {
+                        if !rows.is_empty() {
+                            let victim = (next_unit(&mut rng) * rows.len() as f64) as usize
+                                % rows.len();
+                            touch(rows[victim].key, &mut dirty);
+                            rows.remove(victim);
+                        }
+                        let key = (next_unit(&mut rng) * 64.0) as u32 % 64;
+                        touch(key, &mut dirty);
+                        rows.push(churn_row(&mut rng, key));
+                    }
+                }
+                1 => {
+                    // Remove-heavy: drain every member of one segment, so
+                    // the patch must rebuild it down to zero rows.
+                    let target = (next_unit(&mut rng) * segment_count as f64) as usize
+                        % segment_count;
+                    dirty[target] = true;
+                    rows.retain(|r| r.key as usize % segment_count != target);
+                    if rows.is_empty() {
+                        // Keep the population non-degenerate (W > 0).
+                        let key = (target as u32).wrapping_add(1);
+                        touch(key, &mut dirty);
+                        rows.push(churn_row(&mut rng, key));
+                    }
+                }
+                _ => {
+                    // Flash crowd concentrated on one hot key.
+                    let hot = (next_unit(&mut rng) * 64.0) as u32 % 64;
+                    touch(hot, &mut dirty);
+                    for _ in 0..40 {
+                        rows.push(churn_row(&mut rng, hot));
+                    }
+                }
+            }
+            let cols = ChurnCols::from_rows(&rows);
+            let cold = ActiveSetIndex::build_keyed(
+                &cols.view(), &cols.keys, segment_count, aor, q_min, cols.scale, threads,
+            );
+            let (patched, stats) =
+                index.patch(&cols.view(), &cols.keys, &dirty, cols.scale, threads);
+            let dirty_count = dirty.iter().filter(|&&d| d).count();
+            // Patch re-sorts exactly the dirty segments and accounts for
+            // every segment, and the result matches the cold build
+            // structurally (thresholds, permutations, prefix moments).
+            prop_assert_eq!(stats.rebuilt, dirty_count);
+            prop_assert_eq!(stats.rebuilt + stats.repaired + stats.reused, segment_count);
+            prop_assert_eq!(&patched, &cold);
+            prop_assert_eq!(
+                patched.floor_spend().to_bits(),
+                cold.floor_spend().to_bits()
+            );
+            prop_assert_eq!(
+                patched.saturated_spend().to_bits(),
+                cold.saturated_spend().to_bits()
+            );
+            let hi = cold.bracket_hi();
+            for k in 0..9 {
+                let t = hi * (0.05 + 0.95 * f64::from(k) / 8.0);
+                prop_assert_eq!(patched.spend(t).to_bits(), cold.spend(t).to_bits());
+            }
+            index = patched;
+        }
     }
 }

@@ -97,6 +97,14 @@ metrics! {
         "Threshold-index (re)builds."),
     SolverIndexBuildNs => (Histogram, "fedfl_solver_index_build_ns",
         "Wall time of threshold-index builds, nanoseconds."),
+    SolverIndexSegmentsRebuilt => (Counter, "fedfl_solver_index_segments_rebuilt_total",
+        "Threshold-index segments re-sorted because their rows churned (cold builds count every segment)."),
+    SolverIndexSegmentsRepaired => (Counter, "fedfl_solver_index_segments_repaired_total",
+        "Clean threshold-index segments re-sorted because scale drift reordered their thresholds."),
+    SolverIndexSegmentsReused => (Counter, "fedfl_solver_index_segments_reused_total",
+        "Threshold-index segments reused verbatim by incremental patches."),
+    SolverIndexPatchNs => (Histogram, "fedfl_solver_index_patch_ns",
+        "Wall time of incremental threshold-index patches, nanoseconds."),
     SolverSolveNs => (Histogram, "fedfl_solver_solve_ns",
         "Wall time of Stage-I solves, nanoseconds."),
 
@@ -118,7 +126,9 @@ metrics! {
     ServiceIndexReuses => (Counter, "fedfl_service_index_reuses_total",
         "Fast-path reprices that reused the cached threshold index."),
     ServiceIndexRebuilds => (Counter, "fedfl_service_index_rebuilds_total",
-        "Fast-path reprices that had to rebuild the threshold index."),
+        "Fast-path reprices that had to rebuild the threshold index from scratch."),
+    ServiceIndexPatches => (Counter, "fedfl_service_index_patches_total",
+        "Fast-path reprices that incrementally patched the cached threshold index."),
     ServiceRepriceNs => (Histogram, "fedfl_service_reprice_ns",
         "Wall time of reprice operations, nanoseconds."),
     ServiceClients => (Gauge, "fedfl_service_clients",

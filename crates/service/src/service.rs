@@ -1,9 +1,9 @@
 //! The pricing service: command processing and the incremental re-solve.
 
 use crate::error::ServiceError;
-use crate::store::ShardedClientStore;
+use crate::store::{ShardedClientStore, INDEX_SEGMENTS};
 use crate::{AvailabilityModel, ClientId, ClientParams};
-use fedfl_core::active_set::ActiveSetIndex;
+use fedfl_core::active_set::{ActiveSetIndex, PatchStats};
 use fedfl_core::bound::BoundParams;
 use fedfl_core::server::{
     estimate_path_parameter_sharded, solve_kkt_sharded_fast_with_index_observed,
@@ -226,10 +226,20 @@ pub struct RepriceReport {
     /// Probe-phase work in per-client spend-evaluation units (see
     /// [`fedfl_core::server::KktDiagnostics::probe_evaluations`]).
     pub probe_evaluations: u64,
-    /// Nanoseconds spent rebuilding the threshold index for this solve
-    /// (0 when the cached index was reused — the budget/bound-only churn
-    /// case — or when the fast path is off).
+    /// Nanoseconds spent rebuilding or incrementally patching the
+    /// threshold index for this solve (0 when the cached index was reused
+    /// — the budget/bound-only churn case — or when the fast path is
+    /// off).
     pub index_rebuild_ns: u64,
+    /// Threshold-index segments re-sorted for this solve: every segment
+    /// on a cold build, only the dirty-shard segments on an incremental
+    /// patch, 0 on reuse or the exact path.
+    pub index_segments_rebuilt: u64,
+    /// Clean index segments re-sorted only because the weight-total
+    /// drift reordered their thresholds (patch repairs).
+    pub index_segments_repaired: u64,
+    /// Index segments reused verbatim by an incremental patch.
+    pub index_segments_reused: u64,
 }
 
 /// Full view of the current equilibrium.
@@ -272,17 +282,23 @@ struct WarmHint {
     aor: f64,
 }
 
-/// The fast path's cached threshold index plus the stamp it was built
+/// The fast path's cached threshold index plus the stamps it was built
 /// at. The index is a pure function of the assembled population and the
 /// solver parameters `(α/R, q_min)`; the assembled population is a pure
 /// function of the store contents (its mutation `version`) and the
-/// availability flag. A matching stamp therefore proves the cached index
-/// still describes the current population — budget and bound-`β` updates
-/// reuse it with zero rebuild work.
+/// availability flag. A matching global stamp therefore proves the
+/// cached index still describes the current population — budget and
+/// bound-`β` updates reuse it with zero rebuild work. When only the
+/// global stamp moved, the per-shard stamps say *which* store shards
+/// churned, and the keyed index is incrementally patched: only the
+/// segments nested in those shards re-sort, everything else is reused.
 #[derive(Debug, Clone)]
 struct FastIndexState {
     index: ActiveSetIndex,
     store_version: u64,
+    /// Per-shard store stamps at build time; diffed against the store's
+    /// current stamps to flag dirty index segments.
+    shard_versions: Vec<u64>,
     aor_bits: u64,
     q_min_bits: u64,
     availability_aware: bool,
@@ -585,37 +601,89 @@ impl PricingService {
             .unwrap_or(t_scaled)
         });
         let (solution, diag) = if self.config.fast_path {
-            // Reuse the cached threshold index when the stamp proves the
-            // assembled population and the index parameters are unchanged
-            // (budget/bound-β-only churn); otherwise rebuild it once —
-            // O(N log N) — and cache it under the new stamp.
+            // Reuse the cached threshold index when the global stamp
+            // proves the assembled population and the index parameters
+            // are unchanged (budget/bound-β-only churn). When only some
+            // store shards churned under unchanged solver knobs,
+            // incrementally patch it — O(dirty · (N/S) · log(N/S)) sort
+            // work, bit-identical to a cold keyed build. Otherwise
+            // rebuild it once — O(N log N) — and cache it under the new
+            // stamps.
             let store_version = self.store.version();
             let q_min_bits = self.config.solver.q_min.to_bits();
-            let stamp_matches = self.fast_index.as_ref().is_some_and(|cached| {
-                cached.store_version == store_version
-                    && cached.aor_bits == aor.to_bits()
+            let params_match = |cached: &FastIndexState| {
+                cached.aor_bits == aor.to_bits()
                     && cached.q_min_bits == q_min_bits
                     && cached.availability_aware == self.config.availability_aware
+            };
+            let stamp_matches = self.fast_index.as_ref().is_some_and(|cached| {
+                cached.store_version == store_version && params_match(cached)
             });
             let mut index_rebuild_ns = 0u64;
+            let mut segments = PatchStats::default();
             if stamp_matches {
                 recorder.add(Metric::ServiceIndexReuses, 1);
             } else {
-                recorder.add(Metric::ServiceIndexRebuilds, 1);
-                let build_watch = Stopwatch::start();
-                let index = ActiveSetIndex::build_sharded_threaded(
-                    assembled.population.shards(),
-                    aor,
-                    self.config.solver.q_min,
-                    self.config.solver.config.n_threads,
+                let shard_count = self.store.shard_count();
+                let current_versions = self.store.shard_versions().to_vec();
+                // Patching needs the same solver knobs (a knob change
+                // moves every threshold) and the segment-in-shard
+                // nesting: segments and shards key on the same id
+                // blocks, so whenever the shard count divides the
+                // segment count, segment `k` lives entirely inside
+                // store shard `k % shard_count`.
+                let previous = self.fast_index.take().filter(|cached| {
+                    params_match(cached)
+                        && cached.shard_versions.len() == shard_count
+                        && INDEX_SEGMENTS.is_multiple_of(shard_count)
+                });
+                let index = if let Some(cached) = previous {
+                    let mut dirty = vec![false; INDEX_SEGMENTS];
+                    for (k, flag) in dirty.iter_mut().enumerate() {
+                        *flag = current_versions[k % shard_count]
+                            != cached.shard_versions[k % shard_count];
+                    }
+                    let patch_watch = Stopwatch::start();
+                    let (index, stats) = cached.index.patch(
+                        &assembled.index.columns(),
+                        &assembled.index.seg_keys,
+                        &dirty,
+                        assembled.index.scale,
+                        self.config.solver.config.n_threads,
+                    );
+                    // One measurement feeds both the histogram and the
+                    // report's `index_rebuild_ns` field below.
+                    index_rebuild_ns = patch_watch.record(recorder, Metric::SolverIndexPatchNs);
+                    recorder.add(Metric::ServiceIndexPatches, 1);
+                    segments = stats;
+                    index
+                } else {
+                    recorder.add(Metric::ServiceIndexRebuilds, 1);
+                    let build_watch = Stopwatch::start();
+                    let index = ActiveSetIndex::build_keyed(
+                        &assembled.index.columns(),
+                        &assembled.index.seg_keys,
+                        INDEX_SEGMENTS,
+                        aor,
+                        self.config.solver.q_min,
+                        assembled.index.scale,
+                        self.config.solver.config.n_threads,
+                    );
+                    index_rebuild_ns = build_watch.record(recorder, Metric::SolverIndexBuildNs);
+                    recorder.add(Metric::SolverIndexBuilds, 1);
+                    segments.rebuilt = index.segment_count();
+                    index
+                };
+                recorder.add(Metric::SolverIndexSegmentsRebuilt, segments.rebuilt as u64);
+                recorder.add(
+                    Metric::SolverIndexSegmentsRepaired,
+                    segments.repaired as u64,
                 );
-                // One measurement feeds both the histogram and the
-                // report's `index_rebuild_ns` field below.
-                index_rebuild_ns = build_watch.record(recorder, Metric::SolverIndexBuildNs);
-                recorder.add(Metric::SolverIndexBuilds, 1);
+                recorder.add(Metric::SolverIndexSegmentsReused, segments.reused as u64);
                 self.fast_index = Some(FastIndexState {
                     index,
                     store_version,
+                    shard_versions: current_versions,
                     aor_bits: aor.to_bits(),
                     q_min_bits,
                     availability_aware: self.config.availability_aware,
@@ -632,6 +700,9 @@ impl PricingService {
                 recorder,
             )?;
             diag.index_rebuild_ns = index_rebuild_ns;
+            diag.index_segments_rebuilt = segments.rebuilt as u64;
+            diag.index_segments_repaired = segments.repaired as u64;
+            diag.index_segments_reused = segments.reused as u64;
             (solution, diag)
         } else {
             solve_kkt_sharded_hinted_observed(
@@ -678,6 +749,9 @@ impl PricingService {
             solver_mode: diag.solver_mode,
             probe_evaluations: diag.probe_evaluations,
             index_rebuild_ns: diag.index_rebuild_ns,
+            index_segments_rebuilt: diag.index_segments_rebuilt,
+            index_segments_repaired: diag.index_segments_repaired,
+            index_segments_reused: diag.index_segments_reused,
         };
 
         // Scatter the solved profile back over the full client list.
@@ -905,13 +979,16 @@ mod tests {
 
         let mut probe_total = 0u64;
         let mut iteration_total = 0u64;
-        let mut rebuild_ns_total = 0u64;
-        let mut rebuilds = 0u64;
+        let mut build_ns_total = 0u64;
+        let mut patch_ns_total = 0u64;
         let mut dirty_total = 0u64;
         let mut rebuilt_columns_total = 0u64;
+        let mut segments_rebuilt_total = 0u64;
+        let mut segments_repaired_total = 0u64;
+        let mut segments_reused_total = 0u64;
         for round in 0..4 {
             if round == 2 {
-                // Dirty the population so the index must rebuild.
+                // Dirty one shard so the index must patch incrementally.
                 service.add_clients(vec![client(40 + round)]).unwrap();
             } else if round > 0 {
                 // Budget-only churn: the cached index must be reused.
@@ -920,10 +997,45 @@ mod tests {
             let report = service.reprice().unwrap();
             probe_total += report.probe_evaluations;
             iteration_total += report.bisect_iterations as u64;
-            rebuild_ns_total += report.index_rebuild_ns;
-            rebuilds += u64::from(report.index_rebuild_ns > 0);
             dirty_total += report.dirty_shards as u64;
             rebuilt_columns_total += report.rebuilt_columns as u64;
+            segments_rebuilt_total += report.index_segments_rebuilt;
+            segments_repaired_total += report.index_segments_repaired;
+            segments_reused_total += report.index_segments_reused;
+            match round {
+                0 => {
+                    // Cold build: every segment sorted, nothing reused.
+                    assert!(report.index_rebuild_ns > 0);
+                    assert_eq!(report.index_segments_rebuilt, INDEX_SEGMENTS as u64);
+                    assert_eq!(report.index_segments_reused, 0);
+                    build_ns_total += report.index_rebuild_ns;
+                }
+                2 => {
+                    // Incremental patch: only the churned shard's
+                    // nested segments (INDEX_SEGMENTS / shards of them
+                    // per dirty shard) re-sort; everything else is
+                    // reused or (at most, under weight drift) repaired.
+                    assert!(report.index_rebuild_ns > 0);
+                    assert!(report.index_segments_rebuilt >= 1);
+                    let per_shard = (INDEX_SEGMENTS / report.shard_count) as u64;
+                    assert!(
+                        report.index_segments_rebuilt <= report.dirty_shards as u64 * per_shard
+                    );
+                    assert_eq!(
+                        report.index_segments_rebuilt
+                            + report.index_segments_repaired
+                            + report.index_segments_reused,
+                        INDEX_SEGMENTS as u64
+                    );
+                    patch_ns_total += report.index_rebuild_ns;
+                }
+                _ => {
+                    // Budget-only: full reuse, zero index maintenance.
+                    assert_eq!(report.index_rebuild_ns, 0);
+                    assert_eq!(report.index_segments_rebuilt, 0);
+                    assert_eq!(report.index_segments_reused, 0);
+                }
+            }
         }
 
         assert_eq!(
@@ -937,13 +1049,32 @@ mod tests {
         );
         let build_hist = registry.histogram(Metric::SolverIndexBuildNs);
         assert_eq!(
-            build_hist.sum, rebuild_ns_total,
+            build_hist.sum, build_ns_total,
             "index-build span and report ns disagree"
         );
-        assert_eq!(build_hist.count, rebuilds);
-        assert_eq!(registry.counter(Metric::SolverIndexBuilds), rebuilds);
-        assert_eq!(registry.counter(Metric::ServiceIndexRebuilds), rebuilds);
-        assert_eq!(registry.counter(Metric::ServiceIndexReuses), 4 - rebuilds);
+        assert_eq!(build_hist.count, 1);
+        let patch_hist = registry.histogram(Metric::SolverIndexPatchNs);
+        assert_eq!(
+            patch_hist.sum, patch_ns_total,
+            "index-patch span and report ns disagree"
+        );
+        assert_eq!(patch_hist.count, 1);
+        assert_eq!(registry.counter(Metric::SolverIndexBuilds), 1);
+        assert_eq!(registry.counter(Metric::ServiceIndexRebuilds), 1);
+        assert_eq!(registry.counter(Metric::ServiceIndexPatches), 1);
+        assert_eq!(registry.counter(Metric::ServiceIndexReuses), 2);
+        assert_eq!(
+            registry.counter(Metric::SolverIndexSegmentsRebuilt),
+            segments_rebuilt_total
+        );
+        assert_eq!(
+            registry.counter(Metric::SolverIndexSegmentsRepaired),
+            segments_repaired_total
+        );
+        assert_eq!(
+            registry.counter(Metric::SolverIndexSegmentsReused),
+            segments_reused_total
+        );
         assert_eq!(registry.counter(Metric::ServiceDirtyShards), dirty_total);
         assert_eq!(
             registry.counter(Metric::ServiceRebuiltColumns),

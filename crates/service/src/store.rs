@@ -23,6 +23,7 @@
 
 use crate::error::ServiceError;
 use crate::{ClientId, ClientParams};
+use fedfl_core::active_set::IndexColumns;
 use fedfl_core::population::PopulationColumns;
 use fedfl_core::shard::ShardedPopulation;
 use fedfl_core::GameError;
@@ -34,6 +35,16 @@ use std::collections::HashMap;
 /// many registrations dirties at most two shards; removals dirty the
 /// shards of the departing ids.
 const ROUTE_BLOCK: u64 = 32;
+
+/// Segment count of the service's keyed threshold index. Clients key on
+/// the same id blocks the store routes by (`(id / ROUTE_BLOCK) %
+/// INDEX_SEGMENTS`), so whenever the store's shard count divides this,
+/// every index segment nests inside exactly one store shard — the mapping
+/// that turns per-shard dirty bits into dirty index segments. 256 keeps
+/// segments fine-grained (a one-shard churn re-sorts 1/256th of the
+/// population at the reference shard count) without bloating the segment
+/// directory walk.
+pub(crate) const INDEX_SEGMENTS: usize = 256;
 
 /// One registered client.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +101,46 @@ pub(crate) struct ShardStats {
     pub rebuilt_columns: usize,
 }
 
+/// Scale-free threshold-index inputs of the included clients, in
+/// insertion order — the raw-weight twin of the normalised solver
+/// columns.
+///
+/// The normalised `a²G² = (w/W)²G²` column moves with every change of the
+/// raw-weight total `W`, so an index over it could never reuse segments
+/// across churn. These columns carry `w²G²` from *raw* weights instead
+/// and the squared total as [`IndexInputs::scale`]; the index evaluates
+/// thresholds at that scale on the fly, keeping its stored segments
+/// `W`-independent (see `fedfl_core::active_set`).
+#[derive(Debug)]
+pub(crate) struct IndexInputs {
+    /// `w_raw²·G²` per included client.
+    pub w2g2: Vec<f64>,
+    /// Effective costs (same values the solver columns carry).
+    pub cost: Vec<f64>,
+    /// Client values.
+    pub value: Vec<f64>,
+    /// Effective caps.
+    pub q_max: Vec<f64>,
+    /// Index segment key per included client:
+    /// `(id / ROUTE_BLOCK) % INDEX_SEGMENTS` — a pure function of the id,
+    /// so the segment partition never depends on shard or thread counts.
+    pub seg_keys: Vec<u32>,
+    /// The probe scale `σ = W²` (squared raw-weight total).
+    pub scale: f64,
+}
+
+impl IndexInputs {
+    /// Borrow as the index builder's column view.
+    pub fn columns(&self) -> IndexColumns<'_> {
+        IndexColumns {
+            w2g2: &self.w2g2,
+            cost: &self.cost,
+            value: &self.value,
+            q_max: &self.q_max,
+        }
+    }
+}
+
 /// The assembled solver view of the current population.
 #[derive(Debug)]
 pub(crate) struct AssembledView {
@@ -103,6 +154,8 @@ pub(crate) struct AssembledView {
     /// Total raw weight of the included clients (the warm-start rescale
     /// reference).
     pub total_raw_weight: f64,
+    /// Scale-free inputs for the fast path's keyed threshold index.
+    pub index: IndexInputs,
 }
 
 /// Sharded client store with id lookup, per-shard dirty tracking, and
@@ -119,6 +172,12 @@ pub(crate) struct ShardedClientStore {
     /// availability changes). Caches derived from an assembled view — the
     /// fast path's threshold index — key on this stamp to detect reuse.
     version: u64,
+    /// Per-shard mutation stamps: `shard_versions[s]` is the global
+    /// [`Self::version`] of the last delta that touched shard `s` (0 =
+    /// never touched). A cache stamped at global version `v` can tell
+    /// exactly which shards changed since: `{s | shard_versions[s] > v}`
+    /// — the dirty set the fast path's incremental index patch rebuilds.
+    shard_versions: Vec<u64>,
 }
 
 impl ShardedClientStore {
@@ -130,12 +189,19 @@ impl ShardedClientStore {
             index: HashMap::new(),
             next_id: 0,
             version: 0,
+            shard_versions: vec![0; shard_count.max(1)],
         }
     }
 
     /// The current mutation stamp (see the `version` field).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Per-shard mutation stamps (see the `shard_versions` field): the
+    /// global version of the last delta that touched each shard.
+    pub fn shard_versions(&self) -> &[u64] {
+        &self.shard_versions
     }
 
     /// Number of registered clients.
@@ -185,6 +251,7 @@ impl ShardedClientStore {
             self.next_id += 1;
             let shard = self.route(id.0);
             self.shards[shard].cache = None;
+            self.shard_versions[shard] = self.version;
             self.index.insert(
                 id.0,
                 Slot {
@@ -231,6 +298,7 @@ impl ShardedClientStore {
         for (s, shard) in self.shards.iter_mut().enumerate() {
             if touched[s] {
                 shard.cache = None;
+                self.shard_versions[s] = self.version;
                 shard
                     .records
                     .retain(|r| !doomed_global[index[&r.id.0].global]);
@@ -277,6 +345,7 @@ impl ShardedClientStore {
             });
         }
         let mut changed = false;
+        let mut touched = vec![false; self.shards.len()];
         for (id, &pattern) in self.order.iter().zip(model.patterns()) {
             let slot = self.index[&id.0];
             let record = &mut self.shards[slot.shard].records[slot.local];
@@ -285,13 +354,19 @@ impl ShardedClientStore {
                 changed = true;
                 if track_dirty {
                     self.shards[slot.shard].cache = None;
+                    touched[slot.shard] = true;
                 }
             }
         }
         // An availability-blind service's assembled view never reads the
-        // patterns, so only tracked changes advance the stamp.
+        // patterns, so only tracked changes advance the stamps.
         if changed && track_dirty {
             self.version += 1;
+            for (s, &hit) in touched.iter().enumerate() {
+                if hit {
+                    self.shard_versions[s] = self.version;
+                }
+            }
         }
         Ok(changed)
     }
@@ -365,6 +440,7 @@ impl ShardedClientStore {
         let mut cost = Vec::with_capacity(n);
         let mut value = Vec::with_capacity(n);
         let mut q_max = Vec::with_capacity(n);
+        let mut seg_keys = Vec::with_capacity(n);
         for id in &self.order {
             let slot = self.index[&id.0];
             let cache = self.shards[slot.shard]
@@ -379,6 +455,7 @@ impl ShardedClientStore {
                 cost.push(cache.cost_eff[slot.local]);
                 value.push(cache.value[slot.local]);
                 q_max.push(cache.q_max_eff[slot.local]);
+                seg_keys.push(((id.0 / ROUTE_BLOCK) % INDEX_SEGMENTS as u64) as u32);
             }
         }
         let included_count = w_raw.len();
@@ -421,11 +498,25 @@ impl ShardedClientStore {
         }
         let population = ShardedPopulation::from_shards(shards)
             .expect("plan-split shards are chunk-aligned by construction");
+        let w2g2 = w_raw
+            .iter()
+            .zip(&g2)
+            .map(|(&w, &g)| w * w * g)
+            .collect::<Vec<f64>>();
+        let index = IndexInputs {
+            w2g2,
+            cost,
+            value,
+            q_max,
+            seg_keys,
+            scale: total_raw_weight * total_raw_weight,
+        };
         Ok(AssembledView {
             population,
             included,
             included_count,
             total_raw_weight,
+            index,
         })
     }
 
@@ -528,6 +619,82 @@ mod tests {
         store.add(vec![params(5.0), params(6.0)]).unwrap();
         let after_add = store.ensure_caches(false, Q_MIN);
         assert!(after_add.dirty_shards <= 2);
+    }
+
+    #[test]
+    fn shard_versions_stamp_only_touched_shards() {
+        let mut store = ShardedClientStore::new(4);
+        assert_eq!(store.shard_versions(), &[0, 0, 0, 0]);
+        // One route block of adds stamps exactly shard 0 at the new
+        // global version.
+        let ids = store
+            .add((0..ROUTE_BLOCK).map(|_| params(1.0)).collect())
+            .unwrap();
+        assert_eq!(store.version(), 1);
+        assert_eq!(store.shard_versions(), &[1, 0, 0, 0]);
+        // The next block routes to shard 1; shard 0's stamp is left
+        // alone, so a cache stamped at version 1 sees exactly shard 1
+        // as newer.
+        store
+            .add((0..ROUTE_BLOCK).map(|_| params(2.0)).collect())
+            .unwrap();
+        assert_eq!(store.version(), 2);
+        assert_eq!(store.shard_versions(), &[1, 2, 0, 0]);
+        let stamped = 1u64;
+        let dirty: Vec<usize> = store
+            .shard_versions()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > stamped)
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(dirty, vec![1]);
+        // Removing from shard 0 stamps shard 0 only.
+        store.remove(&[ids[0]]).unwrap();
+        assert_eq!(store.version(), 3);
+        assert_eq!(store.shard_versions(), &[3, 2, 0, 0]);
+        // An availability change to one client stamps its shard only —
+        // and only when the service tracks availability.
+        let n = store.len();
+        let mut patterns = vec![AvailabilityPattern::AlwaysOn; n];
+        patterns[n - 1] = AvailabilityPattern::Random { probability: 0.5 };
+        let model = AvailabilityModel::new(patterns).unwrap();
+        assert!(store.set_availability(&model, false).unwrap());
+        assert_eq!(store.shard_versions(), &[3, 2, 0, 0], "untracked change");
+        let model = AvailabilityModel::always_on(n);
+        assert!(store.set_availability(&model, true).unwrap());
+        assert_eq!(store.version(), 4);
+        assert_eq!(store.shard_versions(), &[3, 4, 0, 0]);
+    }
+
+    #[test]
+    fn assembled_index_inputs_align_with_included_clients() {
+        let mut store = ShardedClientStore::new(2);
+        let mut dead = params(2.0);
+        dead.availability = AvailabilityPattern::Random { probability: 1e-12 };
+        store
+            .add(vec![params(1.5), dead, params(3.0), params(4.0)])
+            .unwrap();
+        store.ensure_caches(true, Q_MIN);
+        let assembled = store.assemble(1).unwrap();
+        let inputs = &assembled.index;
+        assert_eq!(inputs.w2g2.len(), assembled.included_count);
+        assert_eq!(inputs.seg_keys.len(), assembled.included_count);
+        // w²G² is raw-weight squared times G², in insertion order over
+        // the included clients; the scale is the squared raw total.
+        let expected: Vec<f64> = [1.5f64, 3.0, 4.0].iter().map(|w| w * w * 4.0).collect();
+        assert_eq!(inputs.w2g2, expected);
+        let total: f64 = 1.5 + 3.0 + 4.0;
+        assert_eq!(inputs.scale.to_bits(), (total * total).to_bits());
+        // All four ids share route block 0, so every segment key is 0.
+        assert_eq!(inputs.seg_keys, vec![0, 0, 0]);
+        // The scaled index columns describe the same clients the solver
+        // columns do: (w/W)²G² == w²G² / scale up to one rounding.
+        let cols = assembled.population.concat();
+        for (i, &a2g2) in cols.a2g2.iter().enumerate() {
+            let rescaled = inputs.w2g2[i] / inputs.scale;
+            assert!((rescaled - a2g2).abs() <= 1e-12 * a2g2.abs());
+        }
     }
 
     #[test]

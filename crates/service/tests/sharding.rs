@@ -371,6 +371,9 @@ fn fast_path_service_stays_certified_under_churn_and_reuses_the_index() {
 
     let cold = service.reprice().unwrap();
     assert!(cold.index_rebuild_ns > 0, "cold solve builds the index");
+    let segment_total = cold.index_segments_rebuilt;
+    assert!(segment_total > 0, "cold build sorts every segment");
+    assert_eq!(cold.index_segments_reused, 0);
     assert_agrees(
         &service.snapshot().unwrap().prices,
         &exact.snapshot().unwrap().prices,
@@ -387,6 +390,8 @@ fn fast_path_service_stays_certified_under_churn_and_reuses_the_index() {
         "budget update must reuse the cached threshold index"
     );
     assert_eq!(budget_only.dirty_shards, 0);
+    assert_eq!(budget_only.index_segments_rebuilt, 0);
+    assert_eq!(budget_only.index_segments_reused, 0);
     assert_agrees(
         &service.snapshot().unwrap().prices,
         &exact.snapshot().unwrap().prices,
@@ -407,6 +412,20 @@ fn fast_path_service_stays_certified_under_churn_and_reuses_the_index() {
         churned.index_rebuild_ns > 0,
         "churn must invalidate the cached index"
     );
+    // Partial churn patches instead of rebuilding: only the segments
+    // nested in the dirty shards re-sort, the rest are reused (or at
+    // most repaired for threshold-order drift from the new weight
+    // total) — and the sum accounts for every segment.
+    let per_shard = segment_total / churned.shard_count as u64;
+    assert!(churned.index_segments_rebuilt >= 1);
+    assert!(churned.index_segments_rebuilt <= churned.dirty_shards as u64 * per_shard);
+    assert!(churned.index_segments_reused > 0, "clean segments reused");
+    assert_eq!(
+        churned.index_segments_rebuilt
+            + churned.index_segments_repaired
+            + churned.index_segments_reused,
+        segment_total
+    );
     assert_agrees(
         &service.snapshot().unwrap().prices,
         &exact.snapshot().unwrap().prices,
@@ -426,6 +445,11 @@ fn fast_path_service_stays_certified_under_churn_and_reuses_the_index() {
         rebound.index_rebuild_ns > 0,
         "α/R change must rebuild the threshold index"
     );
+    assert_eq!(
+        rebound.index_segments_rebuilt, segment_total,
+        "a solver-knob change re-sorts every segment"
+    );
+    assert_eq!(rebound.index_segments_reused, 0);
     assert_agrees(
         &service.snapshot().unwrap().prices,
         &exact.snapshot().unwrap().prices,

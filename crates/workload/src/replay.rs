@@ -136,8 +136,17 @@ pub struct SolveSample {
     pub mode: SolverMode,
     /// Probe-phase work in per-client spend-evaluation units.
     pub probe_evaluations: u64,
-    /// Nanoseconds rebuilding the threshold index (0 on reuse or exact).
+    /// Nanoseconds building or patching the threshold index (0 on reuse
+    /// or exact).
     pub index_rebuild_ns: u64,
+    /// Index segments re-sorted for this solve (every segment on a cold
+    /// build, only dirty ones on an incremental patch).
+    pub index_segments_rebuilt: u64,
+    /// Clean segments a patch re-sorted because scale drift reordered
+    /// their thresholds.
+    pub index_segments_repaired: u64,
+    /// Segments a patch reused verbatim.
+    pub index_segments_reused: u64,
 }
 
 /// Timing of one clean (already-priced) read.
@@ -632,6 +641,9 @@ fn solve_sample(report: &RepriceReport, phase: Phase, millis: f64) -> SolveSampl
         mode: report.solver_mode,
         probe_evaluations: report.probe_evaluations,
         index_rebuild_ns: report.index_rebuild_ns,
+        index_segments_rebuilt: report.index_segments_rebuilt,
+        index_segments_repaired: report.index_segments_repaired,
+        index_segments_reused: report.index_segments_reused,
     }
 }
 
@@ -785,9 +797,25 @@ mod tests {
         // fallback — never silently the plain exact path).
         assert!(outcome.solves.iter().all(|s| s.mode != SolverMode::Exact));
         // Every step of this trace churns availability, so each solve
-        // rebuilds the index (reuse under budget-only churn is pinned at
-        // the service level in `fedfl-service`'s sharding tests).
+        // builds or patches the index (reuse under budget-only churn is
+        // pinned at the service level in `fedfl-service`'s sharding
+        // tests).
         assert!(outcome.solves.iter().all(|s| s.index_rebuild_ns > 0));
+        // The first solve builds every segment cold; every later solve is
+        // an incremental patch whose per-segment accounting still covers
+        // the whole index.
+        let segment_total = outcome.solves[0].index_segments_rebuilt;
+        assert!(segment_total > 0, "cold build reported no segments");
+        assert_eq!(outcome.solves[0].index_segments_reused, 0);
+        for solve in &outcome.solves[1..] {
+            assert_eq!(
+                solve.index_segments_rebuilt
+                    + solve.index_segments_repaired
+                    + solve.index_segments_reused,
+                segment_total,
+                "patch accounting does not cover every segment"
+            );
+        }
         // The trace itself is fast-path independent.
         let exact_trace = generate(&tiny_spec()).expect("generate");
         assert_eq!(trace.fingerprint, exact_trace.fingerprint);

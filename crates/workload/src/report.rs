@@ -86,6 +86,26 @@ pub struct WorkloadRecord {
     /// certified, `"threshold_index_fallback"` if any fast solve was
     /// demoted to the exact path.
     pub solver_mode: String,
+    /// Fast-path solves that built the threshold index from scratch
+    /// (zero on exact runs). Excluded from
+    /// [`WorkloadRecord::deterministic_key`] together with the other
+    /// segment fields — they legitimately depend on the shard layout.
+    pub index_cold_builds: usize,
+    /// Fast-path solves that incrementally patched the cached index.
+    pub index_patches: usize,
+    /// Index segments re-sorted across all solves (cold builds count
+    /// every segment).
+    pub index_segments_rebuilt: u64,
+    /// Clean segments re-sorted by patches because scale drift reordered
+    /// their thresholds.
+    pub index_segments_repaired: u64,
+    /// Segments patches reused verbatim.
+    pub index_segments_reused: u64,
+    /// Mean wall-clock of cold index builds, ms (`0.0` when none ran).
+    pub mean_index_build_ms: f64,
+    /// Mean wall-clock of incremental index patches, ms (`0.0` when none
+    /// ran).
+    pub mean_index_patch_ms: f64,
     /// Total replay wall-clock, seconds.
     pub total_wall_seconds: f64,
     /// Per-phase latency buckets (`steady`, then `flash` when surges ran).
@@ -117,6 +137,22 @@ impl WorkloadRecord {
             .iter()
             .map(|s| s.rebuilt_columns as f64 / s.clients.max(1) as f64)
             .collect();
+        // A solve that touched the index either built it cold (no segment
+        // survived) or patched it (repaired/reused segments account for
+        // the rest); solves with zero index time reused it outright.
+        let mut build_ms = Vec::new();
+        let mut patch_ms = Vec::new();
+        for s in &outcome.solves {
+            if s.index_rebuild_ns == 0 {
+                continue;
+            }
+            let ms = s.index_rebuild_ns as f64 / 1e6;
+            if s.index_segments_repaired + s.index_segments_reused > 0 {
+                patch_ms.push(ms);
+            } else {
+                build_ms.push(ms);
+            }
+        }
 
         let mut phases = Vec::new();
         for phase in [Phase::Steady, Phase::Flash] {
@@ -163,6 +199,21 @@ impl WorkloadRecord {
             mean_rebuilt_column_fraction: mean(&rebuilt_fractions),
             verified_steps: outcome.verified_steps,
             solver_mode: run_solver_mode(outcome),
+            index_cold_builds: build_ms.len(),
+            index_patches: patch_ms.len(),
+            index_segments_rebuilt: outcome
+                .solves
+                .iter()
+                .map(|s| s.index_segments_rebuilt)
+                .sum(),
+            index_segments_repaired: outcome
+                .solves
+                .iter()
+                .map(|s| s.index_segments_repaired)
+                .sum(),
+            index_segments_reused: outcome.solves.iter().map(|s| s.index_segments_reused).sum(),
+            mean_index_build_ms: mean(&build_ms),
+            mean_index_patch_ms: mean(&patch_ms),
             total_wall_seconds: outcome.total_wall_seconds,
             phases,
         }
@@ -354,6 +405,13 @@ mod tests {
             mean_rebuilt_column_fraction: 0.25,
             verified_steps: 2,
             solver_mode: "exact".into(),
+            index_cold_builds: 1,
+            index_patches: 3,
+            index_segments_rebuilt: 280,
+            index_segments_repaired: 0,
+            index_segments_reused: 744,
+            mean_index_build_ms: 0.8,
+            mean_index_patch_ms: 0.05,
             total_wall_seconds: 0.5,
             phases: vec![PhaseStats {
                 phase: "steady".into(),
